@@ -1,0 +1,69 @@
+"""Benchmark + reproduction of Experiment F4 (the O(epsilon + 1/K) bound).
+
+Regenerates the measured-vs-certified optimality gap over the segment
+count K and over the binary-search tolerance epsilon, and times CUBIS at
+two K values (showing the cost of accuracy).
+
+Expected shape: measured gap decays with K and with epsilon; the
+certified bound always dominates the measured gap.
+
+Run:  pytest benchmarks/bench_ablation.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cubis import solve_cubis
+from repro.experiments.ablation import (
+    format_ablation,
+    run_ablation_epsilon,
+    run_ablation_k,
+)
+from repro.experiments.quality import default_uncertainty
+from repro.game.generator import random_interval_game
+
+
+def _instance():
+    game = random_interval_game(5, payoff_halfwidth=0.5, seed=4)
+    return game, default_uncertainty(game.payoffs)
+
+
+@pytest.mark.parametrize("num_segments", [4, 32])
+def test_f4_cubis_by_k(benchmark, num_segments):
+    game, uncertainty = _instance()
+    result = benchmark(
+        solve_cubis, game, uncertainty, num_segments=num_segments, epsilon=1e-3
+    )
+    assert np.isfinite(result.worst_case_value)
+
+
+def test_f4_report_k(benchmark, report):
+    table = run_ablation_k(
+        segment_counts=(2, 4, 8, 16, 32), num_targets=5, num_trials=2, seed=2016
+    )
+    game, uncertainty = _instance()
+    benchmark(solve_cubis, game, uncertainty, num_segments=8, epsilon=1e-3)
+
+    report("f4_ablation_k", format_ablation(table, "num_segments"))
+
+    means = table.group_mean("num_segments", "gap")
+    assert means[32] <= means[2] + 1e-6
+    for row in table.rows:
+        assert row["gap"] <= row["certified"] + 1e-6
+
+
+def test_f4_report_epsilon(benchmark, report):
+    table = run_ablation_epsilon(
+        epsilons=(0.5, 0.1, 0.02, 0.004),
+        num_targets=5,
+        num_segments=30,
+        num_trials=2,
+        seed=2016,
+    )
+    game, uncertainty = _instance()
+    benchmark(solve_cubis, game, uncertainty, num_segments=30, epsilon=0.02)
+
+    report("f4_ablation_epsilon", format_ablation(table, "epsilon"))
+
+    means = table.group_mean("epsilon", "gap")
+    assert means[0.004] <= means[0.5] + 1e-6

@@ -1,0 +1,87 @@
+"""Ablation A2 — the inner worst-case solver: vertex enumeration vs the
+paper's LP (6-8) vs the dual root.
+
+The inner problem is evaluated once per strategy scored anywhere in the
+harness, so its speed matters.  This bench times all three exact methods
+across target counts and asserts they agree.
+
+Expected shape: vertex enumeration (O(T log T), pure numpy) is orders of
+magnitude faster than the LP and meaningfully faster than the scalar root
+find; all three values coincide to 1e-6.
+
+Run:  pytest benchmarks/bench_inner.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.worst_case import (
+    worst_case_dual_root,
+    worst_case_lp,
+    worst_case_response,
+)
+from repro.utils.timing import Timer
+
+
+def _instance(num_targets, seed=0):
+    rng = np.random.default_rng(seed)
+    ud = rng.uniform(-8, 8, size=num_targets)
+    lo = rng.uniform(0.05, 1.0, size=num_targets)
+    hi = lo + rng.uniform(0.0, 3.0, size=num_targets)
+    return ud, lo, hi
+
+
+@pytest.mark.parametrize("num_targets", [10, 100, 1000])
+def test_a2_enumeration(benchmark, num_targets):
+    ud, lo, hi = _instance(num_targets)
+    sol = benchmark(worst_case_response, ud, lo, hi)
+    assert np.isfinite(sol.value)
+
+
+@pytest.mark.parametrize("num_targets", [10, 100])
+def test_a2_lp(benchmark, num_targets):
+    ud, lo, hi = _instance(num_targets)
+    sol = benchmark(worst_case_lp, ud, lo, hi)
+    assert np.isfinite(sol.value)
+
+
+@pytest.mark.parametrize("num_targets", [10, 100, 1000])
+def test_a2_dual_root(benchmark, num_targets):
+    ud, lo, hi = _instance(num_targets)
+    value = benchmark(worst_case_dual_root, ud, lo, hi)
+    assert np.isfinite(value)
+
+
+def test_a2_report(benchmark, report):
+    ud, lo, hi = _instance(100)
+    benchmark(worst_case_response, ud, lo, hi)
+
+    rows = []
+    for t in (10, 100, 1000):
+        ud, lo, hi = _instance(t)
+        times = {}
+        values = {}
+        for name, fn in (
+            ("enumeration", lambda: worst_case_response(ud, lo, hi).value),
+            ("lp", lambda: worst_case_lp(ud, lo, hi).value),
+            ("dual root", lambda: worst_case_dual_root(ud, lo, hi)),
+        ):
+            timer = Timer()
+            with timer:
+                for _ in range(5):
+                    values[name] = fn()
+            times[name] = timer.elapsed / 5
+        assert values["enumeration"] == pytest.approx(values["lp"], abs=1e-6)
+        assert values["enumeration"] == pytest.approx(values["dual root"], abs=1e-6)
+        rows.append(
+            [t, times["enumeration"] * 1e3, times["lp"] * 1e3, times["dual root"] * 1e3]
+        )
+    report(
+        "a2_inner",
+        format_table(
+            ["targets", "enumeration (ms)", "LP (ms)", "dual root (ms)"],
+            rows,
+            title="A2: inner worst-case solver ablation (values agree to 1e-6)",
+        ),
+    )

@@ -1,0 +1,38 @@
+"""Benchmark + reproduction of Experiment F5 (the solution-concept
+landscape): all nine planners on one game class, scored from every angle.
+
+Run:  pytest benchmarks/bench_landscape.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cubis import solve_cubis
+from repro.experiments.landscape import format_landscape, run_landscape
+from repro.experiments.quality import default_uncertainty
+from repro.game.generator import random_interval_game
+
+
+def test_f5_report(benchmark, report):
+    table = run_landscape(
+        num_targets=8, num_trials=2, num_segments=10, epsilon=0.01, num_types=5,
+        seed=2016,
+    )
+    game = random_interval_game(8, seed=2)
+    benchmark(
+        solve_cubis, game, default_uncertainty(game.payoffs),
+        num_segments=8, epsilon=0.05,
+    )
+
+    report("f5_landscape", format_landscape(table))
+
+    def mean_worst(name):
+        return float(table.where(algorithm=name).column("worst_case").mean())
+
+    # The paper's criterion: CUBIS tops the worst-case column (maximin may
+    # tie within the approximation envelope; everything else trails).
+    cubis = mean_worst("cubis")
+    for name in ("midpoint", "bayesian", "sse", "match", "uniform",
+                 "worst_type", "minimax_regret"):
+        assert cubis >= mean_worst(name) - 0.05, name
+    assert cubis >= mean_worst("maximin") - 0.15

@@ -1,0 +1,56 @@
+"""Benchmark + reproduction of Experiment F1 (solution quality vs size).
+
+Regenerates the worst-case-utility-vs-#targets series for CUBIS and the
+four baselines, and times a representative CUBIS solve at T = 10.
+
+Expected shape (DESIGN.md §2): CUBIS >= every baseline's worst case, with
+midpoint and uniform far below; the margin persists as T grows.
+
+Run:  pytest benchmarks/bench_quality.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cubis import solve_cubis
+from repro.experiments.quality import default_uncertainty, format_quality, run_quality
+from repro.game.generator import random_interval_game
+
+
+@pytest.fixture(scope="module")
+def quality_table():
+    return run_quality(
+        target_counts=(5, 10, 20),
+        num_trials=3,
+        num_segments=10,
+        epsilon=0.01,
+        num_types=6,
+        seed=2016,
+    )
+
+
+def test_f1_cubis_solve_t10(benchmark):
+    game = random_interval_game(10, seed=0)
+    uncertainty = default_uncertainty(game.payoffs)
+    result = benchmark(solve_cubis, game, uncertainty, num_segments=10, epsilon=0.01)
+    assert np.isfinite(result.worst_case_value)
+
+
+def test_f1_report(benchmark, quality_table, report):
+    # Benchmark the evaluation path (worst-case scoring of one strategy).
+    from repro.analysis.evaluation import evaluate_strategy
+
+    game = random_interval_game(20, seed=1)
+    uncertainty = default_uncertainty(game.payoffs)
+    x = game.strategy_space.uniform()
+    benchmark(evaluate_strategy, game, uncertainty, x)
+
+    report("f1_quality", format_quality(quality_table))
+
+    # Shape assertions: CUBIS dominates midpoint and uniform at every size.
+    for size in (5, 10, 20):
+        sub = quality_table.where(num_targets=size)
+        mean = lambda algo: np.mean(sub.where(algorithm=algo).column("worst_case"))
+        assert mean("cubis") >= mean("midpoint") - 0.05
+        assert mean("cubis") >= mean("uniform") - 0.05
+        assert mean("cubis") >= mean("worst_type") - 0.25

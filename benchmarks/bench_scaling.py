@@ -1,0 +1,84 @@
+"""Ablation A4 — CUBIS at scale: target counts up to 200.
+
+The paper argues efficiency; this bench measures how far the two oracles
+carry on a laptop.  The MILP (HiGHS) path is timed up to T = 100, the
+grid-DP path (which trades a finer grid for no MILP) up to T = 200;
+solution quality is cross-checked where both run.
+
+Expected shape: both scale roughly linearly in T at fixed K (the MILP has
+T·(2K+1) variables; the DP costs O(T·K·RK)); the DP's constant is far
+smaller.
+
+Run:  pytest benchmarks/bench_scaling.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.cubis import solve_cubis
+from repro.experiments.quality import default_uncertainty
+from repro.game.generator import random_interval_game
+from repro.utils.timing import Timer
+
+
+def _instance(num_targets):
+    game = random_interval_game(num_targets, payoff_halfwidth=0.5, seed=1000 + num_targets)
+    return game, default_uncertainty(game.payoffs)
+
+
+@pytest.mark.parametrize("num_targets", [25, 50, 100])
+def test_a4_milp_scaling(benchmark, num_targets):
+    game, uncertainty = _instance(num_targets)
+    result = benchmark.pedantic(
+        solve_cubis,
+        args=(game, uncertainty),
+        kwargs={"num_segments": 10, "epsilon": 0.02},
+        rounds=2,
+        iterations=1,
+    )
+    assert np.isfinite(result.worst_case_value)
+
+
+@pytest.mark.parametrize("num_targets", [50, 100, 200])
+def test_a4_dp_scaling(benchmark, num_targets):
+    game, uncertainty = _instance(num_targets)
+    result = benchmark.pedantic(
+        solve_cubis,
+        args=(game, uncertainty),
+        kwargs={"num_segments": 40, "epsilon": 0.02, "oracle": "dp"},
+        rounds=2,
+        iterations=1,
+    )
+    assert np.isfinite(result.worst_case_value)
+
+
+def test_a4_report(benchmark, report):
+    game, uncertainty = _instance(25)
+    benchmark(solve_cubis, game, uncertainty, num_segments=5, epsilon=0.1)
+
+    rows = []
+    for t in (25, 50, 100):
+        game, uncertainty = _instance(t)
+        timer_m = Timer()
+        with timer_m:
+            milp = solve_cubis(game, uncertainty, num_segments=10, epsilon=0.02)
+        timer_d = Timer()
+        with timer_d:
+            dp = solve_cubis(
+                game, uncertainty, num_segments=40, epsilon=0.02, oracle="dp"
+            )
+        rows.append(
+            [t, timer_m.elapsed, milp.worst_case_value, timer_d.elapsed, dp.worst_case_value]
+        )
+        # Quality cross-check: the two oracles agree within the envelope.
+        assert abs(milp.worst_case_value - dp.worst_case_value) < 0.25
+    report(
+        "a4_scaling",
+        format_table(
+            ["targets", "MILP s (K=10)", "MILP value", "DP s (K=40)", "DP value"],
+            rows,
+            title="A4: CUBIS scaling — MILP vs grid-DP oracle",
+            float_format="{:.3f}",
+        ),
+    )

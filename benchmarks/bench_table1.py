@@ -1,0 +1,27 @@
+"""Benchmark + reproduction of Experiment T1 (the paper's Table I example).
+
+Regenerates the Section III worked example — midpoint vs robust strategy
+and their worst-case utilities — and times a full CUBIS solve of the
+Table I game.
+
+Run:  pytest benchmarks/bench_table1.py --benchmark-only
+"""
+
+import pytest
+
+from repro.behavior.interval import IntervalSUQR
+from repro.core.cubis import solve_cubis
+from repro.experiments.table1 import TABLE1_WEIGHT_BOXES, format_table1, run_table1
+from repro.game.generator import table1_game
+
+
+def test_t1_cubis_solve(benchmark, report):
+    game = table1_game()
+    uncertainty = IntervalSUQR(game.payoffs, **TABLE1_WEIGHT_BOXES)
+
+    result = benchmark(
+        solve_cubis, game, uncertainty, num_segments=25, epsilon=1e-4
+    )
+    assert result.worst_case_value == pytest.approx(-0.90, abs=0.05)
+
+    report("t1_table1", format_table1(run_table1(num_segments=25, epsilon=1e-4)))

@@ -1,0 +1,27 @@
+"""Shared benchmark helpers: terminal reporting despite pytest capture."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an experiment table to the real terminal and persist it.
+
+    Usage: ``report("f1_quality", text)`` — writes ``benchmarks/out/
+    f1_quality.txt`` and echoes to the terminal even under capture.
+    """
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _report

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Plugging a custom behavioral model into the robust pipeline.
+
+The paper's framework only needs positive, non-increasing interval bounds
+``[L_i(x), U_i(x)]`` on the attractiveness — *any* discrete-choice model
+fits.  This script demonstrates extensibility with a model family that is
+not in the library: a power-law ("hyperbolic discounting") attacker whose
+attractiveness is
+
+    F_i(x) = v_i / (1 + k x)^rho
+
+with value ``v_i > 0``, sensitivity ``k > 0`` and curvature ``rho``
+uncertain in ``[rho_lo, rho_hi]``.  We wrap the exact interval bounds in
+``FunctionIntervalModel`` and hand them to CUBIS unchanged.
+
+Run:  python examples/custom_model.py
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis.reporting import format_kv, format_table
+from repro.behavior import FunctionIntervalModel
+from repro.core.worst_case import evaluate_worst_case
+
+
+def power_law_bounds(values, k, rho_lo, rho_hi):
+    """Exact interval bounds for F(x) = v / (1 + k x)^rho, rho in a box.
+
+    ``(1 + k x) >= 1``, so ``(1 + k x)^rho`` is increasing in ``rho``:
+    the lower bound of F uses ``rho_hi``, the upper uses ``rho_lo``.
+    Both bounds are positive and decreasing in ``x``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+
+    def lower(p):
+        return values[:, None] / (1.0 + k * p[None, :]) ** rho_hi
+
+    def upper(p):
+        return values[:, None] / (1.0 + k * p[None, :]) ** rho_lo
+
+    return lower, upper
+
+
+def main() -> None:
+    game = repro.random_interval_game(8, num_resources=2, seed=3)
+    site_values = np.maximum(game.payoffs.attacker_reward_mid, 1.0)
+
+    lower, upper = power_law_bounds(site_values, k=4.0, rho_lo=1.0, rho_hi=3.0)
+    uncertainty = FunctionIntervalModel(game.num_targets, lower, upper)
+    print(
+        format_kv(
+            {
+                "model": "F(x) = v / (1 + 4x)^rho",
+                "curvature interval": "rho in [1, 3]",
+                "targets": game.num_targets,
+                "resources": game.num_resources,
+            },
+            title="Custom power-law attacker with curvature uncertainty:",
+        )
+    )
+    print()
+
+    robust = repro.solve_cubis(game, uncertainty, num_segments=15, epsilon=0.005)
+    midpoint = repro.solve_midpoint(
+        game, uncertainty, midpoint="bounds", num_segments=15, epsilon=0.005
+    )
+    uniform = game.strategy_space.uniform()
+
+    rows = [
+        ["CUBIS (robust)", robust.worst_case_value],
+        ["midpoint-of-bounds", midpoint.worst_case_value],
+        ["uniform", evaluate_worst_case(game, uncertainty, uniform).value],
+    ]
+    print(
+        format_table(
+            ["plan", "worst-case utility"],
+            rows,
+            title="Worst case over the curvature uncertainty:",
+            float_format="{:.3f}",
+        )
+    )
+
+    # Check the guarantee against sampled curvatures.
+    rng = np.random.default_rng(0)
+    worst_sampled = np.inf
+    for _ in range(200):
+        rho = rng.uniform(1.0, 3.0)
+        f = site_values / (1.0 + 4.0 * robust.strategy) ** rho
+        value = float(
+            f @ game.defender_utilities(robust.strategy) / f.sum()
+        )
+        worst_sampled = min(worst_sampled, value)
+    print(
+        f"\nGuarantee check: min over 200 sampled curvatures = "
+        f"{worst_sampled:.3f} >= guaranteed {robust.worst_case_value:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

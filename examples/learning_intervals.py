@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""From attack logs to uncertainty intervals to robust plans.
+
+The paper ties interval width to data availability: "the interval size
+indicates the uncertainty level when modeling, which could be specified
+based on the available data for learning" (Section III).  This script
+closes that loop end-to-end on synthetic data:
+
+1. a ground-truth SUQR poacher attacks under historical patrol schedules;
+2. the defender fits SUQR by maximum likelihood on logs of varying size;
+3. bootstrap percentile intervals of the fit become the weight boxes;
+4. CUBIS plans against each box; all plans are scored against the *true*
+   attacker and in the worst case.
+
+Expected output shape: with more data the boxes shrink, the robust plan's
+worst-case guarantee rises, and its true-model performance approaches the
+clairvoyant plan computed with the exact weights.
+
+Run:  python examples/learning_intervals.py
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis.reporting import format_table
+from repro.baselines.pasaq import solve_pasaq
+from repro.core.worst_case import evaluate_worst_case
+
+
+def main() -> None:
+    rng = np.random.default_rng(2016)
+    game = repro.wildlife_game(num_sites=8, num_patrols=2, uncertainty=0.0, seed=11)
+    truth_weights = repro.SUQRWeights(-3.5, 0.8, 0.55)
+    # With zero payoff uncertainty the interval payoffs are degenerate;
+    # collapse them for the ground-truth point model.
+    point_game = game.midpoint_game()
+    truth = repro.SUQR(point_game.payoffs, truth_weights)
+    print(f"Ground truth weights: w = {truth_weights.as_array()}\n")
+
+    # Historical schedules the poacher was observed under.
+    history = game.strategy_space.random_batch(30, seed=3)
+
+    clairvoyant = solve_pasaq(point_game, truth, num_segments=15, epsilon=1e-3)
+
+    rows = []
+    for n_attacks in (2, 10, 50, 250):
+        log = repro.simulate_attacks(truth, history, attacks_per_strategy=n_attacks, seed=rng)
+        boxes = repro.bootstrap_weight_boxes(
+            point_game.payoffs, log, num_bootstrap=30, confidence=0.9, seed=rng
+        )
+        uncertainty = repro.IntervalSUQR(
+            game.payoffs, *boxes, convention="tight"
+        )
+        robust = repro.solve_cubis(game, uncertainty, num_segments=12, epsilon=0.01)
+        true_value = truth.expected_defender_utility(
+            point_game.defender_utilities(robust.strategy), robust.strategy
+        )
+        box_width = sum(b.halfwidth for b in boxes)
+        rows.append(
+            [
+                log.num_observations,
+                box_width,
+                robust.worst_case_value,
+                true_value,
+                clairvoyant.value,
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "attacks observed",
+                "total box halfwidth",
+                "robust worst case",
+                "robust vs TRUE attacker",
+                "clairvoyant optimum",
+            ],
+            rows,
+            title="Data -> intervals -> robust plan:",
+            float_format="{:.3f}",
+        )
+    )
+    print(
+        "\nMore data -> narrower boxes -> stronger worst-case guarantee and\n"
+        "true-model performance approaching the clairvoyant plan."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Zone-constrained robust patrols on a park graph.
+
+Sites live on a spatial network; animal density diffuses from hotspots,
+and two ranger stations each field two teams that cannot leave their
+zone.  The script:
+
+1. builds the geographic game (``repro.game.graph``);
+2. solves robustly with CUBIS under the zone caps (an extension beyond
+   the paper's single-budget polytope);
+3. shows what the zone constraints cost relative to freely-roaming teams;
+4. uses the sensitivity diagnostics to say *where more poacher data would
+   help most*.
+
+Run:  python examples/park_graph.py
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis.reporting import format_table
+from repro.analysis.sensitivity import binding_targets, uncertainty_contributions
+from repro.experiments.quality import default_uncertainty
+
+
+def main() -> None:
+    game, constraints, layout = repro.geographic_game(
+        num_sites=14, num_stations=2, teams_per_station=2, uncertainty=0.75, seed=11
+    )
+    uncertainty = default_uncertainty(game.payoffs)
+    print(
+        f"Park graph: {game.num_targets} sites, "
+        f"{layout.graph.number_of_edges()} trails, stations at nodes "
+        f"{layout.stations}, {game.num_resources:g} teams total\n"
+    )
+
+    constrained = repro.solve_cubis(
+        game, uncertainty, num_segments=12, epsilon=0.01,
+        coverage_constraints=constraints,
+    )
+    free = repro.solve_cubis(game, uncertainty, num_segments=12, epsilon=0.01)
+    print(f"worst-case utility, zone-constrained: {constrained.worst_case_value:.3f}")
+    print(f"worst-case utility, free-roaming:     {free.worst_case_value:.3f}")
+    print(
+        f"cost of the zone structure:           "
+        f"{free.worst_case_value - constrained.worst_case_value:.3f}\n"
+    )
+
+    rows = []
+    for z in range(len(layout.stations)):
+        idx = np.flatnonzero(layout.zone_of == z)
+        rows.append(
+            [
+                f"zone {z} (station {layout.stations[z]})",
+                len(idx),
+                constrained.strategy[idx].sum(),
+                free.strategy[idx].sum(),
+            ]
+        )
+    print(
+        format_table(
+            ["zone", "sites", "constrained coverage", "free coverage"],
+            rows,
+            title="Coverage by zone (caps: 2.0 per zone):",
+            float_format="{:.2f}",
+        )
+    )
+
+    # Where would more data help?
+    contributions = uncertainty_contributions(game, uncertainty, constrained.strategy)
+    support = binding_targets(game, uncertainty, constrained.strategy)
+    order = np.argsort(-contributions)[:4]
+    print("\nData-collection priorities (worst-case recovery from resolving")
+    print("one site's behavioral uncertainty):")
+    rows = [
+        [
+            f"site {i}",
+            contributions[i],
+            "inflated" if support.at_upper[i] else "suppressed",
+            constrained.strategy[i],
+        ]
+        for i in order
+    ]
+    print(
+        format_table(
+            ["site", "recovery", "adversary uses", "coverage"],
+            rows,
+            float_format="{:.3f}",
+        )
+    )
+    print(
+        f"\nThe adversarial attacker currently funnels attacks toward site "
+        f"{support.worst_target}; collecting poacher data on the sites above "
+        "shrinks exactly the intervals the adversary exploits."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""From a robust mixed strategy to a month of executable patrols.
+
+The solvers output *coverage probabilities*; rangers need concrete daily
+assignments.  This script plans robustly with CUBIS, decomposes the
+coverage vector into a mixture of pure patrols (the comb construction in
+``repro.game.schedules``), draws a 30-day calendar, and verifies that the
+calendar's empirical coverage — what the attacker would actually observe
+— stays inside the plan's worst-case guarantee.
+
+Run:  python examples/patrol_calendar.py
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis.reporting import format_table
+from repro.core.worst_case import evaluate_worst_case
+
+
+def main() -> None:
+    game = repro.wildlife_game(num_sites=9, num_patrols=3, uncertainty=0.75, seed=42)
+    uncertainty = repro.IntervalSUQR(
+        game.payoffs, w1=(-5.0, -3.0), w2=(0.6, 0.9), w3=(0.45, 0.75),
+        convention="tight",
+    )
+
+    plan = repro.solve_cubis(game, uncertainty, num_segments=15, epsilon=0.005)
+    print(
+        f"Robust plan over {game.num_targets} sites with "
+        f"{game.num_resources:g} patrols; worst-case utility "
+        f"{plan.worst_case_value:.3f}\n"
+    )
+
+    schedule = repro.decompose_coverage(plan.strategy)
+    print(f"The mixed strategy decomposes into {schedule.num_patrols} pure patrols:")
+    rows = []
+    for p in range(schedule.num_patrols):
+        sites = ", ".join(str(i) for i in np.flatnonzero(schedule.patrols[p]))
+        rows.append([f"patrol {p}", f"sites {{{sites}}}", schedule.probabilities[p]])
+    print(format_table(["pure patrol", "covers", "probability"], rows))
+
+    calendar = repro.sample_patrols(plan.strategy, num_days=30, seed=7)
+    print("\nA 30-day calendar (rows = days, X = site patrolled):")
+    for day in range(0, 30, 6):
+        line = " ".join(
+            "".join("X" if calendar[d, i] else "." for i in range(game.num_targets))
+            for d in range(day, day + 6)
+        )
+        print(f"  days {day:2d}-{day + 5:2d}:  {line}")
+
+    empirical = calendar.mean(axis=0)
+    drift = np.abs(empirical - plan.strategy).max()
+    worst_at_empirical = evaluate_worst_case(game, uncertainty,
+        game.strategy_space.project(empirical)).value
+    print(f"\nEmpirical coverage after 30 days deviates by at most {drift:.3f}")
+    print(
+        f"Worst-case utility at the empirical coverage: {worst_at_empirical:.3f} "
+        f"(plan: {plan.worst_case_value:.3f})"
+    )
+    print("With more days the calendar's coverage converges to the plan exactly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: robust patrol planning under behavioral uncertainty.
+
+Builds the paper's Table I game, wraps the SUQR attacker model in the
+Section III uncertainty intervals, and contrasts:
+
+* the *midpoint* plan (pretend the midpoint model is the truth), and
+* the *CUBIS* robust plan (maximise the worst case over the intervals).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis.reporting import format_kv
+
+
+def main() -> None:
+    # 1. The game: 2 targets, 1 patrol resource, interval attacker payoffs
+    #    (the paper's Table I, with the calibrated defender payoffs).
+    game = repro.table1_game()
+    print(f"Game: {game.num_targets} targets, {game.num_resources:g} resource\n")
+
+    # 2. The uncertainty: SUQR weights known only up to intervals.
+    uncertainty = repro.IntervalSUQR(
+        game.payoffs,
+        w1=(-6.0, -2.0),   # coverage aversion
+        w2=(0.5, 1.0),     # reward attraction
+        w3=(0.4, 0.9),     # penalty aversion
+    )
+
+    # 3. The non-robust plan: optimise against the midpoint model.
+    midpoint = repro.solve_midpoint(game, uncertainty, num_segments=25)
+    print(
+        format_kv(
+            {
+                "strategy": np.round(midpoint.strategy, 3),
+                "believed utility": midpoint.nominal_value,
+                "worst-case utility": midpoint.worst_case_value,
+            },
+            title="Midpoint plan (ignores uncertainty):",
+        )
+    )
+    print()
+
+    # 4. The robust plan: CUBIS.
+    robust = repro.solve_cubis(game, uncertainty, num_segments=25, epsilon=1e-4)
+    print(
+        format_kv(
+            {
+                "strategy": np.round(robust.strategy, 3),
+                "worst-case utility": robust.worst_case_value,
+                "binary-search bracket": f"[{robust.lower_bound:.4f}, {robust.upper_bound:.4f}]",
+                "MILP solves": robust.iterations,
+            },
+            title="CUBIS robust plan:",
+        )
+    )
+    print()
+
+    gain = robust.worst_case_value - midpoint.worst_case_value
+    print(f"Robustness gain in the worst case: {gain:+.2f} utility")
+    print("(The paper reports -0.90 vs -2.26 for this example.)")
+
+
+if __name__ == "__main__":
+    main()

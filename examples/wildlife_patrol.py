@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Wildlife patrol planning — the paper's motivating domain.
+
+A park has poaching sites of decaying animal density and three ranger
+patrols.  Poacher behavior data is scarce (the limited-data problem of the
+paper's introduction), so the SUQR parameters carry wide uncertainty
+intervals.  The script compares five planning strategies under the worst
+case of that uncertainty, and shows where each concentrates coverage.
+
+Run:  python examples/wildlife_patrol.py
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis.evaluation import evaluate_strategy
+from repro.analysis.reporting import format_table
+from repro.behavior.sampling import sample_attacker_types
+
+
+def main() -> None:
+    game = repro.wildlife_game(num_sites=12, num_patrols=3, uncertainty=1.0, seed=2016)
+    uncertainty = repro.IntervalSUQR(
+        game.payoffs,
+        w1=(-5.0, -3.0),
+        w2=(0.6, 0.9),
+        w3=(0.45, 0.75),
+        convention="tight",
+    )
+    print(
+        f"Park: {game.num_targets} sites, {game.num_resources:g} patrols; "
+        "poacher model known only up to intervals\n"
+    )
+
+    strategies = {}
+    strategies["CUBIS (robust)"] = repro.solve_cubis(
+        game, uncertainty, num_segments=20, epsilon=0.005
+    ).strategy
+    strategies["midpoint"] = repro.solve_midpoint(
+        game, uncertainty, num_segments=20, epsilon=0.005
+    ).strategy
+    types = sample_attacker_types(uncertainty, 8, seed=1)
+    strategies["worst-type"] = repro.solve_worst_type(
+        game, types, num_starts=6, seed=2
+    ).strategy
+    strategies["payoff maximin"] = repro.solve_maximin(game).strategy
+    strategies["uniform"] = repro.solve_uniform(game).strategy
+
+    rows = []
+    for name, x in strategies.items():
+        ev = evaluate_strategy(game, uncertainty, x, sampled_types=types)
+        top = int(np.argmax(x))
+        rows.append(
+            [name, ev.worst_case, ev.midpoint, ev.sampled_min, f"site {top} ({x[top]:.2f})"]
+        )
+    rows.sort(key=lambda r: -r[1])
+    print(
+        format_table(
+            ["plan", "worst case", "midpoint case", "min over types", "most covered"],
+            rows,
+            title="Patrol plans under poacher-behavior uncertainty:",
+            float_format="{:.3f}",
+        )
+    )
+
+    print()
+    robust = strategies["CUBIS (robust)"]
+    mid = strategies["midpoint"]
+    print("Coverage shift (robust - midpoint), by site density rank:")
+    shift = robust - mid
+    bars = "".join("+" if s > 0.02 else ("-" if s < -0.02 else ".") for s in shift)
+    print(f"  hotspot {bars} fringe")
+    print(
+        "  (+ = robust plan adds coverage, - = removes; the robust plan hedges\n"
+        "   across mid-density sites the midpoint plan leaves exposed)"
+    )
+    print(
+        "\nNote: when intervals are very wide, the robust optimum approaches\n"
+        "payoff maximin — behavioral information has been uncertainty'd away.\n"
+        "CUBIS's edge over maximin grows as the intervals narrow (see the F3\n"
+        "benchmark), while its edge over the midpoint plan grows as they widen."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets `python setup.py develop` work in offline
+environments where pip's PEP-660 editable path is unavailable (no wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,108 @@
+"""repro — robust defender strategies for security games under behavioral
+uncertainty.
+
+A full reproduction of *"Addressing Behavioral Uncertainty in Security
+Games: An Efficient Robust Strategic Solution for Defender Patrols"*
+(Nguyen, Sinha, Tambe — IPPS 2016): the interval-uncertainty game model,
+the CUBIS robust algorithm, the classical baselines it is measured
+against, and the substrates (SSG model, behavioral models, LP/MILP
+solvers) everything stands on.
+
+Quickstart::
+
+    import repro
+
+    game = repro.wildlife_game(num_sites=12, num_patrols=3, seed=7)
+    uncertainty = repro.IntervalSUQR(
+        game.payoffs,
+        w1=(-6.0, -2.0), w2=(0.5, 1.0), w3=(0.4, 0.9),
+    )
+    result = repro.solve_cubis(game, uncertainty, num_segments=12)
+    print(result.strategy, result.worst_case_value)
+"""
+
+from repro.baselines import (
+    solve_maximin,
+    solve_midpoint,
+    solve_pasaq,
+    solve_sse,
+    solve_uniform,
+    solve_worst_type,
+)
+from repro.behavior import (
+    SUQR,
+    AttackLog,
+    IntervalQR,
+    IntervalSUQR,
+    QuantalResponse,
+    SUQRWeights,
+    WeightBox,
+    bootstrap_weight_boxes,
+    fit_suqr,
+    simulate_attacks,
+)
+from repro.core import (
+    CubisResult,
+    evaluate_worst_case,
+    solve_cubis,
+    solve_exact,
+    worst_case_response,
+)
+from repro.game import (
+    CoverageConstraints,
+    IntervalPayoffs,
+    IntervalSecurityGame,
+    PatrolSchedule,
+    PayoffMatrix,
+    decompose_coverage,
+    geographic_game,
+    sample_patrols,
+    SecurityGame,
+    StrategySpace,
+    airport_game,
+    random_game,
+    random_interval_game,
+    table1_game,
+    wildlife_game,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackLog",
+    "CoverageConstraints",
+    "CubisResult",
+    "IntervalPayoffs",
+    "IntervalQR",
+    "IntervalSUQR",
+    "IntervalSecurityGame",
+    "PatrolSchedule",
+    "PayoffMatrix",
+    "QuantalResponse",
+    "SUQR",
+    "SUQRWeights",
+    "SecurityGame",
+    "StrategySpace",
+    "WeightBox",
+    "__version__",
+    "airport_game",
+    "bootstrap_weight_boxes",
+    "decompose_coverage",
+    "evaluate_worst_case",
+    "fit_suqr",
+    "geographic_game",
+    "random_game",
+    "random_interval_game",
+    "sample_patrols",
+    "simulate_attacks",
+    "solve_cubis",
+    "solve_exact",
+    "solve_maximin",
+    "solve_midpoint",
+    "solve_pasaq",
+    "solve_sse",
+    "solve_uniform",
+    "solve_worst_type",
+    "table1_game",
+    "wildlife_game",
+]

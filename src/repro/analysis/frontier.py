@@ -1,0 +1,118 @@
+"""The price-of-robustness frontier.
+
+Robust optimisation literature (Bertsimas's "price of robustness"; the
+paper's reference [1] lineage) asks what nominal performance a robust
+plan sacrifices.  :func:`robustness_frontier` traces the trade-off
+curve by interpolating between the non-robust (midpoint) plan and the
+CUBIS plan inside the coverage polytope —
+
+.. math::
+
+    x_\\lambda = (1 - \\lambda) x_{mid} + \\lambda x_{robust},
+    \\qquad \\lambda \\in [0, 1]
+
+(the polytope is convex, so every interpolate is feasible) — and scoring
+each point's *worst-case* and *midpoint-model* utilities.  The resulting
+curve shows how much nominal utility each unit of worst-case protection
+costs, and where the knee sits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.evaluation import evaluate_strategy
+from repro.baselines.midpoint import solve_midpoint
+from repro.behavior.interval import UncertaintyModel
+from repro.core.cubis import solve_cubis
+
+__all__ = ["FrontierPoint", "RobustnessFrontier", "robustness_frontier"]
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One point on the robustness frontier."""
+
+    weight: float
+    strategy: np.ndarray
+    worst_case: float
+    midpoint_value: float
+
+
+@dataclass(frozen=True)
+class RobustnessFrontier:
+    """The traced frontier, endpoint results included.
+
+    ``points[0]`` is the pure midpoint plan (``weight = 0``),
+    ``points[-1]`` the pure CUBIS plan (``weight = 1``).
+    """
+
+    points: tuple
+
+    def weights(self) -> np.ndarray:
+        """Interpolation weights along the curve."""
+        return np.array([p.weight for p in self.points])
+
+    def worst_cases(self) -> np.ndarray:
+        """Worst-case utilities along the curve."""
+        return np.array([p.worst_case for p in self.points])
+
+    def midpoint_values(self) -> np.ndarray:
+        """Midpoint-model utilities along the curve."""
+        return np.array([p.midpoint_value for p in self.points])
+
+    def price_of_robustness(self) -> float:
+        """Nominal utility given up by the fully robust plan:
+        ``midpoint_value(weight=0) - midpoint_value(weight=1)``."""
+        return float(self.points[0].midpoint_value - self.points[-1].midpoint_value)
+
+    def value_of_robustness(self) -> float:
+        """Worst-case utility gained by the fully robust plan:
+        ``worst_case(weight=1) - worst_case(weight=0)``."""
+        return float(self.points[-1].worst_case - self.points[0].worst_case)
+
+    def knee(self) -> FrontierPoint:
+        """The point with the best worst-case-per-nominal trade-off:
+        maximises ``worst_case + midpoint_value`` (equal weights)."""
+        scores = self.worst_cases() + self.midpoint_values()
+        return self.points[int(np.argmax(scores))]
+
+
+def robustness_frontier(
+    game,
+    uncertainty: UncertaintyModel,
+    *,
+    num_points: int = 11,
+    num_segments: int = 12,
+    epsilon: float = 0.01,
+) -> RobustnessFrontier:
+    """Trace the midpoint-to-robust interpolation frontier.
+
+    Parameters
+    ----------
+    game, uncertainty:
+        As for :func:`repro.core.cubis.solve_cubis`.
+    num_points:
+        Number of interpolation weights (>= 2, including both endpoints).
+    """
+    if num_points < 2:
+        raise ValueError(f"num_points must be >= 2, got {num_points}")
+    robust = solve_cubis(game, uncertainty, num_segments=num_segments, epsilon=epsilon)
+    midpoint = solve_midpoint(
+        game, uncertainty, num_segments=num_segments, epsilon=epsilon
+    )
+    points = []
+    for lam in np.linspace(0.0, 1.0, num_points):
+        x = (1.0 - lam) * midpoint.strategy + lam * robust.strategy
+        ev = evaluate_strategy(game, uncertainty, x)
+        points.append(
+            FrontierPoint(
+                weight=float(lam),
+                strategy=x,
+                worst_case=ev.worst_case,
+                midpoint_value=ev.midpoint,
+            )
+        )
+    return RobustnessFrontier(points=tuple(points))

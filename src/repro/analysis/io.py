@@ -1,0 +1,170 @@
+"""JSON (de)serialisation for games, uncertainty models and results.
+
+A deployed planner needs to persist game definitions and solved plans —
+patrol schedules are reviewed, audited and re-run.  This module provides
+a compact JSON codec:
+
+* :func:`game_to_dict` / :func:`game_from_dict` — point and interval
+  security games (round-trip exact);
+* :func:`uncertainty_to_dict` / :func:`uncertainty_from_dict` —
+  :class:`~repro.behavior.interval.IntervalSUQR` and
+  :class:`~repro.behavior.interval_qr.IntervalQR` specs;
+* :func:`result_to_dict` — solver results (one-way: results carry derived
+  data; re-derive by re-solving the stored game);
+* :func:`save_json` / :func:`load_json` — thin file helpers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+import numpy as np
+
+from repro.behavior.interval import IntervalSUQR, WeightBox
+from repro.behavior.interval_qr import IntervalQR
+from repro.game.payoffs import IntervalPayoffs, PayoffMatrix
+from repro.game.ssg import IntervalSecurityGame, SecurityGame
+
+__all__ = [
+    "game_to_dict",
+    "game_from_dict",
+    "uncertainty_to_dict",
+    "uncertainty_from_dict",
+    "result_to_dict",
+    "save_json",
+    "load_json",
+]
+
+
+def _as_list(arr) -> list:
+    return np.asarray(arr, dtype=np.float64).tolist()
+
+
+def game_to_dict(game) -> dict:
+    """Serialise a :class:`SecurityGame` or :class:`IntervalSecurityGame`."""
+    if isinstance(game, SecurityGame):
+        p = game.payoffs
+        return {
+            "kind": "point_game",
+            "num_resources": game.num_resources,
+            "defender_reward": _as_list(p.defender_reward),
+            "defender_penalty": _as_list(p.defender_penalty),
+            "attacker_reward": _as_list(p.attacker_reward),
+            "attacker_penalty": _as_list(p.attacker_penalty),
+        }
+    if isinstance(game, IntervalSecurityGame):
+        p = game.payoffs
+        return {
+            "kind": "interval_game",
+            "num_resources": game.num_resources,
+            "defender_reward": _as_list(p.defender_reward),
+            "defender_penalty": _as_list(p.defender_penalty),
+            "attacker_reward_lo": _as_list(p.attacker_reward_lo),
+            "attacker_reward_hi": _as_list(p.attacker_reward_hi),
+            "attacker_penalty_lo": _as_list(p.attacker_penalty_lo),
+            "attacker_penalty_hi": _as_list(p.attacker_penalty_hi),
+        }
+    raise TypeError(f"cannot serialise game of type {type(game).__name__}")
+
+
+def game_from_dict(data: dict):
+    """Inverse of :func:`game_to_dict`."""
+    kind = data.get("kind")
+    if kind == "point_game":
+        payoffs = PayoffMatrix(
+            defender_reward=data["defender_reward"],
+            defender_penalty=data["defender_penalty"],
+            attacker_reward=data["attacker_reward"],
+            attacker_penalty=data["attacker_penalty"],
+        )
+        return SecurityGame(payoffs, data["num_resources"])
+    if kind == "interval_game":
+        payoffs = IntervalPayoffs(
+            defender_reward=data["defender_reward"],
+            defender_penalty=data["defender_penalty"],
+            attacker_reward_lo=data["attacker_reward_lo"],
+            attacker_reward_hi=data["attacker_reward_hi"],
+            attacker_penalty_lo=data["attacker_penalty_lo"],
+            attacker_penalty_hi=data["attacker_penalty_hi"],
+        )
+        return IntervalSecurityGame(payoffs, data["num_resources"])
+    raise ValueError(f"unknown game kind {kind!r}")
+
+
+def uncertainty_to_dict(model) -> dict:
+    """Serialise an :class:`IntervalSUQR` or :class:`IntervalQR` spec.
+
+    Only the *specification* (weight boxes + convention) is stored; the
+    payoffs travel with the game (pass the same game dict alongside).
+    """
+    if isinstance(model, IntervalSUQR):
+        w1, w2, w3 = model.weight_boxes
+        return {
+            "kind": "interval_suqr",
+            "w1": [w1.lo, w1.hi],
+            "w2": [w2.lo, w2.hi],
+            "w3": [w3.lo, w3.hi],
+            "convention": model.convention,
+        }
+    if isinstance(model, IntervalQR):
+        box = model.rationality_box
+        return {"kind": "interval_qr", "rationality": [box.lo, box.hi]}
+    raise TypeError(f"cannot serialise uncertainty of type {type(model).__name__}")
+
+
+def uncertainty_from_dict(data: dict, payoffs: IntervalPayoffs):
+    """Inverse of :func:`uncertainty_to_dict`, rebinding to ``payoffs``."""
+    kind = data.get("kind")
+    if kind == "interval_suqr":
+        return IntervalSUQR(
+            payoffs,
+            w1=WeightBox(*data["w1"]),
+            w2=WeightBox(*data["w2"]),
+            w3=WeightBox(*data["w3"]),
+            convention=data.get("convention", "endpoint"),
+        )
+    if kind == "interval_qr":
+        return IntervalQR(payoffs, rationality=WeightBox(*data["rationality"]))
+    raise ValueError(f"unknown uncertainty kind {kind!r}")
+
+
+def result_to_dict(result) -> dict:
+    """Serialise any of the package's frozen result dataclasses.
+
+    Arrays become lists, nested dataclasses nest, tuples of pairs (the
+    binary-search trace) become lists; non-numeric leaves pass through.
+    """
+    if not dataclasses.is_dataclass(result):
+        raise TypeError(f"expected a result dataclass, got {type(result).__name__}")
+
+    def convert(value):
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+        if isinstance(value, (np.floating, np.integer)):
+            return value.item()
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            return result_to_dict(value)
+        if isinstance(value, tuple):
+            return [convert(v) for v in value]
+        return value
+
+    return {
+        "kind": type(result).__name__,
+        **{
+            f.name: convert(getattr(result, f.name))
+            for f in dataclasses.fields(result)
+        },
+    }
+
+
+def save_json(obj: dict, path) -> None:
+    """Write a dict produced by the ``*_to_dict`` codecs to ``path``."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(obj, indent=2, sort_keys=True) + "\n")
+
+
+def load_json(path) -> dict:
+    """Read a dict written by :func:`save_json`."""
+    return json.loads(pathlib.Path(path).read_text())

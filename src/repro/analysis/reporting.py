@@ -1,0 +1,77 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints each figure/table as aligned ASCII (series
+per algorithm over the sweep axis), matching the "same rows/series the
+paper reports" deliverable without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    float_format: str = "{:.4f}",
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        out_row = []
+        for cell in row:
+            if isinstance(cell, (float, np.floating)):
+                out_row.append(float_format.format(float(cell)))
+            else:
+                out_row.append(str(cell))
+        rendered.append(out_row)
+    widths = [
+        max(len(str(headers[j])), *(len(r[j]) for r in rendered)) if rendered else len(str(headers[j]))
+        for j in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for r in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    axis_name: str,
+    axis_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    *,
+    float_format: str = "{:.4f}",
+    title: str | None = None,
+) -> str:
+    """Render a figure as one row per axis value, one column per series.
+
+    ``series`` maps series names (algorithm labels) to per-axis-value
+    numbers; this is the textual equivalent of a line plot.
+    """
+    headers = [axis_name, *series.keys()]
+    rows = []
+    for idx, v in enumerate(axis_values):
+        rows.append([v, *(s[idx] for s in series.values())])
+    return format_table(headers, rows, float_format=float_format, title=title)
+
+
+def format_kv(pairs: Mapping[str, object], *, float_format: str = "{:.4f}", title: str | None = None) -> str:
+    """Render key/value pairs, one per line, values float-formatted."""
+    lines = [title] if title else []
+    width = max((len(k) for k in pairs), default=0)
+    for k, v in pairs.items():
+        if isinstance(v, (float, np.floating)):
+            v = float_format.format(float(v))
+        lines.append(f"{k.ljust(width)}  {v}")
+    return "\n".join(lines)

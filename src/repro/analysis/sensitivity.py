@@ -1,0 +1,99 @@
+"""Sensitivity of the worst case to each target's uncertainty.
+
+Which target's behavioral uncertainty actually costs the defender?  The
+answer guides data collection (the paper's limited-data story in
+reverse: where would more data help most?).  Two diagnostics:
+
+* :func:`uncertainty_contributions` — for a fixed strategy, how much the
+  worst-case utility recovers if one target's interval is collapsed to
+  its midpoint (all else unchanged).  Zero for targets whose interval the
+  adversary was not exploiting.
+* :func:`binding_targets` — the support structure of the adversarial
+  response at a strategy: which targets sit at their upper bound (the
+  adversary inflates their attractiveness), at their lower bound, and
+  which carry the defender's worst utility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.behavior.interval import UncertaintyModel
+from repro.core.worst_case import worst_case_response
+
+__all__ = ["SupportStructure", "binding_targets", "uncertainty_contributions"]
+
+
+def uncertainty_contributions(game, uncertainty: UncertaintyModel, x) -> np.ndarray:
+    """Per-target worst-case recovery from resolving that target's interval.
+
+    Returns a vector ``delta`` with ``delta_i >= 0``: the improvement in
+    worst-case utility if ``F_i`` were pinned to its interval midpoint
+    while every other target kept its full interval.  Large ``delta_i``
+    marks the targets whose behavioral uncertainty is actually hurting —
+    the ones worth collecting attack data on.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    ud = game.defender_utilities(x)
+    lo = uncertainty.lower(x)
+    hi = uncertainty.upper(x)
+    base = worst_case_response(ud, lo, hi).value
+    out = np.empty(len(ud))
+    for i in range(len(ud)):
+        lo_i = lo.copy()
+        hi_i = hi.copy()
+        mid = 0.5 * (lo[i] + hi[i])
+        lo_i[i] = mid
+        hi_i[i] = mid
+        out[i] = worst_case_response(ud, lo_i, hi_i).value - base
+    # Shrinking an uncertainty set can only raise the min; clip round-off.
+    return np.clip(out, 0.0, None)
+
+
+@dataclass(frozen=True)
+class SupportStructure:
+    """The adversary's vertex pattern at a strategy.
+
+    Attributes
+    ----------
+    at_upper:
+        Boolean mask: targets whose attractiveness the adversary pushes to
+        the interval's *upper* end (the targets being weaponised).
+    at_lower:
+        Boolean mask: targets pushed to the lower end (starved of attack
+        probability because attacking them would help the defender).
+    attack_distribution:
+        The adversarial attack probabilities.
+    worst_target:
+        The single target contributing the lowest defender utility among
+        those attacked with non-negligible probability.
+    """
+
+    at_upper: np.ndarray
+    at_lower: np.ndarray
+    attack_distribution: np.ndarray
+    worst_target: int
+
+
+def binding_targets(
+    game, uncertainty: UncertaintyModel, x, *, rtol: float = 1e-9, prob_floor: float = 1e-6
+) -> SupportStructure:
+    """Classify each target's role in the adversarial response at ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    ud = game.defender_utilities(x)
+    lo = uncertainty.lower(x)
+    hi = uncertainty.upper(x)
+    sol = worst_case_response(ud, lo, hi)
+    at_upper = np.isclose(sol.attractiveness, hi, rtol=rtol)
+    at_lower = np.isclose(sol.attractiveness, lo, rtol=rtol) & ~at_upper
+    attacked = sol.attack_distribution > prob_floor
+    candidates = np.where(attacked, ud, np.inf)
+    worst = int(np.argmin(candidates))
+    return SupportStructure(
+        at_upper=at_upper,
+        at_lower=at_lower,
+        attack_distribution=sol.attack_distribution,
+        worst_target=worst,
+    )

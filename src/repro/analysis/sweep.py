@@ -1,0 +1,116 @@
+"""Experiment sweep machinery: records, grids, aggregation.
+
+The benchmark harness regenerates each figure as a table of rows; this
+module provides the plumbing — an append-only :class:`ResultTable` of
+uniform records, seeded trial fan-out, and group-by aggregation — without
+depending on pandas (numpy-only per the project's dependency budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.rng import spawn_generators
+
+__all__ = ["ResultTable", "run_grid"]
+
+
+@dataclass
+class ResultTable:
+    """An append-only table of dict records with uniform keys.
+
+    The first appended record fixes the column set; later records must
+    carry exactly the same keys (catching typo'd metric names early).
+    """
+
+    rows: list[dict] = field(default_factory=list)
+
+    def append(self, **record) -> None:
+        """Append one record."""
+        if self.rows and set(record) != set(self.rows[0]):
+            missing = set(self.rows[0]) - set(record)
+            extra = set(record) - set(self.rows[0])
+            raise ValueError(
+                f"record keys differ from the table schema: missing {sorted(missing)}, "
+                f"unexpected {sorted(extra)}"
+            )
+        self.rows.append(dict(record))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def columns(self) -> list[str]:
+        """Column names (empty before the first append)."""
+        return list(self.rows[0]) if self.rows else []
+
+    def column(self, name: str) -> np.ndarray:
+        """One column as an array (object dtype for non-numeric columns)."""
+        values = [row[name] for row in self.rows]
+        try:
+            return np.asarray(values, dtype=np.float64)
+        except (TypeError, ValueError):
+            return np.asarray(values, dtype=object)
+
+    def where(self, **conditions) -> "ResultTable":
+        """Rows matching all ``column == value`` conditions."""
+        out = ResultTable()
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in conditions.items()):
+                out.rows.append(row)
+        return out
+
+    def group_mean(self, by: str, value: str) -> dict[Any, float]:
+        """Mean of ``value`` grouped by distinct values of ``by``
+        (insertion-ordered)."""
+        groups: dict[Any, list[float]] = {}
+        for row in self.rows:
+            groups.setdefault(row[by], []).append(float(row[value]))
+        return {k: float(np.mean(v)) for k, v in groups.items()}
+
+    def group_std(self, by: str, value: str) -> dict[Any, float]:
+        """Sample standard deviation of ``value`` grouped by ``by``."""
+        groups: dict[Any, list[float]] = {}
+        for row in self.rows:
+            groups.setdefault(row[by], []).append(float(row[value]))
+        return {
+            k: float(np.std(v, ddof=1)) if len(v) > 1 else 0.0
+            for k, v in groups.items()
+        }
+
+
+def run_grid(
+    trial: Callable[..., Iterable[dict]],
+    grid: Sequence[dict],
+    *,
+    num_trials: int = 1,
+    seed=0,
+) -> ResultTable:
+    """Run ``trial`` over a parameter grid with seeded repetitions.
+
+    Parameters
+    ----------
+    trial:
+        Called as ``trial(rng=<Generator>, trial_index=<int>, **params)``;
+        must return an iterable of record dicts (each is appended, with
+        the grid params and trial index merged in).
+    grid:
+        A sequence of parameter dicts (one per configuration).
+    num_trials:
+        Independent repetitions per configuration, each with its own
+        spawned generator.
+    seed:
+        Root seed; the whole sweep is reproducible from it.
+    """
+    table = ResultTable()
+    rngs = spawn_generators(seed, len(grid) * num_trials)
+    k = 0
+    for params in grid:
+        for t in range(num_trials):
+            for record in trial(rng=rngs[k], trial_index=t, **params):
+                table.append(**{**params, "trial": t, **record})
+            k += 1
+    return table

@@ -1,0 +1,37 @@
+"""Comparison algorithms: PASAQ, midpoint, maximin, SSE, worst-type, uniform."""
+
+from repro.baselines.bayesian import BayesianResult, solve_bayesian
+from repro.baselines.match import MatchResult, solve_match
+from repro.baselines.maximin import MaximinResult, solve_maximin
+from repro.baselines.midpoint import (
+    MidpointBoundsModel,
+    MidpointResult,
+    solve_midpoint,
+)
+from repro.baselines.pasaq import PasaqResult, solve_pasaq
+from repro.baselines.rational import SSEResult, solve_sse
+from repro.baselines.regret import RegretResult, solve_minimax_regret
+from repro.baselines.uniform import UniformResult, solve_uniform
+from repro.baselines.worst_type import WorstTypeResult, solve_worst_type
+
+__all__ = [
+    "BayesianResult",
+    "MatchResult",
+    "MaximinResult",
+    "MidpointBoundsModel",
+    "MidpointResult",
+    "PasaqResult",
+    "RegretResult",
+    "SSEResult",
+    "UniformResult",
+    "WorstTypeResult",
+    "solve_bayesian",
+    "solve_match",
+    "solve_maximin",
+    "solve_minimax_regret",
+    "solve_midpoint",
+    "solve_pasaq",
+    "solve_sse",
+    "solve_uniform",
+    "solve_worst_type",
+]

@@ -1,0 +1,128 @@
+"""MATCH — graduated robustness against boundedly rational deviations.
+
+Pita et al. (AAMAS'12) propose MATCH as a human-aware alternative to SSE:
+commit to a strategy such that *if* the attacker deviates from his best
+response, the defender's loss is bounded by a multiple ``beta`` of the
+attacker's own sacrifice:
+
+.. math::
+
+    \\max_{x, t} \\; U_t^d(x_t)
+    \\quad \\text{s.t.} \\quad
+    U_t^a(x_t) \\ge U_j^a(x_j) \\; \\forall j, \\\\
+    U_t^d(x_t) - U_j^d(x_j) \\le \\beta \\, [U_t^a(x_t) - U_j^a(x_j)]
+    \\; \\forall j
+
+``beta = 0`` forces equal defender utility on every target the attacker
+might deviate to (maximally cautious); ``beta -> inf`` recovers SSE.
+Like SSE it is solved by one LP per candidate best-response target —
+both constraint families are linear in ``x`` once ``t`` is fixed.
+
+MATCH is a fixture comparator in the SUQR literature (it is what the
+SUQR papers beat); here it joins the baseline set for the quality
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.game.ssg import SecurityGame
+from repro.solvers.lp import solve_lp
+from repro.utils.timing import Timer
+
+__all__ = ["MatchResult", "solve_match"]
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of the MATCH computation.
+
+    ``value`` is the defender's utility when the attacker best-responds;
+    the ``beta`` bound caps her loss under any attacker deviation.
+    """
+
+    strategy: np.ndarray
+    value: float
+    attacked_target: int
+    beta: float
+    solve_seconds: float
+
+
+def solve_match(game: SecurityGame, *, beta: float = 1.0) -> MatchResult:
+    """Compute a MATCH strategy by the multiple-LP method.
+
+    Parameters
+    ----------
+    game:
+        A point-payoff security game (for interval games, collapse with
+        ``game.midpoint_game()`` first).
+    beta:
+        The loss-to-sacrifice ratio bound (``>= 0``).
+    """
+    if beta < 0:
+        raise ValueError(f"beta must be >= 0, got {beta}")
+    rd = game.payoffs.defender_reward
+    pd = game.payoffs.defender_penalty
+    ra = game.payoffs.attacker_reward
+    pa = game.payoffs.attacker_penalty
+    t_count = game.num_targets
+    slope_a = pa - ra  # U^a_i = R^a_i + slope_a_i x_i (negative slope)
+    slope_d = rd - pd  # U^d_i = P^d_i + slope_d_i x_i
+
+    best: tuple[float, np.ndarray, int] | None = None
+    timer = Timer()
+    with timer:
+        for t in range(t_count):
+            c = np.zeros(t_count)
+            c[t] = slope_d[t]
+            rows = []
+            rhs = []
+            for j in range(t_count):
+                if j == t:
+                    continue
+                # Best response: U^a_j(x_j) - U^a_t(x_t) <= 0.
+                row = np.zeros(t_count)
+                row[j] = slope_a[j]
+                row[t] = -slope_a[t]
+                rows.append(row)
+                rhs.append(ra[t] - ra[j])
+                # Deviation bound:
+                # U^d_t - U^d_j <= beta (U^a_t - U^a_j)
+                # <=> slope_d_t x_t - slope_d_j x_j
+                #     - beta slope_a_t x_t + beta slope_a_j x_j
+                #     <= P^d_j - P^d_t + beta (R^a_t - R^a_j).
+                row = np.zeros(t_count)
+                row[t] = slope_d[t] - beta * slope_a[t]
+                row[j] = -slope_d[j] + beta * slope_a[j]
+                rows.append(row)
+                rhs.append(pd[j] - pd[t] + beta * (ra[t] - ra[j]))
+            result = solve_lp(
+                c,
+                A_ub=np.array(rows) if rows else None,
+                b_ub=np.array(rhs) if rows else None,
+                A_eq=np.ones((1, t_count)),
+                b_eq=np.array([float(game.num_resources)]),
+                bounds=[(0.0, 1.0)] * t_count,
+                maximize=True,
+            )
+            if not result.success:
+                continue
+            value = float(pd[t] + result.objective)
+            if best is None or value > best[0]:
+                best = (value, result.x, t)
+    if best is None:
+        raise RuntimeError(
+            "MATCH is infeasible for every candidate target at this beta; "
+            "increase beta (beta -> inf recovers SSE, which always exists)"
+        )
+    value, strategy, target = best
+    return MatchResult(
+        strategy=strategy,
+        value=value,
+        attacked_target=target,
+        beta=float(beta),
+        solve_seconds=timer.elapsed,
+    )

@@ -1,0 +1,80 @@
+"""The payoff-maximin baseline: robust to *everything*, blind to behavior.
+
+The most conservative classical strategy assumes the attacker will strike
+whichever target is worst for the defender (no behavioral model at all)
+and maximises that floor:
+
+.. math::
+
+    \\max_{x \\in X, t} \\; t \\quad \\text{s.t.} \\quad U_i^d(x_i) \\ge t
+    \\; \\forall i
+
+This is a single LP.  In the paper's framing it is the degenerate limit of
+interval uncertainty (``L -> 0`` on every target the adversary favours):
+it bounds CUBIS from below in the quality experiments — robustness without
+the behavioral information CUBIS exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solvers.lp import solve_lp
+from repro.utils.timing import Timer
+
+__all__ = ["MaximinResult", "solve_maximin"]
+
+
+@dataclass(frozen=True)
+class MaximinResult:
+    """Outcome of the payoff-maximin LP.
+
+    ``floor_value`` is the guaranteed utility if the attacker picks the
+    defender's worst target (the LP optimum ``t``).
+    """
+
+    strategy: np.ndarray
+    floor_value: float
+    solve_seconds: float
+
+
+def solve_maximin(game) -> MaximinResult:
+    """Solve the payoff-maximin LP for any game exposing
+    ``payoffs.defender_reward`` / ``defender_penalty`` and
+    ``num_resources`` (both point and interval games qualify — the LP only
+    touches defender payoffs)."""
+    rd = game.payoffs.defender_reward
+    pd = game.payoffs.defender_penalty
+    t_count = len(rd)
+    # Variables: x_1..x_T, t.  Maximise t.
+    c = np.zeros(t_count + 1)
+    c[-1] = 1.0
+    # t - U_i^d(x_i) <= 0  ->  -x_i (R_i^d - P_i^d) + t <= P_i^d... sign:
+    # U^d_i = P^d_i + x_i (R^d_i - P^d_i); constraint t <= U^d_i becomes
+    # t - x_i (R^d_i - P^d_i) <= P^d_i.
+    A_ub = np.zeros((t_count, t_count + 1))
+    A_ub[np.arange(t_count), np.arange(t_count)] = -(rd - pd)
+    A_ub[:, -1] = 1.0
+    b_ub = pd.copy()
+    A_eq = np.zeros((1, t_count + 1))
+    A_eq[0, :t_count] = 1.0
+    timer = Timer()
+    with timer:
+        result = solve_lp(
+            c,
+            A_ub=A_ub,
+            b_ub=b_ub,
+            A_eq=A_eq,
+            b_eq=np.array([float(game.num_resources)]),
+            bounds=[(0.0, 1.0)] * t_count + [(None, None)],
+            maximize=True,
+        )
+    if not result.success:
+        raise RuntimeError(f"payoff-maximin LP failed: {result.message}")
+    return MaximinResult(
+        strategy=result.x[:t_count],
+        floor_value=float(result.objective),
+        solve_seconds=timer.elapsed,
+    )

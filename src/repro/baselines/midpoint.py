@@ -1,0 +1,116 @@
+"""The midpoint (non-robust) baseline.
+
+The paper's Section III example contrasts the robust strategy with a
+defender who "simply uses the mid points of the uncertainty intervals to
+compute the optimal strategy": pretend the midpoint model is the truth,
+optimise against it with PASAQ, and only then discover how badly the
+strategy fares in the worst case.  Two midpoint notions are supported:
+
+* ``"parameters"`` (default, matches the calibrated Table I numbers):
+  midpoint SUQR weights on midpoint attacker payoffs
+  (:meth:`IntervalSUQR.midpoint_model`);
+* ``"bounds"``: the pointwise midpoint of the attractiveness intervals,
+  ``F_i(x) = (L_i(x) + U_i(x)) / 2`` — defined for *any* uncertainty
+  model via :class:`MidpointBoundsModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.pasaq import solve_pasaq
+from repro.behavior.base import DiscreteChoiceModel
+from repro.behavior.interval import UncertaintyModel
+from repro.core.worst_case import evaluate_worst_case
+from repro.game.ssg import IntervalSecurityGame, SecurityGame
+
+__all__ = ["MidpointBoundsModel", "MidpointResult", "solve_midpoint"]
+
+
+class MidpointBoundsModel(DiscreteChoiceModel):
+    """Discrete-choice model using the interval midpoint
+    ``F(x) = (L(x) + U(x)) / 2`` as the attractiveness."""
+
+    def __init__(self, uncertainty: UncertaintyModel) -> None:
+        self._u = uncertainty
+
+    @property
+    def num_targets(self) -> int:
+        return self._u.num_targets
+
+    def attack_weights(self, x) -> np.ndarray:
+        return 0.5 * (self._u.lower(x) + self._u.upper(x))
+
+    def weights_on_grid(self, points) -> np.ndarray:
+        return 0.5 * (self._u.lower_on_grid(points) + self._u.upper_on_grid(points))
+
+
+@dataclass(frozen=True)
+class MidpointResult:
+    """Outcome of the midpoint baseline.
+
+    ``nominal_value`` is the utility the defender *believes* she gets
+    (expected utility under the midpoint model); ``worst_case_value`` is
+    what the uncertainty can actually do to her.  The gap between the two
+    is the cost of ignoring behavioral uncertainty.
+    """
+
+    strategy: np.ndarray
+    nominal_value: float
+    worst_case_value: float
+    solve_seconds: float
+
+
+def solve_midpoint(
+    game: IntervalSecurityGame,
+    uncertainty: UncertaintyModel,
+    *,
+    midpoint: str = "parameters",
+    num_segments: int = 10,
+    epsilon: float = 1e-3,
+    backend: str = "highs",
+) -> MidpointResult:
+    """Optimise against the midpoint model, then evaluate the worst case.
+
+    ``midpoint="parameters"`` requires the uncertainty model to expose
+    ``midpoint_model()`` (e.g. :class:`~repro.behavior.interval.IntervalSUQR`);
+    ``midpoint="bounds"`` works for any
+    :class:`~repro.behavior.interval.UncertaintyModel`.
+    """
+    if midpoint == "parameters":
+        if not hasattr(uncertainty, "midpoint_model"):
+            raise ValueError(
+                "midpoint='parameters' needs an uncertainty model with "
+                "midpoint_model(); use midpoint='bounds' for generic models"
+            )
+        model = uncertainty.midpoint_model()
+        point_game = (
+            game.midpoint_game()
+            if hasattr(game, "midpoint_game")
+            else SecurityGame(model.payoffs, game.num_resources)
+        )
+    elif midpoint == "bounds":
+        model = MidpointBoundsModel(uncertainty)
+        # PASAQ needs a point game for the defender side; attacker payoffs
+        # are irrelevant to the solve (the model carries F directly), so
+        # the midpoint collapse is only a carrier for U^d.
+        point_game = game.midpoint_game()
+    else:
+        raise ValueError(f"midpoint must be 'parameters' or 'bounds', got {midpoint!r}")
+
+    result = solve_pasaq(
+        point_game,
+        model,
+        num_segments=num_segments,
+        epsilon=epsilon,
+        backend=backend,
+    )
+    worst = evaluate_worst_case(game, uncertainty, result.strategy)
+    return MidpointResult(
+        strategy=result.strategy,
+        nominal_value=result.value,
+        worst_case_value=worst.value,
+        solve_seconds=result.solve_seconds,
+    )

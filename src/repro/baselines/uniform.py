@@ -1,0 +1,28 @@
+"""The uniform-coverage baseline: spread resources evenly, no optimisation.
+
+The zero-information floor of every SSG evaluation: ``x_i = R / T``.
+Included so the quality experiments show not just that CUBIS beats the
+non-robust optimum in the worst case, but by how much both beat doing
+nothing clever at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["UniformResult", "solve_uniform"]
+
+
+@dataclass(frozen=True)
+class UniformResult:
+    """The uniform strategy (no value attached — evaluate it against
+    whichever attacker model the experiment uses)."""
+
+    strategy: np.ndarray
+
+
+def solve_uniform(game) -> UniformResult:
+    """Return the uniform coverage vector for ``game``."""
+    return UniformResult(strategy=game.strategy_space.uniform())

@@ -1,0 +1,42 @@
+"""Attacker behavioral models: QR, SUQR, uncertainty intervals, and fitting."""
+
+from repro.behavior.base import DiscreteChoiceModel
+from repro.behavior.fitting import (
+    AttackLog,
+    bootstrap_weight_boxes,
+    fit_suqr,
+    simulate_attacks,
+)
+from repro.behavior.interval import (
+    FunctionIntervalModel,
+    IntervalSUQR,
+    UncertaintyModel,
+    WeightBox,
+)
+from repro.behavior.interval_qr import IntervalQR
+from repro.behavior.noise import ObservationNoisyModel, execution_adjusted_coverage
+from repro.behavior.population import PopulationModel
+from repro.behavior.qr import QuantalResponse
+from repro.behavior.sampling import corner_attacker_types, sample_attacker_types
+from repro.behavior.suqr import SUQR, SUQRWeights
+
+__all__ = [
+    "AttackLog",
+    "DiscreteChoiceModel",
+    "FunctionIntervalModel",
+    "IntervalQR",
+    "IntervalSUQR",
+    "ObservationNoisyModel",
+    "PopulationModel",
+    "QuantalResponse",
+    "SUQR",
+    "SUQRWeights",
+    "UncertaintyModel",
+    "WeightBox",
+    "bootstrap_weight_boxes",
+    "corner_attacker_types",
+    "execution_adjusted_coverage",
+    "fit_suqr",
+    "sample_attacker_types",
+    "simulate_attacks",
+]

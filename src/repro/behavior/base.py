@@ -1,0 +1,98 @@
+"""Discrete-choice attacker models.
+
+The paper reasons about the attacker through the general discrete-choice
+model of Eq. (4):
+
+.. math::
+
+    q_i(x) = \\frac{F_i(x_i)}{\\sum_j F_j(x_j)}
+
+where ``F_i : [0,1] -> R_{>0}`` is a positive, monotonically decreasing
+*attractiveness* function of the defender's coverage at target ``i``.
+Concrete models (:class:`~repro.behavior.qr.QuantalResponse`,
+:class:`~repro.behavior.suqr.SUQR`) are bound to a game's payoffs at
+construction so call sites only pass coverage vectors.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["DiscreteChoiceModel"]
+
+
+class DiscreteChoiceModel(abc.ABC):
+    """Abstract attacker model ``q_i(x) = F_i(x_i) / sum_j F_j(x_j)``.
+
+    Subclasses implement :meth:`attack_weights` (the vector of ``F_i(x_i)``)
+    and :meth:`weights_on_grid` (``F_i`` evaluated on a shared coverage
+    grid, used by the piecewise-linear machinery).  Both must return
+    strictly positive values.
+    """
+
+    @property
+    @abc.abstractmethod
+    def num_targets(self) -> int:
+        """Number of targets the model is bound to."""
+
+    @abc.abstractmethod
+    def attack_weights(self, x) -> np.ndarray:
+        """``F_i(x_i)`` for each target; ``x`` has shape ``(T,)``."""
+
+    @abc.abstractmethod
+    def weights_on_grid(self, points) -> np.ndarray:
+        """``F_i(p)`` for every target ``i`` and grid point ``p``.
+
+        ``points`` has shape ``(P,)``; the result has shape ``(T, P)``.
+        Used to tabulate piecewise-linear breakpoint values in one
+        vectorised call instead of ``T * P`` scalar evaluations.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+
+    def choice_probabilities(self, x) -> np.ndarray:
+        """The attack distribution ``q(x)`` of Eq. (4)."""
+        w = self.attack_weights(x)
+        total = w.sum()
+        if not np.isfinite(total) or total <= 0:
+            raise ValueError(
+                "attack weights must be positive and finite; got total "
+                f"{total} (check model parameters / payoff magnitudes)"
+            )
+        return w / total
+
+    def expected_defender_utility(self, defender_utilities, x) -> float:
+        """``sum_i q_i(x) U_i^d(x_i)`` for a given per-target utility vector."""
+        q = self.choice_probabilities(x)
+        u = np.asarray(defender_utilities, dtype=np.float64)
+        return float(q @ u)
+
+    def log_likelihood(self, coverages, attacked_targets) -> float:
+        """Log-likelihood of observed attacks under the model.
+
+        Parameters
+        ----------
+        coverages:
+            Array of shape ``(N, T)``: the coverage vector in force when
+            each of the ``N`` attacks happened.
+        attacked_targets:
+            Integer array of shape ``(N,)``: the target hit each time.
+
+        Used by :mod:`repro.behavior.fitting` for maximum-likelihood
+        estimation from (synthetic) attack logs.
+        """
+        coverages = np.asarray(coverages, dtype=np.float64)
+        attacked = np.asarray(attacked_targets, dtype=np.int64)
+        if coverages.ndim != 2:
+            raise ValueError(f"coverages must be 2-D (N, T), got shape {coverages.shape}")
+        if len(attacked) != len(coverages):
+            raise ValueError("coverages and attacked_targets must have equal length")
+        total = 0.0
+        for x, i in zip(coverages, attacked):
+            q = self.choice_probabilities(x)
+            total += float(np.log(q[i]))
+        return total

@@ -1,0 +1,376 @@
+"""Uncertainty intervals on the attacker's attractiveness function.
+
+The paper's central modelling device (Section III): instead of a single
+known ``F_i(x_i)``, the defender only knows positive bounds
+
+.. math::
+
+    L_i(x_i) \\le F_i(x_i) \\le U_i(x_i)
+
+This module provides:
+
+* :class:`WeightBox` — interval bounds on a scalar model parameter;
+* :class:`UncertaintyModel` — the abstract interface every robust solver
+  consumes (``lower`` / ``upper`` and their grid-tabulated forms);
+* :class:`IntervalSUQR` — intervals induced by box-bounded SUQR weights and
+  interval-valued attacker payoffs, in both the paper's *endpoint*
+  convention and the *tight* interval-arithmetic convention;
+* :class:`FunctionIntervalModel` — arbitrary user-supplied ``L`` / ``U``.
+
+Endpoint vs tight
+-----------------
+The paper evaluates ``L`` by putting every parameter at its interval lower
+end and ``U`` at its upper end — its own worked example computes
+``L_1(0.3) = e^{-6.0*0.3 + 0.5*1 + 0.4*(-7)} = e^{-4.1}`` and
+``U_1(0.3) = e^{-2.0*0.3 + 1.0*5 + 0.9*(-3)} = e^{1.7}``.  With negative
+penalties this *endpoint* rule is not the exact range of
+``e^{w1 x + w2 R + w3 P}`` over the parameter box (the true minimum of
+``w3 P`` uses the largest ``w3`` against the most negative ``P``).  The
+*tight* convention computes the exact product ranges.  Both are valid
+uncertainty sets; ``endpoint`` is the default because it reproduces the
+paper's numbers.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.behavior.suqr import SUQR, SUQRWeights
+from repro.game.payoffs import IntervalPayoffs, PayoffMatrix
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "WeightBox",
+    "UncertaintyModel",
+    "IntervalSUQR",
+    "FunctionIntervalModel",
+]
+
+
+@dataclass(frozen=True)
+class WeightBox:
+    """A closed interval ``[lo, hi]`` for one scalar model parameter."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        lo, hi = float(self.lo), float(self.hi)
+        if not (np.isfinite(lo) and np.isfinite(hi)):
+            raise ValueError(f"WeightBox bounds must be finite, got [{lo}, {hi}]")
+        if lo > hi:
+            raise ValueError(f"WeightBox requires lo <= hi, got [{lo}, {hi}]")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    @property
+    def mid(self) -> float:
+        """The interval midpoint."""
+        return 0.5 * (self.lo + self.hi)
+
+    @property
+    def halfwidth(self) -> float:
+        """Half the interval width (the `uncertainty level`)."""
+        return 0.5 * (self.hi - self.lo)
+
+    def scaled(self, factor: float) -> "WeightBox":
+        """Shrink/stretch the interval around its midpoint by ``factor``."""
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        m, h = self.mid, self.halfwidth * factor
+        return WeightBox(m - h, m + h)
+
+    def sample(self, seed=None) -> float:
+        """Draw a value uniformly from the interval."""
+        return float(as_generator(seed).uniform(self.lo, self.hi))
+
+    def product_range(self, other_lo, other_hi) -> tuple[np.ndarray, np.ndarray]:
+        """Exact elementwise range of ``w * y`` for ``w`` in this box and
+        ``y`` in ``[other_lo, other_hi]`` (vectorised over ``y``)."""
+        y_lo = np.asarray(other_lo, dtype=np.float64)
+        y_hi = np.asarray(other_hi, dtype=np.float64)
+        cands = np.stack(
+            [self.lo * y_lo, self.lo * y_hi, self.hi * y_lo, self.hi * y_hi]
+        )
+        return cands.min(axis=0), cands.max(axis=0)
+
+
+class UncertaintyModel(abc.ABC):
+    """Interval bounds ``[L_i(x_i), U_i(x_i)]`` on the attractiveness ``F``.
+
+    This is the object CUBIS and all robust baselines consume.  Both bounds
+    must be strictly positive and non-increasing in coverage, matching the
+    paper's assumptions on ``F_i``.
+    """
+
+    @property
+    @abc.abstractmethod
+    def num_targets(self) -> int:
+        """Number of targets the intervals are defined for."""
+
+    @abc.abstractmethod
+    def lower(self, x) -> np.ndarray:
+        """``L_i(x_i)`` per target; ``x`` has shape ``(T,)``."""
+
+    @abc.abstractmethod
+    def upper(self, x) -> np.ndarray:
+        """``U_i(x_i)`` per target; ``x`` has shape ``(T,)``."""
+
+    @abc.abstractmethod
+    def lower_on_grid(self, points) -> np.ndarray:
+        """``L_i(p)`` for all targets and grid points: ``(P,) -> (T, P)``."""
+
+    @abc.abstractmethod
+    def upper_on_grid(self, points) -> np.ndarray:
+        """``U_i(p)`` for all targets and grid points: ``(P,) -> (T, P)``."""
+
+    def lipschitz_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-target upper bounds on ``max |L'|`` and ``max |U'|`` on [0,1].
+
+        Used by :mod:`repro.core.bounds` to instantiate the constants of
+        Lemma 1.  The default estimates by dense finite differences;
+        analytic models override with exact values.
+        """
+        grid = np.linspace(0.0, 1.0, 513)
+        lo = self.lower_on_grid(grid)
+        hi = self.upper_on_grid(grid)
+        dl = np.abs(np.diff(lo, axis=1)).max(axis=1) / (grid[1] - grid[0])
+        du = np.abs(np.diff(hi, axis=1)).max(axis=1) / (grid[1] - grid[0])
+        return dl, du
+
+    def validate(self, *, grid_points: int = 33, atol: float = 1e-12) -> None:
+        """Check positivity, ordering and monotonicity on a grid.
+
+        Raises :class:`ValueError` on the first violated assumption.  Cheap
+        insurance for user-supplied bound functions.
+        """
+        grid = np.linspace(0.0, 1.0, grid_points)
+        lo = self.lower_on_grid(grid)
+        hi = self.upper_on_grid(grid)
+        if lo.shape != (self.num_targets, grid_points) or hi.shape != lo.shape:
+            raise ValueError(
+                "grid evaluation must return shape (num_targets, P); got "
+                f"{lo.shape} and {hi.shape}"
+            )
+        if np.any(lo <= 0) or np.any(hi <= 0):
+            raise ValueError("interval bounds must be strictly positive everywhere")
+        if np.any(lo > hi + atol):
+            raise ValueError("lower bound exceeds upper bound somewhere on [0, 1]")
+        if np.any(np.diff(lo, axis=1) > atol) or np.any(np.diff(hi, axis=1) > atol):
+            raise ValueError("interval bounds must be non-increasing in coverage")
+
+
+class IntervalSUQR(UncertaintyModel):
+    """SUQR attractiveness intervals from weight boxes and payoff intervals.
+
+    Parameters
+    ----------
+    payoffs:
+        An :class:`~repro.game.payoffs.IntervalPayoffs`.
+    w1, w2, w3:
+        :class:`WeightBox` (or ``(lo, hi)`` pairs) for the SUQR weights.
+        ``w1.hi`` must be ``<= 0`` so both bounds stay non-increasing in
+        coverage.
+    convention:
+        ``"endpoint"`` (paper's rule, default) or ``"tight"`` (exact
+        interval arithmetic).  See the module docstring.
+    """
+
+    def __init__(self, payoffs: IntervalPayoffs, w1, w2, w3, *, convention: str = "endpoint") -> None:
+        w1 = w1 if isinstance(w1, WeightBox) else WeightBox(*w1)
+        w2 = w2 if isinstance(w2, WeightBox) else WeightBox(*w2)
+        w3 = w3 if isinstance(w3, WeightBox) else WeightBox(*w3)
+        if w1.hi > 0:
+            raise ValueError(
+                f"w1 upper bound must be <= 0 for F to be non-increasing, got {w1.hi}"
+            )
+        if convention not in ("endpoint", "tight"):
+            raise ValueError(f"convention must be 'endpoint' or 'tight', got {convention!r}")
+        self._payoffs = payoffs
+        self._w1, self._w2, self._w3 = w1, w2, w3
+        self._convention = convention
+
+        if convention == "endpoint":
+            const_lo = (
+                w2.lo * payoffs.attacker_reward_lo + w3.lo * payoffs.attacker_penalty_lo
+            )
+            const_hi = (
+                w2.hi * payoffs.attacker_reward_hi + w3.hi * payoffs.attacker_penalty_hi
+            )
+            if np.any(const_lo > const_hi):
+                bad = int(np.argmax(const_lo - const_hi))
+                raise ValueError(
+                    "the endpoint convention produced a crossed interval at target "
+                    f"{bad} (constant part {const_lo[bad]:.4g} > {const_hi[bad]:.4g}); "
+                    "use convention='tight' for exact interval arithmetic"
+                )
+        else:
+            r_lo, r_hi = w2.product_range(
+                payoffs.attacker_reward_lo, payoffs.attacker_reward_hi
+            )
+            p_lo, p_hi = w3.product_range(
+                payoffs.attacker_penalty_lo, payoffs.attacker_penalty_hi
+            )
+            const_lo = r_lo + p_lo
+            const_hi = r_hi + p_hi
+        self._const_lo = const_lo
+        self._const_hi = const_hi
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_targets(self) -> int:
+        return self._payoffs.num_targets
+
+    @property
+    def payoffs(self) -> IntervalPayoffs:
+        """The interval payoffs the model is bound to."""
+        return self._payoffs
+
+    @property
+    def weight_boxes(self) -> tuple[WeightBox, WeightBox, WeightBox]:
+        """The ``(w1, w2, w3)`` boxes."""
+        return self._w1, self._w2, self._w3
+
+    @property
+    def convention(self) -> str:
+        """``"endpoint"`` or ``"tight"``."""
+        return self._convention
+
+    # ------------------------------------------------------------------ #
+    # Interval bounds
+    # ------------------------------------------------------------------ #
+
+    def lower(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return np.exp(self._w1.lo * x + self._const_lo)
+
+    def upper(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return np.exp(self._w1.hi * x + self._const_hi)
+
+    def lower_on_grid(self, points) -> np.ndarray:
+        p = np.asarray(points, dtype=np.float64)
+        return np.exp(self._w1.lo * p[None, :] + self._const_lo[:, None])
+
+    def upper_on_grid(self, points) -> np.ndarray:
+        p = np.asarray(points, dtype=np.float64)
+        return np.exp(self._w1.hi * p[None, :] + self._const_hi[:, None])
+
+    def lipschitz_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Exact ``max |L'|`` / ``max |U'|``: the bounds are decreasing
+        exponentials, so the derivative magnitude peaks at ``x = 0``."""
+        dl = abs(self._w1.lo) * np.exp(self._const_lo)
+        du = abs(self._w1.hi) * np.exp(self._const_hi)
+        return dl, du
+
+    # ------------------------------------------------------------------ #
+    # Point models inside the uncertainty set
+    # ------------------------------------------------------------------ #
+
+    def midpoint_model(self) -> SUQR:
+        """The non-robust point model: midpoint weights on midpoint payoffs.
+
+        This is the "use the mid points of the uncertainty intervals"
+        baseline of the paper's Section III example.
+        """
+        return SUQR(
+            self._payoffs.midpoint(),
+            SUQRWeights(self._w1.mid, self._w2.mid, self._w3.mid),
+        )
+
+    def sample_model(self, seed=None) -> SUQR:
+        """Draw one attacker type: weights and payoffs sampled uniformly
+        from their boxes/intervals (used by the worst-type baseline)."""
+        rng = as_generator(seed)
+        p = self._payoffs
+        sampled = PayoffMatrix(
+            defender_reward=p.defender_reward,
+            defender_penalty=p.defender_penalty,
+            attacker_reward=rng.uniform(p.attacker_reward_lo, p.attacker_reward_hi),
+            attacker_penalty=rng.uniform(p.attacker_penalty_lo, p.attacker_penalty_hi),
+        )
+        weights = SUQRWeights(
+            self._w1.sample(rng), self._w2.sample(rng), self._w3.sample(rng)
+        )
+        return SUQR(sampled, weights)
+
+    def with_scaled_uncertainty(self, factor: float) -> "IntervalSUQR":
+        """Shrink/stretch every weight box around its midpoint by ``factor``
+        (payoff intervals are left unchanged).  Used by the F3 sweep."""
+        return IntervalSUQR(
+            self._payoffs,
+            self._w1.scaled(factor),
+            self._w2.scaled(factor),
+            self._w3.scaled(factor),
+            convention=self._convention,
+        )
+
+
+class FunctionIntervalModel(UncertaintyModel):
+    """Uncertainty intervals from arbitrary vectorised bound functions.
+
+    Parameters
+    ----------
+    num_targets:
+        Number of targets ``T``.
+    lower_fn, upper_fn:
+        Callables mapping an array of grid points ``(P,)`` to bound values
+        of shape ``(T, P)`` — i.e. they evaluate every target's bound at
+        every point.  Must be positive and non-increasing in the point
+        coordinate (checked by :meth:`UncertaintyModel.validate`, which the
+        constructor runs unless ``validate=False``).
+    """
+
+    def __init__(self, num_targets: int, lower_fn, upper_fn, *, validate: bool = True) -> None:
+        if num_targets < 1:
+            raise ValueError(f"num_targets must be >= 1, got {num_targets}")
+        self._n = int(num_targets)
+        self._lower_fn = lower_fn
+        self._upper_fn = upper_fn
+        if validate:
+            self.validate()
+
+    @property
+    def num_targets(self) -> int:
+        return self._n
+
+    def lower(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return self._diag(self._lower_fn, x)
+
+    def upper(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return self._diag(self._upper_fn, x)
+
+    def _diag(self, fn, x: np.ndarray) -> np.ndarray:
+        """Evaluate target ``i``'s bound at ``x_i`` via one grid call."""
+        grid = np.asarray(fn(x), dtype=np.float64)
+        if grid.shape != (self._n, len(x)):
+            raise ValueError(
+                f"bound function must return shape ({self._n}, {len(x)}), got {grid.shape}"
+            )
+        return grid[np.arange(self._n), np.arange(len(x))]
+
+    def lower_on_grid(self, points) -> np.ndarray:
+        p = np.asarray(points, dtype=np.float64)
+        out = np.asarray(self._lower_fn(p), dtype=np.float64)
+        if out.shape != (self._n, len(p)):
+            raise ValueError(
+                f"lower_fn must return shape ({self._n}, {len(p)}), got {out.shape}"
+            )
+        return out
+
+    def upper_on_grid(self, points) -> np.ndarray:
+        p = np.asarray(points, dtype=np.float64)
+        out = np.asarray(self._upper_fn(p), dtype=np.float64)
+        if out.shape != (self._n, len(p)):
+            raise ValueError(
+                f"upper_fn must return shape ({self._n}, {len(p)}), got {out.shape}"
+            )
+        return out

@@ -1,0 +1,158 @@
+"""Uncertainty intervals for the plain Quantal Response model.
+
+The paper's framework covers *any* discrete-choice model with interval
+bounds on the attractiveness ``F_i`` (Eq. 4 is "a general discrete choice
+model of QR").  :class:`IntervalQR` instantiates it for classic QR with an
+interval-bounded rationality ``lambda in [lo, hi]`` and interval attacker
+payoffs:
+
+.. math::
+
+    F_i(x) = e^{\\lambda U_i^a(x)}, \\qquad
+    U_i^a(x) = x P_i^a + (1 - x) R_i^a
+
+The exact bounds over the ``(lambda, R^a, P^a)`` box are
+
+.. math::
+
+    L_i(x) = e^{\\min(\\lambda_{lo} u, \\lambda_{hi} u)},\\;
+    u = x P^a_{lo} + (1-x) R^a_{lo}
+    \\qquad
+    U_i(x) = e^{\\max(\\lambda_{lo} v, \\lambda_{hi} v)},\\;
+    v = x P^a_{hi} + (1-x) R^a_{hi}
+
+(the attacker utility is monotone in both payoffs, and ``lambda >= 0``
+makes ``lambda * u`` monotone in ``u``, so the rectangle extremes are at
+the corners).  Both bounds are positive and non-increasing in coverage —
+``IntervalQR`` plugs straight into CUBIS and every robust baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.behavior.interval import UncertaintyModel, WeightBox
+from repro.behavior.qr import QuantalResponse
+from repro.game.payoffs import IntervalPayoffs, PayoffMatrix
+from repro.utils.rng import as_generator
+
+__all__ = ["IntervalQR"]
+
+
+class IntervalQR(UncertaintyModel):
+    """QR attractiveness intervals from a rationality box + payoff intervals.
+
+    Parameters
+    ----------
+    payoffs:
+        An :class:`~repro.game.payoffs.IntervalPayoffs`.
+    rationality:
+        A :class:`~repro.behavior.interval.WeightBox` (or ``(lo, hi)``
+        pair) for ``lambda``; must satisfy ``0 <= lo <= hi``.
+    """
+
+    def __init__(self, payoffs: IntervalPayoffs, rationality) -> None:
+        box = rationality if isinstance(rationality, WeightBox) else WeightBox(*rationality)
+        if box.lo < 0:
+            raise ValueError(
+                f"rationality interval must be nonnegative, got lo={box.lo}"
+            )
+        self._payoffs = payoffs
+        self._box = box
+
+    @property
+    def num_targets(self) -> int:
+        return self._payoffs.num_targets
+
+    @property
+    def payoffs(self) -> IntervalPayoffs:
+        """The interval payoffs the model is bound to."""
+        return self._payoffs
+
+    @property
+    def rationality_box(self) -> WeightBox:
+        """The ``lambda`` interval."""
+        return self._box
+
+    # ------------------------------------------------------------------ #
+    # Attacker utility envelopes (per target, at grid points)
+    # ------------------------------------------------------------------ #
+
+    def _ua_lo(self, p: np.ndarray) -> np.ndarray:
+        """Lowest attacker utility over the payoff box: shape (T, P)."""
+        return (
+            np.outer(self._payoffs.attacker_penalty_lo, p)
+            + np.outer(self._payoffs.attacker_reward_lo, 1.0 - p)
+        )
+
+    def _ua_hi(self, p: np.ndarray) -> np.ndarray:
+        """Highest attacker utility over the payoff box: shape (T, P)."""
+        return (
+            np.outer(self._payoffs.attacker_penalty_hi, p)
+            + np.outer(self._payoffs.attacker_reward_hi, 1.0 - p)
+        )
+
+    # ------------------------------------------------------------------ #
+    # UncertaintyModel interface
+    # ------------------------------------------------------------------ #
+
+    def lower_on_grid(self, points) -> np.ndarray:
+        p = np.asarray(points, dtype=np.float64)
+        u = self._ua_lo(p)
+        return np.exp(np.minimum(self._box.lo * u, self._box.hi * u))
+
+    def upper_on_grid(self, points) -> np.ndarray:
+        p = np.asarray(points, dtype=np.float64)
+        v = self._ua_hi(p)
+        return np.exp(np.maximum(self._box.lo * v, self._box.hi * v))
+
+    def lower(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        u = (
+            x * self._payoffs.attacker_penalty_lo
+            + (1.0 - x) * self._payoffs.attacker_reward_lo
+        )
+        return np.exp(np.minimum(self._box.lo * u, self._box.hi * u))
+
+    def upper(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        v = (
+            x * self._payoffs.attacker_penalty_hi
+            + (1.0 - x) * self._payoffs.attacker_reward_hi
+        )
+        return np.exp(np.maximum(self._box.lo * v, self._box.hi * v))
+
+    def lipschitz_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """``|d/dx e^{lambda u(x)}| <= lambda_hi |u'| e^{lambda u}``, with
+        the exponential maximised at ``x = 0`` (bounds are decreasing)."""
+        slope_lo = self._payoffs.attacker_reward_lo - self._payoffs.attacker_penalty_lo
+        slope_hi = self._payoffs.attacker_reward_hi - self._payoffs.attacker_penalty_hi
+        l0 = self.lower(np.zeros(self.num_targets))
+        u0 = self.upper(np.zeros(self.num_targets))
+        return self._box.hi * slope_lo * l0, self._box.hi * slope_hi * u0
+
+    # ------------------------------------------------------------------ #
+    # Point models inside the set
+    # ------------------------------------------------------------------ #
+
+    def midpoint_model(self) -> QuantalResponse:
+        """QR with the midpoint rationality on midpoint payoffs."""
+        return QuantalResponse(self._payoffs.midpoint(), self._box.mid)
+
+    def sample_model(self, seed=None) -> QuantalResponse:
+        """One attacker type sampled uniformly from the box."""
+        rng = as_generator(seed)
+        p = self._payoffs
+        sampled = PayoffMatrix(
+            defender_reward=p.defender_reward,
+            defender_penalty=p.defender_penalty,
+            attacker_reward=rng.uniform(p.attacker_reward_lo, p.attacker_reward_hi),
+            attacker_penalty=rng.uniform(p.attacker_penalty_lo, p.attacker_penalty_hi),
+        )
+        return QuantalResponse(sampled, self._box.sample(rng))
+
+    def with_scaled_uncertainty(self, factor: float) -> "IntervalQR":
+        """Shrink/stretch the rationality box around its midpoint
+        (clipped at 0; payoff intervals unchanged)."""
+        scaled = self._box.scaled(factor)
+        return IntervalQR(self._payoffs, WeightBox(max(0.0, scaled.lo), scaled.hi))

@@ -1,0 +1,98 @@
+"""Observation and execution noise as interval transformations.
+
+The companion line of work the paper builds on (Nguyen et al. AAMAS'14,
+reference [13]: "unified robust algorithms for handling uncertainties")
+treats three uncertainty channels with one interval mechanism: attacker
+*behavior* (this paper's intervals), attacker *observation* of the
+defender strategy, and defender *execution* of it.  Both extra channels
+reduce to transformations of the ``[L, U]`` bounds, so CUBIS handles them
+unchanged:
+
+* **Observation noise** (attacker perceives ``x̂`` with
+  ``|x̂_i - x_i| <= gamma``): since ``L``/``U`` are non-increasing, the
+  attacker's attractiveness can lie anywhere in
+  ``[L(min(x + gamma, 1)), U(max(x - gamma, 0))]`` — a *widened* interval.
+  :class:`ObservationNoisyModel` wraps any uncertainty model this way.
+* **Execution noise** (realised coverage ``x̃`` with
+  ``x_i - alpha <= x̃_i <= x_i``, i.e. patrols can fall short but not
+  overshoot their plan): the worst case realises ``x̃ = max(x - alpha, 0)``
+  at every target simultaneously — lower defender utility *and* higher
+  attacker attractiveness.  This shifts the defender-utility grid too, so
+  it is a solver option (``execution_alpha`` in
+  :func:`repro.core.cubis.solve_cubis`) rather than a model wrapper;
+  :func:`execution_adjusted_coverage` centralises the shift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.behavior.interval import UncertaintyModel
+
+__all__ = ["ObservationNoisyModel", "execution_adjusted_coverage"]
+
+
+def execution_adjusted_coverage(x, alpha: float) -> np.ndarray:
+    """The worst-case realised coverage ``max(x - alpha, 0)``."""
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    return np.maximum(np.asarray(x, dtype=np.float64) - alpha, 0.0)
+
+
+class ObservationNoisyModel(UncertaintyModel):
+    """Widen an uncertainty model's intervals for attacker observation error.
+
+    Parameters
+    ----------
+    base:
+        Any :class:`~repro.behavior.interval.UncertaintyModel`.
+    gamma:
+        Maximum per-target observation error (``0 <= gamma <= 1``).
+        ``gamma = 0`` reproduces ``base`` exactly.
+    """
+
+    def __init__(self, base: UncertaintyModel, gamma: float) -> None:
+        if not 0.0 <= gamma <= 1.0:
+            raise ValueError(f"gamma must be in [0, 1], got {gamma}")
+        self._base = base
+        self._gamma = float(gamma)
+
+    @property
+    def num_targets(self) -> int:
+        return self._base.num_targets
+
+    @property
+    def base(self) -> UncertaintyModel:
+        """The wrapped model."""
+        return self._base
+
+    @property
+    def gamma(self) -> float:
+        """The observation-error radius."""
+        return self._gamma
+
+    def _up(self, x: np.ndarray) -> np.ndarray:
+        return np.minimum(x + self._gamma, 1.0)
+
+    def _down(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x - self._gamma, 0.0)
+
+    def lower(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return self._base.lower(self._up(x))
+
+    def upper(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return self._base.upper(self._down(x))
+
+    def lower_on_grid(self, points) -> np.ndarray:
+        p = np.asarray(points, dtype=np.float64)
+        return self._base.lower_on_grid(self._up(p))
+
+    def upper_on_grid(self, points) -> np.ndarray:
+        p = np.asarray(points, dtype=np.float64)
+        return self._base.upper_on_grid(self._down(p))
+
+    def lipschitz_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Shifting the argument cannot increase the Lipschitz modulus."""
+        return self._base.lipschitz_bounds()

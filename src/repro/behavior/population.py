@@ -1,0 +1,99 @@
+"""A heterogeneous attacker *population* as a single response model.
+
+The Bayesian stance (reference [20]) models the attacker pool as a
+mixture: a fraction ``p_m`` of attacks come from type ``m``.  The mixed
+response
+
+.. math::
+
+    q_i(x) = \\sum_m p_m \\, q_i^{(m)}(x)
+
+is generally *not* of the single-ratio form (Eq. 4) — a sum of ratios is
+not a ratio — so it cannot be wrapped in an interval model directly; but
+every evaluator in the package only needs ``choice_probabilities`` /
+``expected_defender_utility``, which :class:`PopulationModel` provides.
+Use it as ground truth in simulations (a realistic population is rarely a
+single SUQR type) and as a type for the worst-type/Bayesian baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.behavior.base import DiscreteChoiceModel
+from repro.utils.validation import check_probability_vector
+
+__all__ = ["PopulationModel"]
+
+
+class PopulationModel(DiscreteChoiceModel):
+    """A probability mixture of discrete-choice attacker types.
+
+    Parameters
+    ----------
+    types:
+        Component models (all bound to the same number of targets).
+    weights:
+        Mixture probabilities (default uniform).
+
+    Note: ``attack_weights`` returns the mixed *probabilities* (the
+    mixture has no meaningful shared normaliser), which preserves
+    ``choice_probabilities`` exactly, so expected utilities, simulation
+    and likelihoods all work.  ``weights_on_grid`` raises: a sum of
+    ratios is not a ratio, so there is no separable ``F`` to tabulate —
+    mixtures cannot be fed to PASAQ or the interval machinery directly
+    (optimise against the component types with
+    :func:`repro.baselines.bayesian.solve_bayesian` instead).
+    """
+
+    def __init__(self, types: Sequence[DiscreteChoiceModel], weights=None) -> None:
+        types = list(types)
+        if not types:
+            raise ValueError("a population needs at least one type")
+        t_count = types[0].num_targets
+        for m, model in enumerate(types):
+            if model.num_targets != t_count:
+                raise ValueError(
+                    f"type {m} covers {model.num_targets} targets, expected {t_count}"
+                )
+        if weights is None:
+            weights = np.full(len(types), 1.0 / len(types))
+        else:
+            weights = check_probability_vector(weights, "weights")
+            if len(weights) != len(types):
+                raise ValueError("need one mixture weight per type")
+        self._types = types
+        self._weights = weights
+
+    @property
+    def num_targets(self) -> int:
+        return self._types[0].num_targets
+
+    @property
+    def num_types(self) -> int:
+        """Number of mixture components."""
+        return len(self._types)
+
+    @property
+    def mixture_weights(self) -> np.ndarray:
+        """The mixture probabilities (read-only copy)."""
+        return self._weights.copy()
+
+    def choice_probabilities(self, x) -> np.ndarray:
+        q = np.zeros(self.num_targets)
+        for w, model in zip(self._weights, self._types):
+            q += w * model.choice_probabilities(x)
+        return q
+
+    def attack_weights(self, x) -> np.ndarray:
+        # The mixed probabilities double as (already normalised) weights.
+        return self.choice_probabilities(x)
+
+    def weights_on_grid(self, points) -> np.ndarray:
+        raise NotImplementedError(
+            "a mixture of discrete-choice models has no separable "
+            "attractiveness F (a sum of ratios is not a ratio); solve "
+            "against the component types, e.g. with solve_bayesian"
+        )

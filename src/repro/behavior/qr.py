@@ -1,0 +1,72 @@
+"""The Quantal Response (QR) attacker model.
+
+QR (McFadden '72; McKelvey & Palfrey '95) predicts attack probabilities
+proportional to an exponential of the attacker's *expected utility*:
+
+.. math::
+
+    F_i(x_i) = e^{\\lambda U_i^a(x_i)}
+             = e^{\\lambda (x_i P_i^a + (1 - x_i) R_i^a)}
+
+``lambda >= 0`` is the rationality (precision) parameter: ``lambda = 0`` is
+a uniformly random attacker, ``lambda -> inf`` approaches a perfectly
+rational best responder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.behavior.base import DiscreteChoiceModel
+from repro.game.payoffs import PayoffMatrix
+
+__all__ = ["QuantalResponse"]
+
+
+class QuantalResponse(DiscreteChoiceModel):
+    """QR model bound to a game's attacker payoffs.
+
+    Parameters
+    ----------
+    payoffs:
+        The game's :class:`~repro.game.payoffs.PayoffMatrix` (only the
+        attacker columns are used).
+    rationality:
+        The precision ``lambda >= 0``.
+    """
+
+    def __init__(self, payoffs: PayoffMatrix, rationality: float) -> None:
+        if rationality < 0:
+            raise ValueError(f"rationality must be >= 0, got {rationality}")
+        self._payoffs = payoffs
+        self._lam = float(rationality)
+
+    @property
+    def num_targets(self) -> int:
+        return self._payoffs.num_targets
+
+    @property
+    def rationality(self) -> float:
+        """The QR precision parameter ``lambda``."""
+        return self._lam
+
+    @property
+    def payoffs(self) -> PayoffMatrix:
+        """The payoff matrix the model is bound to."""
+        return self._payoffs
+
+    def attack_weights(self, x) -> np.ndarray:
+        ua = self._payoffs.attacker_utilities(x)
+        return np.exp(self._lam * ua)
+
+    def weights_on_grid(self, points) -> np.ndarray:
+        p = np.asarray(points, dtype=np.float64)
+        # U^a(t) = t * P^a + (1 - t) * R^a, broadcast to (T, P).
+        ua = (
+            np.outer(self._payoffs.attacker_penalty, p)
+            + np.outer(self._payoffs.attacker_reward, 1.0 - p)
+        )
+        return np.exp(self._lam * ua)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QuantalResponse(lambda={self._lam}, T={self.num_targets})"

@@ -1,0 +1,61 @@
+"""Sampling attacker types from an uncertainty set.
+
+The worst-type robust baseline (Brown et al. GameSec'14, the paper's
+"second method") needs a finite set of attacker types.  These helpers draw
+types from an :class:`~repro.behavior.interval.IntervalSUQR` uncertainty
+set — uniformly, or at the corners of the parameter box (corners are where
+the worst case usually lives for monotone responses).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.behavior.interval import IntervalSUQR
+from repro.behavior.suqr import SUQR, SUQRWeights
+from repro.game.payoffs import PayoffMatrix
+from repro.utils.rng import as_generator
+
+__all__ = ["sample_attacker_types", "corner_attacker_types"]
+
+
+def sample_attacker_types(model: IntervalSUQR, n: int, seed=None) -> list[SUQR]:
+    """``n`` attacker types drawn uniformly from the uncertainty set."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = as_generator(seed)
+    return [model.sample_model(rng) for _ in range(n)]
+
+
+def corner_attacker_types(model: IntervalSUQR, *, include_midpoint: bool = True) -> list[SUQR]:
+    """Attacker types at the corners of the weight box.
+
+    Payoffs are taken at their matching extreme (all-lo with the all-lo
+    weight corner, all-hi with all-hi, midpoint otherwise), mirroring the
+    paper's endpoint convention.  With 3 weights this yields 8 corner types
+    (+1 midpoint type by default).
+    """
+    w1, w2, w3 = model.weight_boxes
+    p = model.payoffs
+    types: list[SUQR] = []
+    for c1, c2, c3 in itertools.product((w1.lo, w1.hi), (w2.lo, w2.hi), (w3.lo, w3.hi)):
+        all_lo = (c1 == w1.lo) and (c2 == w2.lo) and (c3 == w3.lo)
+        all_hi = (c1 == w1.hi) and (c2 == w2.hi) and (c3 == w3.hi)
+        if all_lo:
+            reward, penalty = p.attacker_reward_lo, p.attacker_penalty_lo
+        elif all_hi:
+            reward, penalty = p.attacker_reward_hi, p.attacker_penalty_hi
+        else:
+            reward, penalty = p.attacker_reward_mid, p.attacker_penalty_mid
+        payoffs = PayoffMatrix(
+            defender_reward=p.defender_reward,
+            defender_penalty=p.defender_penalty,
+            attacker_reward=reward,
+            attacker_penalty=penalty,
+        )
+        types.append(SUQR(payoffs, SUQRWeights(min(c1, 0.0), c2, c3)))
+    if include_midpoint:
+        types.append(model.midpoint_model())
+    return types

@@ -1,0 +1,108 @@
+"""The Subjective Utility Quantal Response (SUQR) attacker model.
+
+SUQR (Nguyen et al. AAAI'13) replaces the expected utility inside QR with a
+linear *subjective* utility over the decision features (Eq. 3 of the paper):
+
+.. math::
+
+    \\hat U_i^a(x_i) = w_1 x_i + w_2 R_i^a + w_3 P_i^a,
+    \\qquad F_i(x_i) = e^{\\hat U_i^a(x_i)}
+
+with ``w_1 < 0`` (coverage deters), ``w_2 > 0`` (rewards attract) and
+``w_3 > 0`` (penalties, being negative numbers, deter).  SUQR is the
+behavioural model whose parameters the paper wraps in uncertainty
+intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.behavior.base import DiscreteChoiceModel
+from repro.game.payoffs import PayoffMatrix
+
+__all__ = ["SUQRWeights", "SUQR"]
+
+
+@dataclass(frozen=True)
+class SUQRWeights:
+    """The SUQR feature weights ``(w1, w2, w3)``.
+
+    The sign conventions are validated loosely (warnings in the literature
+    vary); only finiteness is enforced, with ``w1 <= 0`` checked because a
+    positive coverage weight makes ``F`` *increasing* in ``x`` and breaks
+    the paper's monotonicity assumption on ``F_i``.
+    """
+
+    w1: float
+    w2: float
+    w3: float
+
+    def __post_init__(self) -> None:
+        for name in ("w1", "w2", "w3"):
+            v = float(getattr(self, name))
+            if not np.isfinite(v):
+                raise ValueError(f"{name} must be finite, got {v}")
+            object.__setattr__(self, name, v)
+        if self.w1 > 0:
+            raise ValueError(
+                f"w1 must be <= 0 so that F_i is non-increasing in coverage, got {self.w1}"
+            )
+
+    def as_array(self) -> np.ndarray:
+        """The weights as a length-3 array ``[w1, w2, w3]``."""
+        return np.array([self.w1, self.w2, self.w3])
+
+
+class SUQR(DiscreteChoiceModel):
+    """SUQR model bound to a game's attacker payoffs.
+
+    Parameters
+    ----------
+    payoffs:
+        The game's :class:`~repro.game.payoffs.PayoffMatrix`.
+    weights:
+        A :class:`SUQRWeights` or a ``(w1, w2, w3)`` triple.
+    """
+
+    def __init__(self, payoffs: PayoffMatrix, weights) -> None:
+        if not isinstance(weights, SUQRWeights):
+            weights = SUQRWeights(*weights)
+        self._payoffs = payoffs
+        self._weights = weights
+        # Per-target constant part of the subjective utility:
+        # w2 * R^a_i + w3 * P^a_i  (does not depend on coverage).
+        self._const = (
+            weights.w2 * payoffs.attacker_reward + weights.w3 * payoffs.attacker_penalty
+        )
+
+    @property
+    def num_targets(self) -> int:
+        return self._payoffs.num_targets
+
+    @property
+    def weights(self) -> SUQRWeights:
+        """The model's ``(w1, w2, w3)``."""
+        return self._weights
+
+    @property
+    def payoffs(self) -> PayoffMatrix:
+        """The payoff matrix the model is bound to."""
+        return self._payoffs
+
+    def subjective_utilities(self, x) -> np.ndarray:
+        """``w1 x_i + w2 R_i^a + w3 P_i^a`` per target (Eq. 3)."""
+        return self._weights.w1 * np.asarray(x, dtype=np.float64) + self._const
+
+    def attack_weights(self, x) -> np.ndarray:
+        return np.exp(self.subjective_utilities(x))
+
+    def weights_on_grid(self, points) -> np.ndarray:
+        p = np.asarray(points, dtype=np.float64)
+        return np.exp(self._weights.w1 * p[None, :] + self._const[:, None])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        w = self._weights
+        return f"SUQR(w1={w.w1}, w2={w.w2}, w3={w.w3}, T={self.num_targets})"

@@ -1,0 +1,228 @@
+"""Command-line experiment runner: ``python -m repro <experiment>``.
+
+Regenerates any of the reproduction's tables/figures from the shell
+without writing code::
+
+    python -m repro table1
+    python -m repro quality --targets 5 10 20 --trials 3
+    python -m repro runtime --targets 5 10
+    python -m repro intervals --scales 0 0.5 1.0
+    python -m repro ablation --segments 2 8 32
+    python -m repro all          # everything, at quick settings
+
+Each command prints the same table its benchmark counterpart produces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    calibrate_table1,
+    format_ablation,
+    format_landscape,
+    format_intervals,
+    format_quality,
+    format_runtime,
+    format_table1,
+    run_ablation_epsilon,
+    run_ablation_k,
+    run_intervals,
+    run_landscape,
+    run_quality,
+    run_runtime,
+    run_table1,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the CUBIS paper's experiments (see EXPERIMENTS.md).",
+    )
+    sub = parser.add_subparsers(dest="experiment", required=True)
+
+    t1 = sub.add_parser("table1", help="T1: the Table I worked example")
+    t1.add_argument("--segments", type=int, default=25, help="piecewise segments K")
+    t1.add_argument("--epsilon", type=float, default=1e-4, help="binary-search tolerance")
+
+    q = sub.add_parser("quality", help="F1: worst-case quality vs #targets")
+    q.add_argument("--targets", type=int, nargs="+", default=[5, 10, 20])
+    q.add_argument("--trials", type=int, default=3)
+    q.add_argument("--segments", type=int, default=10)
+    q.add_argument("--epsilon", type=float, default=0.01)
+    q.add_argument("--seed", type=int, default=2016)
+
+    r = sub.add_parser("runtime", help="F2: runtime scaling vs #targets")
+    r.add_argument("--targets", type=int, nargs="+", default=[5, 10, 20])
+    r.add_argument("--trials", type=int, default=2)
+    r.add_argument("--starts", type=int, default=8, help="multi-start comparator starts")
+    r.add_argument("--seed", type=int, default=2016)
+
+    i = sub.add_parser("intervals", help="F3: robustness value vs uncertainty level")
+    i.add_argument("--scales", type=float, nargs="+", default=[0.0, 0.25, 0.5, 1.0, 1.5])
+    i.add_argument("--targets", type=int, default=10)
+    i.add_argument("--trials", type=int, default=3)
+    i.add_argument("--seed", type=int, default=2016)
+
+    a = sub.add_parser("ablation", help="F4: the O(epsilon + 1/K) bound, measured")
+    a.add_argument("--segments", type=int, nargs="+", default=[2, 4, 8, 16, 32])
+    a.add_argument("--epsilons", type=float, nargs="+", default=[0.5, 0.1, 0.02, 0.004])
+    a.add_argument("--targets", type=int, default=5)
+    a.add_argument("--trials", type=int, default=2)
+    a.add_argument("--seed", type=int, default=2016)
+
+    l = sub.add_parser("landscape", help="F5: all nine solution concepts, one table")
+    l.add_argument("--targets", type=int, default=10)
+    l.add_argument("--trials", type=int, default=3)
+    l.add_argument("--types", type=int, default=6)
+    l.add_argument("--seed", type=int, default=2016)
+
+    c = sub.add_parser(
+        "calibrate",
+        help="re-run the Table I defender-payoff calibration (DESIGN.md §2)",
+    )
+    c.add_argument("--grid-points", type=int, default=251)
+
+    rep = sub.add_parser(
+        "report", help="regenerate the full experimental report as markdown"
+    )
+    rep.add_argument("--full", action="store_true", help="full (slow) settings")
+    rep.add_argument("--output", type=str, default=None, help="write to a file")
+
+    sub.add_parser("all", help="run every experiment at quick settings")
+    return parser
+
+
+def _run_table1(args) -> str:
+    return format_table1(run_table1(num_segments=args.segments, epsilon=args.epsilon))
+
+
+def _run_quality(args) -> str:
+    table = run_quality(
+        target_counts=tuple(args.targets),
+        num_trials=args.trials,
+        num_segments=args.segments,
+        epsilon=args.epsilon,
+        seed=args.seed,
+    )
+    return format_quality(table)
+
+
+def _run_runtime(args) -> str:
+    table = run_runtime(
+        target_counts=tuple(args.targets),
+        num_trials=args.trials,
+        num_starts=args.starts,
+        seed=args.seed,
+    )
+    return format_runtime(table)
+
+
+def _run_intervals(args) -> str:
+    table = run_intervals(
+        scales=tuple(args.scales),
+        num_targets=args.targets,
+        num_trials=args.trials,
+        seed=args.seed,
+    )
+    return format_intervals(table)
+
+
+def _run_ablation(args) -> str:
+    k_table = run_ablation_k(
+        segment_counts=tuple(args.segments),
+        num_targets=args.targets,
+        num_trials=args.trials,
+        seed=args.seed,
+    )
+    e_table = run_ablation_epsilon(
+        epsilons=tuple(args.epsilons),
+        num_targets=args.targets,
+        num_trials=args.trials,
+        seed=args.seed,
+    )
+    return (
+        format_ablation(k_table, "num_segments")
+        + "\n\n"
+        + format_ablation(e_table, "epsilon")
+    )
+
+
+def _run_landscape(args) -> str:
+    table = run_landscape(
+        num_targets=args.targets,
+        num_trials=args.trials,
+        num_types=args.types,
+        seed=args.seed,
+    )
+    return format_landscape(table)
+
+
+def _run_calibrate(args) -> str:
+    best = calibrate_table1(grid_points=args.grid_points)
+    lines = [
+        "Table I defender-payoff calibration (best candidate):",
+        f"  R^d = {best.defender_reward}, P^d = {best.defender_penalty}",
+        f"  robust:   x1 = {best.robust_x1:.3f} (paper 0.46), "
+        f"value = {best.robust_value:.3f} (paper -0.90)",
+        f"  midpoint: x1 = {best.midpoint_x1:.3f} (paper 0.34), "
+        f"value = {best.midpoint_value:.3f} (paper -2.26)",
+        f"  score = {best.score:.4f}",
+    ]
+    return "\n".join(lines)
+
+
+def _run_report(args) -> str:
+    from repro.experiments.report import FULL, QUICK, generate_report
+
+    text = generate_report(FULL if args.full else QUICK)
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(text)
+        return f"report written to {args.output}"
+    return text
+
+
+def _run_all() -> str:
+    parser = build_parser()
+    sections = []
+    for cmd, runner in (
+        (["table1"], _run_table1),
+        (["quality", "--targets", "5", "10", "--trials", "2"], _run_quality),
+        (["runtime", "--targets", "5", "10", "--trials", "1"], _run_runtime),
+        (["intervals", "--scales", "0", "0.5", "1.0", "--trials", "2"], _run_intervals),
+        (["ablation", "--segments", "2", "8", "32", "--trials", "1"], _run_ablation),
+        (["landscape", "--targets", "6", "--trials", "1", "--types", "4"], _run_landscape),
+    ):
+        sections.append(runner(parser.parse_args(cmd)))
+    return "\n\n".join(sections)
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    runners = {
+        "table1": _run_table1,
+        "quality": _run_quality,
+        "runtime": _run_runtime,
+        "intervals": _run_intervals,
+        "ablation": _run_ablation,
+        "landscape": _run_landscape,
+        "calibrate": _run_calibrate,
+        "report": _run_report,
+    }
+    if args.experiment == "all":
+        print(_run_all())
+    else:
+        print(runners[args.experiment](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

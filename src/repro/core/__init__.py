@@ -1,0 +1,38 @@
+"""The paper's contribution: the robust problem and the CUBIS solver."""
+
+from repro.core.bounds import BoundConstants, bound_constants, certified_gap
+from repro.core.cubis import CubisResult, solve_cubis
+from repro.core.dp import GridAllocation, maximize_separable_on_grid
+from repro.core.dual import beta_star, g_value, h_beta_value, h_value
+from repro.core.exact import ExactResult, solve_exact
+from repro.core.milp import CubisMilp, build_cubis_milp
+from repro.core.worst_case import (
+    WorstCaseSolution,
+    evaluate_worst_case,
+    worst_case_dual_root,
+    worst_case_lp,
+    worst_case_response,
+)
+
+__all__ = [
+    "BoundConstants",
+    "CubisMilp",
+    "GridAllocation",
+    "CubisResult",
+    "ExactResult",
+    "WorstCaseSolution",
+    "beta_star",
+    "bound_constants",
+    "build_cubis_milp",
+    "certified_gap",
+    "evaluate_worst_case",
+    "g_value",
+    "h_beta_value",
+    "h_value",
+    "maximize_separable_on_grid",
+    "solve_cubis",
+    "solve_exact",
+    "worst_case_dual_root",
+    "worst_case_lp",
+    "worst_case_response",
+]

@@ -1,0 +1,139 @@
+"""Instantiating the paper's solution-quality guarantees (Section IV-D).
+
+Lemma 1 bounds the piecewise-linearisation error of ``H(x, beta)`` by
+``O(1/K)`` with constants built from the Lipschitz moduli of ``L_i`` /
+``U_i`` and the utility range; Lemmas 2-3 convert the final binary-search
+bracket into bounds on CUBIS's solution; Theorem 1 combines them into the
+``O(epsilon + 1/K)`` guarantee.
+
+This module computes *concrete numbers* for those bounds on a given game
+so the ablation experiment (F4) can plot the measured optimality gap
+against the certified one.  The constants are conservative (they use
+worst-case Lipschitz moduli over the whole coverage box), so the certified
+bound always sits above the measured gap — often by many orders of
+magnitude on SUQR instances, because the ``C^2`` constant divides by
+``(min_x sum_i L_i)^2`` while the numerator carries ``max U_i`` terms, and
+the exponential SUQR attractiveness makes that ratio enormous.  This is
+intrinsic to Lemma 1's proof technique, not an implementation artefact:
+the ``O(epsilon + 1/K)`` statement hides instance constants.  For a
+*practical* certificate, use the data-driven bracket slack
+``ub - worst_case_value`` reported by
+:func:`repro.analysis.evaluation.regret_upper_bound` (the F4 ablation
+prints both side by side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.behavior.interval import UncertaintyModel
+from repro.game.ssg import IntervalSecurityGame
+
+__all__ = ["BoundConstants", "bound_constants", "certified_gap"]
+
+
+@dataclass(frozen=True)
+class BoundConstants:
+    """The Lemma-1 constants for a particular game + uncertainty model.
+
+    Attributes
+    ----------
+    numerator_lipschitz:
+        Bound on ``sum_i max |d/dx [ f_i^1(x) - v_i(x) ]|`` — the total
+        Lipschitz modulus of the numerator ``N(x)`` of ``H``, maximised
+        over the admissible utility levels ``c``.
+    denominator_lipschitz:
+        ``sum_i max |L_i'|`` — the modulus of the denominator ``D(x)``.
+    denominator_min:
+        ``min_x D(x) = sum_i L_i(1)`` (bounds are decreasing).
+    numerator_max:
+        ``max_x |N(x)|`` over the grid, used in the ``C^2`` constant.
+    """
+
+    numerator_lipschitz: float
+    denominator_lipschitz: float
+    denominator_min: float
+    numerator_max: float
+
+    @property
+    def c1(self) -> float:
+        """``C^1 = 1 / min |D|`` of Eq. (42)."""
+        return 1.0 / self.denominator_min
+
+    @property
+    def c2(self) -> float:
+        """``C^2 = max |N| / (min |D|)^2`` of Eq. (42) (approximating the
+        denominator pair by its minimum)."""
+        return self.numerator_max / (self.denominator_min**2)
+
+
+def bound_constants(
+    game: IntervalSecurityGame,
+    uncertainty: UncertaintyModel,
+    *,
+    grid_points: int = 257,
+) -> BoundConstants:
+    """Compute the Lemma-1 constants for ``game`` + ``uncertainty``.
+
+    ``grid_points`` controls the dense grid used for the max-|N| scan
+    (Lipschitz moduli come from the model's analytic
+    :meth:`~repro.behavior.interval.UncertaintyModel.lipschitz_bounds`).
+    """
+    if uncertainty.num_targets != game.num_targets:
+        raise ValueError("uncertainty model and game disagree on the target count")
+    u_lo, u_hi = game.utility_range()
+    span = u_hi - u_lo
+    rd = game.payoffs.defender_reward
+    pd = game.payoffs.defender_penalty
+    slope_ud = np.abs(rd - pd)  # |d U^d / dx| per target
+
+    lip_l, lip_u = uncertainty.lipschitz_bounds()
+    grid = np.linspace(0.0, 1.0, grid_points)
+    lo_g = uncertainty.lower_on_grid(grid)
+    hi_g = uncertainty.upper_on_grid(grid)
+    max_l = lo_g.max(axis=1)
+    max_u = hi_g.max(axis=1)
+    min_l_at_1 = lo_g[:, -1]
+
+    # N(x) = sum_i L_i (U^d_i - c) - (U_i - L_i) beta_i with
+    # beta_i = max(0, c - U^d_i); |U^d - c| <= span and |beta| <= span.
+    # d/dx of each term is bounded by:
+    #   |L'|·span + maxL·|U^d'|            (the f^1 part)
+    # + (|U'|+|L'|)·span + (maxU+maxL)·|U^d'|   (the v part)
+    per_target = (
+        lip_l * span
+        + max_l * slope_ud
+        + (lip_u + lip_l) * span
+        + (max_u + max_l) * slope_ud
+    )
+    numerator_lipschitz = float(per_target.sum())
+    denominator_lipschitz = float(lip_l.sum())
+    denominator_min = float(min_l_at_1.sum())
+
+    # max |N| over the grid and over c in the utility range: bound each
+    # term by its largest magnitude.
+    numerator_max = float((max_l * span + (max_u + max_l) * span).sum())
+
+    return BoundConstants(
+        numerator_lipschitz=numerator_lipschitz,
+        denominator_lipschitz=denominator_lipschitz,
+        denominator_min=denominator_min,
+        numerator_max=numerator_max,
+    )
+
+
+def certified_gap(constants: BoundConstants, epsilon: float, num_segments: int) -> float:
+    """Theorem 1's certified optimality gap ``epsilon + (C1·N' + C2·D')/K``.
+
+    ``N'``/``D'`` are the numerator/denominator Lipschitz moduli; the
+    ``1/K`` factor is Lemma 1's per-segment mean-value bound (Eq. 46-47).
+    """
+    if epsilon <= 0 or num_segments < 1:
+        raise ValueError("epsilon must be > 0 and num_segments >= 1")
+    approx = (
+        constants.c1 * constants.numerator_lipschitz
+        + constants.c2 * constants.denominator_lipschitz
+    ) / num_segments
+    return float(epsilon + approx)

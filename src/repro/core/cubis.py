@@ -1,0 +1,252 @@
+"""CUBIS — the paper's robust algorithm (Section IV).
+
+``solve_cubis`` computes an approximately optimal defender strategy for
+the behavioral-robust maximin problem (Eq. 5):
+
+1. the maximin is converted (by LP duality, Section IV-A) into the single
+   maximisation (15-17) — this conversion is implicit here: CUBIS searches
+   the value axis of that problem directly;
+2. a binary search over the candidate utility ``c`` (Section IV-B) reduces
+   the problem to a sequence of value-point feasibility checks (P1),
+   monotone by Proposition 1;
+3. each check maximises the piecewise-linearised ``G(x, beta)`` as the
+   MILP (33-40) (Section IV-C) and applies Proposition 2's sign test.
+
+The returned strategy carries an exact worst-case evaluation (via the
+inner-problem solver, not the approximation), the final binary-search
+bracket ``[lb, ub]``, and the per-step trace.  Theorem 1 guarantees the
+result is ``O(epsilon + 1/K)``-optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.behavior.interval import UncertaintyModel
+from repro.core.dp import maximize_separable_on_grid
+from repro.core.milp import build_cubis_milp
+from repro.core.worst_case import WorstCaseSolution, evaluate_worst_case
+from repro.game.ssg import IntervalSecurityGame
+from repro.solvers.binary_search import binary_search_max
+from repro.solvers.milp_backend import solve_milp
+from repro.solvers.piecewise import SegmentGrid
+from repro.utils.timing import Timer
+
+__all__ = ["CubisResult", "solve_cubis"]
+
+
+@dataclass(frozen=True)
+class CubisResult:
+    """Outcome of a CUBIS solve.
+
+    Attributes
+    ----------
+    strategy:
+        The robust coverage vector (projected onto ``sum x = R``).
+    worst_case_value:
+        Exact worst-case defender utility of ``strategy`` (inner problem
+        solved exactly — not the piecewise approximation).
+    worst_case:
+        The full adversarial response (distribution + attractiveness).
+    lower_bound, upper_bound:
+        Final binary-search bracket ``[lb, ub]`` on the *approximated*
+        optimal value; ``ub - lb <= epsilon`` on normal termination.
+    epsilon, num_segments:
+        The accuracy knobs (Theorem 1: the result is
+        ``O(epsilon + 1/K)``-optimal).
+    iterations:
+        Binary-search steps (= MILP solves).
+    trace:
+        ``(c, feasible)`` per step.
+    solve_seconds:
+        Wall-clock time of the whole call.
+    """
+
+    strategy: np.ndarray
+    worst_case_value: float
+    worst_case: WorstCaseSolution
+    lower_bound: float
+    upper_bound: float
+    epsilon: float
+    num_segments: int
+    iterations: int
+    trace: tuple
+    solve_seconds: float
+
+
+def solve_cubis(
+    game: IntervalSecurityGame,
+    uncertainty: UncertaintyModel,
+    *,
+    num_segments: int = 10,
+    epsilon: float = 1e-3,
+    backend: str = "highs",
+    oracle: str = "milp",
+    equality_resources: bool = False,
+    coverage_constraints=None,
+    execution_alpha: float = 0.0,
+    feasibility_tolerance: float = 1e-7,
+    max_iterations: int = 200,
+) -> CubisResult:
+    """Run CUBIS on an interval security game.
+
+    Parameters
+    ----------
+    game:
+        The :class:`~repro.game.ssg.IntervalSecurityGame` (defender
+        payoffs + resources).
+    uncertainty:
+        The :class:`~repro.behavior.interval.UncertaintyModel` providing
+        ``[L_i(x), U_i(x)]``; must cover the same number of targets.
+    num_segments:
+        ``K`` — piecewise-linear segments per target.
+    epsilon:
+        Binary-search tolerance on the defender-utility axis.
+    backend:
+        MILP backend: ``"highs"`` (default) or ``"bnb"`` (the pure-Python
+        branch and bound).  Ignored when ``oracle="dp"``.
+    oracle:
+        Per-step feasibility oracle: ``"milp"`` is the paper's MILP
+        (33-40); ``"dp"`` is the grid-restricted dynamic program of
+        :mod:`repro.core.dp` (no MILP solver involved, same ``O(1/K)``
+        approximation order — see the module docs for the trade-off).
+    equality_resources:
+        Use ``sum x = R`` in the MILP instead of the paper's ``<= R``
+        (``"milp"`` oracle only).
+    coverage_constraints:
+        Optional :class:`~repro.game.constraints.CoverageConstraints`
+        ``A x <= b`` — scheduling-style side constraints (zone caps,
+        minimum coverage).  Supported by the ``"milp"`` oracle only; the
+        returned strategy is not re-projected onto ``sum x = R`` (the
+        projection could break the side constraints), so it may leave
+        budget slack.
+    execution_alpha:
+        Execution-noise radius (see :mod:`repro.behavior.noise`): the
+        realised coverage may fall up to ``alpha`` short of the plan per
+        target, and nature exploits the shortfall.  Implemented by
+        evaluating every grid — defender utilities and interval bounds —
+        at the worst-case realised coverage ``max(t - alpha, 0)``; the
+        returned ``worst_case_value`` is likewise execution-adjusted.
+    feasibility_tolerance:
+        Numerical slack on Proposition 2's sign test (``G_bar >= -tol``
+        counts as feasible).
+    max_iterations:
+        Hard cap on binary-search steps.
+    """
+    if uncertainty.num_targets != game.num_targets:
+        raise ValueError(
+            f"uncertainty model covers {uncertainty.num_targets} targets but the "
+            f"game has {game.num_targets}"
+        )
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be > 0, got {epsilon}")
+
+    if execution_alpha < 0:
+        raise ValueError(f"execution_alpha must be >= 0, got {execution_alpha}")
+    grid = SegmentGrid(num_segments)
+    breakpoints = grid.breakpoints
+    # Tabulate everything once: U^d, L, U at the K+1 breakpoints (T, K+1).
+    # Under execution noise, a planned coverage t realises (worst case) as
+    # max(t - alpha, 0) — all three grids are evaluated there.
+    realised = np.maximum(breakpoints - execution_alpha, 0.0)
+    ud_grid = (
+        np.outer(game.payoffs.defender_reward, realised)
+        + np.outer(game.payoffs.defender_penalty, 1.0 - realised)
+    )
+    lower_grid = uncertainty.lower_on_grid(realised)
+    upper_grid = uncertainty.upper_on_grid(realised)
+    if not (np.all(np.isfinite(upper_grid)) and np.all(lower_grid > 0)):
+        raise ValueError(
+            "uncertainty bounds must be positive and finite on the grid; "
+            "extreme model parameters (e.g. SUQR weights fitted at their "
+            "bounds) can overflow the exponential attractiveness"
+        )
+    # The attack probabilities — and hence the sign of G — are invariant
+    # to a global scaling of (L, U); normalise so the largest upper bound
+    # is 1, keeping the MILP's big-M coefficients well-conditioned no
+    # matter how large the raw exp(...) attractiveness values are.
+    scale = 1.0 / upper_grid.max()
+    lower_grid = lower_grid * scale
+    upper_grid = upper_grid * scale
+
+    if oracle not in ("milp", "dp"):
+        raise ValueError(f"oracle must be 'milp' or 'dp', got {oracle!r}")
+    if coverage_constraints is not None and oracle != "milp":
+        raise ValueError("coverage_constraints require the 'milp' oracle")
+
+    def milp_oracle(c: float):
+        model = build_cubis_milp(
+            ud_grid,
+            lower_grid,
+            upper_grid,
+            game.num_resources,
+            c,
+            grid,
+            equality_resources=equality_resources,
+            coverage_constraints=coverage_constraints,
+        )
+        result = solve_milp(model.problem, backend=backend)
+        if not result.optimal:
+            # The MILP is always feasible in (x, v, q, h) — x = anything
+            # feasible, q = 1, v at its forced value — so a non-optimal
+            # status signals a solver failure, not (P1) infeasibility.
+            raise RuntimeError(
+                f"CUBIS MILP solve failed at c={c:.6g}: {result.status} {result.message}"
+            )
+        g_bar = model.g_bar_from_objective(result.objective)
+        feasible = g_bar >= -feasibility_tolerance
+        return feasible, model.strategy_from_solution(result.x)
+
+    budget_units = int(np.floor(game.num_resources * num_segments + 1e-9))
+
+    def dp_oracle(c: float):
+        # G(x, beta*) = sum_i min(f1_i, f2_i)(x_i) — separable, so the
+        # grid-restricted maximum is a multiple-choice knapsack.
+        margin = ud_grid - c
+        phi = np.minimum(lower_grid * margin, upper_grid * margin)
+        allocation = maximize_separable_on_grid(phi, budget_units)
+        feasible = allocation.value >= -feasibility_tolerance
+        return feasible, allocation.coverage(num_segments)
+
+    step_oracle = milp_oracle if oracle == "milp" else dp_oracle
+
+    timer = Timer()
+    with timer:
+        lo, hi = game.utility_range()
+        search = binary_search_max(
+            step_oracle,
+            lo,
+            hi,
+            tolerance=epsilon,
+            max_iterations=max_iterations,
+        )
+        if search.payload is None:
+            raise RuntimeError(
+                "CUBIS binary search found no feasible utility level; the bottom "
+                "of the utility range should always be feasible — this indicates "
+                "an inconsistent game or uncertainty model"
+            )
+        if coverage_constraints is None:
+            strategy = game.strategy_space.project(np.asarray(search.payload))
+        else:
+            # Projection onto sum(x) = R could violate the side constraints;
+            # keep the MILP's (feasible) strategy, clipped to the box.
+            strategy = np.clip(np.asarray(search.payload), 0.0, 1.0)
+        worst = evaluate_worst_case(
+            game, uncertainty, strategy, execution_alpha=execution_alpha
+        )
+
+    return CubisResult(
+        strategy=strategy,
+        worst_case_value=worst.value,
+        worst_case=worst,
+        lower_bound=search.lower,
+        upper_bound=search.upper,
+        epsilon=float(epsilon),
+        num_segments=int(num_segments),
+        iterations=search.iterations,
+        trace=search.trace,
+        solve_seconds=timer.elapsed,
+    )

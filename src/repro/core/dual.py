@@ -1,0 +1,77 @@
+"""The dual reformulation of the robust problem (Section IV-A).
+
+Strong LP duality turns the inner minimisation (6-8) into the maximisation
+(9-12); eliminating the dual variables ``alpha`` and ``eta`` leaves the
+single maximisation (15-17) over the defender strategy ``x`` and the dual
+vector ``beta`` of the upper-bound constraints:
+
+.. math::
+
+    H(x, \\beta) = \\frac{\\sum_i L_i(x_i) U_i^d(x_i)
+                         - \\sum_i [U_i(x_i) - L_i(x_i)] \\beta_i}
+                        {\\sum_i L_i(x_i)}
+
+subject to ``U_i^d(x_i) + beta_i >= H(x, beta)`` and ``beta >= 0``.
+``H(x, beta)`` at the optimum equals the defender's worst-case utility for
+playing ``x``.  ``G(x, beta; c)`` (Eq. 18) is the numerator of
+``H(x, beta) - c``; Proposition 3 pins the optimal ``beta`` at
+``beta_i^* = max(0, c - U_i^d(x_i))``.
+
+These are small, pure, vectorised functions — they are the shared
+vocabulary of the CUBIS MILP builder, the exact non-convex path and the
+test-suite's cross-checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["beta_star", "h_value", "g_value", "h_beta_value"]
+
+
+def beta_star(ud, c: float) -> np.ndarray:
+    """Proposition 3's optimal dual vector ``beta_i = max(0, c - U_i^d)``."""
+    ud = np.asarray(ud, dtype=np.float64)
+    return np.maximum(0.0, c - ud)
+
+
+def h_value(lower, upper, ud, beta) -> float:
+    """The fractional objective ``H(x, beta)`` of Eq. (14)/(15).
+
+    Parameters are the per-target vectors evaluated at the strategy under
+    consideration: interval bounds ``L``, ``U``, defender utilities
+    ``U^d``, and the dual vector ``beta``.
+    """
+    lo = np.asarray(lower, dtype=np.float64)
+    hi = np.asarray(upper, dtype=np.float64)
+    ud = np.asarray(ud, dtype=np.float64)
+    beta = np.asarray(beta, dtype=np.float64)
+    denom = lo.sum()
+    if denom <= 0:
+        raise ValueError("sum of interval lower bounds must be positive")
+    return float((lo @ ud - (hi - lo) @ beta) / denom)
+
+
+def g_value(lower, upper, ud, beta, c: float) -> float:
+    """The non-fractional feasibility function ``G(x, beta)`` of Eq. (18):
+    the numerator of ``H(x, beta) - c``.  ``G >= 0`` iff ``H >= c``."""
+    lo = np.asarray(lower, dtype=np.float64)
+    hi = np.asarray(upper, dtype=np.float64)
+    ud = np.asarray(ud, dtype=np.float64)
+    beta = np.asarray(beta, dtype=np.float64)
+    return float(lo @ ud - (hi - lo) @ beta - c * lo.sum())
+
+
+def h_beta_value(lower, upper, ud) -> float:
+    """``H_beta(x)``: the optimum of (15-17) at fixed ``x``.
+
+    By strong duality this equals the worst-case defender utility of
+    playing ``x``; it is the fixed point ``c`` of
+    ``H(x, beta^*(x, c)) = c``, computed here through the dual root
+    formulation (equivalent to
+    :func:`repro.core.worst_case.worst_case_dual_root`, re-exported under
+    the paper's ``H_beta`` name for readability in CUBIS's bound proofs).
+    """
+    from repro.core.worst_case import worst_case_dual_root
+
+    return worst_case_dual_root(ud, lower, upper)

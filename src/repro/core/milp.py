@@ -1,0 +1,258 @@
+"""The per-step CUBIS MILP (paper Eqs. 33-40).
+
+At each binary-search step, CUBIS must decide feasibility of (P1) at the
+candidate utility ``c`` by maximising the piecewise-linearised
+``G(x, beta)`` (Proposition 2).  After Proposition 3 eliminates ``beta``
+and the big-M constraints (22-24) linearise the product
+``v_i = [U_i - L_i] beta_i``, the problem becomes the MILP
+
+.. math::
+
+    \\max \\; \\sum_i \\bar f_i^1(x_i) - \\sum_i v_i
+
+over segment variables ``x_{i,k}``, products ``v_i``, indicator binaries
+``q_i`` and fill-order binaries ``h_{i,k}``, where
+``f_i^1(x) = L_i(x) (U_i^d(x) - c)`` and
+``f_i^2(x) = U_i(x) (U_i^d(x) - c)`` are tabulated on the ``K``-segment
+grid and ``bar`` denotes the piecewise-linear approximant.
+
+This module only *builds* the MILP (as a
+:class:`~repro.solvers.milp_backend.MILPProblem` plus index metadata); the
+solve and the feasibility verdict live in :mod:`repro.core.cubis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solvers.assembly import ConstraintBuilder, VariableLayout
+from repro.solvers.milp_backend import MILPProblem
+from repro.solvers.piecewise import SegmentGrid
+
+__all__ = ["CubisMilp", "build_cubis_milp"]
+
+#: Extra slack added to the data-driven big-M constants; keeps the
+#: indicator constraints strictly inactive on the off branch despite
+#: solver round-off.
+_BIG_M_SLACK = 1.0
+
+
+@dataclass(frozen=True)
+class CubisMilp:
+    """A built CUBIS MILP plus the metadata needed to interpret solutions.
+
+    Attributes
+    ----------
+    problem:
+        The minimisation-form MILP (objective is ``-(G - f1_constant)``).
+    layout:
+        Variable index groups ``x``, ``v``, ``q``, ``h``.
+    grid:
+        The segment grid the ``x_{i,k}`` variables live on.
+    f1_constant:
+        ``sum_i f_i^1(0)`` — the constant dropped from the MILP objective;
+        ``G_bar = f1_constant - problem_objective_value``.
+    c:
+        The candidate defender utility this MILP tests.
+    """
+
+    problem: MILPProblem
+    layout: VariableLayout
+    grid: SegmentGrid
+    f1_constant: float
+    c: float
+
+    def strategy_from_solution(self, solution: np.ndarray) -> np.ndarray:
+        """Recover the coverage vector ``x_i = sum_k x_{i,k}``."""
+        num_targets = len(self.layout["v"])
+        xik = solution[self.layout["x"]].reshape(num_targets, self.grid.num_segments)
+        return xik.sum(axis=1)
+
+    def g_bar_from_objective(self, milp_objective: float) -> float:
+        """Translate the solver's (minimisation) objective into
+        ``G_bar(x*, beta*)`` — the quantity Proposition 2 compares to 0."""
+        return self.f1_constant - milp_objective
+
+
+def build_cubis_milp(
+    defender_utility_grid: np.ndarray,
+    lower_grid: np.ndarray,
+    upper_grid: np.ndarray,
+    num_resources: float,
+    c: float,
+    grid: SegmentGrid,
+    *,
+    equality_resources: bool = False,
+    coverage_constraints=None,
+) -> CubisMilp:
+    """Assemble the MILP (33-40) for candidate utility ``c``.
+
+    Parameters
+    ----------
+    defender_utility_grid:
+        ``U_i^d`` tabulated at the ``K + 1`` breakpoints, shape ``(T, K+1)``.
+    lower_grid, upper_grid:
+        ``L_i`` / ``U_i`` tabulated at the breakpoints, shape ``(T, K+1)``.
+    num_resources:
+        The defender's resource budget ``R`` (constraint 37).
+    c:
+        The candidate utility of this binary-search step.
+    grid:
+        The :class:`~repro.solvers.piecewise.SegmentGrid` (defines ``K``).
+    equality_resources:
+        Constrain ``sum x = R`` instead of ``<= R``.  The paper uses the
+        inequality (Eq. 37); worst-case utility is monotone in coverage so
+        both give the same value, but equality keeps strategies comparable
+        across solvers.
+    coverage_constraints:
+        Optional :class:`~repro.game.constraints.CoverageConstraints`
+        ``A x <= b``; each row is lifted onto the segment variables via
+        ``x_i = sum_k x_{i,k}`` (an extension beyond the paper's Eq. 37).
+    """
+    ud = np.asarray(defender_utility_grid, dtype=np.float64)
+    lo = np.asarray(lower_grid, dtype=np.float64)
+    hi = np.asarray(upper_grid, dtype=np.float64)
+    k = grid.num_segments
+    if ud.ndim != 2 or ud.shape[1] != k + 1:
+        raise ValueError(
+            f"defender_utility_grid must have shape (T, {k + 1}), got {ud.shape}"
+        )
+    if lo.shape != ud.shape or hi.shape != ud.shape:
+        raise ValueError("lower_grid and upper_grid must match defender_utility_grid")
+    num_targets = ud.shape[0]
+
+    # Breakpoint tabulation of f^1, f^2 and their slopes (Eqs. 31-32).
+    margin = ud - c  # (T, K+1): U_i^d(t) - c
+    f1 = lo * margin
+    f2 = hi * margin
+    s1 = grid.slopes(f1)  # (T, K)
+    s2 = grid.slopes(f2)
+    diff_slopes = s1 - s2  # slopes of f1 - f2 = -(U - L)(U^d - c)
+    g0 = f1[:, 0] - f2[:, 0]  # (f1 - f2)(0) per target
+
+    # Data-driven per-target big-M: |f1 - f2| peaks at a breakpoint of the
+    # piecewise approximant.
+    big_m = np.abs(f1 - f2).max(axis=1) + _BIG_M_SLACK
+
+    layout = VariableLayout()
+    x_idx = layout.add("x", num_targets * k).reshape(num_targets, k)
+    v_idx = layout.add("v", num_targets)
+    q_idx = layout.add("q", num_targets)
+    h_idx = (
+        layout.add("h", num_targets * (k - 1)).reshape(num_targets, k - 1)
+        if k > 1
+        else layout.add("h", 0).reshape(num_targets, 0)
+    )
+    n = layout.size
+
+    builder = ConstraintBuilder(n)
+
+    # (34) v_i - M_i q_i <= 0.
+    builder.add_block(
+        columns=np.column_stack([v_idx, q_idx]),
+        coefficients=np.column_stack([np.ones(num_targets), -big_m]),
+        rhs=np.zeros(num_targets),
+    )
+    # (35) sum_k (s1-s2)_{i,k} x_{i,k} - v_i <= -(f1 - f2)(0)_i.
+    builder.add_block(
+        columns=np.column_stack([x_idx, v_idx]),
+        coefficients=np.column_stack([diff_slopes, -np.ones(num_targets)]),
+        rhs=-g0,
+    )
+    # (36) v_i - sum_k (s1-s2)_{i,k} x_{i,k} + M_i q_i <= (f1 - f2)(0)_i + M_i.
+    builder.add_block(
+        columns=np.column_stack([x_idx, v_idx, q_idx]),
+        coefficients=np.column_stack(
+            [-diff_slopes, np.ones(num_targets), big_m]
+        ),
+        rhs=g0 + big_m,
+    )
+    # (38) h_{i,k} / K - x_{i,k} <= 0   for k = 1..K-1.
+    if k > 1:
+        builder.add_block(
+            columns=np.column_stack([h_idx.ravel(), x_idx[:, :-1].ravel()]),
+            coefficients=np.column_stack(
+                [
+                    np.full(num_targets * (k - 1), grid.segment_length),
+                    -np.ones(num_targets * (k - 1)),
+                ]
+            ),
+            rhs=np.zeros(num_targets * (k - 1)),
+        )
+        # (39) x_{i,k+1} - h_{i,k} <= 0.
+        builder.add_block(
+            columns=np.column_stack([x_idx[:, 1:].ravel(), h_idx.ravel()]),
+            coefficients=np.column_stack(
+                [
+                    np.ones(num_targets * (k - 1)),
+                    -np.ones(num_targets * (k - 1)),
+                ]
+            ),
+            rhs=np.zeros(num_targets * (k - 1)),
+        )
+    # (37) sum_{i,k} x_{i,k} <= R  (or = R).
+    A_eq = None
+    b_eq = None
+    if equality_resources:
+        import scipy.sparse as sp
+
+        data = np.ones(num_targets * k)
+        A_eq = sp.csr_matrix(
+            (data, (np.zeros(num_targets * k, dtype=np.int64), x_idx.ravel())),
+            shape=(1, n),
+        )
+        b_eq = np.array([float(num_resources)])
+    else:
+        builder.add_row(x_idx.ravel(), np.ones(num_targets * k), float(num_resources))
+
+    if coverage_constraints is not None:
+        if coverage_constraints.num_targets != num_targets:
+            raise ValueError(
+                f"coverage constraints cover {coverage_constraints.num_targets} "
+                f"targets but the game has {num_targets}"
+            )
+        rows = coverage_constraints.num_constraints
+        builder.add_block(
+            columns=np.tile(x_idx.ravel(), (rows, 1)),
+            coefficients=np.repeat(coverage_constraints.matrix, k, axis=1),
+            rhs=coverage_constraints.rhs,
+        )
+
+    A_ub, b_ub = builder.build()
+
+    # Objective (33), minimisation form: min  -sum s1 x + sum v.
+    cost = np.zeros(n)
+    cost[x_idx.ravel()] = -s1.ravel()
+    cost[v_idx] = 1.0
+
+    lb = np.zeros(n)
+    ub = np.full(n, np.inf)
+    ub[x_idx.ravel()] = grid.segment_length
+    ub[v_idx] = big_m
+    ub[q_idx] = 1.0
+    if h_idx.size:
+        ub[h_idx.ravel()] = 1.0
+    integrality = np.zeros(n, dtype=np.int64)
+    integrality[q_idx] = 1
+    if h_idx.size:
+        integrality[h_idx.ravel()] = 1
+
+    problem = MILPProblem(
+        c=cost,
+        A_ub=A_ub,
+        b_ub=b_ub,
+        A_eq=A_eq,
+        b_eq=b_eq,
+        lb=lb,
+        ub=ub,
+        integrality=integrality,
+    )
+    return CubisMilp(
+        problem=problem,
+        layout=layout,
+        grid=grid,
+        f1_constant=float(f1[:, 0].sum()),
+        c=float(c),
+    )

@@ -1,0 +1,144 @@
+"""Reproducing the Table I defender-payoff calibration.
+
+The paper's Section III example quotes four numbers — the midpoint
+strategy ~(0.34, 0.66) worth ~-2.26 in the worst case, and the robust
+strategy ~(0.46, 0.54) worth ~-0.90 — but omits the defender payoffs that
+produce them.  DESIGN.md §2 records the calibration that recovered them:
+a grid search over integer defender payoffs scoring each candidate by its
+distance to the quoted numbers.  This module *is* that calibration, kept
+in the library so the choice baked into
+:func:`repro.game.generator.table1_game` is reproducible rather than
+folklore.
+
+The search solves the 2-target game by brute force on a strategy grid
+(cheap and solver-free: 1-D family ``x = (a, 1-a)``), evaluating
+
+* the robust optimum of the worst-case curve, and
+* the worst case of the midpoint-model optimum,
+
+for every candidate ``(R_1^d, P_1^d, R_2^d, P_2^d)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.behavior.interval import IntervalSUQR
+from repro.core.worst_case import worst_case_response
+from repro.game.payoffs import IntervalPayoffs
+
+__all__ = ["CalibrationCandidate", "calibrate_table1", "score_candidate"]
+
+#: The Table I attacker payoff intervals.
+_TABLE1_ATTACKER = {
+    "attacker_reward_lo": np.array([1.0, 5.0]),
+    "attacker_reward_hi": np.array([5.0, 9.0]),
+    "attacker_penalty_lo": np.array([-7.0, -9.0]),
+    "attacker_penalty_hi": np.array([-3.0, -5.0]),
+}
+
+#: The Section III weight boxes.
+_WEIGHTS = {"w1": (-6.0, -2.0), "w2": (0.5, 1.0), "w3": (0.4, 0.9)}
+
+#: The paper's quoted numbers.
+_PAPER = {
+    "robust_x1": 0.46,
+    "robust_value": -0.90,
+    "midpoint_x1": 0.34,
+    "midpoint_value": -2.26,
+}
+
+
+@dataclass(frozen=True)
+class CalibrationCandidate:
+    """A scored defender-payoff candidate."""
+
+    defender_reward: tuple
+    defender_penalty: tuple
+    robust_x1: float
+    robust_value: float
+    midpoint_x1: float
+    midpoint_value: float
+    score: float
+
+
+def _build(dr, dp) -> tuple[IntervalPayoffs, IntervalSUQR]:
+    payoffs = IntervalPayoffs(
+        defender_reward=np.asarray(dr, dtype=np.float64),
+        defender_penalty=np.asarray(dp, dtype=np.float64),
+        **_TABLE1_ATTACKER,
+    )
+    return payoffs, IntervalSUQR(payoffs, **_WEIGHTS)
+
+
+def score_candidate(dr, dp, *, grid_points: int = 501) -> CalibrationCandidate:
+    """Brute-force the 2-target game for one defender-payoff candidate and
+    score it against the paper's quoted numbers (lower = better)."""
+    payoffs, uncertainty = _build(dr, dp)
+    grid = np.linspace(0.0, 1.0, grid_points)
+
+    worst_curve = np.empty(grid_points)
+    midpoint_curve = np.empty(grid_points)
+    mid_model = uncertainty.midpoint_model()
+    for idx, a in enumerate(grid):
+        x = np.array([a, 1.0 - a])
+        ud = payoffs.defender_utilities(x)
+        worst_curve[idx] = worst_case_response(
+            ud, uncertainty.lower(x), uncertainty.upper(x)
+        ).value
+        midpoint_curve[idx] = mid_model.expected_defender_utility(ud, x)
+
+    i_rob = int(np.argmax(worst_curve))
+    i_mid = int(np.argmax(midpoint_curve))
+    robust_x1 = float(grid[i_rob])
+    robust_value = float(worst_curve[i_rob])
+    midpoint_x1 = float(grid[i_mid])
+    midpoint_value = float(worst_curve[i_mid])
+
+    # Strategy errors in coverage units; value errors scaled down so both
+    # kinds of target contribute comparably (values span ~10 units).
+    score = (
+        abs(robust_x1 - _PAPER["robust_x1"])
+        + abs(midpoint_x1 - _PAPER["midpoint_x1"])
+        + abs(robust_value - _PAPER["robust_value"]) / 3.0
+        + abs(midpoint_value - _PAPER["midpoint_value"]) / 3.0
+    )
+    return CalibrationCandidate(
+        defender_reward=tuple(float(v) for v in dr),
+        defender_penalty=tuple(float(v) for v in dp),
+        robust_x1=robust_x1,
+        robust_value=robust_value,
+        midpoint_x1=midpoint_x1,
+        midpoint_value=midpoint_value,
+        score=float(score),
+    )
+
+
+def calibrate_table1(
+    *,
+    reward_grid=None,
+    penalty_grid=None,
+    grid_points: int = 251,
+) -> CalibrationCandidate:
+    """Grid-search defender payoffs against the paper's quoted numbers.
+
+    The full search space used for DESIGN.md (rewards 1..10, penalties
+    -10..-1, integer steps) takes a few minutes; the defaults here cover a
+    neighbourhood of the published optimum so the function doubles as a
+    regression test.  Returns the best-scoring candidate — with default
+    grids, the calibrated ``R^d = (5, 7)``, ``P^d = (-6, -10)``.
+    """
+    if reward_grid is None:
+        reward_grid = [(4.0, 6.0), (5.0, 7.0), (6.0, 8.0)]
+    if penalty_grid is None:
+        penalty_grid = [(-5.0, -9.0), (-6.0, -10.0), (-7.0, -10.0)]
+    best: CalibrationCandidate | None = None
+    for dr in reward_grid:
+        for dp in penalty_grid:
+            cand = score_candidate(dr, dp, grid_points=grid_points)
+            if best is None or cand.score < best.score:
+                best = cand
+    assert best is not None
+    return best

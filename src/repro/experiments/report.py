@@ -1,0 +1,162 @@
+"""One-call regeneration of the full experimental report.
+
+``generate_report`` runs every experiment (at quick or full settings) and
+assembles a single markdown document mirroring EXPERIMENTS.md's
+structure: per-experiment tables plus the headline comparisons.  Exposed
+on the CLI as ``python -m repro report [--full] [--output PATH]`` so a
+referee can regenerate the paper-vs-measured evidence with one command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.ablation import (
+    format_ablation,
+    run_ablation_epsilon,
+    run_ablation_k,
+)
+from repro.experiments.intervals import format_intervals, run_intervals
+from repro.experiments.landscape import format_landscape, run_landscape
+from repro.experiments.quality import format_quality, run_quality
+from repro.experiments.runtime import format_runtime, run_runtime
+from repro.experiments.table1 import format_table1, run_table1
+
+__all__ = ["ReportSettings", "QUICK", "FULL", "generate_report"]
+
+
+@dataclass(frozen=True)
+class ReportSettings:
+    """Knobs for one report run (see :data:`QUICK` / :data:`FULL`)."""
+
+    table1_segments: int
+    quality_targets: tuple
+    quality_trials: int
+    runtime_targets: tuple
+    runtime_trials: int
+    interval_scales: tuple
+    interval_trials: int
+    ablation_segments: tuple
+    ablation_epsilons: tuple
+    ablation_trials: int
+    landscape_targets: int
+    landscape_trials: int
+    seed: int = 2016
+
+
+QUICK = ReportSettings(
+    table1_segments=20,
+    quality_targets=(5, 8),
+    quality_trials=2,
+    runtime_targets=(5, 8),
+    runtime_trials=1,
+    interval_scales=(0.0, 0.5, 1.0),
+    interval_trials=2,
+    ablation_segments=(2, 8, 24),
+    ablation_epsilons=(0.5, 0.02),
+    ablation_trials=1,
+    landscape_targets=6,
+    landscape_trials=1,
+)
+
+FULL = ReportSettings(
+    table1_segments=25,
+    quality_targets=(5, 10, 20),
+    quality_trials=3,
+    runtime_targets=(5, 10, 20),
+    runtime_trials=2,
+    interval_scales=(0.0, 0.25, 0.5, 1.0, 1.5),
+    interval_trials=3,
+    ablation_segments=(2, 4, 8, 16, 32),
+    ablation_epsilons=(0.5, 0.1, 0.02, 0.004),
+    ablation_trials=2,
+    landscape_targets=10,
+    landscape_trials=3,
+)
+
+
+def generate_report(settings: ReportSettings = QUICK) -> str:
+    """Run every experiment and return the assembled markdown report."""
+    sections: list[str] = [
+        "# Experimental report (regenerated)",
+        "",
+        "Produced by `repro.experiments.report.generate_report`; compare "
+        "against the committed EXPERIMENTS.md for paper-reported numbers.",
+    ]
+
+    def add(title: str, body: str) -> None:
+        sections.append("")
+        sections.append(f"## {title}")
+        sections.append("")
+        sections.append("```")
+        sections.append(body)
+        sections.append("```")
+
+    add(
+        "T1 — Table I worked example",
+        format_table1(run_table1(num_segments=settings.table1_segments)),
+    )
+    add(
+        "F1 — quality vs #targets",
+        format_quality(
+            run_quality(
+                target_counts=settings.quality_targets,
+                num_trials=settings.quality_trials,
+                seed=settings.seed,
+            )
+        ),
+    )
+    add(
+        "F2 — runtime scaling",
+        format_runtime(
+            run_runtime(
+                target_counts=settings.runtime_targets,
+                num_trials=settings.runtime_trials,
+                seed=settings.seed,
+            )
+        ),
+    )
+    add(
+        "F3 — robustness vs uncertainty level",
+        format_intervals(
+            run_intervals(
+                scales=settings.interval_scales,
+                num_trials=settings.interval_trials,
+                seed=settings.seed,
+            )
+        ),
+    )
+    add(
+        "F4 — the O(epsilon + 1/K) bound (K sweep)",
+        format_ablation(
+            run_ablation_k(
+                segment_counts=settings.ablation_segments,
+                num_trials=settings.ablation_trials,
+                seed=settings.seed,
+            ),
+            "num_segments",
+        ),
+    )
+    add(
+        "F4 — the O(epsilon + 1/K) bound (epsilon sweep)",
+        format_ablation(
+            run_ablation_epsilon(
+                epsilons=settings.ablation_epsilons,
+                num_trials=settings.ablation_trials,
+                seed=settings.seed,
+            ),
+            "epsilon",
+        ),
+    )
+    add(
+        "F5 — the solution-concept landscape",
+        format_landscape(
+            run_landscape(
+                num_targets=settings.landscape_targets,
+                num_trials=settings.landscape_trials,
+                seed=settings.seed,
+            )
+        ),
+    )
+    sections.append("")
+    return "\n".join(sections)

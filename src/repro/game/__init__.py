@@ -1,0 +1,34 @@
+"""Stackelberg security game substrate: payoffs, strategies, games, generators."""
+
+from repro.game.constraints import CoverageConstraints
+from repro.game.generator import (
+    airport_game,
+    random_game,
+    random_interval_game,
+    table1_game,
+    wildlife_game,
+)
+from repro.game.graph import GraphLayout, geographic_game
+from repro.game.payoffs import IntervalPayoffs, PayoffMatrix
+from repro.game.schedules import PatrolSchedule, decompose_coverage, sample_patrols
+from repro.game.ssg import IntervalSecurityGame, SecurityGame
+from repro.game.strategy import StrategySpace
+
+__all__ = [
+    "CoverageConstraints",
+    "GraphLayout",
+    "IntervalPayoffs",
+    "IntervalSecurityGame",
+    "PatrolSchedule",
+    "PayoffMatrix",
+    "SecurityGame",
+    "StrategySpace",
+    "airport_game",
+    "decompose_coverage",
+    "geographic_game",
+    "random_game",
+    "random_interval_game",
+    "sample_patrols",
+    "table1_game",
+    "wildlife_game",
+]

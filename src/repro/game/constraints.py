@@ -1,0 +1,117 @@
+"""Linear side constraints on the defender's coverage vector.
+
+The paper optimises over the plain resource polytope
+``X = {0 <= x <= 1, sum x = R}``; real patrol planning adds structure —
+zones with their own staffing caps, contractual minimum coverage on
+critical targets, fairness floors.  Any such requirement expressible as
+``A x <= b`` slots into CUBIS's MILP unchanged (the segment variables
+satisfy ``x_i = sum_k x_{i,k}``, so a coverage row becomes a row over
+segment variables), which is exactly what
+:func:`repro.core.cubis.solve_cubis` does when given a
+:class:`CoverageConstraints`.
+
+This is an *extension* relative to the paper (its Eq. 37 is the single
+budget row); the test suite verifies that vacuous constraints reproduce
+the unconstrained solution and binding ones are honoured at the optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_finite_array
+
+__all__ = ["CoverageConstraints"]
+
+
+@dataclass(frozen=True)
+class CoverageConstraints:
+    """A system ``matrix @ x <= rhs`` over the coverage vector.
+
+    Attributes
+    ----------
+    matrix:
+        Shape ``(M, T)``.
+    rhs:
+        Shape ``(M,)``.
+    """
+
+    matrix: np.ndarray
+    rhs: np.ndarray
+
+    def __post_init__(self) -> None:
+        a = check_finite_array(self.matrix, "matrix", ndim=2)
+        b = check_finite_array(self.rhs, "rhs", ndim=1)
+        if len(b) != a.shape[0]:
+            raise ValueError(
+                f"rhs must have one entry per constraint row, got {len(b)} for "
+                f"{a.shape[0]} rows"
+            )
+        a.setflags(write=False)
+        b.setflags(write=False)
+        object.__setattr__(self, "matrix", a)
+        object.__setattr__(self, "rhs", b)
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of rows ``M``."""
+        return self.matrix.shape[0]
+
+    @property
+    def num_targets(self) -> int:
+        """Number of coverage variables ``T`` the system is defined over."""
+        return self.matrix.shape[1]
+
+    def satisfied(self, x, *, atol: float = 1e-7) -> bool:
+        """Whether ``x`` satisfies every row up to ``atol``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.num_targets,):
+            return False
+        return bool(np.all(self.matrix @ x <= self.rhs + atol))
+
+    def stacked(self, other: "CoverageConstraints") -> "CoverageConstraints":
+        """Concatenate two constraint systems over the same targets."""
+        if other.num_targets != self.num_targets:
+            raise ValueError("constraint systems cover different target counts")
+        return CoverageConstraints(
+            np.vstack([self.matrix, other.matrix]),
+            np.concatenate([self.rhs, other.rhs]),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convenience builders
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def zone_caps(cls, num_targets: int, zones, caps) -> "CoverageConstraints":
+        """Cap total coverage per zone: ``sum_{i in zone} x_i <= cap``.
+
+        ``zones`` is an iterable of index collections; ``caps`` the
+        matching budget per zone.
+        """
+        zones = [np.asarray(z, dtype=np.int64) for z in zones]
+        caps = np.asarray(caps, dtype=np.float64)
+        if len(zones) != len(caps):
+            raise ValueError("need one cap per zone")
+        a = np.zeros((len(zones), num_targets))
+        for row, idx in enumerate(zones):
+            if idx.size and (idx.min() < 0 or idx.max() >= num_targets):
+                raise ValueError(f"zone {row} has a target index out of range")
+            a[row, idx] = 1.0
+        return cls(a, caps)
+
+    @classmethod
+    def minimum_coverage(cls, num_targets: int, targets, floors) -> "CoverageConstraints":
+        """Lower-bound coverage at given targets: ``x_i >= floor_i``
+        (encoded as ``-x_i <= -floor_i``)."""
+        targets = np.asarray(targets, dtype=np.int64)
+        floors = np.asarray(floors, dtype=np.float64)
+        if targets.shape != floors.shape:
+            raise ValueError("need one floor per target index")
+        if targets.size and (targets.min() < 0 or targets.max() >= num_targets):
+            raise ValueError("target index out of range")
+        a = np.zeros((len(targets), num_targets))
+        a[np.arange(len(targets)), targets] = -1.0
+        return cls(a, -floors)

@@ -1,0 +1,229 @@
+"""Random and structured game generators.
+
+The paper's motivating domains (wildlife patrols, airport checkpoints) use
+proprietary data; per DESIGN.md's substitution rule these generators produce
+synthetic games with the payoff ranges conventional in the SSG literature
+(attacker rewards in ``[1, 10]``, penalties in ``[-10, -1]``) plus two
+structured scenario generators used by the examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.game.payoffs import IntervalPayoffs, PayoffMatrix
+from repro.game.ssg import IntervalSecurityGame, SecurityGame
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "random_game",
+    "random_interval_game",
+    "table1_game",
+    "wildlife_game",
+    "airport_game",
+]
+
+
+def random_game(
+    num_targets: int,
+    num_resources: float | None = None,
+    *,
+    reward_range: tuple[float, float] = (1.0, 10.0),
+    penalty_range: tuple[float, float] = (-10.0, -1.0),
+    zero_sum: bool = False,
+    correlation: float = 0.0,
+    seed=None,
+) -> SecurityGame:
+    """Sample a random point-payoff security game.
+
+    Parameters
+    ----------
+    num_targets:
+        Number of targets ``T``.
+    num_resources:
+        Defender resources ``R``; defaults to ``max(1, T // 5)`` — the
+        resource-scarce regime (``R << T``) the paper assumes.
+    reward_range, penalty_range:
+        Uniform sampling ranges for rewards and penalties (both players).
+    zero_sum:
+        If true, defender payoffs are the negation of the attacker's.
+    correlation:
+        In ``[0, 1]``; blends the defender's stakes toward the attacker's
+        (a high-value target for the attacker is high-value to defend).
+        ``0`` = independent, ``1`` = fully zero-sum (same as ``zero_sum``).
+    seed:
+        Anything accepted by :func:`repro.utils.rng.as_generator`.
+    """
+    rng = as_generator(seed)
+    if num_resources is None:
+        num_resources = max(1, num_targets // 5)
+    r_lo, r_hi = reward_range
+    p_lo, p_hi = penalty_range
+    if not (r_lo < r_hi and p_lo < p_hi):
+        raise ValueError("reward_range and penalty_range must be non-degenerate (lo < hi)")
+    if min(r_lo, r_hi) <= max(p_lo, p_hi):
+        raise ValueError("reward_range must lie strictly above penalty_range")
+    if not 0.0 <= correlation <= 1.0:
+        raise ValueError(f"correlation must be in [0, 1], got {correlation}")
+
+    att_reward = rng.uniform(r_lo, r_hi, size=num_targets)
+    att_penalty = rng.uniform(p_lo, p_hi, size=num_targets)
+    if zero_sum or correlation >= 1.0:
+        payoffs = PayoffMatrix.zero_sum(att_reward, att_penalty)
+    else:
+        ind_reward = rng.uniform(r_lo, r_hi, size=num_targets)
+        ind_penalty = rng.uniform(p_lo, p_hi, size=num_targets)
+        def_reward = correlation * (-att_penalty) + (1 - correlation) * ind_reward
+        def_penalty = correlation * (-att_reward) + (1 - correlation) * ind_penalty
+        payoffs = PayoffMatrix(
+            defender_reward=def_reward,
+            defender_penalty=def_penalty,
+            attacker_reward=att_reward,
+            attacker_penalty=att_penalty,
+        )
+    return SecurityGame(payoffs, num_resources)
+
+
+def random_interval_game(
+    num_targets: int,
+    num_resources: float | None = None,
+    *,
+    reward_range: tuple[float, float] = (1.0, 10.0),
+    penalty_range: tuple[float, float] = (-10.0, -1.0),
+    payoff_halfwidth: float = 1.0,
+    zero_sum: bool = True,
+    seed=None,
+) -> IntervalSecurityGame:
+    """Sample a game with interval-valued attacker payoffs.
+
+    Interval centres are drawn like :func:`random_game`; each attacker
+    payoff becomes ``[centre - payoff_halfwidth, centre + payoff_halfwidth]``
+    (clipped so reward intervals stay above penalty intervals).  With
+    ``zero_sum=True`` (default) defender payoffs are zero-sum against the
+    interval midpoints — the calibrated Table I convention; with
+    ``zero_sum=False`` they are drawn independently (general-sum stakes,
+    where behavior-aware planning separates most clearly from payoff
+    maximin).
+    """
+    rng = as_generator(seed)
+    if num_resources is None:
+        num_resources = max(1, num_targets // 5)
+    if payoff_halfwidth < 0:
+        raise ValueError(f"payoff_halfwidth must be >= 0, got {payoff_halfwidth}")
+    r_lo, r_hi = reward_range
+    p_lo, p_hi = penalty_range
+    reward_c = rng.uniform(r_lo, r_hi, size=num_targets)
+    penalty_c = rng.uniform(p_lo, p_hi, size=num_targets)
+    h = payoff_halfwidth
+    # Keep the reward interval strictly above the penalty interval.
+    gap = reward_c - penalty_c  # > 0 by the range constraint
+    h_eff = np.minimum(h, 0.49 * gap)
+    if zero_sum:
+        payoffs = IntervalPayoffs.zero_sum_midpoint(
+            attacker_reward_lo=reward_c - h_eff,
+            attacker_reward_hi=reward_c + h_eff,
+            attacker_penalty_lo=penalty_c - h_eff,
+            attacker_penalty_hi=penalty_c + h_eff,
+        )
+    else:
+        payoffs = IntervalPayoffs(
+            defender_reward=rng.uniform(r_lo, r_hi, size=num_targets),
+            defender_penalty=rng.uniform(p_lo, p_hi, size=num_targets),
+            attacker_reward_lo=reward_c - h_eff,
+            attacker_reward_hi=reward_c + h_eff,
+            attacker_penalty_lo=penalty_c - h_eff,
+            attacker_penalty_hi=penalty_c + h_eff,
+        )
+    return IntervalSecurityGame(payoffs, num_resources)
+
+
+def table1_game() -> IntervalSecurityGame:
+    """The paper's Table I game (2 targets, 1 resource).
+
+    Attacker reward intervals ``[1,5]`` / ``[5,9]`` and penalty intervals
+    ``[-7,-3]`` / ``[-9,-5]``.  Defender payoffs are the calibrated values
+    ``R^d = (5, 7)``, ``P^d = (-6, -10)`` that reproduce the paper's worked
+    example (robust strategy ~(0.46, 0.54) worth ~-0.90 in the worst case;
+    see DESIGN.md §2 and EXPERIMENTS.md).
+    """
+    payoffs = IntervalPayoffs(
+        defender_reward=np.array([5.0, 7.0]),
+        defender_penalty=np.array([-6.0, -10.0]),
+        attacker_reward_lo=np.array([1.0, 5.0]),
+        attacker_reward_hi=np.array([5.0, 9.0]),
+        attacker_penalty_lo=np.array([-7.0, -9.0]),
+        attacker_penalty_hi=np.array([-3.0, -5.0]),
+    )
+    return IntervalSecurityGame(payoffs, num_resources=1)
+
+
+def wildlife_game(
+    num_sites: int = 12,
+    num_patrols: int = 3,
+    *,
+    density_decay: float = 0.25,
+    uncertainty: float = 1.5,
+    seed=None,
+) -> IntervalSecurityGame:
+    """A synthetic wildlife-protection game (the paper's motivating domain).
+
+    Sites are ordered by animal density, which decays geometrically from a
+    hotspot: the attacker's (poacher's) reward tracks density, while getting
+    caught costs roughly the same everywhere (confiscation + fine).  Data on
+    poacher preferences is scarce, so attacker payoff intervals are wide
+    (controlled by ``uncertainty``) — exactly the limited-data story of the
+    paper's introduction.
+    """
+    rng = as_generator(seed)
+    if num_sites < 2:
+        raise ValueError(f"num_sites must be >= 2, got {num_sites}")
+    density = 10.0 * (1.0 - density_decay) ** np.arange(num_sites)
+    density = density * rng.uniform(0.8, 1.2, size=num_sites)
+    reward_c = np.clip(density, 1.5, 10.0)
+    penalty_c = rng.uniform(-4.0, -2.0, size=num_sites)
+    h = float(uncertainty)
+    gap = reward_c - penalty_c
+    h_eff = np.minimum(h, 0.49 * gap)
+    payoffs = IntervalPayoffs.zero_sum_midpoint(
+        attacker_reward_lo=reward_c - h_eff,
+        attacker_reward_hi=reward_c + h_eff,
+        attacker_penalty_lo=penalty_c - h_eff,
+        attacker_penalty_hi=penalty_c + h_eff,
+    )
+    return IntervalSecurityGame(payoffs, num_patrols)
+
+
+def airport_game(
+    num_checkpoints: int = 8,
+    num_teams: int = 3,
+    *,
+    uncertainty: float = 0.75,
+    seed=None,
+) -> IntervalSecurityGame:
+    """A synthetic airport-checkpoint game (ARMOR-style domain).
+
+    A few checkpoints guard high-consequence terminals (large defender
+    penalties), the rest are lower-stakes.  Attacker payoff intervals are
+    narrower than in the wildlife domain — airports have more intelligence
+    data — but defender stakes are more skewed.
+    """
+    rng = as_generator(seed)
+    if num_checkpoints < 2:
+        raise ValueError(f"num_checkpoints must be >= 2, got {num_checkpoints}")
+    high = max(1, num_checkpoints // 4)
+    att_reward = np.concatenate(
+        [rng.uniform(7.0, 10.0, size=high), rng.uniform(2.0, 6.0, size=num_checkpoints - high)]
+    )
+    att_penalty = rng.uniform(-8.0, -4.0, size=num_checkpoints)
+    h = float(uncertainty)
+    gap = att_reward - att_penalty
+    h_eff = np.minimum(h, 0.49 * gap)
+    payoffs = IntervalPayoffs(
+        defender_reward=-att_penalty * rng.uniform(0.4, 0.6, size=num_checkpoints),
+        defender_penalty=-att_reward * rng.uniform(1.2, 1.6, size=num_checkpoints),
+        attacker_reward_lo=att_reward - h_eff,
+        attacker_reward_hi=att_reward + h_eff,
+        attacker_penalty_lo=att_penalty - h_eff,
+        attacker_penalty_hi=att_penalty + h_eff,
+    )
+    return IntervalSecurityGame(payoffs, num_teams)

@@ -1,0 +1,232 @@
+"""Payoff structures for Stackelberg security games.
+
+A security game over ``T`` targets carries four payoff vectors
+(Section II of the paper):
+
+* ``defender_reward``  ``R_i^d`` — defender's payoff when target ``i`` is
+  attacked while covered;
+* ``defender_penalty`` ``P_i^d`` — defender's payoff when target ``i`` is
+  attacked while uncovered (``P_i^d < R_i^d``);
+* ``attacker_reward``  ``R_i^a`` — attacker's payoff for a successful
+  (uncovered) attack on ``i``;
+* ``attacker_penalty`` ``P_i^a`` — attacker's payoff when caught at ``i``
+  (``P_i^a < R_i^a``).
+
+:class:`PayoffMatrix` stores point payoffs.  :class:`IntervalPayoffs` stores
+interval-valued *attacker* payoffs — the paper's Table I — alongside point
+defender payoffs (the defender knows her own stakes; only the adversary's
+valuation is uncertain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_finite_array, check_interval_pair
+
+__all__ = ["PayoffMatrix", "IntervalPayoffs"]
+
+
+@dataclass(frozen=True)
+class PayoffMatrix:
+    """Point (certain) payoffs for a ``T``-target security game.
+
+    Invariants enforced at construction: all four vectors share one length;
+    rewards strictly exceed penalties for both players at every target
+    (the standard SSG payoff restriction — being caught must hurt the
+    attacker, losing a target must hurt the defender).
+    """
+
+    defender_reward: np.ndarray
+    defender_penalty: np.ndarray
+    attacker_reward: np.ndarray
+    attacker_penalty: np.ndarray
+
+    def __post_init__(self) -> None:
+        dr = check_finite_array(self.defender_reward, "defender_reward", ndim=1)
+        dp = check_finite_array(self.defender_penalty, "defender_penalty", ndim=1)
+        ar = check_finite_array(self.attacker_reward, "attacker_reward", ndim=1)
+        ap = check_finite_array(self.attacker_penalty, "attacker_penalty", ndim=1)
+        n = len(dr)
+        if not (len(dp) == len(ar) == len(ap) == n):
+            raise ValueError(
+                "all payoff vectors must have the same length, got "
+                f"{len(dr)}, {len(dp)}, {len(ar)}, {len(ap)}"
+            )
+        if n == 0:
+            raise ValueError("a game needs at least one target")
+        if np.any(dr <= dp):
+            raise ValueError("defender_reward must exceed defender_penalty at every target")
+        if np.any(ar <= ap):
+            raise ValueError("attacker_reward must exceed attacker_penalty at every target")
+        for name, arr in (
+            ("defender_reward", dr),
+            ("defender_penalty", dp),
+            ("attacker_reward", ar),
+            ("attacker_penalty", ap),
+        ):
+            arr.setflags(write=False)
+            object.__setattr__(self, name, arr)
+
+    @property
+    def num_targets(self) -> int:
+        """Number of targets ``T``."""
+        return len(self.defender_reward)
+
+    def defender_utilities(self, coverage) -> np.ndarray:
+        """Vector ``U_i^d(x_i) = x_i R_i^d + (1 - x_i) P_i^d`` (Eq. 1)."""
+        x = np.asarray(coverage, dtype=np.float64)
+        return x * self.defender_reward + (1.0 - x) * self.defender_penalty
+
+    def attacker_utilities(self, coverage) -> np.ndarray:
+        """Vector ``U_i^a(x_i) = x_i P_i^a + (1 - x_i) R_i^a`` (Eq. 2)."""
+        x = np.asarray(coverage, dtype=np.float64)
+        return x * self.attacker_penalty + (1.0 - x) * self.attacker_reward
+
+    def utility_range(self) -> tuple[float, float]:
+        """``[min_i P_i^d, max_i R_i^d]`` — the binary-search domain of CUBIS
+        (Lemma 1 restricts the candidate utility ``c`` to this interval)."""
+        return float(self.defender_penalty.min()), float(self.defender_reward.max())
+
+    @classmethod
+    def zero_sum(cls, attacker_reward, attacker_penalty) -> "PayoffMatrix":
+        """Build the zero-sum counterpart: ``R^d = -P^a``, ``P^d = -R^a``."""
+        ar = check_finite_array(attacker_reward, "attacker_reward", ndim=1)
+        ap = check_finite_array(attacker_penalty, "attacker_penalty", ndim=1)
+        return cls(
+            defender_reward=-ap,
+            defender_penalty=-ar,
+            attacker_reward=ar,
+            attacker_penalty=ap,
+        )
+
+
+@dataclass(frozen=True)
+class IntervalPayoffs:
+    """Interval-valued attacker payoffs with point defender payoffs.
+
+    This mirrors Table I of the paper: each target carries an attacker
+    reward interval ``[R_lo, R_hi]`` and penalty interval ``[P_lo, P_hi]``.
+    The defender's own payoffs are known point values.
+
+    The paper's worked example leaves the defender payoffs implicit; the
+    calibrated convention (see DESIGN.md §2 and
+    :func:`IntervalPayoffs.zero_sum_midpoint`) sets them zero-sum against
+    the attacker's midpoint payoffs.
+    """
+
+    defender_reward: np.ndarray
+    defender_penalty: np.ndarray
+    attacker_reward_lo: np.ndarray
+    attacker_reward_hi: np.ndarray
+    attacker_penalty_lo: np.ndarray
+    attacker_penalty_hi: np.ndarray
+
+    def __post_init__(self) -> None:
+        dr = check_finite_array(self.defender_reward, "defender_reward", ndim=1)
+        dp = check_finite_array(self.defender_penalty, "defender_penalty", ndim=1)
+        rlo, rhi = check_interval_pair(
+            self.attacker_reward_lo, self.attacker_reward_hi, "attacker_reward"
+        )
+        plo, phi = check_interval_pair(
+            self.attacker_penalty_lo, self.attacker_penalty_hi, "attacker_penalty"
+        )
+        n = len(dr)
+        if not (len(dp) == len(rlo) == len(plo) == n):
+            raise ValueError("all payoff vectors must share one length")
+        if n == 0:
+            raise ValueError("a game needs at least one target")
+        if np.any(dr <= dp):
+            raise ValueError("defender_reward must exceed defender_penalty at every target")
+        if np.any(rlo <= phi):
+            raise ValueError(
+                "attacker reward intervals must lie strictly above penalty intervals"
+            )
+        for name, arr in (
+            ("defender_reward", dr),
+            ("defender_penalty", dp),
+            ("attacker_reward_lo", rlo),
+            ("attacker_reward_hi", rhi),
+            ("attacker_penalty_lo", plo),
+            ("attacker_penalty_hi", phi),
+        ):
+            arr.setflags(write=False)
+            object.__setattr__(self, name, arr)
+
+    @property
+    def num_targets(self) -> int:
+        """Number of targets ``T``."""
+        return len(self.defender_reward)
+
+    @property
+    def attacker_reward_mid(self) -> np.ndarray:
+        """Midpoints of the attacker reward intervals."""
+        return 0.5 * (self.attacker_reward_lo + self.attacker_reward_hi)
+
+    @property
+    def attacker_penalty_mid(self) -> np.ndarray:
+        """Midpoints of the attacker penalty intervals."""
+        return 0.5 * (self.attacker_penalty_lo + self.attacker_penalty_hi)
+
+    def midpoint(self) -> PayoffMatrix:
+        """Collapse intervals to their midpoints, keeping defender payoffs."""
+        return PayoffMatrix(
+            defender_reward=self.defender_reward,
+            defender_penalty=self.defender_penalty,
+            attacker_reward=self.attacker_reward_mid,
+            attacker_penalty=self.attacker_penalty_mid,
+        )
+
+    def defender_utilities(self, coverage) -> np.ndarray:
+        """Vector ``U_i^d(x_i)`` (defender payoffs are point values)."""
+        x = np.asarray(coverage, dtype=np.float64)
+        return x * self.defender_reward + (1.0 - x) * self.defender_penalty
+
+    def utility_range(self) -> tuple[float, float]:
+        """``[min_i P_i^d, max_i R_i^d]`` — CUBIS's binary-search domain."""
+        return float(self.defender_penalty.min()), float(self.defender_reward.max())
+
+    def with_scaled_width(self, factor: float) -> "IntervalPayoffs":
+        """Shrink/stretch every attacker payoff interval around its
+        midpoint by ``factor`` (defender payoffs unchanged).  ``factor=0``
+        collapses to point payoffs; used by the F3 uncertainty sweep."""
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        r_mid = self.attacker_reward_mid
+        r_half = 0.5 * (self.attacker_reward_hi - self.attacker_reward_lo) * factor
+        p_mid = self.attacker_penalty_mid
+        p_half = 0.5 * (self.attacker_penalty_hi - self.attacker_penalty_lo) * factor
+        return IntervalPayoffs(
+            defender_reward=self.defender_reward,
+            defender_penalty=self.defender_penalty,
+            attacker_reward_lo=r_mid - r_half,
+            attacker_reward_hi=r_mid + r_half,
+            attacker_penalty_lo=p_mid - p_half,
+            attacker_penalty_hi=p_mid + p_half,
+        )
+
+    @classmethod
+    def zero_sum_midpoint(
+        cls,
+        attacker_reward_lo,
+        attacker_reward_hi,
+        attacker_penalty_lo,
+        attacker_penalty_hi,
+    ) -> "IntervalPayoffs":
+        """Defender payoffs zero-sum against attacker midpoint payoffs.
+
+        ``R_i^d = -mid(P_i^a)`` and ``P_i^d = -mid(R_i^a)`` — the convention
+        that reproduces the paper's Table I worked example (DESIGN.md §2).
+        """
+        rlo, rhi = check_interval_pair(attacker_reward_lo, attacker_reward_hi, "attacker_reward")
+        plo, phi = check_interval_pair(attacker_penalty_lo, attacker_penalty_hi, "attacker_penalty")
+        return cls(
+            defender_reward=-0.5 * (plo + phi),
+            defender_penalty=-0.5 * (rlo + rhi),
+            attacker_reward_lo=rlo,
+            attacker_reward_hi=rhi,
+            attacker_penalty_lo=plo,
+            attacker_penalty_hi=phi,
+        )

@@ -1,0 +1,159 @@
+"""From mixed coverage to implementable patrol schedules.
+
+The SSG abstraction optimises a *coverage vector* ``x`` (marginal
+probabilities), but rangers execute *pure patrols*: assignments of the
+``R`` resources to ``R`` concrete targets.  A mixed strategy is
+implementable iff it can be written as a probability mixture of pure
+patrols whose marginals equal ``x`` — which, for the unconstrained
+``sum x = R`` polytope used throughout the paper, is always possible
+(Birkhoff-von-Neumann / the "comb" construction of Tsai et al.).
+
+:func:`decompose_coverage` produces such a mixture with at most ``T``
+distinct pure patrols using the systematic-sampling comb:
+
+1. lay the target coverage values end-to-end on a segment of length ``R``;
+2. sweep a comb of ``R`` teeth spaced 1 apart across offsets in ``[0, 1)``;
+3. every offset hits ``R`` distinct targets (no tooth lands twice in one
+   target because each ``x_i <= 1``); sweeping partitions ``[0, 1)`` into
+   at most ``T`` intervals, each yielding one pure patrol with probability
+   equal to its length.
+
+:func:`sample_patrols` draws pure patrols for a patrol calendar, and
+:class:`PatrolSchedule` verifies the marginal-match invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["PatrolSchedule", "decompose_coverage", "sample_patrols"]
+
+
+@dataclass(frozen=True)
+class PatrolSchedule:
+    """A mixture of pure patrols implementing a coverage vector.
+
+    Attributes
+    ----------
+    patrols:
+        Boolean array of shape ``(P, T)``; row ``p`` marks the targets
+        covered by pure patrol ``p``.
+    probabilities:
+        Mixture weights of shape ``(P,)``, summing to 1.
+    """
+
+    patrols: np.ndarray
+    probabilities: np.ndarray
+
+    def __post_init__(self) -> None:
+        patrols = np.asarray(self.patrols, dtype=bool)
+        probs = np.asarray(self.probabilities, dtype=np.float64)
+        if patrols.ndim != 2:
+            raise ValueError(f"patrols must be 2-D (P, T), got shape {patrols.shape}")
+        if probs.shape != (len(patrols),):
+            raise ValueError("probabilities must have one entry per patrol")
+        if np.any(probs < -1e-12) or abs(probs.sum() - 1.0) > 1e-8:
+            raise ValueError("probabilities must be a distribution")
+        patrols.setflags(write=False)
+        probs.setflags(write=False)
+        object.__setattr__(self, "patrols", patrols)
+        object.__setattr__(self, "probabilities", probs)
+
+    @property
+    def num_patrols(self) -> int:
+        """Number of distinct pure patrols ``P``."""
+        return len(self.probabilities)
+
+    @property
+    def num_targets(self) -> int:
+        """Number of targets ``T``."""
+        return self.patrols.shape[1]
+
+    def marginals(self) -> np.ndarray:
+        """The coverage vector the mixture implements:
+        ``x_i = sum_p prob_p * patrols[p, i]``."""
+        return self.probabilities @ self.patrols
+
+    def resources_used(self) -> np.ndarray:
+        """Resources used by each pure patrol (row sums)."""
+        return self.patrols.sum(axis=1)
+
+
+def decompose_coverage(x, *, atol: float = 1e-9) -> PatrolSchedule:
+    """Decompose a coverage vector into a mixture of pure patrols.
+
+    ``x`` must satisfy ``0 <= x_i <= 1``; the number of resources is
+    ``R = sum(x)`` and must be within ``atol`` of an integer (you cannot
+    field half a ranger).  The result has at most ``T + 1`` pure patrols
+    and marginals equal to ``x`` up to floating-point error.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"x must be 1-D, got shape {x.shape}")
+    if np.any(x < -atol) or np.any(x > 1 + atol):
+        raise ValueError("coverage values must lie in [0, 1]")
+    x = np.clip(x, 0.0, 1.0)
+    total = x.sum()
+    r = int(round(total))
+    if abs(total - r) > 1e-6:
+        raise ValueError(
+            f"sum of coverage must be integral to field whole patrols, got {total}"
+        )
+    if r == 0:
+        return PatrolSchedule(
+            patrols=np.zeros((1, len(x)), dtype=bool),
+            probabilities=np.ones(1),
+        )
+
+    # Comb construction.  Cumulative boundaries of the coverage segments:
+    cum = np.concatenate([[0.0], np.cumsum(x)])
+    cum[-1] = float(r)  # kill round-off on the last boundary
+    # Breakpoints of the offset in [0, 1): fractional parts of all interior
+    # boundaries (where some tooth crosses from one target to the next).
+    fracs = np.unique(np.concatenate([[0.0], np.mod(cum[1:-1], 1.0), [1.0]]))
+    # Deduplicate almost-equal breakpoints.
+    keep = np.concatenate([[True], np.diff(fracs) > atol])
+    fracs = fracs[keep]
+    if fracs[-1] < 1.0 - atol:
+        fracs = np.concatenate([fracs, [1.0]])
+    elif fracs[-1] != 1.0:
+        fracs[-1] = 1.0
+
+    patrols = []
+    probabilities = []
+    for lo, hi in zip(fracs[:-1], fracs[1:]):
+        offset = 0.5 * (lo + hi)
+        teeth = offset + np.arange(r)  # tooth positions in [0, R)
+        # Each tooth lands in the target whose cumulative interval holds it.
+        idx = np.searchsorted(cum, teeth, side="right") - 1
+        if len(set(idx.tolist())) != r:
+            raise AssertionError(
+                "comb produced a duplicate assignment; coverage exceeded 1?"
+            )
+        row = np.zeros(len(x), dtype=bool)
+        row[idx] = True
+        patrols.append(row)
+        probabilities.append(hi - lo)
+    return PatrolSchedule(
+        patrols=np.asarray(patrols), probabilities=np.asarray(probabilities)
+    )
+
+
+def sample_patrols(x, num_days: int, seed=None) -> np.ndarray:
+    """Draw a patrol calendar: ``num_days`` pure patrols whose empirical
+    coverage converges to ``x``.
+
+    Returns a boolean array of shape ``(num_days, T)``.
+    """
+    if num_days < 1:
+        raise ValueError(f"num_days must be >= 1, got {num_days}")
+    schedule = decompose_coverage(x)
+    rng = as_generator(seed)
+    picks = rng.choice(
+        schedule.num_patrols, size=num_days, p=schedule.probabilities
+    )
+    return schedule.patrols[picks]

@@ -1,0 +1,125 @@
+"""The Stackelberg security game container.
+
+:class:`SecurityGame` bundles a payoff structure with the defender's
+resource count and exposes the quantities every solver in the package
+consumes: the strategy space ``X``, the per-target utility vectors
+``U^d(x)`` / ``U^a(x)``, and the expected defender utility against an
+attacker response distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.game.payoffs import IntervalPayoffs, PayoffMatrix
+from repro.game.strategy import StrategySpace
+from repro.utils.validation import check_probability_vector
+
+__all__ = ["SecurityGame", "IntervalSecurityGame"]
+
+
+@dataclass(frozen=True)
+class SecurityGame:
+    """A security game with point payoffs.
+
+    Parameters
+    ----------
+    payoffs:
+        A :class:`~repro.game.payoffs.PayoffMatrix`.
+    num_resources:
+        The defender's resource budget ``R`` (``0 < R <= T``).
+    """
+
+    payoffs: PayoffMatrix
+    num_resources: float
+
+    def __post_init__(self) -> None:
+        # StrategySpace construction validates the resource count.
+        object.__setattr__(
+            self,
+            "_space",
+            StrategySpace(self.payoffs.num_targets, float(self.num_resources)),
+        )
+        object.__setattr__(self, "num_resources", float(self.num_resources))
+
+    @property
+    def num_targets(self) -> int:
+        """Number of targets ``T``."""
+        return self.payoffs.num_targets
+
+    @property
+    def strategy_space(self) -> StrategySpace:
+        """The feasible coverage set ``X``."""
+        return self._space
+
+    # ------------------------------------------------------------------ #
+    # Utilities
+    # ------------------------------------------------------------------ #
+
+    def defender_utilities(self, x) -> np.ndarray:
+        """``U_i^d(x_i)`` for each target (Eq. 1)."""
+        return self.payoffs.defender_utilities(x)
+
+    def attacker_utilities(self, x) -> np.ndarray:
+        """``U_i^a(x_i)`` for each target (Eq. 2)."""
+        return self.payoffs.attacker_utilities(x)
+
+    def expected_defender_utility(self, x, attack_distribution) -> float:
+        """``sum_i q_i * U_i^d(x_i)`` for an attack distribution ``q``."""
+        q = check_probability_vector(attack_distribution, "attack_distribution")
+        if len(q) != self.num_targets:
+            raise ValueError(
+                f"attack_distribution must have length {self.num_targets}, got {len(q)}"
+            )
+        return float(q @ self.defender_utilities(x))
+
+    def utility_range(self) -> tuple[float, float]:
+        """CUBIS's binary-search domain ``[min_i P_i^d, max_i R_i^d]``."""
+        return self.payoffs.utility_range()
+
+
+@dataclass(frozen=True)
+class IntervalSecurityGame:
+    """A security game whose *attacker* payoffs are interval-valued.
+
+    This is the game of the paper's Table I: the defender knows her own
+    payoffs exactly but only knows interval bounds on the attacker's
+    valuation of each target, which (together with interval-bounded SUQR
+    weights, see :mod:`repro.behavior.interval`) induces the uncertainty
+    intervals ``[L_i(x_i), U_i(x_i)]`` on the attractiveness function.
+    """
+
+    payoffs: IntervalPayoffs
+    num_resources: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_space",
+            StrategySpace(self.payoffs.num_targets, float(self.num_resources)),
+        )
+        object.__setattr__(self, "num_resources", float(self.num_resources))
+
+    @property
+    def num_targets(self) -> int:
+        """Number of targets ``T``."""
+        return self.payoffs.num_targets
+
+    @property
+    def strategy_space(self) -> StrategySpace:
+        """The feasible coverage set ``X``."""
+        return self._space
+
+    def defender_utilities(self, x) -> np.ndarray:
+        """``U_i^d(x_i)`` (defender payoffs are point values)."""
+        return self.payoffs.defender_utilities(x)
+
+    def utility_range(self) -> tuple[float, float]:
+        """CUBIS's binary-search domain ``[min_i P_i^d, max_i R_i^d]``."""
+        return self.payoffs.utility_range()
+
+    def midpoint_game(self) -> SecurityGame:
+        """The point game at interval midpoints (the non-robust view)."""
+        return SecurityGame(self.payoffs.midpoint(), self.num_resources)

@@ -1,0 +1,166 @@
+"""The defender's mixed-strategy space ``X``.
+
+The paper defines the feasible set of coverage vectors as
+
+.. math::
+
+    X = \\{ x : 0 \\le x_i \\le 1, \\; \\sum_i x_i = R \\}
+
+for ``R`` patrol resources over ``T`` targets (Section II).  This module
+provides membership tests, sampling, and Euclidean projection onto ``X`` —
+the projection is the workhorse of the multi-start non-convex solver
+(the paper's "fmincon" comparator) and of strategy repair after piecewise
+round-off in the MILP path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["StrategySpace"]
+
+
+@dataclass(frozen=True)
+class StrategySpace:
+    """The box-capped simplex ``{x in [0,1]^T : sum(x) = R}``.
+
+    Parameters
+    ----------
+    num_targets:
+        Number of targets ``T``.
+    num_resources:
+        Number of defender resources ``R``; may be fractional (useful for
+        continuous sweeps) but must satisfy ``0 < R <= T`` for the space to
+        be non-empty and non-degenerate.
+    """
+
+    num_targets: int
+    num_resources: float
+
+    def __post_init__(self) -> None:
+        if self.num_targets < 1:
+            raise ValueError(f"num_targets must be >= 1, got {self.num_targets}")
+        r = float(self.num_resources)
+        if not (0.0 < r <= self.num_targets):
+            raise ValueError(
+                f"num_resources must lie in (0, num_targets={self.num_targets}], got {r}"
+            )
+        object.__setattr__(self, "num_resources", r)
+
+    # ------------------------------------------------------------------ #
+    # Membership and repair
+    # ------------------------------------------------------------------ #
+
+    def contains(self, x, *, atol: float = 1e-7) -> bool:
+        """Whether ``x`` lies in ``X`` up to tolerance ``atol``."""
+        arr = np.asarray(x, dtype=np.float64)
+        if arr.shape != (self.num_targets,):
+            return False
+        if np.any(arr < -atol) or np.any(arr > 1.0 + atol):
+            return False
+        return bool(abs(arr.sum() - self.num_resources) <= atol * self.num_targets)
+
+    def validate(self, x, *, atol: float = 1e-7) -> np.ndarray:
+        """Return ``x`` as an array, raising :class:`ValueError` if outside ``X``."""
+        arr = np.asarray(x, dtype=np.float64)
+        if arr.shape != (self.num_targets,):
+            raise ValueError(
+                f"strategy must have shape ({self.num_targets},), got {arr.shape}"
+            )
+        if not self.contains(arr, atol=atol):
+            raise ValueError(
+                "strategy is not a feasible coverage vector: entries must lie in "
+                f"[0,1] and sum to {self.num_resources} (got sum {arr.sum():.6g})"
+            )
+        return arr
+
+    def project(self, x, *, tol: float = 1e-12, max_iter: int = 200) -> np.ndarray:
+        """Euclidean projection of ``x`` onto ``X``.
+
+        The projection of ``v`` onto ``{x in [0,1]^T : sum x = R}`` is
+        ``clip(v - tau, 0, 1)`` for the unique shift ``tau`` making the sum
+        equal ``R`` (KKT conditions of the QP).  ``g(tau) = sum(clip(v - tau,
+        0, 1))`` is continuous and non-increasing, so ``tau`` is found by
+        bisection; the whole routine is vectorised.
+        """
+        v = np.asarray(x, dtype=np.float64)
+        if v.shape != (self.num_targets,):
+            raise ValueError(
+                f"strategy must have shape ({self.num_targets},), got {v.shape}"
+            )
+        r = self.num_resources
+
+        def mass(tau: float) -> float:
+            return float(np.clip(v - tau, 0.0, 1.0).sum())
+
+        lo = float(v.min()) - 1.0  # mass(lo) >= min(T, ...) >= R
+        hi = float(v.max())        # mass(hi) <= ... 0
+        # Widen until bracketing (cheap; usually already bracketed).
+        while mass(lo) < r:
+            lo -= 1.0
+        while mass(hi) > r:
+            hi += 1.0
+        for _ in range(max_iter):
+            mid = 0.5 * (lo + hi)
+            if mass(mid) > r:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo < tol:
+                break
+        out = np.clip(v - 0.5 * (lo + hi), 0.0, 1.0)
+        # Exact sum repair: distribute residual over strictly interior slots.
+        residual = r - out.sum()
+        interior = (out > 1e-12) & (out < 1.0 - 1e-12)
+        if abs(residual) > 0 and interior.any():
+            out[interior] += residual / interior.sum()
+            out = np.clip(out, 0.0, 1.0)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Canonical strategies and sampling
+    # ------------------------------------------------------------------ #
+
+    def uniform(self) -> np.ndarray:
+        """The uniform coverage vector ``x_i = R / T``."""
+        return np.full(self.num_targets, self.num_resources / self.num_targets)
+
+    def random(self, seed=None) -> np.ndarray:
+        """Sample a feasible strategy roughly uniformly over ``X``.
+
+        Samples a Dirichlet point on the scaled simplex and projects to
+        respect the ``x_i <= 1`` caps.  Exact uniformity over the capped
+        simplex is not needed anywhere (random strategies serve only as
+        multi-start seeds), but the sampler covers the interior and the
+        low/high-coverage corners.
+        """
+        rng = as_generator(seed)
+        raw = rng.dirichlet(np.ones(self.num_targets)) * self.num_resources
+        return self.project(raw)
+
+    def random_batch(self, n: int, seed=None) -> np.ndarray:
+        """``n`` independent random strategies, shape ``(n, T)``."""
+        rng = as_generator(seed)
+        return np.stack([self.random(rng) for _ in range(n)])
+
+    def vertices_sample(self, n: int, seed=None) -> np.ndarray:
+        """Sample ``n`` near-vertex strategies (pure-ish allocations).
+
+        Vertices of ``X`` set ``floor(R)`` coordinates to 1 and, when ``R``
+        is fractional, one coordinate to the fractional remainder.  These
+        corner starts help the multi-start solver escape the flat interior.
+        """
+        rng = as_generator(seed)
+        out = np.zeros((n, self.num_targets))
+        full = int(np.floor(self.num_resources))
+        frac = self.num_resources - full
+        for row in range(n):
+            perm = rng.permutation(self.num_targets)
+            out[row, perm[:full]] = 1.0
+            if frac > 1e-12 and full < self.num_targets:
+                out[row, perm[full]] = frac
+        return out

@@ -1,0 +1,110 @@
+"""Generic binary search over a monotone feasibility oracle.
+
+CUBIS (Section IV-B) and the PASAQ baseline both search the defender's
+utility axis for the largest value ``c`` whose feasibility problem admits a
+solution; Proposition 1 guarantees monotonicity (infeasible at ``c0``
+implies infeasible for all ``c >= c0``), which is exactly the contract of
+:func:`binary_search_max`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["BinarySearchResult", "binary_search_max"]
+
+
+@dataclass(frozen=True)
+class BinarySearchResult:
+    """Outcome of a feasibility binary search.
+
+    Attributes
+    ----------
+    lower:
+        Final lower bound ``lb`` — the largest value proven feasible.
+    upper:
+        Final upper bound ``ub`` — the smallest value proven infeasible
+        (or the initial ``hi`` if even that was feasible).
+    payload:
+        Whatever the oracle returned alongside its last *feasible* verdict
+        (for CUBIS: the MILP strategy).  ``None`` if nothing was feasible.
+    iterations:
+        Number of oracle calls.
+    trace:
+        List of ``(c, feasible)`` pairs in evaluation order.
+    """
+
+    lower: float
+    upper: float
+    payload: Any
+    iterations: int
+    trace: tuple
+
+    @property
+    def gap(self) -> float:
+        """``upper - lower`` — must be ``<= tolerance`` on normal exit."""
+        return self.upper - self.lower
+
+
+def binary_search_max(
+    oracle: Callable[[float], tuple[bool, Any]],
+    lo: float,
+    hi: float,
+    *,
+    tolerance: float = 1e-3,
+    max_iterations: int = 200,
+    check_endpoints: bool = True,
+) -> BinarySearchResult:
+    """Find the largest ``c`` in ``[lo, hi]`` for which ``oracle(c)`` is
+    feasible, assuming downward-closed feasibility.
+
+    Parameters
+    ----------
+    oracle:
+        Maps a candidate value to ``(feasible, payload)``.  Feasibility
+        must be monotone: feasible at ``c`` implies feasible below ``c``.
+    lo, hi:
+        Search interval.  ``lo`` is expected to be feasible (CUBIS: the
+        bottom of the utility range always is, see DESIGN.md §5); if it is
+        not, the result reports ``lower = -inf``.
+    tolerance:
+        Terminate once ``hi - lo <= tolerance`` (the paper's ``epsilon``).
+    max_iterations:
+        Hard cap on oracle calls (excluding endpoint checks).
+    check_endpoints:
+        If true, first test ``hi`` (returning immediately when the whole
+        interval is feasible) and then ``lo``.
+    """
+    if hi < lo:
+        raise ValueError(f"binary search requires lo <= hi, got [{lo}, {hi}]")
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be > 0, got {tolerance}")
+    trace: list[tuple[float, bool]] = []
+    payload = None
+    iterations = 0
+
+    if check_endpoints:
+        feasible_hi, payload_hi = oracle(hi)
+        trace.append((hi, feasible_hi))
+        iterations += 1
+        if feasible_hi:
+            return BinarySearchResult(hi, hi, payload_hi, iterations, tuple(trace))
+        feasible_lo, payload_lo = oracle(lo)
+        trace.append((lo, feasible_lo))
+        iterations += 1
+        if not feasible_lo:
+            return BinarySearchResult(-float("inf"), lo, None, iterations, tuple(trace))
+        payload = payload_lo
+
+    while hi - lo > tolerance and iterations < max_iterations:
+        mid = 0.5 * (lo + hi)
+        feasible, mid_payload = oracle(mid)
+        trace.append((mid, feasible))
+        iterations += 1
+        if feasible:
+            lo = mid
+            payload = mid_payload
+        else:
+            hi = mid
+    return BinarySearchResult(lo, hi, payload, iterations, tuple(trace))

@@ -1,0 +1,149 @@
+"""Mixed-integer linear programming: problem container and backends.
+
+The paper solves its per-step MILP (33-40) with CPLEX.  We provide two
+interchangeable substitutes behind one interface:
+
+* ``"highs"`` — :func:`scipy.optimize.milp` (the HiGHS branch-and-cut
+  engine), the default production backend;
+* ``"bnb"`` — :mod:`repro.solvers.bnb`, a from-scratch pure-Python
+  branch-and-bound over LP relaxations, included per DESIGN.md's
+  substitution rule so the whole pipeline runs without any external solver
+  binary and the MILP layer itself is testable code.
+
+Both receive a :class:`MILPProblem` (minimisation form) and return a
+:class:`MILPResult`; cross-backend equality is asserted in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.optimize import LinearConstraint, milp
+
+__all__ = ["MILPProblem", "MILPResult", "solve_milp"]
+
+
+@dataclass
+class MILPProblem:
+    """``min c @ x`` s.t. ``A_ub x <= b_ub``, ``A_eq x = b_eq``, bounds,
+    with ``integrality[j] == 1`` marking integer variables.
+
+    ``A_ub`` / ``A_eq`` may be dense arrays or scipy sparse matrices.
+    ``lb`` / ``ub`` are per-variable bound vectors (``+-inf`` allowed).
+    """
+
+    c: np.ndarray
+    A_ub: object | None = None
+    b_ub: np.ndarray | None = None
+    A_eq: object | None = None
+    b_eq: np.ndarray | None = None
+    lb: np.ndarray | None = None
+    ub: np.ndarray | None = None
+    integrality: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.c = np.asarray(self.c, dtype=np.float64)
+        n = len(self.c)
+        if self.lb is None:
+            self.lb = np.zeros(n)
+        else:
+            self.lb = np.asarray(self.lb, dtype=np.float64)
+        if self.ub is None:
+            self.ub = np.full(n, np.inf)
+        else:
+            self.ub = np.asarray(self.ub, dtype=np.float64)
+        if self.integrality is None:
+            self.integrality = np.zeros(n, dtype=np.int64)
+        else:
+            self.integrality = np.asarray(self.integrality, dtype=np.int64)
+        for name, arr in (("lb", self.lb), ("ub", self.ub), ("integrality", self.integrality)):
+            if arr.shape != (n,):
+                raise ValueError(f"{name} must have shape ({n},), got {arr.shape}")
+        if np.any(self.lb > self.ub):
+            raise ValueError("variable bounds must satisfy lb <= ub")
+        for mat, vec, mname in ((self.A_ub, self.b_ub, "A_ub"), (self.A_eq, self.b_eq, "A_eq")):
+            if (mat is None) != (vec is None):
+                raise ValueError(f"{mname} and its RHS must be given together")
+            if mat is not None and mat.shape[1] != n:
+                raise ValueError(
+                    f"{mname} must have {n} columns, got {mat.shape[1]}"
+                )
+        if self.b_ub is not None:
+            self.b_ub = np.asarray(self.b_ub, dtype=np.float64)
+        if self.b_eq is not None:
+            self.b_eq = np.asarray(self.b_eq, dtype=np.float64)
+
+    @property
+    def num_variables(self) -> int:
+        """Number of decision variables."""
+        return len(self.c)
+
+    @property
+    def num_integer(self) -> int:
+        """Number of integer-constrained variables."""
+        return int(self.integrality.sum())
+
+
+@dataclass(frozen=True)
+class MILPResult:
+    """Outcome of a MILP solve.
+
+    ``status``: ``"optimal"``, ``"infeasible"``, ``"unbounded"`` or
+    ``"error"``.  ``x`` / ``objective`` are ``None`` unless optimal.
+    ``nodes`` counts branch-and-bound nodes when the backend reports them.
+    """
+
+    status: str
+    x: np.ndarray | None
+    objective: float | None
+    nodes: int = 0
+    message: str = ""
+
+    @property
+    def optimal(self) -> bool:
+        """Whether an optimal solution was found."""
+        return self.status == "optimal"
+
+
+def solve_milp(problem: MILPProblem, *, backend: str = "highs", **backend_options) -> MILPResult:
+    """Solve a :class:`MILPProblem` with the selected backend."""
+    if backend == "highs":
+        return _solve_highs(problem)
+    if backend == "bnb":
+        from repro.solvers.bnb import solve_bnb
+
+        return solve_bnb(problem, **backend_options)
+    raise ValueError(f"unknown MILP backend {backend!r}; use 'highs' or 'bnb'")
+
+
+def _solve_highs(problem: MILPProblem) -> MILPResult:
+    constraints = []
+    if problem.A_ub is not None:
+        constraints.append(
+            LinearConstraint(problem.A_ub, -np.inf, problem.b_ub)
+        )
+    if problem.A_eq is not None:
+        constraints.append(
+            LinearConstraint(problem.A_eq, problem.b_eq, problem.b_eq)
+        )
+    res = milp(
+        c=problem.c,
+        constraints=constraints or None,
+        integrality=problem.integrality,
+        bounds=_as_bounds(problem),
+    )
+    if res.status == 0:
+        return MILPResult("optimal", np.asarray(res.x), float(res.fun), message=res.message)
+    if res.status == 2:
+        return MILPResult("infeasible", None, None, message=res.message)
+    if res.status == 3:
+        return MILPResult("unbounded", None, None, message=res.message)
+    return MILPResult("error", None, None, message=res.message)
+
+
+def _as_bounds(problem: MILPProblem):
+    from scipy.optimize import Bounds
+
+    return Bounds(problem.lb, problem.ub)

@@ -1,0 +1,28 @@
+"""Shared low-level utilities: validation, RNG plumbing, and timing.
+
+These helpers are deliberately free of any game-theoretic semantics so the
+rest of the package can depend on them without import cycles.
+"""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    check_finite_array,
+    check_in_closed_interval,
+    check_interval_pair,
+    check_positive,
+    check_probability_vector,
+    check_shape_match,
+)
+
+__all__ = [
+    "Timer",
+    "as_generator",
+    "check_finite_array",
+    "check_in_closed_interval",
+    "check_interval_pair",
+    "check_positive",
+    "check_probability_vector",
+    "check_shape_match",
+    "spawn_generators",
+]

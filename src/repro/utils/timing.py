@@ -1,0 +1,57 @@
+"""Wall-clock timing helper for the runtime experiments.
+
+The paper's implicit runtime comparison (CUBIS vs a generic non-convex
+solver) needs consistent timing; :class:`Timer` wraps
+:func:`time.perf_counter` as a context manager and accumulator.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Usage::
+
+        t = Timer()
+        with t:
+            expensive()
+        print(t.elapsed)          # seconds of the last block
+        print(t.total, t.count)   # accumulated over all blocks
+
+    Re-entering accumulates; ``elapsed`` always refers to the most recent
+    completed block.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self.total: float = 0.0
+        self.count: int = 0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._start is not None, "Timer exited without entering"
+        self.elapsed = time.perf_counter() - self._start
+        self.total += self.elapsed
+        self.count += 1
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per completed block (0.0 before any block)."""
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Zero all accumulated state."""
+        self.elapsed = 0.0
+        self.total = 0.0
+        self.count = 0
+        self._start = None

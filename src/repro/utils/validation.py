@@ -1,0 +1,107 @@
+"""Input validation helpers used across the package.
+
+All public entry points validate their inputs eagerly and raise
+:class:`ValueError` (for bad values) or :class:`TypeError` (for bad types)
+with messages that name the offending argument.  Internal hot paths skip
+validation; validation lives at API boundaries only, per the optimisation
+guidance of profiling-first HPC Python ("make it work reliably" before
+making it fast).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_finite_array",
+    "check_in_closed_interval",
+    "check_interval_pair",
+    "check_positive",
+    "check_probability_vector",
+    "check_shape_match",
+]
+
+
+def check_finite_array(value, name: str, *, ndim: int | None = None) -> np.ndarray:
+    """Coerce ``value`` to a float ndarray and require all entries finite.
+
+    Parameters
+    ----------
+    value:
+        Array-like input.
+    name:
+        Argument name used in error messages.
+    ndim:
+        If given, the required number of dimensions.
+
+    Returns
+    -------
+    numpy.ndarray
+        A float64 array (a copy only if coercion required one).
+    """
+    arr = np.asarray(value, dtype=np.float64)
+    if ndim is not None and arr.ndim != ndim:
+        raise ValueError(f"{name} must be {ndim}-dimensional, got ndim={arr.ndim}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must contain only finite values")
+    return arr
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Require a scalar to be positive (strictly, by default)."""
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_closed_interval(value: float, lo: float, hi: float, name: str) -> float:
+    """Require ``lo <= value <= hi`` (with a small numerical slack)."""
+    value = float(value)
+    eps = 1e-12 * max(1.0, abs(lo), abs(hi))
+    if not (lo - eps <= value <= hi + eps):
+        raise ValueError(f"{name} must lie in [{lo}, {hi}], got {value}")
+    return min(max(value, lo), hi)
+
+
+def check_probability_vector(
+    value, name: str, *, total: float = 1.0, atol: float = 1e-8
+) -> np.ndarray:
+    """Require a nonnegative vector summing to ``total`` within ``atol``."""
+    arr = check_finite_array(value, name, ndim=1)
+    if np.any(arr < -atol):
+        raise ValueError(f"{name} must be nonnegative, min entry {arr.min()}")
+    s = float(arr.sum())
+    if abs(s - total) > atol * max(1.0, abs(total)):
+        raise ValueError(f"{name} must sum to {total}, got {s}")
+    return np.clip(arr, 0.0, None)
+
+
+def check_shape_match(a: np.ndarray, b: np.ndarray, name_a: str, name_b: str) -> None:
+    """Require two arrays to have identical shapes."""
+    if a.shape != b.shape:
+        raise ValueError(
+            f"{name_a} and {name_b} must have the same shape, "
+            f"got {a.shape} vs {b.shape}"
+        )
+
+
+def check_interval_pair(lo, hi, name: str) -> tuple[np.ndarray, np.ndarray]:
+    """Validate elementwise interval bounds ``lo <= hi``.
+
+    Returns the coerced ``(lo, hi)`` arrays.
+    """
+    lo_arr = check_finite_array(lo, f"{name} lower bounds")
+    hi_arr = check_finite_array(hi, f"{name} upper bounds")
+    check_shape_match(lo_arr, hi_arr, f"{name} lower bounds", f"{name} upper bounds")
+    if np.any(lo_arr > hi_arr + 1e-12):
+        bad = int(np.argmax(lo_arr - hi_arr))
+        raise ValueError(
+            f"{name} requires lower <= upper everywhere; "
+            f"violated at index {bad}: {lo_arr.flat[bad]} > {hi_arr.flat[bad]}"
+        )
+    return lo_arr, hi_arr

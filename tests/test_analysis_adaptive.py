@@ -1,0 +1,98 @@
+"""Tests for the adaptive deployment loop (repro.analysis.adaptive)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.adaptive import simulate_deployment
+from repro.behavior.suqr import SUQR, SUQRWeights
+from repro.game.generator import wildlife_game
+
+
+@pytest.fixture(scope="module")
+def world():
+    game = wildlife_game(num_sites=6, num_patrols=2, uncertainty=0.25, seed=13)
+    truth = SUQR(game.midpoint_game().payoffs, SUQRWeights(-3.2, 0.75, 0.6))
+    return game, truth
+
+
+@pytest.fixture(scope="module")
+def cubis_history(world):
+    game, truth = world
+    return simulate_deployment(
+        game, truth, planner="cubis", num_rounds=4, attacks_per_round=60,
+        num_bootstrap=8, num_segments=8, epsilon=0.05, seed=0,
+    )
+
+
+class TestSimulateDeployment:
+    def test_round_count_and_fields(self, cubis_history):
+        assert len(cubis_history.rounds) == 4
+        for i, r in enumerate(cubis_history.rounds):
+            assert r.round_index == i
+            assert np.isfinite(r.realised_utility)
+            assert np.isfinite(r.guaranteed_worst_case)
+            assert r.total_interval_halfwidth > 0
+
+    def test_observations_accumulate(self, cubis_history):
+        obs = [r.observations_so_far for r in cubis_history.rounds]
+        assert obs[0] == 0
+        assert obs == sorted(obs)
+        assert obs[-1] == 3 * 60
+
+    def test_realised_at_least_guarantee(self, cubis_history):
+        """The truth lies inside (or near) the learned set, so realised
+        utility should not fall below the worst-case guarantee by more
+        than learning noise."""
+        gap = cubis_history.realised() - cubis_history.guarantees()
+        assert np.all(gap >= -0.5)
+
+    def test_uncertainty_shrinks_with_data(self, cubis_history):
+        """Bootstrap widths are noisy round to round (early data comes
+        from near-identical strategies, which identify SUQR poorly), but
+        by the final round the intervals must have collapsed."""
+        widths = cubis_history.interval_widths()
+        assert widths[-1] < widths[0]
+
+    def test_realised_utility_improves_once_learned(self, cubis_history):
+        realised = cubis_history.realised()
+        assert realised[-1] > realised[0]
+
+    def test_accessors(self, cubis_history):
+        assert cubis_history.realised().shape == (4,)
+        assert cubis_history.guarantees().shape == (4,)
+        assert cubis_history.planner == "cubis"
+
+    def test_midpoint_planner_runs(self, world):
+        game, truth = world
+        history = simulate_deployment(
+            game, truth, planner="midpoint", num_rounds=2, attacks_per_round=40,
+            num_bootstrap=6, num_segments=8, epsilon=0.05, seed=1,
+        )
+        assert len(history.rounds) == 2
+        assert history.planner == "midpoint"
+
+    def test_deterministic(self, world):
+        game, truth = world
+        a = simulate_deployment(
+            game, truth, num_rounds=2, attacks_per_round=20, num_bootstrap=5,
+            num_segments=6, epsilon=0.1, seed=7,
+        )
+        b = simulate_deployment(
+            game, truth, num_rounds=2, attacks_per_round=20, num_bootstrap=5,
+            num_segments=6, epsilon=0.1, seed=7,
+        )
+        np.testing.assert_allclose(a.realised(), b.realised())
+
+    def test_validation(self, world):
+        game, truth = world
+        with pytest.raises(ValueError, match="planner"):
+            simulate_deployment(game, truth, planner="oracle")
+        with pytest.raises(ValueError, match="num_rounds"):
+            simulate_deployment(game, truth, num_rounds=0)
+
+    def test_truth_target_mismatch(self, world):
+        game, _ = world
+        other = wildlife_game(num_sites=9, seed=2)
+        bad_truth = SUQR(other.midpoint_game().payoffs, SUQRWeights(-3.0, 0.7, 0.5))
+        with pytest.raises(ValueError, match="target count"):
+            simulate_deployment(game, bad_truth)

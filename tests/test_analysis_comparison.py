@@ -1,0 +1,104 @@
+"""Tests for repro.analysis.comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import compare_planners
+
+
+def make_factory(offset=0.0, noise=1.0):
+    """Games are just scalar baselines; scorers add offsets + noise."""
+
+    def factory(rng):
+        return float(rng.normal(0.0, 5.0))
+
+    def score_high(context, rng):
+        return context + offset + float(rng.normal(0.0, noise))
+
+    def score_low(context, rng):
+        return context + float(rng.normal(0.0, noise))
+
+    return factory, score_high, score_low
+
+
+class TestComparePlanners:
+    def test_detects_clear_difference(self):
+        factory, hi, lo = make_factory(offset=3.0, noise=0.2)
+        result = compare_planners(factory, hi, lo, num_games=15, seed=0)
+        assert result.mean_difference == pytest.approx(3.0, abs=0.4)
+        assert result.significant
+        assert result.ci_low > 0
+
+    def test_no_difference_not_significant(self):
+        factory, _, lo = make_factory(noise=1.0)
+        result = compare_planners(factory, lo, lo, num_games=15, seed=1)
+        assert abs(result.mean_difference) < 1.5
+        # With identical scorers fed different streams, any difference is
+        # pure noise — p should rarely be tiny; accept the 5% false-positive
+        # chance by asserting the CI straddles something near zero.
+        assert result.ci_low < result.mean_difference < result.ci_high
+
+    def test_identical_scorers_same_stream_degenerate(self):
+        """Deterministic identical scorers give exactly zero differences;
+        the t-test degenerates and must be handled."""
+        factory = lambda rng: float(rng.normal())
+        score = lambda context, rng: context * 2.0
+        result = compare_planners(factory, score, score, num_games=5, seed=2)
+        np.testing.assert_allclose(result.differences, 0.0)
+        assert result.p_value == 1.0
+        assert not result.significant
+
+    def test_pairing_removes_game_variance(self):
+        """With huge game variance but a constant planner gap, pairing
+        must still resolve the gap."""
+        def factory(rng):
+            return float(rng.normal(0.0, 100.0))
+
+        result = compare_planners(
+            factory,
+            lambda c, rng: c + 0.5,
+            lambda c, rng: c,
+            num_games=10,
+            seed=3,
+        )
+        assert result.mean_difference == pytest.approx(0.5, abs=1e-9)
+        assert result.significant
+
+    def test_summary_format(self):
+        factory, hi, lo = make_factory(offset=1.0, noise=0.1)
+        result = compare_planners(factory, hi, lo, num_games=5, seed=4)
+        text = result.summary()
+        assert "mean diff" in text and "p =" in text
+
+    def test_validation(self):
+        factory, hi, lo = make_factory()
+        with pytest.raises(ValueError, match="num_games"):
+            compare_planners(factory, hi, lo, num_games=1)
+        with pytest.raises(ValueError, match="confidence"):
+            compare_planners(factory, hi, lo, num_games=3, confidence=1.2)
+
+    def test_real_planners_cubis_vs_midpoint(self):
+        """End-to-end: CUBIS's worst case significantly beats midpoint's
+        on random interval games."""
+        from repro.baselines.midpoint import solve_midpoint
+        from repro.core.cubis import solve_cubis
+        from repro.experiments.quality import default_uncertainty
+        from repro.game.generator import random_interval_game
+
+        def factory(rng):
+            game = random_interval_game(5, payoff_halfwidth=0.5, seed=rng)
+            return game, default_uncertainty(game.payoffs)
+
+        def cubis_score(context, rng):
+            game, u = context
+            return solve_cubis(game, u, num_segments=8, epsilon=0.05).worst_case_value
+
+        def midpoint_score(context, rng):
+            game, u = context
+            return solve_midpoint(game, u, num_segments=8, epsilon=0.05).worst_case_value
+
+        result = compare_planners(
+            factory, cubis_score, midpoint_score, num_games=6, seed=5
+        )
+        assert result.mean_difference > 0
+        assert result.significant

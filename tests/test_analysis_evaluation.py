@@ -1,0 +1,64 @@
+"""Tests for repro.analysis.evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.evaluation import (
+    evaluate_strategy,
+    regret_upper_bound,
+)
+from repro.behavior.sampling import sample_attacker_types
+from repro.core.worst_case import evaluate_worst_case
+
+
+class TestEvaluateStrategy:
+    def test_ordering_of_cases(self, small_interval_game, small_uncertainty):
+        x = small_interval_game.strategy_space.uniform()
+        ev = evaluate_strategy(small_interval_game, small_uncertainty, x)
+        assert ev.worst_case <= ev.midpoint + 1e-9
+        assert ev.midpoint <= ev.best_case + 1e-9
+        assert ev.uncertainty_band >= 0.0
+
+    def test_worst_case_matches_core(self, small_interval_game, small_uncertainty):
+        x = small_interval_game.strategy_space.uniform()
+        ev = evaluate_strategy(small_interval_game, small_uncertainty, x)
+        core = evaluate_worst_case(small_interval_game, small_uncertainty, x)
+        assert ev.worst_case == pytest.approx(core.value)
+
+    def test_sampled_statistics(self, small_interval_game, small_uncertainty):
+        x = small_interval_game.strategy_space.uniform()
+        types = sample_attacker_types(small_uncertainty, 6, seed=0)
+        ev = evaluate_strategy(
+            small_interval_game, small_uncertainty, x, sampled_types=types
+        )
+        assert ev.sampled_min <= ev.sampled_mean + 1e-12
+        # Sampled types live inside the interval set, so the interval worst
+        # case lower-bounds the sampled minimum.
+        assert ev.worst_case <= ev.sampled_min + 1e-6
+
+    def test_no_types_gives_nan(self, small_interval_game, small_uncertainty):
+        x = small_interval_game.strategy_space.uniform()
+        ev = evaluate_strategy(small_interval_game, small_uncertainty, x)
+        assert np.isnan(ev.sampled_mean) and np.isnan(ev.sampled_min)
+
+    def test_best_case_is_attainable_upper_edge(self, small_interval_game, small_uncertainty, rng):
+        """No sampled realisation exceeds the best case."""
+        x = small_interval_game.strategy_space.uniform()
+        ev = evaluate_strategy(small_interval_game, small_uncertainty, x)
+        ud = small_interval_game.defender_utilities(x)
+        lo = small_uncertainty.lower(x)
+        hi = small_uncertainty.upper(x)
+        for _ in range(100):
+            f = rng.uniform(lo, hi)
+            assert f @ ud / f.sum() <= ev.best_case + 1e-9
+
+
+class TestRegretUpperBound:
+    def test_zero_when_value_above_ub(self):
+        assert regret_upper_bound(0.0, 1.0, 1.5) == 0.0
+
+    def test_positive_gap(self):
+        assert regret_upper_bound(0.0, 1.0, 0.25) == pytest.approx(0.75)
+
+    def test_never_negative(self):
+        assert regret_upper_bound(-1.0, -0.5, 0.0) == 0.0

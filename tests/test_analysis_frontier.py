@@ -1,0 +1,76 @@
+"""Tests for the price-of-robustness frontier."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.frontier import robustness_frontier
+
+
+@pytest.fixture(scope="module")
+def world():
+    from repro.behavior.interval import IntervalSUQR
+    from repro.game.payoffs import IntervalPayoffs
+    from repro.game.ssg import IntervalSecurityGame
+
+    payoffs = IntervalPayoffs.zero_sum_midpoint(
+        attacker_reward_lo=np.array([2.0, 4.0, 6.0, 1.0]),
+        attacker_reward_hi=np.array([4.0, 6.0, 8.0, 3.0]),
+        attacker_penalty_lo=np.array([-6.0, -8.0, -4.0, -2.0]),
+        attacker_penalty_hi=np.array([-4.0, -6.0, -2.0, -1.0]),
+    )
+    game = IntervalSecurityGame(payoffs, num_resources=1.5)
+    uncertainty = IntervalSUQR(
+        payoffs, w1=(-4.0, -1.0), w2=(0.6, 0.9), w3=(0.3, 0.6), convention="tight"
+    )
+    return game, uncertainty
+
+
+@pytest.fixture(scope="module")
+def traced(world):
+    game, uncertainty = world
+    return robustness_frontier(
+        game, uncertainty, num_points=7, num_segments=12, epsilon=0.01
+    )
+
+
+class TestRobustnessFrontier:
+    def test_endpoint_semantics(self, traced):
+        assert traced.points[0].weight == 0.0
+        assert traced.points[-1].weight == 1.0
+        assert len(traced.points) == 7
+
+    def test_robust_end_has_better_worst_case(self, traced):
+        assert traced.points[-1].worst_case >= traced.points[0].worst_case - 0.02
+
+    def test_midpoint_end_has_better_nominal(self, traced):
+        assert traced.points[0].midpoint_value >= traced.points[-1].midpoint_value - 0.02
+
+    def test_price_and_value_consistent(self, traced):
+        assert traced.price_of_robustness() == pytest.approx(
+            traced.points[0].midpoint_value - traced.points[-1].midpoint_value
+        )
+        assert traced.value_of_robustness() == pytest.approx(
+            traced.points[-1].worst_case - traced.points[0].worst_case
+        )
+
+    def test_all_strategies_feasible(self, world, traced):
+        game, _ = world
+        for p in traced.points:
+            assert game.strategy_space.contains(p.strategy, atol=1e-6)
+
+    def test_knee_on_curve(self, traced):
+        knee = traced.knee()
+        assert any(p is knee for p in traced.points)
+        score = knee.worst_case + knee.midpoint_value
+        for p in traced.points:
+            assert score >= p.worst_case + p.midpoint_value - 1e-12
+
+    def test_accessor_shapes(self, traced):
+        assert traced.weights().shape == (7,)
+        assert traced.worst_cases().shape == (7,)
+        assert traced.midpoint_values().shape == (7,)
+
+    def test_num_points_validation(self, world):
+        game, uncertainty = world
+        with pytest.raises(ValueError, match="num_points"):
+            robustness_frontier(game, uncertainty, num_points=1)

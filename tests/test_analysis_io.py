@@ -1,0 +1,130 @@
+"""Tests for JSON serialisation (repro.analysis.io)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.io import (
+    game_from_dict,
+    game_to_dict,
+    load_json,
+    result_to_dict,
+    save_json,
+    uncertainty_from_dict,
+    uncertainty_to_dict,
+)
+from repro.behavior.interval import IntervalSUQR
+from repro.behavior.interval_qr import IntervalQR
+from repro.core.cubis import solve_cubis
+from repro.game.generator import random_game, random_interval_game, table1_game
+
+
+class TestGameRoundTrip:
+    def test_point_game(self):
+        game = random_game(6, num_resources=2, seed=0)
+        restored = game_from_dict(game_to_dict(game))
+        assert restored.num_resources == game.num_resources
+        np.testing.assert_array_equal(
+            restored.payoffs.attacker_reward, game.payoffs.attacker_reward
+        )
+        np.testing.assert_array_equal(
+            restored.payoffs.defender_penalty, game.payoffs.defender_penalty
+        )
+
+    def test_interval_game(self):
+        game = random_interval_game(5, seed=1)
+        restored = game_from_dict(game_to_dict(game))
+        np.testing.assert_array_equal(
+            restored.payoffs.attacker_reward_lo, game.payoffs.attacker_reward_lo
+        )
+        np.testing.assert_array_equal(
+            restored.payoffs.attacker_penalty_hi, game.payoffs.attacker_penalty_hi
+        )
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            game_from_dict({"kind": "mystery"})
+
+    def test_unserialisable_type(self):
+        with pytest.raises(TypeError, match="serialise"):
+            game_to_dict("not a game")
+
+    def test_json_file_round_trip(self, tmp_path):
+        game = table1_game()
+        path = tmp_path / "game.json"
+        save_json(game_to_dict(game), path)
+        restored = game_from_dict(load_json(path))
+        np.testing.assert_array_equal(
+            restored.payoffs.defender_reward, game.payoffs.defender_reward
+        )
+
+
+class TestUncertaintyRoundTrip:
+    def test_interval_suqr(self):
+        game = table1_game()
+        model = IntervalSUQR(
+            game.payoffs, w1=(-6.0, -2.0), w2=(0.5, 1.0), w3=(0.4, 0.9)
+        )
+        restored = uncertainty_from_dict(uncertainty_to_dict(model), game.payoffs)
+        x = np.array([0.3, 0.7])
+        np.testing.assert_allclose(restored.lower(x), model.lower(x))
+        np.testing.assert_allclose(restored.upper(x), model.upper(x))
+        assert restored.convention == "endpoint"
+
+    def test_interval_suqr_tight_convention_preserved(self):
+        game = random_interval_game(4, seed=2)
+        model = IntervalSUQR(
+            game.payoffs, w1=(-4.0, -2.0), w2=(0.5, 0.9), w3=(0.3, 0.6),
+            convention="tight",
+        )
+        restored = uncertainty_from_dict(uncertainty_to_dict(model), game.payoffs)
+        assert restored.convention == "tight"
+
+    def test_interval_qr(self):
+        game = random_interval_game(4, seed=3)
+        model = IntervalQR(game.payoffs, rationality=(0.2, 0.9))
+        restored = uncertainty_from_dict(uncertainty_to_dict(model), game.payoffs)
+        x = np.full(4, 0.25)
+        np.testing.assert_allclose(restored.lower(x), model.lower(x))
+
+    def test_unknown_kind(self):
+        game = random_interval_game(3, seed=4)
+        with pytest.raises(ValueError, match="kind"):
+            uncertainty_from_dict({"kind": "nope"}, game.payoffs)
+
+    def test_unserialisable(self):
+        with pytest.raises(TypeError, match="serialise"):
+            uncertainty_to_dict(object())
+
+
+class TestResultSerialisation:
+    def test_cubis_result(self):
+        game = table1_game()
+        model = IntervalSUQR(
+            game.payoffs, w1=(-6.0, -2.0), w2=(0.5, 1.0), w3=(0.4, 0.9)
+        )
+        result = solve_cubis(game, model, num_segments=8, epsilon=0.05)
+        data = result_to_dict(result)
+        assert data["kind"] == "CubisResult"
+        assert isinstance(data["strategy"], list)
+        assert isinstance(data["worst_case_value"], float)
+        # Nested dataclass (the worst-case response) serialises too.
+        assert isinstance(data["worst_case"]["attack_distribution"], list)
+        # Trace tuples become lists of [c, feasible].
+        assert isinstance(data["trace"], list)
+
+    def test_json_writable(self, tmp_path):
+        import json
+
+        game = table1_game()
+        model = IntervalSUQR(
+            game.payoffs, w1=(-6.0, -2.0), w2=(0.5, 1.0), w3=(0.4, 0.9)
+        )
+        result = solve_cubis(game, model, num_segments=6, epsilon=0.1)
+        path = tmp_path / "result.json"
+        save_json(result_to_dict(result), path)
+        data = json.loads(path.read_text())
+        assert data["num_segments"] == 6
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError, match="dataclass"):
+            result_to_dict({"not": "a dataclass"})

@@ -1,0 +1,82 @@
+"""Tests for repro.analysis.montecarlo."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import OutcomeDistribution, simulate_outcomes
+from repro.core.cubis import solve_cubis
+
+
+class TestOutcomeDistribution:
+    def test_summary_statistics(self):
+        d = OutcomeDistribution(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert d.mean == pytest.approx(2.5)
+        assert d.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        assert d.quantile(0.5) == pytest.approx(2.5)
+
+    def test_probability_below(self):
+        d = OutcomeDistribution(np.array([-3.0, -1.0, 0.0, 2.0]))
+        assert d.probability_below(-0.5) == pytest.approx(0.5)
+        assert d.probability_below(-10.0) == 0.0
+
+    def test_single_sample_std_zero(self):
+        assert OutcomeDistribution(np.array([1.0])).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            OutcomeDistribution(np.array([]))
+
+
+class TestSimulateOutcomes:
+    def test_shapes_and_determinism(self, small_interval_game, small_uncertainty):
+        x = small_interval_game.strategy_space.uniform()
+        a = simulate_outcomes(
+            small_interval_game, small_uncertainty, x,
+            num_seasons=30, attacks_per_season=10, seed=0,
+        )
+        b = simulate_outcomes(
+            small_interval_game, small_uncertainty, x,
+            num_seasons=30, attacks_per_season=10, seed=0,
+        )
+        assert len(a.samples) == 30
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+    def test_mean_within_utility_range(self, small_interval_game, small_uncertainty):
+        x = small_interval_game.strategy_space.uniform()
+        d = simulate_outcomes(
+            small_interval_game, small_uncertainty, x,
+            num_seasons=50, attacks_per_season=5, seed=1,
+        )
+        lo, hi = small_interval_game.utility_range()
+        assert lo - 1e-9 <= d.samples.min() and d.samples.max() <= hi + 1e-9
+
+    def test_guarantee_rarely_violated_in_expectation(self, small_interval_game, small_uncertainty):
+        """Per-season *mean* utility concentrates above the worst-case
+        guarantee as the season grows (single attacks can dip below — the
+        guarantee is on expectations)."""
+        result = solve_cubis(
+            small_interval_game, small_uncertainty, num_segments=12, epsilon=0.01
+        )
+        d = simulate_outcomes(
+            small_interval_game, small_uncertainty, result.strategy,
+            num_seasons=100, attacks_per_season=200, seed=2,
+        )
+        assert d.probability_below(result.worst_case_value - 0.5) <= 0.05
+
+    def test_validation(self, small_interval_game, small_uncertainty):
+        x = small_interval_game.strategy_space.uniform()
+        with pytest.raises(ValueError, match=">= 1"):
+            simulate_outcomes(small_interval_game, small_uncertainty, x, num_seasons=0)
+
+    def test_rejects_models_without_sampler(self, small_interval_game):
+        from repro.behavior.interval import FunctionIntervalModel
+
+        consts = np.ones(4)
+        model = FunctionIntervalModel(
+            4,
+            lambda p: np.exp(-2 * p[None, :]) * consts[:, None],
+            lambda p: np.exp(-1 * p[None, :]) * (consts[:, None] + 1),
+        )
+        x = small_interval_game.strategy_space.uniform()
+        with pytest.raises(TypeError, match="sample_model"):
+            simulate_outcomes(small_interval_game, model, x)

@@ -1,0 +1,65 @@
+"""Tests for repro.analysis.reporting."""
+
+from repro.analysis.reporting import format_kv, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["name", "value"], [["a", 1.2345], ["bb", 2.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.2345" in out
+        assert len(lines) == 4  # header, rule, 2 rows
+
+    def test_title(self):
+        out = format_table(["x"], [[1.0]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_format(self):
+        out = format_table(["x"], [[1.23456]], float_format="{:.1f}")
+        assert "1.2" in out and "1.234" not in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_non_float_cells_passthrough(self):
+        out = format_table(["n"], [[42]])
+        assert "42" in out
+
+
+class TestFormatSeries:
+    def test_structure(self):
+        out = format_series(
+            "targets", [5, 10], {"cubis": [1.0, 2.0], "midpoint": [0.5, 1.5]}
+        )
+        lines = out.splitlines()
+        assert "targets" in lines[0] and "cubis" in lines[0] and "midpoint" in lines[0]
+        assert len(lines) == 4
+
+    def test_values_in_rows(self):
+        out = format_series("k", [2], {"gap": [0.125]})
+        assert "0.125" in out
+
+    def test_title(self):
+        out = format_series("k", [1], {"s": [0.0]}, title="F1")
+        assert out.splitlines()[0] == "F1"
+
+
+class TestFormatKV:
+    def test_pairs(self):
+        out = format_kv({"alpha": 1.23456, "beta": "text"})
+        assert "alpha" in out and "1.2346" in out and "text" in out
+
+    def test_alignment(self):
+        out = format_kv({"a": 1.0, "longer_key": 2.0})
+        lines = out.splitlines()
+        # Values start at the same column.
+        assert lines[0].index("1.0") == lines[1].index("2.0")
+
+    def test_empty(self):
+        assert format_kv({}) == ""
+
+    def test_title(self):
+        out = format_kv({"a": 1.0}, title="Stats")
+        assert out.splitlines()[0] == "Stats"

@@ -1,0 +1,102 @@
+"""Tests for repro.analysis.sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import binding_targets, uncertainty_contributions
+from repro.core.worst_case import worst_case_response
+
+
+class TestUncertaintyContributions:
+    def test_nonnegative(self, small_interval_game, small_uncertainty):
+        x = small_interval_game.strategy_space.uniform()
+        delta = uncertainty_contributions(small_interval_game, small_uncertainty, x)
+        assert delta.shape == (4,)
+        assert np.all(delta >= 0.0)
+
+    def test_zero_for_degenerate_intervals(self, small_interval_game):
+        """With zero-width intervals nothing can be recovered."""
+        from repro.behavior.interval import FunctionIntervalModel
+
+        consts = np.array([1.0, 2.0, 1.5, 0.5])
+
+        def bound(p):
+            return np.exp(-2.0 * p[None, :]) * consts[:, None]
+
+        degenerate = FunctionIntervalModel(4, bound, bound)
+        x = small_interval_game.strategy_space.uniform()
+        delta = uncertainty_contributions(small_interval_game, degenerate, x)
+        np.testing.assert_allclose(delta, 0.0, atol=1e-12)
+
+    def test_widest_interval_contributes_on_symmetric_game(self):
+        """If only one target has a (huge) interval, that target carries
+        all the recoverable uncertainty."""
+        from repro.behavior.interval import FunctionIntervalModel
+        from repro.game.payoffs import PayoffMatrix
+        from repro.game.ssg import SecurityGame
+
+        payoffs = PayoffMatrix(
+            defender_reward=[2.0, 2.0, 2.0],
+            defender_penalty=[-2.0, -2.0, -2.0],
+            attacker_reward=[1.0, 1.0, 1.0],
+            attacker_penalty=[-1.0, -1.0, -1.0],
+        )
+        game = SecurityGame(payoffs, num_resources=1)
+
+        def lower(p):
+            return np.ones((3, len(p))) * np.exp(-p[None, :])
+
+        def upper(p):
+            out = np.ones((3, len(p))) * np.exp(-p[None, :])
+            out[0] *= 6.0  # only target 0 is uncertain
+            return out
+
+        model = FunctionIntervalModel(3, lower, upper)
+        x = np.array([0.4, 0.3, 0.3])
+        delta = uncertainty_contributions(game, model, x)
+        assert delta[0] > 0
+        assert delta[0] >= delta[1] and delta[0] >= delta[2]
+
+    def test_full_resolution_bounded_by_sum_of_contributions_loose(self, small_interval_game, small_uncertainty):
+        """Collapsing everything recovers at least as much as the largest
+        single contribution (sanity relation, not additivity)."""
+        x = small_interval_game.strategy_space.uniform()
+        ud = small_interval_game.defender_utilities(x)
+        lo = small_uncertainty.lower(x)
+        hi = small_uncertainty.upper(x)
+        mid = 0.5 * (lo + hi)
+        base = worst_case_response(ud, lo, hi).value
+        full = worst_case_response(ud, mid, mid).value
+        delta = uncertainty_contributions(small_interval_game, small_uncertainty, x)
+        assert full - base >= delta.max() - 1e-9
+
+
+class TestBindingTargets:
+    def test_partition(self, small_interval_game, small_uncertainty):
+        x = small_interval_game.strategy_space.uniform()
+        support = binding_targets(small_interval_game, small_uncertainty, x)
+        # Every target is at one of the two interval ends.
+        assert np.all(support.at_upper | support.at_lower)
+        assert not np.any(support.at_upper & support.at_lower)
+
+    def test_worst_target_is_attacked_and_bad(self, small_interval_game, small_uncertainty):
+        x = small_interval_game.strategy_space.uniform()
+        support = binding_targets(small_interval_game, small_uncertainty, x)
+        ud = small_interval_game.defender_utilities(x)
+        assert support.attack_distribution[support.worst_target] > 1e-6
+        attacked = support.attack_distribution > 1e-6
+        assert ud[support.worst_target] == pytest.approx(ud[attacked].min())
+
+    def test_upper_targets_hurt_defender(self, small_interval_game, small_uncertainty):
+        """The adversary inflates attractiveness exactly on the targets
+        with the *lowest* defender utility."""
+        x = small_interval_game.strategy_space.uniform()
+        support = binding_targets(small_interval_game, small_uncertainty, x)
+        ud = small_interval_game.defender_utilities(x)
+        if support.at_upper.any() and support.at_lower.any():
+            assert ud[support.at_upper].max() <= ud[support.at_lower].min() + 1e-9
+
+    def test_distribution_sums_to_one(self, small_interval_game, small_uncertainty):
+        x = small_interval_game.strategy_space.random(3)
+        support = binding_targets(small_interval_game, small_uncertainty, x)
+        assert support.attack_distribution.sum() == pytest.approx(1.0)

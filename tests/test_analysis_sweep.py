@@ -1,0 +1,97 @@
+"""Tests for repro.analysis.sweep."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import ResultTable, run_grid
+
+
+class TestResultTable:
+    def test_append_and_len(self):
+        t = ResultTable()
+        t.append(a=1, b=2.0)
+        t.append(a=2, b=3.0)
+        assert len(t) == 2
+        assert t.columns == ["a", "b"]
+
+    def test_schema_enforced(self):
+        t = ResultTable()
+        t.append(a=1, b=2.0)
+        with pytest.raises(ValueError, match="missing.*'b'"):
+            t.append(a=1, c=2.0)
+
+    def test_column_numeric(self):
+        t = ResultTable()
+        t.append(v=1.5)
+        t.append(v=2.5)
+        np.testing.assert_array_equal(t.column("v"), [1.5, 2.5])
+
+    def test_column_object_fallback(self):
+        t = ResultTable()
+        t.append(name="x")
+        t.append(name="y")
+        assert t.column("name").dtype == object
+
+    def test_where(self):
+        t = ResultTable()
+        t.append(algo="a", v=1.0)
+        t.append(algo="b", v=2.0)
+        t.append(algo="a", v=3.0)
+        sub = t.where(algo="a")
+        assert len(sub) == 2
+        np.testing.assert_array_equal(sub.column("v"), [1.0, 3.0])
+
+    def test_group_mean(self):
+        t = ResultTable()
+        for size, v in [(5, 1.0), (5, 3.0), (10, 4.0)]:
+            t.append(size=size, v=v)
+        means = t.group_mean("size", "v")
+        assert means == {5: 2.0, 10: 4.0}
+
+    def test_group_std(self):
+        t = ResultTable()
+        for v in (1.0, 3.0):
+            t.append(size=5, v=v)
+        t.append(size=10, v=7.0)
+        stds = t.group_std("size", "v")
+        assert stds[5] == pytest.approx(np.std([1.0, 3.0], ddof=1))
+        assert stds[10] == 0.0
+
+    def test_empty_table(self):
+        t = ResultTable()
+        assert len(t) == 0 and t.columns == []
+
+
+class TestRunGrid:
+    @staticmethod
+    def trial(rng, trial_index, *, size):
+        yield {"value": float(rng.uniform()), "size_sq": size * size}
+
+    def test_grid_times_trials(self):
+        table = run_grid(self.trial, [{"size": 2}, {"size": 3}], num_trials=4, seed=0)
+        assert len(table) == 8
+        assert set(table.column("size").tolist()) == {2.0, 3.0}
+
+    def test_params_merged_into_records(self):
+        table = run_grid(self.trial, [{"size": 5}], num_trials=1, seed=0)
+        row = table.rows[0]
+        assert row["size"] == 5 and row["size_sq"] == 25
+        assert row["trial"] == 0
+
+    def test_reproducible(self):
+        a = run_grid(self.trial, [{"size": 2}], num_trials=3, seed=42)
+        b = run_grid(self.trial, [{"size": 2}], num_trials=3, seed=42)
+        np.testing.assert_array_equal(a.column("value"), b.column("value"))
+
+    def test_trials_get_independent_streams(self):
+        table = run_grid(self.trial, [{"size": 2}], num_trials=5, seed=1)
+        values = table.column("value")
+        assert len(set(values.tolist())) == 5
+
+    def test_multi_record_trials(self):
+        def multi(rng, trial_index, *, size):
+            for algo in ("a", "b"):
+                yield {"algorithm": algo, "value": 1.0, "size_sq": size}
+
+        table = run_grid(multi, [{"size": 2}], num_trials=2, seed=0)
+        assert len(table) == 4

@@ -1,0 +1,68 @@
+"""Tests for the Bayesian expected-utility baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bayesian import solve_bayesian
+from repro.baselines.pasaq import solve_pasaq
+from repro.baselines.worst_type import solve_worst_type
+from repro.behavior.sampling import sample_attacker_types
+
+
+class TestSolveBayesian:
+    def test_single_type_matches_pasaq(self, small_interval_game, small_uncertainty):
+        t = small_uncertainty.midpoint_model()
+        bayes = solve_bayesian(small_interval_game, [t], num_starts=8, seed=0)
+        pasaq = solve_pasaq(
+            small_interval_game.midpoint_game(), t, num_segments=20, epsilon=1e-3
+        )
+        assert bayes.expected_value == pytest.approx(pasaq.value, abs=0.1)
+
+    def test_expected_value_is_prior_average(self, small_interval_game, small_uncertainty):
+        types = sample_attacker_types(small_uncertainty, 3, seed=1)
+        prior = np.array([0.5, 0.3, 0.2])
+        res = solve_bayesian(small_interval_game, types, prior, num_starts=4, seed=2)
+        assert res.expected_value == pytest.approx(
+            float(prior @ res.per_type_values), abs=1e-9
+        )
+
+    def test_uniform_prior_default(self, small_interval_game, small_uncertainty):
+        types = sample_attacker_types(small_uncertainty, 4, seed=3)
+        res = solve_bayesian(small_interval_game, types, num_starts=3, seed=4)
+        np.testing.assert_allclose(res.prior, 0.25)
+
+    def test_expected_at_least_worst_type(self, small_interval_game, small_uncertainty):
+        """The Bayesian optimum's expected value upper-bounds the worst-
+        type guarantee at the same strategy, and the Bayesian expected
+        value must be >= the worst-type solver's guaranteed floor."""
+        types = sample_attacker_types(small_uncertainty, 4, seed=5)
+        bayes = solve_bayesian(small_interval_game, types, num_starts=5, seed=6)
+        robust = solve_worst_type(small_interval_game, types, num_starts=5, seed=7)
+        assert bayes.expected_value >= robust.type_value - 0.05
+        assert bayes.expected_value >= bayes.per_type_values.min() - 1e-9
+
+    def test_strategy_feasible(self, small_interval_game, small_uncertainty):
+        types = sample_attacker_types(small_uncertainty, 3, seed=8)
+        res = solve_bayesian(small_interval_game, types, num_starts=3, seed=9)
+        assert small_interval_game.strategy_space.contains(res.strategy, atol=1e-5)
+
+    def test_prior_validation(self, small_interval_game, small_uncertainty):
+        types = sample_attacker_types(small_uncertainty, 2, seed=10)
+        with pytest.raises(ValueError, match="sum to"):
+            solve_bayesian(small_interval_game, types, prior=[0.9, 0.5])
+        with pytest.raises(ValueError, match="per type"):
+            solve_bayesian(small_interval_game, types, prior=[1.0])
+
+    def test_empty_types_rejected(self, small_interval_game):
+        with pytest.raises(ValueError, match="at least one"):
+            solve_bayesian(small_interval_game, [])
+
+    def test_skewed_prior_tracks_heavy_type(self, small_interval_game, small_uncertainty):
+        """With a prior concentrated on one type, the solution approaches
+        that type's best response."""
+        types = sample_attacker_types(small_uncertainty, 2, seed=11)
+        heavy = solve_bayesian(
+            small_interval_game, types, prior=[0.99, 0.01], num_starts=6, seed=12
+        )
+        alone = solve_bayesian(small_interval_game, [types[0]], num_starts=6, seed=12)
+        assert heavy.per_type_values[0] >= alone.per_type_values[0] - 0.25

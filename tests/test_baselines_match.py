@@ -1,0 +1,81 @@
+"""Tests for the MATCH baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.match import solve_match
+from repro.baselines.rational import solve_sse
+from repro.game.generator import random_game
+from repro.game.payoffs import PayoffMatrix
+from repro.game.ssg import SecurityGame
+
+
+class TestSolveMatch:
+    def test_best_response_holds(self):
+        game = random_game(5, seed=0)
+        res = solve_match(game, beta=1.0)
+        ua = game.attacker_utilities(res.strategy)
+        assert ua[res.attacked_target] == pytest.approx(ua.max(), abs=1e-6)
+
+    def test_deviation_bound_holds(self):
+        game = random_game(6, seed=1)
+        beta = 0.8
+        res = solve_match(game, beta=beta)
+        ud = game.defender_utilities(res.strategy)
+        ua = game.attacker_utilities(res.strategy)
+        t = res.attacked_target
+        for j in range(6):
+            if j == t:
+                continue
+            assert ud[t] - ud[j] <= beta * (ua[t] - ua[j]) + 1e-6
+
+    def test_large_beta_approaches_sse(self):
+        game = random_game(5, seed=2)
+        match = solve_match(game, beta=1e6)
+        sse = solve_sse(game)
+        assert match.value == pytest.approx(sse.value, abs=1e-4)
+
+    def test_value_increases_with_beta(self):
+        """Loosening the deviation bound can only help the nominal value."""
+        game = random_game(5, seed=3)
+        values = [solve_match(game, beta=b).value for b in (0.25, 1.0, 4.0, 1e6)]
+        for a, b in zip(values, values[1:]):
+            assert b >= a - 1e-7
+
+    def test_beta_zero_equalises_attacked_utilities(self):
+        """With beta = 0 the defender cannot be worse off anywhere the
+        attacker might go: U^d_t <= U^d_j for all j."""
+        game = random_game(4, seed=4, zero_sum=True)
+        res = solve_match(game, beta=0.0)
+        ud = game.defender_utilities(res.strategy)
+        assert ud[res.attacked_target] <= ud.min() + 1e-6
+
+    def test_strategy_feasible(self):
+        game = random_game(7, num_resources=2, seed=5)
+        res = solve_match(game, beta=1.0)
+        assert game.strategy_space.contains(res.strategy, atol=1e-6)
+
+    def test_negative_beta_rejected(self):
+        game = random_game(3, seed=6)
+        with pytest.raises(ValueError, match="beta"):
+            solve_match(game, beta=-1.0)
+
+    def test_symmetric_game(self):
+        payoffs = PayoffMatrix(
+            defender_reward=[1.0, 1.0],
+            defender_penalty=[-1.0, -1.0],
+            attacker_reward=[1.0, 1.0],
+            attacker_penalty=[-1.0, -1.0],
+        )
+        game = SecurityGame(payoffs, num_resources=1)
+        res = solve_match(game, beta=1.0)
+        np.testing.assert_allclose(res.strategy, [0.5, 0.5], atol=1e-6)
+
+    def test_match_more_cautious_than_sse_under_deviation(self):
+        """Against a deviating attacker, MATCH's floor beats SSE's."""
+        game = random_game(5, seed=7, zero_sum=True)
+        match = solve_match(game, beta=0.5)
+        sse = solve_sse(game)
+        ud_match = game.defender_utilities(match.strategy)
+        ud_sse = game.defender_utilities(sse.strategy)
+        assert ud_match.min() >= ud_sse.min() - 1e-6

@@ -1,0 +1,62 @@
+"""Tests for the payoff-maximin baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.maximin import solve_maximin
+from repro.game.generator import random_game, random_interval_game
+from repro.game.payoffs import PayoffMatrix
+from repro.game.ssg import SecurityGame
+
+
+class TestSolveMaximin:
+    def test_symmetric_game_uniform_solution(self):
+        payoffs = PayoffMatrix(
+            defender_reward=[2.0, 2.0],
+            defender_penalty=[-2.0, -2.0],
+            attacker_reward=[1.0, 1.0],
+            attacker_penalty=[-1.0, -1.0],
+        )
+        game = SecurityGame(payoffs, num_resources=1)
+        res = solve_maximin(game)
+        np.testing.assert_allclose(res.strategy, [0.5, 0.5], atol=1e-6)
+        assert res.floor_value == pytest.approx(0.0, abs=1e-8)
+
+    def test_floor_equals_min_utility(self):
+        game = random_game(6, seed=0)
+        res = solve_maximin(game)
+        ud = game.defender_utilities(res.strategy)
+        assert res.floor_value == pytest.approx(ud.min(), abs=1e-6)
+
+    def test_floor_is_optimal_vs_random_strategies(self):
+        game = random_game(5, seed=1)
+        res = solve_maximin(game)
+        for seed in range(30):
+            x = game.strategy_space.random(seed)
+            assert res.floor_value >= game.defender_utilities(x).min() - 1e-7
+
+    def test_strategy_feasible(self):
+        game = random_game(8, num_resources=3, seed=2)
+        res = solve_maximin(game)
+        assert game.strategy_space.contains(res.strategy, atol=1e-6)
+
+    def test_works_on_interval_games(self):
+        game = random_interval_game(5, seed=3)
+        res = solve_maximin(game)
+        assert game.strategy_space.contains(res.strategy, atol=1e-6)
+
+    def test_skewed_game_prioritises_high_stakes(self):
+        payoffs = PayoffMatrix(
+            defender_reward=[1.0, 1.0],
+            defender_penalty=[-10.0, -1.0],
+            attacker_reward=[1.0, 1.0],
+            attacker_penalty=[-1.0, -1.0],
+        )
+        game = SecurityGame(payoffs, num_resources=1)
+        res = solve_maximin(game)
+        # The -10 target needs more coverage to equalise the floor.
+        assert res.strategy[0] > res.strategy[1]
+
+    def test_timing_recorded(self):
+        game = random_game(4, seed=4)
+        assert solve_maximin(game).solve_seconds > 0.0

@@ -1,0 +1,76 @@
+"""Tests for the midpoint (non-robust) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.midpoint import MidpointBoundsModel, solve_midpoint
+from repro.behavior.interval import FunctionIntervalModel
+from repro.core.cubis import solve_cubis
+
+
+class TestMidpointBoundsModel:
+    def test_weights_are_interval_midpoints(self, small_uncertainty):
+        model = MidpointBoundsModel(small_uncertainty)
+        x = np.full(4, 0.3)
+        expected = 0.5 * (small_uncertainty.lower(x) + small_uncertainty.upper(x))
+        np.testing.assert_allclose(model.attack_weights(x), expected)
+
+    def test_grid_consistency(self, small_uncertainty):
+        model = MidpointBoundsModel(small_uncertainty)
+        pts = np.linspace(0, 1, 6)
+        grid = model.weights_on_grid(pts)
+        for j, p in enumerate(pts):
+            np.testing.assert_allclose(grid[:, j], model.attack_weights(np.full(4, p)))
+
+    def test_num_targets(self, small_uncertainty):
+        assert MidpointBoundsModel(small_uncertainty).num_targets == 4
+
+
+class TestSolveMidpoint:
+    def test_parameters_mode(self, small_interval_game, small_uncertainty):
+        res = solve_midpoint(
+            small_interval_game, small_uncertainty, num_segments=12, epsilon=0.01
+        )
+        assert small_interval_game.strategy_space.contains(res.strategy, atol=1e-6)
+        # The nominal belief is always at least the worst case.
+        assert res.nominal_value >= res.worst_case_value - 1e-6
+
+    def test_bounds_mode(self, small_interval_game, small_uncertainty):
+        res = solve_midpoint(
+            small_interval_game,
+            small_uncertainty,
+            midpoint="bounds",
+            num_segments=12,
+            epsilon=0.01,
+        )
+        assert small_interval_game.strategy_space.contains(res.strategy, atol=1e-6)
+
+    def test_invalid_mode(self, small_interval_game, small_uncertainty):
+        with pytest.raises(ValueError, match="midpoint"):
+            solve_midpoint(small_interval_game, small_uncertainty, midpoint="mean")
+
+    def test_parameters_mode_needs_midpoint_model(self, small_interval_game):
+        t = small_interval_game.num_targets
+        consts = np.linspace(1.0, 2.0, t)
+        generic = FunctionIntervalModel(
+            t,
+            lambda p: np.exp(-2.0 * p[None, :]) * consts[:, None],
+            lambda p: np.exp(-1.0 * p[None, :]) * (consts[:, None] + 1.0),
+        )
+        with pytest.raises(ValueError, match="midpoint_model"):
+            solve_midpoint(small_interval_game, generic, midpoint="parameters")
+        # but bounds mode works for generic models
+        res = solve_midpoint(
+            small_interval_game, generic, midpoint="bounds", num_segments=8, epsilon=0.05
+        )
+        assert np.isfinite(res.worst_case_value)
+
+    def test_cubis_dominates_midpoint_in_worst_case(self, small_interval_game, small_uncertainty):
+        """The paper's headline comparison on a fixture game."""
+        robust = solve_cubis(
+            small_interval_game, small_uncertainty, num_segments=15, epsilon=0.005
+        )
+        midpoint = solve_midpoint(
+            small_interval_game, small_uncertainty, num_segments=15, epsilon=0.005
+        )
+        assert robust.worst_case_value >= midpoint.worst_case_value - 0.02

@@ -1,0 +1,69 @@
+"""Tests for the minimax-regret baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pasaq import solve_pasaq
+from repro.baselines.regret import solve_minimax_regret
+from repro.behavior.sampling import sample_attacker_types
+from repro.game.ssg import SecurityGame
+
+
+class TestSolveMinimaxRegret:
+    def test_single_type_zero_regret(self, small_interval_game, small_uncertainty):
+        """With one type, the regret-optimal plan is (approximately) the
+        clairvoyant plan — regret ~ 0."""
+        t = small_uncertainty.midpoint_model()
+        res = solve_minimax_regret(
+            small_interval_game, [t], num_segments=15, num_starts=8, seed=0
+        )
+        assert res.max_regret == pytest.approx(0.0, abs=0.1)
+
+    def test_regret_nonnegative_up_to_approximation(self, small_interval_game, small_uncertainty):
+        types = sample_attacker_types(small_uncertainty, 4, seed=1)
+        res = solve_minimax_regret(
+            small_interval_game, types, num_segments=12, num_starts=5, seed=2
+        )
+        # OPT_m is epsilon/K-approximate, so tiny negative regret can occur.
+        assert np.all(res.per_type_regret >= -0.1)
+        assert res.max_regret == pytest.approx(res.per_type_regret.max())
+
+    def test_optima_match_pasaq(self, small_interval_game, small_uncertainty):
+        types = sample_attacker_types(small_uncertainty, 3, seed=3)
+        res = solve_minimax_regret(
+            small_interval_game, types, num_segments=12, num_starts=3, seed=4
+        )
+        for m, model in enumerate(types):
+            point = SecurityGame(model.payoffs, small_interval_game.num_resources)
+            opt = solve_pasaq(point, model, num_segments=12).value
+            assert res.type_optima[m] == pytest.approx(opt, abs=1e-6)
+
+    def test_strategy_feasible(self, small_interval_game, small_uncertainty):
+        types = sample_attacker_types(small_uncertainty, 3, seed=5)
+        res = solve_minimax_regret(
+            small_interval_game, types, num_starts=4, seed=6
+        )
+        assert small_interval_game.strategy_space.contains(res.strategy, atol=1e-5)
+
+    def test_beats_uniform_regret(self, small_interval_game, small_uncertainty):
+        types = sample_attacker_types(small_uncertainty, 4, seed=7)
+        res = solve_minimax_regret(
+            small_interval_game, types, num_segments=12, num_starts=6, seed=8
+        )
+        ud = lambda x: small_interval_game.defender_utilities(x)
+        x_u = small_interval_game.strategy_space.uniform()
+        uniform_regret = max(
+            res.type_optima[m] - t.expected_defender_utility(ud(x_u), x_u)
+            for m, t in enumerate(types)
+        )
+        assert res.max_regret <= uniform_regret + 0.05
+
+    def test_empty_types_rejected(self, small_interval_game):
+        with pytest.raises(ValueError, match="at least one"):
+            solve_minimax_regret(small_interval_game, [])
+
+    def test_deterministic(self, small_interval_game, small_uncertainty):
+        types = sample_attacker_types(small_uncertainty, 2, seed=9)
+        a = solve_minimax_regret(small_interval_game, types, num_starts=3, seed=10)
+        b = solve_minimax_regret(small_interval_game, types, num_starts=3, seed=10)
+        np.testing.assert_allclose(a.strategy, b.strategy)

@@ -1,0 +1,22 @@
+"""Tests for the uniform baseline."""
+
+import numpy as np
+
+from repro.baselines.uniform import solve_uniform
+from repro.game.generator import random_game, random_interval_game
+
+
+class TestSolveUniform:
+    def test_point_game(self):
+        game = random_game(8, num_resources=2, seed=0)
+        res = solve_uniform(game)
+        np.testing.assert_allclose(res.strategy, np.full(8, 0.25))
+
+    def test_interval_game(self):
+        game = random_interval_game(5, num_resources=2, seed=0)
+        res = solve_uniform(game)
+        np.testing.assert_allclose(res.strategy, np.full(5, 0.4))
+
+    def test_feasible(self):
+        game = random_game(7, num_resources=3, seed=1)
+        assert game.strategy_space.contains(solve_uniform(game).strategy)

@@ -1,0 +1,68 @@
+"""Tests for the worst-type robust baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.worst_type import solve_worst_type
+from repro.behavior.sampling import corner_attacker_types, sample_attacker_types
+from repro.behavior.suqr import SUQR
+
+
+class TestSolveWorstType:
+    def test_single_type_matches_its_optimum_roughly(self, small_interval_game, small_uncertainty):
+        """With one type, worst-type = ordinary best response to it."""
+        t = small_uncertainty.midpoint_model()
+        res = solve_worst_type(small_interval_game, [t], num_starts=8, seed=0)
+        from repro.baselines.pasaq import solve_pasaq
+
+        pasaq = solve_pasaq(
+            small_interval_game.midpoint_game(), t, num_segments=20, epsilon=1e-3
+        )
+        assert res.type_value == pytest.approx(pasaq.value, abs=0.15)
+
+    def test_type_value_is_min_over_types(self, small_interval_game, small_uncertainty):
+        types = sample_attacker_types(small_uncertainty, 4, seed=1)
+        res = solve_worst_type(small_interval_game, types, num_starts=4, seed=2)
+        assert res.type_value == pytest.approx(res.per_type_values.min())
+        assert len(res.per_type_values) == 4
+
+    def test_strategy_feasible(self, small_interval_game, small_uncertainty):
+        types = sample_attacker_types(small_uncertainty, 3, seed=3)
+        res = solve_worst_type(small_interval_game, types, num_starts=4, seed=4)
+        assert small_interval_game.strategy_space.contains(res.strategy, atol=1e-5)
+
+    def test_beats_uniform_guarantee(self, small_interval_game, small_uncertainty):
+        types = corner_attacker_types(small_uncertainty)
+        res = solve_worst_type(small_interval_game, types, num_starts=6, seed=5)
+        x_u = small_interval_game.strategy_space.uniform()
+        ud = small_interval_game.defender_utilities(x_u)
+        uniform_guarantee = min(t.expected_defender_utility(ud, x_u) for t in types)
+        assert res.type_value >= uniform_guarantee - 0.05
+
+    def test_interval_worst_case_at_most_type_value(self, small_interval_game, small_uncertainty):
+        """The full-interval worst case is never better than the sampled-
+        type guarantee (the types are inside the interval set)."""
+        from repro.core.worst_case import evaluate_worst_case
+
+        types = sample_attacker_types(small_uncertainty, 5, seed=6)
+        res = solve_worst_type(small_interval_game, types, num_starts=4, seed=7)
+        full = evaluate_worst_case(small_interval_game, small_uncertainty, res.strategy)
+        assert full.value <= res.type_value + 1e-6
+
+    def test_empty_types_rejected(self, small_interval_game):
+        with pytest.raises(ValueError, match="at least one"):
+            solve_worst_type(small_interval_game, [])
+
+    def test_type_target_mismatch(self, small_interval_game, small_uncertainty):
+        from repro.game.generator import random_game
+
+        other = random_game(9, seed=0)
+        bad_type = SUQR(other.payoffs, (-2.0, 0.5, 0.5))
+        with pytest.raises(ValueError, match="targets"):
+            solve_worst_type(small_interval_game, [bad_type])
+
+    def test_deterministic(self, small_interval_game, small_uncertainty):
+        types = sample_attacker_types(small_uncertainty, 3, seed=8)
+        a = solve_worst_type(small_interval_game, types, num_starts=3, seed=9)
+        b = solve_worst_type(small_interval_game, types, num_starts=3, seed=9)
+        np.testing.assert_allclose(a.strategy, b.strategy)

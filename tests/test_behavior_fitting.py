@@ -1,0 +1,142 @@
+"""Unit tests for repro.behavior.fitting (MLE + bootstrap intervals)."""
+
+import numpy as np
+import pytest
+
+from repro.behavior.fitting import (
+    AttackLog,
+    bootstrap_weight_boxes,
+    fit_suqr,
+    simulate_attacks,
+)
+from repro.behavior.suqr import SUQR, SUQRWeights
+from repro.game.generator import random_game
+
+
+@pytest.fixture(scope="module")
+def fitting_setup():
+    game = random_game(5, num_resources=2, seed=11)
+    truth = SUQR(game.payoffs, SUQRWeights(-3.0, 0.8, 0.5))
+    strategies = game.strategy_space.random_batch(40, seed=4)
+    log = simulate_attacks(truth, strategies, attacks_per_strategy=25, seed=5)
+    return game, truth, log
+
+
+class TestAttackLog:
+    def test_construction(self):
+        log = AttackLog(np.array([[0.5, 0.5]]), np.array([1]))
+        assert log.num_observations == 1 and log.num_targets == 2
+
+    def test_target_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            AttackLog(np.array([[0.5, 0.5]]), np.array([2]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            AttackLog(np.zeros((0, 2)), np.zeros(0, dtype=int))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="matching"):
+            AttackLog(np.zeros((2, 3)), np.array([0]))
+
+    def test_resample_preserves_shape(self, fitting_setup):
+        _, _, log = fitting_setup
+        boot = log.resample(seed=0)
+        assert boot.num_observations == log.num_observations
+        assert boot.num_targets == log.num_targets
+
+    def test_resample_deterministic(self, fitting_setup):
+        _, _, log = fitting_setup
+        a = log.resample(seed=3)
+        b = log.resample(seed=3)
+        np.testing.assert_array_equal(a.targets, b.targets)
+
+
+class TestSimulateAttacks:
+    def test_shapes(self, fitting_setup):
+        game, truth, _ = fitting_setup
+        strategies = game.strategy_space.random_batch(3, seed=0)
+        log = simulate_attacks(truth, strategies, attacks_per_strategy=4, seed=0)
+        assert log.num_observations == 12
+        assert log.num_targets == 5
+
+    def test_hits_follow_model(self, fitting_setup):
+        """With many samples, empirical frequencies approach q(x)."""
+        game, truth, _ = fitting_setup
+        x = game.strategy_space.uniform()
+        log = simulate_attacks(truth, x[None, :], attacks_per_strategy=6000, seed=1)
+        counts = np.bincount(log.targets, minlength=5) / log.num_observations
+        np.testing.assert_allclose(counts, truth.choice_probabilities(x), atol=0.03)
+
+    def test_validation(self, fitting_setup):
+        _, truth, _ = fitting_setup
+        with pytest.raises(ValueError, match="2-D"):
+            simulate_attacks(truth, np.zeros(5))
+        with pytest.raises(ValueError, match="attacks_per_strategy"):
+            simulate_attacks(truth, np.zeros((1, 5)), attacks_per_strategy=0)
+
+
+class TestFitSUQR:
+    def test_recovers_truth_with_data(self, fitting_setup):
+        game, truth, log = fitting_setup
+        fitted = fit_suqr(game.payoffs, log)
+        np.testing.assert_allclose(
+            fitted.as_array(), truth.weights.as_array(), atol=0.5
+        )
+
+    def test_fitted_likelihood_beats_wrong_weights(self, fitting_setup):
+        game, _, log = fitting_setup
+        fitted = fit_suqr(game.payoffs, log)
+        good = SUQR(game.payoffs, fitted).log_likelihood(log.coverages, log.targets)
+        bad = SUQR(game.payoffs, SUQRWeights(-0.1, 0.05, 0.05)).log_likelihood(
+            log.coverages, log.targets
+        )
+        assert good > bad
+
+    def test_target_count_mismatch(self, fitting_setup):
+        _, _, log = fitting_setup
+        other = random_game(7, seed=0)
+        with pytest.raises(ValueError, match="targets"):
+            fit_suqr(other.payoffs, log)
+
+    def test_w1_clipped_nonpositive(self, fitting_setup):
+        game, _, log = fitting_setup
+        fitted = fit_suqr(game.payoffs, log)
+        assert fitted.w1 <= 0.0
+
+
+class TestBootstrapWeightBoxes:
+    def test_boxes_contain_mle(self, fitting_setup):
+        game, _, log = fitting_setup
+        mle = fit_suqr(game.payoffs, log)
+        b1, b2, b3 = bootstrap_weight_boxes(
+            game.payoffs, log, num_bootstrap=12, seed=0
+        )
+        # Percentile intervals of the bootstrap distribution usually cover
+        # the point MLE; allow generous slack for the small replicate count.
+        assert b1.lo - 1.0 <= mle.w1 <= b1.hi + 1.0
+        assert b2.lo - 0.5 <= mle.w2 <= b2.hi + 0.5
+        assert b3.lo - 0.5 <= mle.w3 <= b3.hi + 0.5
+
+    def test_more_data_narrower_boxes(self, fitting_setup):
+        game, truth, _ = fitting_setup
+        strategies = game.strategy_space.random_batch(40, seed=8)
+        small = simulate_attacks(truth, strategies[:6], attacks_per_strategy=5, seed=9)
+        large = simulate_attacks(truth, strategies, attacks_per_strategy=50, seed=9)
+        boxes_small = bootstrap_weight_boxes(game.payoffs, small, num_bootstrap=10, seed=1)
+        boxes_large = bootstrap_weight_boxes(game.payoffs, large, num_bootstrap=10, seed=1)
+        total_small = sum(b.halfwidth for b in boxes_small)
+        total_large = sum(b.halfwidth for b in boxes_large)
+        assert total_large < total_small
+
+    def test_parameter_validation(self, fitting_setup):
+        game, _, log = fitting_setup
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_weight_boxes(game.payoffs, log, confidence=1.5)
+        with pytest.raises(ValueError, match="num_bootstrap"):
+            bootstrap_weight_boxes(game.payoffs, log, num_bootstrap=1)
+
+    def test_w1_box_nonpositive(self, fitting_setup):
+        game, _, log = fitting_setup
+        b1, _, _ = bootstrap_weight_boxes(game.payoffs, log, num_bootstrap=8, seed=2)
+        assert b1.hi <= 0.0

@@ -1,0 +1,288 @@
+"""Unit and property tests for repro.behavior.interval."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.behavior.interval import (
+    FunctionIntervalModel,
+    IntervalSUQR,
+    WeightBox,
+)
+from repro.game.payoffs import IntervalPayoffs
+
+
+class TestWeightBox:
+    def test_construction(self):
+        b = WeightBox(-2.0, 1.0)
+        assert b.lo == -2.0 and b.hi == 1.0
+
+    def test_crossed_rejected(self):
+        with pytest.raises(ValueError, match="lo <= hi"):
+            WeightBox(1.0, -1.0)
+
+    def test_mid_and_halfwidth(self):
+        b = WeightBox(-4.0, -2.0)
+        assert b.mid == -3.0 and b.halfwidth == 1.0
+
+    def test_scaled(self):
+        b = WeightBox(-4.0, -2.0).scaled(0.5)
+        assert b.lo == -3.5 and b.hi == -2.5
+
+    def test_scaled_zero_collapses(self):
+        b = WeightBox(-4.0, -2.0).scaled(0.0)
+        assert b.lo == b.hi == -3.0
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError, match="factor"):
+            WeightBox(0.0, 1.0).scaled(-1.0)
+
+    def test_sample_in_box(self):
+        b = WeightBox(0.2, 0.8)
+        for seed in range(10):
+            assert 0.2 <= b.sample(seed) <= 0.8
+
+    def test_product_range_exact(self):
+        b = WeightBox(0.4, 0.9)
+        lo, hi = b.product_range(np.array([-7.0]), np.array([-3.0]))
+        assert lo[0] == pytest.approx(0.9 * -7.0)
+        assert hi[0] == pytest.approx(0.4 * -3.0)
+
+    @given(
+        st.floats(-3, 3), st.floats(0, 2), st.floats(-3, 3), st.floats(0, 2),
+        st.floats(0, 1), st.floats(0, 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_product_range_contains_samples(self, a, da, b, db, ta, tb):
+        box = WeightBox(a, a + da)
+        y_lo, y_hi = b, b + db
+        lo, hi = box.product_range(np.array([y_lo]), np.array([y_hi]))
+        w = a + ta * da
+        y = y_lo + tb * db
+        assert lo[0] - 1e-9 <= w * y <= hi[0] + 1e-9
+
+
+def paper_interval_payoffs():
+    return IntervalPayoffs.zero_sum_midpoint(
+        attacker_reward_lo=[1.0, 5.0],
+        attacker_reward_hi=[5.0, 9.0],
+        attacker_penalty_lo=[-7.0, -9.0],
+        attacker_penalty_hi=[-3.0, -5.0],
+    )
+
+
+class TestIntervalSUQREndpoint:
+    def setup_method(self):
+        self.model = IntervalSUQR(
+            paper_interval_payoffs(), w1=(-6.0, -2.0), w2=(0.5, 1.0), w3=(0.4, 0.9)
+        )
+
+    def test_paper_lower_bound_value(self):
+        """Section III: L_1(0.3) = e^{-4.1}."""
+        lo = self.model.lower(np.array([0.3, 0.0]))
+        assert lo[0] == pytest.approx(np.exp(-4.1))
+
+    def test_paper_upper_bound_value(self):
+        """Section III: U_1(0.3) = e^{1.7}."""
+        hi = self.model.upper(np.array([0.3, 0.0]))
+        assert hi[0] == pytest.approx(np.exp(1.7))
+
+    def test_bounds_ordered_everywhere(self):
+        self.model.validate()
+
+    def test_grid_matches_pointwise(self):
+        pts = np.linspace(0, 1, 11)
+        lo_grid = self.model.lower_on_grid(pts)
+        for j, p in enumerate(pts):
+            np.testing.assert_allclose(
+                lo_grid[:, j], self.model.lower(np.full(2, p))
+            )
+
+    def test_positive_w1_hi_rejected(self):
+        with pytest.raises(ValueError, match="w1"):
+            IntervalSUQR(paper_interval_payoffs(), w1=(-1.0, 0.5), w2=(0.5, 1.0), w3=(0.4, 0.9))
+
+    def test_bad_convention_rejected(self):
+        with pytest.raises(ValueError, match="convention"):
+            IntervalSUQR(
+                paper_interval_payoffs(),
+                w1=(-2.0, -1.0), w2=(0.5, 1.0), w3=(0.4, 0.9),
+                convention="loose",
+            )
+
+    def test_crossed_endpoint_interval_detected(self):
+        """Deep negative penalties make the endpoint rule cross: the
+        constructor must refuse rather than produce L > U."""
+        payoffs = IntervalPayoffs.zero_sum_midpoint(
+            attacker_reward_lo=[1.0],
+            attacker_reward_hi=[1.1],
+            attacker_penalty_lo=[-10.0],
+            attacker_penalty_hi=[-9.9],
+        )
+        with pytest.raises(ValueError, match="tight"):
+            IntervalSUQR(payoffs, w1=(-2.0, -1.0), w2=(0.5, 0.6), w3=(0.1, 0.9))
+
+    def test_lipschitz_bounds_are_valid(self):
+        lips_l, lips_u = self.model.lipschitz_bounds()
+        grid = np.linspace(0, 1, 201)
+        lo = self.model.lower_on_grid(grid)
+        hi = self.model.upper_on_grid(grid)
+        dl = np.abs(np.diff(lo, axis=1)).max(axis=1) / (grid[1] - grid[0])
+        du = np.abs(np.diff(hi, axis=1)).max(axis=1) / (grid[1] - grid[0])
+        assert np.all(lips_l >= dl - 1e-9)
+        assert np.all(lips_u >= du - 1e-9)
+
+    def test_midpoint_model_weights(self):
+        mid = self.model.midpoint_model()
+        assert mid.weights.w1 == pytest.approx(-4.0)
+        assert mid.weights.w2 == pytest.approx(0.75)
+        assert mid.weights.w3 == pytest.approx(0.65)
+
+    def test_sample_model_within_set(self):
+        """Sampled models' F must lie inside the *tight* intervals."""
+        tight = IntervalSUQR(
+            paper_interval_payoffs(),
+            w1=(-6.0, -2.0), w2=(0.5, 1.0), w3=(0.4, 0.9),
+            convention="tight",
+        )
+        x = np.array([0.4, 0.6])
+        lo, hi = tight.lower(x), tight.upper(x)
+        for seed in range(10):
+            f = tight.sample_model(seed).attack_weights(x)
+            assert np.all(f >= lo * (1 - 1e-9))
+            assert np.all(f <= hi * (1 + 1e-9))
+
+    def test_scaled_uncertainty_shrinks(self):
+        """Under the *tight* convention a narrower weight box nests inside
+        the wider one (endpoint is not monotone under scaling — see the
+        module docstring on its non-conservative lower end)."""
+        tight = IntervalSUQR(
+            paper_interval_payoffs(),
+            w1=(-6.0, -2.0), w2=(0.5, 1.0), w3=(0.4, 0.9),
+            convention="tight",
+        )
+        narrower = tight.with_scaled_uncertainty(0.5)
+        x = np.array([0.3, 0.7])
+        assert np.all(narrower.lower(x) >= tight.lower(x) - 1e-12)
+        assert np.all(narrower.upper(x) <= tight.upper(x) + 1e-12)
+
+    def test_scaled_to_zero_collapses(self):
+        point = self.model.with_scaled_uncertainty(0.0)
+        x = np.array([0.3, 0.7])
+        # Weight boxes collapse; payoff intervals remain, so L < U still,
+        # but the band must be strictly narrower than the original.
+        band_orig = self.model.upper(x) / self.model.lower(x)
+        band_new = point.upper(x) / point.lower(x)
+        assert np.all(band_new < band_orig)
+
+
+class TestIntervalSUQRTight:
+    def setup_method(self):
+        self.endpoint = IntervalSUQR(
+            paper_interval_payoffs(), w1=(-6.0, -2.0), w2=(0.5, 1.0), w3=(0.4, 0.9)
+        )
+        self.tight = IntervalSUQR(
+            paper_interval_payoffs(),
+            w1=(-6.0, -2.0), w2=(0.5, 1.0), w3=(0.4, 0.9),
+            convention="tight",
+        )
+
+    def test_tight_contains_endpoint_band(self):
+        """The tight set is the exact range; the endpoint rule's band must
+        lie inside-or-equal on the upper end and its lower end can only be
+        *above* the tight lower bound (endpoint is not conservative)."""
+        x = np.array([0.25, 0.75])
+        assert np.all(self.tight.lower(x) <= self.endpoint.lower(x) + 1e-12)
+        assert np.all(self.tight.upper(x) >= self.endpoint.upper(x) - 1e-12)
+
+    def test_tight_validates(self):
+        self.tight.validate()
+
+    def test_tight_contains_all_corner_models(self):
+        import itertools
+
+        x = np.array([0.4, 0.6])
+        lo, hi = self.tight.lower(x), self.tight.upper(x)
+        p = paper_interval_payoffs()
+        for w1 in (-6.0, -2.0):
+            for w2, w3 in itertools.product((0.5, 1.0), (0.4, 0.9)):
+                for r, pen in itertools.product(
+                    (p.attacker_reward_lo, p.attacker_reward_hi),
+                    (p.attacker_penalty_lo, p.attacker_penalty_hi),
+                ):
+                    f = np.exp(w1 * x + w2 * r + w3 * pen)
+                    assert np.all(f >= lo * (1 - 1e-9))
+                    assert np.all(f <= hi * (1 + 1e-9))
+
+    def test_convention_property(self):
+        assert self.endpoint.convention == "endpoint"
+        assert self.tight.convention == "tight"
+
+
+class TestFunctionIntervalModel:
+    def make(self):
+        consts = np.array([1.0, 2.0])
+
+        def lower_fn(p):
+            return np.exp(-2.0 * p[None, :]) * consts[:, None]
+
+        def upper_fn(p):
+            return np.exp(-1.0 * p[None, :]) * (consts[:, None] + 1.0)
+
+        return FunctionIntervalModel(2, lower_fn, upper_fn)
+
+    def test_construction_validates(self):
+        model = self.make()
+        assert model.num_targets == 2
+
+    def test_pointwise_evaluation(self):
+        model = self.make()
+        x = np.array([0.5, 0.25])
+        np.testing.assert_allclose(
+            model.lower(x), np.exp(-2 * x) * np.array([1.0, 2.0])
+        )
+        np.testing.assert_allclose(
+            model.upper(x), np.exp(-1 * x) * np.array([2.0, 3.0])
+        )
+
+    def test_increasing_bound_rejected(self):
+        def bad_lower(p):
+            return np.exp(+1.0 * p[None, :]) * np.ones((2, len(p)))
+
+        def upper_fn(p):
+            return np.exp(+2.0 * p[None, :]) * np.ones((2, len(p)))
+
+        with pytest.raises(ValueError, match="non-increasing"):
+            FunctionIntervalModel(2, bad_lower, upper_fn)
+
+    def test_negative_bound_rejected(self):
+        def neg(p):
+            return -np.ones((2, len(p)))
+
+        with pytest.raises(ValueError, match="positive"):
+            FunctionIntervalModel(2, neg, neg)
+
+    def test_crossed_bounds_rejected(self):
+        def lo(p):
+            return 2.0 * np.exp(-p[None, :]) * np.ones((2, 1))
+
+        def hi(p):
+            return 1.0 * np.exp(-p[None, :]) * np.ones((2, 1))
+
+        with pytest.raises(ValueError, match="exceeds"):
+            FunctionIntervalModel(2, lo, hi)
+
+    def test_bad_shape_rejected(self):
+        def wrong(p):
+            return np.ones((3, len(p)))
+
+        with pytest.raises(ValueError, match="shape"):
+            FunctionIntervalModel(2, wrong, wrong)
+
+    def test_default_lipschitz_estimate(self):
+        model = self.make()
+        dl, du = model.lipschitz_bounds()
+        # |d/dx e^{-2x}| peaks at x=0 with value 2 (times the constant).
+        assert dl[0] == pytest.approx(2.0, rel=0.05)
+        assert dl[1] == pytest.approx(4.0, rel=0.05)

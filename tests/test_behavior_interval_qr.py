@@ -1,0 +1,122 @@
+"""Unit tests for repro.behavior.interval_qr."""
+
+import numpy as np
+import pytest
+
+from repro.behavior.interval_qr import IntervalQR
+from repro.behavior.qr import QuantalResponse
+from repro.core.cubis import solve_cubis
+from repro.game.payoffs import IntervalPayoffs
+from repro.game.ssg import IntervalSecurityGame
+
+
+def make_payoffs():
+    return IntervalPayoffs.zero_sum_midpoint(
+        attacker_reward_lo=[2.0, 4.0, 1.0],
+        attacker_reward_hi=[3.0, 5.0, 2.0],
+        attacker_penalty_lo=[-4.0, -6.0, -2.0],
+        attacker_penalty_hi=[-3.0, -5.0, -1.0],
+    )
+
+
+class TestIntervalQR:
+    def setup_method(self):
+        self.model = IntervalQR(make_payoffs(), rationality=(0.2, 0.8))
+
+    def test_validates_as_uncertainty_model(self):
+        self.model.validate()
+
+    def test_negative_rationality_rejected(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            IntervalQR(make_payoffs(), rationality=(-0.5, 0.5))
+
+    def test_accepts_weightbox(self):
+        from repro.behavior.interval import WeightBox
+
+        m = IntervalQR(make_payoffs(), WeightBox(0.1, 0.3))
+        assert m.rationality_box.lo == 0.1
+
+    def test_grid_matches_pointwise(self):
+        pts = np.linspace(0, 1, 9)
+        lo_grid = self.model.lower_on_grid(pts)
+        hi_grid = self.model.upper_on_grid(pts)
+        for j, p in enumerate(pts):
+            x = np.full(3, p)
+            np.testing.assert_allclose(lo_grid[:, j], self.model.lower(x))
+            np.testing.assert_allclose(hi_grid[:, j], self.model.upper(x))
+
+    def test_contains_all_corner_models(self, rng):
+        """Random (lambda, payoff) draws stay inside the band."""
+        p = make_payoffs()
+        x = np.array([0.3, 0.5, 0.1])
+        lo, hi = self.model.lower(x), self.model.upper(x)
+        for _ in range(30):
+            lam = rng.uniform(0.2, 0.8)
+            reward = rng.uniform(p.attacker_reward_lo, p.attacker_reward_hi)
+            penalty = rng.uniform(p.attacker_penalty_lo, p.attacker_penalty_hi)
+            ua = x * penalty + (1 - x) * reward
+            f = np.exp(lam * ua)
+            assert np.all(f >= lo * (1 - 1e-9))
+            assert np.all(f <= hi * (1 + 1e-9))
+
+    def test_negative_utility_corner_handling(self):
+        """When the attacker utility is negative (high coverage), the lower
+        bound must use the *large* lambda — checks the min() corner logic."""
+        model = IntervalQR(make_payoffs(), rationality=(0.5, 2.0))
+        x = np.ones(3)  # full coverage: U^a = P^a < 0
+        u = make_payoffs().attacker_penalty_lo
+        np.testing.assert_allclose(model.lower(x), np.exp(2.0 * u))
+
+    def test_lipschitz_bounds_valid(self):
+        lips_l, lips_u = self.model.lipschitz_bounds()
+        grid = np.linspace(0, 1, 201)
+        lo = self.model.lower_on_grid(grid)
+        hi = self.model.upper_on_grid(grid)
+        dl = np.abs(np.diff(lo, axis=1)).max(axis=1) / (grid[1] - grid[0])
+        du = np.abs(np.diff(hi, axis=1)).max(axis=1) / (grid[1] - grid[0])
+        assert np.all(lips_l >= dl - 1e-9)
+        assert np.all(lips_u >= du - 1e-9)
+
+    def test_midpoint_model(self):
+        mid = self.model.midpoint_model()
+        assert isinstance(mid, QuantalResponse)
+        assert mid.rationality == pytest.approx(0.5)
+
+    def test_sample_model_in_band(self):
+        x = np.array([0.2, 0.6, 0.4])
+        lo, hi = self.model.lower(x), self.model.upper(x)
+        for seed in range(10):
+            f = self.model.sample_model(seed).attack_weights(x)
+            assert np.all(f >= lo * (1 - 1e-9))
+            assert np.all(f <= hi * (1 + 1e-9))
+
+    def test_scaled_uncertainty_nests(self):
+        narrower = self.model.with_scaled_uncertainty(0.5)
+        x = np.array([0.3, 0.3, 0.3])
+        assert np.all(narrower.lower(x) >= self.model.lower(x) - 1e-12)
+        assert np.all(narrower.upper(x) <= self.model.upper(x) + 1e-12)
+
+    def test_scaling_clips_at_zero(self):
+        m = IntervalQR(make_payoffs(), rationality=(0.0, 1.0))
+        wide = m.with_scaled_uncertainty(3.0)
+        assert wide.rationality_box.lo == 0.0
+
+
+class TestIntervalQRWithCubis:
+    def test_cubis_accepts_interval_qr(self):
+        payoffs = make_payoffs()
+        game = IntervalSecurityGame(payoffs, num_resources=1)
+        model = IntervalQR(payoffs, rationality=(0.3, 1.2))
+        result = solve_cubis(game, model, num_segments=10, epsilon=0.01)
+        assert game.strategy_space.contains(result.strategy, atol=1e-6)
+        assert np.isfinite(result.worst_case_value)
+
+    def test_robust_beats_uniform(self):
+        from repro.core.worst_case import evaluate_worst_case
+
+        payoffs = make_payoffs()
+        game = IntervalSecurityGame(payoffs, num_resources=1)
+        model = IntervalQR(payoffs, rationality=(0.3, 1.2))
+        result = solve_cubis(game, model, num_segments=15, epsilon=0.005)
+        uniform = evaluate_worst_case(game, model, game.strategy_space.uniform())
+        assert result.worst_case_value >= uniform.value - 0.03

@@ -1,0 +1,87 @@
+"""Tests for the attacker population mixture model."""
+
+import numpy as np
+import pytest
+
+from repro.behavior.population import PopulationModel
+from repro.behavior.sampling import sample_attacker_types
+
+
+@pytest.fixture
+def types(small_uncertainty):
+    return sample_attacker_types(small_uncertainty, 3, seed=0)
+
+
+class TestPopulationModel:
+    def test_uniform_default_weights(self, types):
+        pop = PopulationModel(types)
+        np.testing.assert_allclose(pop.mixture_weights, 1 / 3)
+        assert pop.num_types == 3
+        assert pop.num_targets == 4
+
+    def test_choice_probabilities_are_mixture(self, types):
+        weights = np.array([0.5, 0.3, 0.2])
+        pop = PopulationModel(types, weights)
+        x = np.array([0.2, 0.4, 0.1, 0.3])
+        expected = sum(
+            w * t.choice_probabilities(x) for w, t in zip(weights, types)
+        )
+        np.testing.assert_allclose(pop.choice_probabilities(x), expected)
+
+    def test_probabilities_normalised(self, types):
+        pop = PopulationModel(types)
+        q = pop.choice_probabilities(np.array([0.3, 0.3, 0.2, 0.2]))
+        assert q.sum() == pytest.approx(1.0)
+        assert np.all(q > 0)
+
+    def test_single_type_degenerates(self, types):
+        pop = PopulationModel([types[0]])
+        x = np.array([0.1, 0.2, 0.3, 0.4])
+        np.testing.assert_allclose(
+            pop.choice_probabilities(x), types[0].choice_probabilities(x)
+        )
+
+    def test_expected_defender_utility_mixes(self, types, small_interval_game):
+        pop = PopulationModel(types)
+        x = small_interval_game.strategy_space.uniform()
+        ud = small_interval_game.defender_utilities(x)
+        expected = np.mean([t.expected_defender_utility(ud, x) for t in types])
+        assert pop.expected_defender_utility(ud, x) == pytest.approx(expected)
+
+    def test_usable_in_worst_type_baseline(self, types, small_interval_game):
+        """Populations slot into any solver that only consumes expected
+        utilities."""
+        from repro.baselines.worst_type import solve_worst_type
+
+        pops = [PopulationModel(types[:2]), PopulationModel(types[1:])]
+        res = solve_worst_type(small_interval_game, pops, num_starts=3, seed=1)
+        assert small_interval_game.strategy_space.contains(res.strategy, atol=1e-5)
+
+    def test_grid_tabulation_rejected(self, types):
+        pop = PopulationModel(types)
+        with pytest.raises(NotImplementedError, match="separable"):
+            pop.weights_on_grid(np.linspace(0, 1, 5))
+
+    def test_validation(self, types):
+        with pytest.raises(ValueError, match="at least one"):
+            PopulationModel([])
+        with pytest.raises(ValueError, match="one mixture weight"):
+            PopulationModel(types, [0.5, 0.5])
+        with pytest.raises(ValueError, match="sum to"):
+            PopulationModel(types, [0.5, 0.3, 0.3])
+
+    def test_target_mismatch_rejected(self, types):
+        from repro.behavior.suqr import SUQR
+        from repro.game.generator import random_game
+
+        other = random_game(7, seed=3)
+        bad = SUQR(other.payoffs, (-2.0, 0.5, 0.5))
+        with pytest.raises(ValueError, match="targets"):
+            PopulationModel([types[0], bad])
+
+    def test_log_likelihood_works(self, types):
+        pop = PopulationModel(types)
+        cov = np.tile(np.array([0.25, 0.25, 0.25, 0.25]), (3, 1))
+        hits = np.array([0, 1, 2])
+        ll = pop.log_likelihood(cov, hits)
+        assert np.isfinite(ll) and ll < 0

@@ -1,0 +1,82 @@
+"""Unit tests for repro.behavior.qr (and the DiscreteChoiceModel base)."""
+
+import numpy as np
+import pytest
+
+from repro.behavior.qr import QuantalResponse
+
+
+class TestQuantalResponse:
+    def test_zero_lambda_is_uniform(self, simple_payoffs):
+        model = QuantalResponse(simple_payoffs, rationality=0.0)
+        q = model.choice_probabilities(np.array([0.2, 0.5, 0.3]))
+        np.testing.assert_allclose(q, np.full(3, 1 / 3))
+
+    def test_high_lambda_concentrates_on_best_target(self, simple_payoffs):
+        model = QuantalResponse(simple_payoffs, rationality=25.0)
+        x = np.zeros(3)
+        ua = simple_payoffs.attacker_utilities(x)
+        q = model.choice_probabilities(x)
+        assert np.argmax(q) == np.argmax(ua)
+        assert q.max() > 0.99
+
+    def test_negative_lambda_rejected(self, simple_payoffs):
+        with pytest.raises(ValueError, match="rationality"):
+            QuantalResponse(simple_payoffs, rationality=-1.0)
+
+    def test_weights_positive(self, simple_payoffs):
+        model = QuantalResponse(simple_payoffs, rationality=0.7)
+        w = model.attack_weights(np.array([0.1, 0.9, 0.0]))
+        assert np.all(w > 0)
+
+    def test_weights_decrease_with_coverage(self, simple_payoffs):
+        model = QuantalResponse(simple_payoffs, rationality=0.7)
+        low = model.attack_weights(np.array([0.1, 0.1, 0.1]))
+        high = model.attack_weights(np.array([0.9, 0.9, 0.9]))
+        assert np.all(high < low)
+
+    def test_grid_matches_pointwise(self, simple_payoffs):
+        model = QuantalResponse(simple_payoffs, rationality=0.5)
+        pts = np.linspace(0, 1, 7)
+        grid = model.weights_on_grid(pts)
+        assert grid.shape == (3, 7)
+        for j, p in enumerate(pts):
+            x = np.full(3, p)
+            np.testing.assert_allclose(grid[:, j], model.attack_weights(x))
+
+    def test_choice_probabilities_normalised(self, simple_payoffs):
+        model = QuantalResponse(simple_payoffs, rationality=1.2)
+        q = model.choice_probabilities(np.array([0.3, 0.3, 0.4]))
+        assert q.sum() == pytest.approx(1.0)
+        assert np.all(q > 0)
+
+    def test_expected_defender_utility(self, simple_payoffs):
+        model = QuantalResponse(simple_payoffs, rationality=0.0)
+        x = np.array([0.2, 0.4, 0.4])
+        ud = simple_payoffs.defender_utilities(x)
+        val = model.expected_defender_utility(ud, x)
+        assert val == pytest.approx(ud.mean())
+
+    def test_properties(self, simple_payoffs):
+        model = QuantalResponse(simple_payoffs, rationality=0.9)
+        assert model.rationality == 0.9
+        assert model.num_targets == 3
+        assert model.payoffs is simple_payoffs
+
+
+class TestLogLikelihood:
+    def test_matches_manual_computation(self, simple_payoffs):
+        model = QuantalResponse(simple_payoffs, rationality=0.5)
+        cov = np.array([[0.2, 0.4, 0.4], [0.5, 0.3, 0.2]])
+        hits = np.array([0, 2])
+        manual = sum(
+            np.log(model.choice_probabilities(cov[i])[hits[i]]) for i in range(2)
+        )
+        assert model.log_likelihood(cov, hits) == pytest.approx(manual)
+
+    def test_shape_validation(self, simple_payoffs):
+        model = QuantalResponse(simple_payoffs, rationality=0.5)
+        with pytest.raises(ValueError, match="2-D"):
+            model.log_likelihood(np.zeros(3), np.array([0]))
+        with pytest.raises(ValueError, match="equal length"):
+            model.log_likelihood(np.zeros((2, 3)), np.array([0]))

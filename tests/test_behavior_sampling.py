@@ -1,0 +1,79 @@
+"""Unit tests for repro.behavior.sampling."""
+
+import numpy as np
+import pytest
+
+from repro.behavior.sampling import corner_attacker_types, sample_attacker_types
+
+
+class TestSampleAttackerTypes:
+    def test_count(self, small_uncertainty):
+        types = sample_attacker_types(small_uncertainty, 5, seed=0)
+        assert len(types) == 5
+
+    def test_zero_rejected(self, small_uncertainty):
+        with pytest.raises(ValueError, match=">= 1"):
+            sample_attacker_types(small_uncertainty, 0)
+
+    def test_deterministic(self, small_uncertainty):
+        a = sample_attacker_types(small_uncertainty, 3, seed=7)
+        b = sample_attacker_types(small_uncertainty, 3, seed=7)
+        for ma, mb in zip(a, b):
+            assert ma.weights == mb.weights
+
+    def test_weights_in_boxes(self, small_uncertainty):
+        w1, w2, w3 = small_uncertainty.weight_boxes
+        for model in sample_attacker_types(small_uncertainty, 10, seed=1):
+            assert w1.lo <= model.weights.w1 <= w1.hi
+            assert w2.lo <= model.weights.w2 <= w2.hi
+            assert w3.lo <= model.weights.w3 <= w3.hi
+
+    def test_payoffs_in_intervals(self, small_uncertainty):
+        p = small_uncertainty.payoffs
+        for model in sample_attacker_types(small_uncertainty, 10, seed=2):
+            assert np.all(model.payoffs.attacker_reward >= p.attacker_reward_lo)
+            assert np.all(model.payoffs.attacker_reward <= p.attacker_reward_hi)
+            assert np.all(model.payoffs.attacker_penalty >= p.attacker_penalty_lo)
+            assert np.all(model.payoffs.attacker_penalty <= p.attacker_penalty_hi)
+
+    def test_types_inside_tight_band(self, small_uncertainty):
+        """Every sampled type's F must lie in the tight uncertainty band."""
+        x = np.full(small_uncertainty.num_targets, 0.3)
+        lo = small_uncertainty.lower(x)
+        hi = small_uncertainty.upper(x)
+        for model in sample_attacker_types(small_uncertainty, 8, seed=3):
+            f = model.attack_weights(x)
+            assert np.all(f >= lo * (1 - 1e-9))
+            assert np.all(f <= hi * (1 + 1e-9))
+
+
+class TestCornerAttackerTypes:
+    def test_count_with_midpoint(self, small_uncertainty):
+        types = corner_attacker_types(small_uncertainty)
+        assert len(types) == 9  # 8 corners + midpoint
+
+    def test_count_without_midpoint(self, small_uncertainty):
+        types = corner_attacker_types(small_uncertainty, include_midpoint=False)
+        assert len(types) == 8
+
+    def test_corners_use_extreme_weights(self, small_uncertainty):
+        w1, w2, w3 = small_uncertainty.weight_boxes
+        corner_w1 = {m.weights.w1 for m in corner_attacker_types(small_uncertainty, include_midpoint=False)}
+        assert corner_w1 == {w1.lo, w1.hi}
+
+    def test_all_lo_corner_uses_lo_payoffs(self, small_uncertainty):
+        p = small_uncertainty.payoffs
+        w1, w2, w3 = small_uncertainty.weight_boxes
+        types = corner_attacker_types(small_uncertainty, include_midpoint=False)
+        all_lo = [
+            m
+            for m in types
+            if m.weights.w1 == w1.lo and m.weights.w2 == w2.lo and m.weights.w3 == w3.lo
+        ]
+        assert len(all_lo) == 1
+        np.testing.assert_array_equal(all_lo[0].payoffs.attacker_reward, p.attacker_reward_lo)
+
+    def test_defender_payoffs_preserved(self, small_uncertainty):
+        p = small_uncertainty.payoffs
+        for m in corner_attacker_types(small_uncertainty):
+            np.testing.assert_array_equal(m.payoffs.defender_reward, p.defender_reward)

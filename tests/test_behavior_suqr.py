@@ -1,0 +1,103 @@
+"""Unit tests for repro.behavior.suqr."""
+
+import numpy as np
+import pytest
+
+from repro.behavior.suqr import SUQR, SUQRWeights
+
+
+class TestSUQRWeights:
+    def test_construction(self):
+        w = SUQRWeights(-2.0, 0.5, 0.4)
+        assert (w.w1, w.w2, w.w3) == (-2.0, 0.5, 0.4)
+
+    def test_positive_w1_rejected(self):
+        with pytest.raises(ValueError, match="w1"):
+            SUQRWeights(1.0, 0.5, 0.4)
+
+    def test_zero_w1_allowed(self):
+        assert SUQRWeights(0.0, 0.5, 0.4).w1 == 0.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            SUQRWeights(-1.0, float("nan"), 0.4)
+
+    def test_as_array(self):
+        np.testing.assert_array_equal(
+            SUQRWeights(-3.0, 0.7, 0.2).as_array(), [-3.0, 0.7, 0.2]
+        )
+
+    def test_frozen(self):
+        w = SUQRWeights(-1.0, 0.5, 0.5)
+        with pytest.raises(AttributeError):
+            w.w1 = -2.0
+
+
+class TestSUQR:
+    def test_accepts_tuple_weights(self, simple_payoffs):
+        model = SUQR(simple_payoffs, (-2.0, 0.5, 0.4))
+        assert isinstance(model.weights, SUQRWeights)
+
+    def test_subjective_utilities_formula(self, simple_payoffs):
+        w = SUQRWeights(-2.0, 0.5, 0.4)
+        model = SUQR(simple_payoffs, w)
+        x = np.array([0.3, 0.1, 0.6])
+        expected = (
+            w.w1 * x
+            + w.w2 * simple_payoffs.attacker_reward
+            + w.w3 * simple_payoffs.attacker_penalty
+        )
+        np.testing.assert_allclose(model.subjective_utilities(x), expected)
+
+    def test_attack_weights_exponential(self, simple_payoffs):
+        model = SUQR(simple_payoffs, (-2.0, 0.5, 0.4))
+        x = np.array([0.3, 0.1, 0.6])
+        np.testing.assert_allclose(
+            model.attack_weights(x), np.exp(model.subjective_utilities(x))
+        )
+
+    def test_paper_section3_numbers(self):
+        """The paper's example: L_1(0.3) = e^{-4.1} with the lower-end
+        parameters on the Table I payoffs."""
+        from repro.game.payoffs import PayoffMatrix
+
+        payoffs = PayoffMatrix(
+            defender_reward=[5.0, 7.0],
+            defender_penalty=[-6.0, -10.0],
+            attacker_reward=[1.0, 5.0],
+            attacker_penalty=[-7.0, -9.0],
+        )
+        model = SUQR(payoffs, (-6.0, 0.5, 0.4))
+        w = model.attack_weights(np.array([0.3, 0.0]))
+        assert w[0] == pytest.approx(np.exp(-4.1))
+
+    def test_weights_decrease_with_coverage(self, simple_payoffs):
+        model = SUQR(simple_payoffs, (-3.0, 0.8, 0.5))
+        grid = model.weights_on_grid(np.linspace(0, 1, 9))
+        assert np.all(np.diff(grid, axis=1) < 0)
+
+    def test_zero_w1_coverage_independent(self, simple_payoffs):
+        model = SUQR(simple_payoffs, (0.0, 0.8, 0.5))
+        grid = model.weights_on_grid(np.linspace(0, 1, 5))
+        np.testing.assert_allclose(grid, np.repeat(grid[:, :1], 5, axis=1))
+
+    def test_grid_matches_pointwise(self, simple_payoffs):
+        model = SUQR(simple_payoffs, (-2.5, 0.6, 0.3))
+        pts = np.linspace(0, 1, 6)
+        grid = model.weights_on_grid(pts)
+        for j, p in enumerate(pts):
+            np.testing.assert_allclose(grid[:, j], model.attack_weights(np.full(3, p)))
+
+    def test_choice_probabilities_sum_to_one(self, simple_payoffs):
+        model = SUQR(simple_payoffs, (-2.0, 0.5, 0.4))
+        q = model.choice_probabilities(np.array([0.5, 0.2, 0.3]))
+        assert q.sum() == pytest.approx(1.0)
+
+    def test_higher_reward_attracts(self, simple_payoffs):
+        """At uniform coverage, the target with the highest subjective
+        utility receives the largest attack probability."""
+        model = SUQR(simple_payoffs, (-2.0, 0.9, 0.1))
+        x = np.full(3, 1 / 3)
+        q = model.choice_probabilities(x)
+        su = model.subjective_utilities(x)
+        assert np.argmax(q) == np.argmax(su)

@@ -1,0 +1,81 @@
+"""Tests for the CLI experiment runner."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.segments == 25 and args.epsilon == 1e-4
+
+    def test_quality_custom(self):
+        args = build_parser().parse_args(
+            ["quality", "--targets", "4", "8", "--trials", "2", "--seed", "9"]
+        )
+        assert args.targets == [4, 8]
+        assert args.trials == 2 and args.seed == 9
+
+    def test_runtime_args(self):
+        args = build_parser().parse_args(["runtime", "--starts", "5"])
+        assert args.starts == 5
+
+    def test_intervals_scales(self):
+        args = build_parser().parse_args(["intervals", "--scales", "0", "1.5"])
+        assert args.scales == [0.0, 1.5]
+
+    def test_ablation_args(self):
+        args = build_parser().parse_args(["ablation", "--segments", "2", "4"])
+        assert args.segments == [2, 4]
+
+    def test_missing_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestMain:
+    def test_table1_runs(self, capsys):
+        code = main(["table1", "--segments", "10", "--epsilon", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "robust" in out
+
+    def test_quality_runs_small(self, capsys):
+        code = main(
+            ["quality", "--targets", "4", "--trials", "1", "--segments", "6",
+             "--epsilon", "0.1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "F1" in out and "cubis" in out
+
+    def test_intervals_runs_small(self, capsys):
+        code = main(["intervals", "--scales", "0", "1", "--targets", "4", "--trials", "1"])
+        assert code == 0
+        assert "F3" in capsys.readouterr().out
+
+
+class TestNewSubcommands:
+    def test_landscape_parser(self):
+        args = build_parser().parse_args(["landscape", "--types", "4"])
+        assert args.types == 4
+
+    def test_calibrate_parser(self):
+        args = build_parser().parse_args(["calibrate", "--grid-points", "101"])
+        assert args.grid_points == 101
+
+    def test_calibrate_runs(self, capsys):
+        code = main(["calibrate", "--grid-points", "101"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "calibration" in out and "0.46" in out
+
+    def test_report_parser(self):
+        args = build_parser().parse_args(["report", "--full", "--output", "r.md"])
+        assert args.full and args.output == "r.md"

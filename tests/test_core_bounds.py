@@ -1,0 +1,93 @@
+"""Tests for the Theorem-1 bound instantiation (repro.core.bounds)."""
+
+import numpy as np
+import pytest
+
+from repro.behavior.interval import IntervalSUQR
+from repro.core.bounds import bound_constants, certified_gap
+from repro.core.cubis import solve_cubis
+from repro.game.generator import random_interval_game, table1_game
+
+
+@pytest.fixture(scope="module")
+def setup():
+    game = table1_game()
+    uncertainty = IntervalSUQR(
+        game.payoffs, w1=(-6.0, -2.0), w2=(0.5, 1.0), w3=(0.4, 0.9)
+    )
+    return game, uncertainty
+
+
+class TestBoundConstants:
+    def test_all_positive(self, setup):
+        game, uncertainty = setup
+        c = bound_constants(game, uncertainty)
+        assert c.numerator_lipschitz > 0
+        assert c.denominator_lipschitz > 0
+        assert c.denominator_min > 0
+        assert c.numerator_max > 0
+        assert c.c1 > 0 and c.c2 > 0
+
+    def test_denominator_min_is_sum_of_l_at_one(self, setup):
+        game, uncertainty = setup
+        c = bound_constants(game, uncertainty)
+        expected = uncertainty.lower(np.ones(2)).sum()
+        assert c.denominator_min == pytest.approx(expected, rel=1e-6)
+
+    def test_target_mismatch(self, setup):
+        _, uncertainty = setup
+        other = random_interval_game(5, seed=0)
+        with pytest.raises(ValueError, match="target count"):
+            bound_constants(other, uncertainty)
+
+    def test_wider_uncertainty_larger_constants(self, setup):
+        game, _ = setup
+        narrow = IntervalSUQR(
+            game.payoffs, w1=(-4.5, -3.5), w2=(0.7, 0.8), w3=(0.6, 0.7)
+        )
+        wide = IntervalSUQR(
+            game.payoffs, w1=(-6.0, -2.0), w2=(0.5, 1.0), w3=(0.4, 0.9)
+        )
+        cn = bound_constants(game, narrow)
+        cw = bound_constants(game, wide)
+        assert cw.numerator_max >= cn.numerator_max
+
+
+class TestCertifiedGap:
+    def test_decreases_in_k(self, setup):
+        game, uncertainty = setup
+        c = bound_constants(game, uncertainty)
+        gaps = [certified_gap(c, 1e-3, k) for k in (2, 4, 8, 16, 32)]
+        assert all(gaps[i + 1] < gaps[i] for i in range(len(gaps) - 1))
+
+    def test_linear_in_epsilon(self, setup):
+        game, uncertainty = setup
+        c = bound_constants(game, uncertainty)
+        g1 = certified_gap(c, 0.1, 10)
+        g2 = certified_gap(c, 0.2, 10)
+        assert g2 - g1 == pytest.approx(0.1)
+
+    def test_one_over_k_shape(self, setup):
+        game, uncertainty = setup
+        c = bound_constants(game, uncertainty)
+        approx_term = lambda k: certified_gap(c, 1e-9, k) - 1e-9
+        assert approx_term(10) == pytest.approx(2 * approx_term(20), rel=1e-6)
+
+    def test_validation(self, setup):
+        game, uncertainty = setup
+        c = bound_constants(game, uncertainty)
+        with pytest.raises(ValueError):
+            certified_gap(c, 0.0, 10)
+        with pytest.raises(ValueError):
+            certified_gap(c, 0.1, 0)
+
+    def test_certificate_covers_measured_gap(self, setup):
+        """The certified bound must dominate the measured optimality gap
+        (Theorem 1, with the reference computed at high resolution)."""
+        game, uncertainty = setup
+        constants = bound_constants(game, uncertainty)
+        reference = solve_cubis(game, uncertainty, num_segments=50, epsilon=1e-5)
+        for k in (3, 6, 12):
+            result = solve_cubis(game, uncertainty, num_segments=k, epsilon=1e-3)
+            measured = reference.worst_case_value - result.worst_case_value
+            assert measured <= certified_gap(constants, 1e-3, k) + 1e-6

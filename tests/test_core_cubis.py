@@ -1,0 +1,178 @@
+"""Integration tests for the CUBIS solver.
+
+The key checks:
+
+* Table I reproduction (the paper's own numbers);
+* optimality against exhaustive grid search on 2-target games;
+* the Theorem-1 bracket: exact worst-case value vs ``[lb, ub]``;
+* backend equivalence (HiGHS vs our branch-and-bound);
+* quality improves (weakly) with finer K / epsilon.
+"""
+
+import numpy as np
+import pytest
+
+from repro.behavior.interval import IntervalSUQR
+from repro.core.cubis import solve_cubis
+from repro.core.worst_case import evaluate_worst_case
+from repro.game.generator import random_interval_game, table1_game
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self, ):
+        game = table1_game()
+        uncertainty = IntervalSUQR(
+            game.payoffs, w1=(-6.0, -2.0), w2=(0.5, 1.0), w3=(0.4, 0.9)
+        )
+        return solve_cubis(game, uncertainty, num_segments=25, epsilon=1e-4)
+
+    def test_robust_strategy_matches_paper(self, result):
+        np.testing.assert_allclose(result.strategy, [0.46, 0.54], atol=0.02)
+
+    def test_worst_case_value_matches_paper(self, result):
+        assert result.worst_case_value == pytest.approx(-0.90, abs=0.05)
+
+    def test_bracket_tight(self, result):
+        assert result.upper_bound - result.lower_bound <= 1e-4 + 1e-12
+
+    def test_strategy_feasible(self, result):
+        game = table1_game()
+        assert game.strategy_space.contains(result.strategy, atol=1e-6)
+
+
+class TestOptimalityOnSmallGames:
+    def brute_force(self, game, uncertainty, grid_points=401):
+        """Exhaustive search over the 1-D strategy space of a 2-target,
+        1-resource game."""
+        best_x, best_v = None, -np.inf
+        for a in np.linspace(0.0, 1.0, grid_points):
+            x = np.array([a, 1.0 - a])
+            v = evaluate_worst_case(game, uncertainty, x).value
+            if v > best_v:
+                best_v, best_x = v, x
+        return best_x, best_v
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_brute_force(self, seed):
+        game = random_interval_game(2, num_resources=1, payoff_halfwidth=0.8, seed=seed)
+        uncertainty = IntervalSUQR(
+            game.payoffs, w1=(-4.0, -2.0), w2=(0.6, 0.9), w3=(0.3, 0.6),
+            convention="tight",
+        )
+        _, best_v = self.brute_force(game, uncertainty)
+        result = solve_cubis(game, uncertainty, num_segments=30, epsilon=1e-4)
+        # Theorem 1: within O(epsilon + 1/K) of the optimum.
+        assert result.worst_case_value >= best_v - 0.05
+        # And never above it (brute force is a true upper bound up to its
+        # own grid resolution).
+        assert result.worst_case_value <= best_v + 0.01
+
+    def test_table1_brute_force_agreement(self):
+        game = table1_game()
+        uncertainty = IntervalSUQR(
+            game.payoffs, w1=(-6.0, -2.0), w2=(0.5, 1.0), w3=(0.4, 0.9)
+        )
+        bx, bv = self.brute_force(game, uncertainty)
+        result = solve_cubis(game, uncertainty, num_segments=30, epsilon=1e-4)
+        assert result.worst_case_value == pytest.approx(bv, abs=0.03)
+        np.testing.assert_allclose(result.strategy, bx, atol=0.03)
+
+
+class TestBracketSemantics:
+    def test_exact_value_consistent_with_bracket(self, small_interval_game, small_uncertainty):
+        result = solve_cubis(
+            small_interval_game, small_uncertainty, num_segments=20, epsilon=1e-3
+        )
+        # Lemma 2: the exact worst case of the returned strategy is at
+        # least lb - O(1/K); Lemma 3 bounds the optimum by ub + O(1/K).
+        slack = 0.5  # generous O(1/K) envelope for K=20
+        assert result.worst_case_value >= result.lower_bound - slack
+        assert result.worst_case_value <= result.upper_bound + slack
+
+    def test_trace_is_monotone_feasibility(self, small_interval_game, small_uncertainty):
+        result = solve_cubis(
+            small_interval_game, small_uncertainty, num_segments=8, epsilon=0.05
+        )
+        feas = [c for c, ok in result.trace if ok]
+        infeas = [c for c, ok in result.trace if not ok]
+        if feas and infeas:
+            assert max(feas) <= min(infeas) + 1e-9
+
+    def test_iterations_recorded(self, small_interval_game, small_uncertainty):
+        result = solve_cubis(
+            small_interval_game, small_uncertainty, num_segments=8, epsilon=0.05
+        )
+        assert result.iterations == len(result.trace)
+        assert result.solve_seconds > 0.0
+
+
+class TestKnobs:
+    def test_quality_improves_with_k(self, small_interval_game, small_uncertainty):
+        coarse = solve_cubis(
+            small_interval_game, small_uncertainty, num_segments=2, epsilon=1e-3
+        )
+        fine = solve_cubis(
+            small_interval_game, small_uncertainty, num_segments=25, epsilon=1e-3
+        )
+        assert fine.worst_case_value >= coarse.worst_case_value - 0.02
+
+    def test_epsilon_controls_bracket(self, small_interval_game, small_uncertainty):
+        loose = solve_cubis(
+            small_interval_game, small_uncertainty, num_segments=10, epsilon=0.5
+        )
+        tight = solve_cubis(
+            small_interval_game, small_uncertainty, num_segments=10, epsilon=1e-3
+        )
+        assert tight.upper_bound - tight.lower_bound <= 1e-3 + 1e-12
+        assert loose.upper_bound - loose.lower_bound <= 0.5 + 1e-12
+
+    def test_invalid_epsilon(self, small_interval_game, small_uncertainty):
+        with pytest.raises(ValueError, match="epsilon"):
+            solve_cubis(small_interval_game, small_uncertainty, epsilon=0.0)
+
+    def test_target_mismatch(self, small_uncertainty):
+        other = random_interval_game(7, seed=0)
+        with pytest.raises(ValueError, match="targets"):
+            solve_cubis(other, small_uncertainty)
+
+    def test_equality_resources_mode(self, small_interval_game, small_uncertainty):
+        result = solve_cubis(
+            small_interval_game,
+            small_uncertainty,
+            num_segments=10,
+            epsilon=0.01,
+            equality_resources=True,
+        )
+        assert result.strategy.sum() == pytest.approx(
+            small_interval_game.num_resources, abs=1e-6
+        )
+
+
+class TestBackends:
+    def test_bnb_matches_highs(self, small_interval_game, small_uncertainty):
+        a = solve_cubis(
+            small_interval_game, small_uncertainty, num_segments=5, epsilon=0.05,
+            backend="highs",
+        )
+        b = solve_cubis(
+            small_interval_game, small_uncertainty, num_segments=5, epsilon=0.05,
+            backend="bnb",
+        )
+        assert a.lower_bound == pytest.approx(b.lower_bound, abs=1e-9)
+        assert a.worst_case_value == pytest.approx(b.worst_case_value, abs=0.05)
+
+
+class TestRobustDominance:
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_beats_uniform_in_worst_case(self, seed):
+        game = random_interval_game(6, payoff_halfwidth=0.5, seed=seed)
+        uncertainty = IntervalSUQR(
+            game.payoffs, w1=(-4.0, -2.0), w2=(0.6, 0.9), w3=(0.3, 0.6),
+            convention="tight",
+        )
+        result = solve_cubis(game, uncertainty, num_segments=12, epsilon=0.01)
+        uniform_v = evaluate_worst_case(
+            game, uncertainty, game.strategy_space.uniform()
+        ).value
+        assert result.worst_case_value >= uniform_v - 0.05

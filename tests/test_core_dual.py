@@ -1,0 +1,102 @@
+"""Unit + property tests for the dual reformulation (repro.core.dual).
+
+Checks the algebraic identities connecting H, G, beta* and strong duality
+against the primal worst-case solvers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dual import beta_star, g_value, h_beta_value, h_value
+from repro.core.worst_case import worst_case_response
+
+
+@st.composite
+def random_instance(draw):
+    n = draw(st.integers(1, 6))
+    ud = np.array([draw(st.floats(-8, 8, allow_nan=False)) for _ in range(n)])
+    lo = np.array([draw(st.floats(0.05, 4.0)) for _ in range(n)])
+    width = np.array([draw(st.floats(0.0, 4.0)) for _ in range(n)])
+    return ud, lo, lo + width
+
+
+class TestBetaStar:
+    def test_formula(self):
+        ud = np.array([1.0, -2.0, 3.0])
+        np.testing.assert_allclose(beta_star(ud, 0.0), [0.0, 2.0, 0.0])
+
+    def test_zero_when_c_below_everything(self):
+        ud = np.array([1.0, 2.0])
+        np.testing.assert_allclose(beta_star(ud, -10.0), [0.0, 0.0])
+
+    def test_nonnegative(self, rng):
+        ud = rng.normal(size=5)
+        assert np.all(beta_star(ud, rng.normal()) >= 0.0)
+
+
+class TestHAndGIdentities:
+    @given(random_instance(), st.floats(-8, 8, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_g_is_numerator_of_h_minus_c(self, instance, c):
+        """G(x, beta; c) = (H(x, beta) - c) * sum(L) for any beta >= 0."""
+        ud, lo, hi = instance
+        beta = beta_star(ud, c)
+        g = g_value(lo, hi, ud, beta, c)
+        h = h_value(lo, hi, ud, beta)
+        assert g == pytest.approx((h - c) * lo.sum(), abs=1e-8, rel=1e-8)
+
+    @given(random_instance())
+    @settings(max_examples=80, deadline=None)
+    def test_strong_duality(self, instance):
+        """H_beta(x) (the dual optimum at fixed x) equals the primal
+        worst-case value."""
+        ud, lo, hi = instance
+        primal = worst_case_response(ud, lo, hi).value
+        dual = h_beta_value(lo, hi, ud)
+        assert dual == pytest.approx(primal, abs=1e-7)
+
+    @given(random_instance())
+    @settings(max_examples=50, deadline=None)
+    def test_g_sign_test_matches_feasibility(self, instance):
+        """Proposition 2 in scalar form: G(x, beta*(c), c) >= 0 exactly when
+        the worst-case value is >= c."""
+        ud, lo, hi = instance
+        w = worst_case_response(ud, lo, hi).value
+        for c in (w - 1.0, w - 1e-6, w + 1e-6, w + 1.0):
+            g = g_value(lo, hi, ud, beta_star(ud, c), c)
+            if c <= w - 1e-9:
+                assert g >= -1e-7
+            elif c >= w + 1e-9:
+                assert g <= 1e-7
+
+    def test_h_at_beta_star_of_worst_value_is_fixed_point(self, rng):
+        ud = rng.normal(size=4) * 3
+        lo = rng.uniform(0.2, 1.0, size=4)
+        hi = lo + rng.uniform(0.1, 1.0, size=4)
+        w = worst_case_response(ud, lo, hi).value
+        h = h_value(lo, hi, ud, beta_star(ud, w))
+        assert h == pytest.approx(w, abs=1e-8)
+
+    def test_h_decreases_in_beta(self, rng):
+        """H is monotonically decreasing in each beta_i (U >= L)."""
+        ud = rng.normal(size=3)
+        lo = rng.uniform(0.2, 1.0, size=3)
+        hi = lo + rng.uniform(0.1, 1.0, size=3)
+        beta = np.zeros(3)
+        h0 = h_value(lo, hi, ud, beta)
+        beta[1] = 1.0
+        h1 = h_value(lo, hi, ud, beta)
+        assert h1 <= h0 + 1e-12
+
+    def test_h_requires_positive_denominator(self):
+        with pytest.raises(ValueError, match="positive"):
+            h_value([0.0, 0.0], [1.0, 1.0], [1.0, 1.0], [0.0, 0.0])
+
+    def test_degenerate_interval_h_is_expected_utility(self):
+        """With L = U and beta = 0, H is exactly the QR expected utility."""
+        ud = np.array([2.0, -1.0])
+        f = np.array([1.0, 3.0])
+        h = h_value(f, f, ud, np.zeros(2))
+        assert h == pytest.approx(float(f @ ud / f.sum()))

@@ -1,0 +1,135 @@
+"""Unit tests for the CUBIS MILP builder (repro.core.milp).
+
+Validates the MILP against a direct evaluation of the piecewise-linearised
+G: the solver's optimal objective must equal max over a fine grid of
+strategies of G_bar(x, beta*(x, c)) on small games, and the solution must
+satisfy all the structural invariants (fill order, v semantics, budget).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dual import beta_star
+from repro.core.milp import build_cubis_milp
+from repro.solvers.milp_backend import solve_milp
+from repro.solvers.piecewise import SegmentGrid
+
+
+def build_small(c, k=5, equality=False):
+    """A 2-target instance with hand-set grids."""
+    grid = SegmentGrid(k)
+    bp = grid.breakpoints
+    rd = np.array([4.0, 6.0])
+    pd = np.array([-5.0, -7.0])
+    ud = np.outer(rd, bp) + np.outer(pd, 1 - bp)
+    lo = np.exp(np.stack([-2.0 * bp + 0.5, -2.0 * bp + 1.0]))
+    hi = np.exp(np.stack([-1.0 * bp + 1.5, -1.0 * bp + 2.0]))
+    model = build_cubis_milp(ud, lo, hi, 1.0, c, grid, equality_resources=equality)
+    return model, (rd, pd, lo, hi, grid)
+
+
+def g_bar_direct(x, c, rd, pd, lo_grid, hi_grid, grid):
+    """Direct evaluation of the piecewise-linearised G at strategy x."""
+    ud_bp = np.outer(rd, grid.breakpoints) + np.outer(pd, 1 - grid.breakpoints)
+    f1 = lo_grid * (ud_bp - c)
+    f2 = hi_grid * (ud_bp - c)
+    f1_x = grid.interpolate(f1, x)
+    f2_x = grid.interpolate(f2, x)
+    # f1 - f2 = (L - U)(U^d - c) = (U - L)(c - U^d), so the product variable
+    # is v = max(0, f1 - f2) (Proposition 3's beta folded in).
+    v = np.maximum(0.0, f1_x - f2_x)
+    return float(f1_x.sum() - v.sum())
+
+
+class TestBuildCubisMilp:
+    def test_variable_counts(self):
+        model, _ = build_small(c=0.0, k=5)
+        t, k = 2, 5
+        assert model.problem.num_variables == t * k + t + t + t * (k - 1)
+        assert model.problem.num_integer == t + t * (k - 1)
+
+    def test_single_segment_has_no_h(self):
+        model, _ = build_small(c=0.0, k=1)
+        assert model.problem.num_integer == 2  # only the q binaries
+
+    def test_shape_validation(self):
+        grid = SegmentGrid(4)
+        with pytest.raises(ValueError, match="shape"):
+            build_cubis_milp(np.zeros((2, 3)), np.ones((2, 5)), np.ones((2, 5)), 1.0, 0.0, grid)
+        with pytest.raises(ValueError, match="match"):
+            build_cubis_milp(np.zeros((2, 5)), np.ones((3, 5)), np.ones((3, 5)), 1.0, 0.0, grid)
+
+    def test_solution_respects_budget(self):
+        model, _ = build_small(c=-1.0)
+        res = solve_milp(model.problem)
+        assert res.optimal
+        x = model.strategy_from_solution(res.x)
+        assert x.sum() <= 1.0 + 1e-7
+
+    def test_equality_budget(self):
+        model, _ = build_small(c=-1.0, equality=True)
+        res = solve_milp(model.problem)
+        assert res.optimal
+        x = model.strategy_from_solution(res.x)
+        assert x.sum() == pytest.approx(1.0, abs=1e-7)
+
+    def test_fill_order_respected(self):
+        model, (rd, pd, lo, hi, grid) = build_small(c=-1.0)
+        res = solve_milp(model.problem)
+        xik = res.x[model.layout["x"]].reshape(2, grid.num_segments)
+        assert grid.is_fill_ordered(xik, atol=1e-6)
+
+    def test_v_equals_positive_part(self):
+        """At the optimum v_i = max(0, (f2 - f1)(x_i)) (Proposition 3)."""
+        model, (rd, pd, lo, hi, grid) = build_small(c=0.5)
+        res = solve_milp(model.problem)
+        x = model.strategy_from_solution(res.x)
+        v = res.x[model.layout["v"]]
+        ud_bp = np.outer(rd, grid.breakpoints) + np.outer(pd, 1 - grid.breakpoints)
+        f1 = lo * (ud_bp - 0.5)
+        f2 = hi * (ud_bp - 0.5)
+        expected = np.maximum(0.0, grid.interpolate(f1, x) - grid.interpolate(f2, x))
+        np.testing.assert_allclose(v, expected, atol=1e-5)
+
+    def test_objective_matches_direct_evaluation(self):
+        model, (rd, pd, lo, hi, grid) = build_small(c=-0.5)
+        res = solve_milp(model.problem)
+        x = model.strategy_from_solution(res.x)
+        g_bar = model.g_bar_from_objective(res.objective)
+        direct = g_bar_direct(x, -0.5, rd, pd, lo, hi, grid)
+        assert g_bar == pytest.approx(direct, abs=1e-6)
+
+    @pytest.mark.parametrize("c", [-3.0, -1.0, 0.0, 1.0, 2.5])
+    def test_milp_optimum_beats_grid_search(self, c):
+        """The MILP optimum must dominate G_bar at every grid strategy."""
+        model, (rd, pd, lo, hi, grid) = build_small(c=c, k=5)
+        res = solve_milp(model.problem)
+        best = model.g_bar_from_objective(res.objective)
+        for x1 in np.linspace(0, 1, 21):
+            x = np.array([x1, min(1.0, 1.0 - x1)])
+            if x.sum() > 1.0 + 1e-9:
+                continue
+            assert best >= g_bar_direct(x, c, rd, pd, lo, hi, grid) - 1e-6
+
+    def test_milp_optimum_attained_by_its_strategy(self):
+        """g_bar(x*) from the solver equals the direct evaluation at x* —
+        i.e. the auxiliary variables encode exactly the PWL functions."""
+        for c in (-2.0, 0.0, 1.5):
+            model, (rd, pd, lo, hi, grid) = build_small(c=c, k=8)
+            res = solve_milp(model.problem)
+            x = model.strategy_from_solution(res.x)
+            assert model.g_bar_from_objective(res.objective) == pytest.approx(
+                g_bar_direct(x, c, rd, pd, lo, hi, grid), abs=1e-6
+            )
+
+    def test_backends_agree(self):
+        model, _ = build_small(c=0.0, k=3)
+        highs = solve_milp(model.problem, backend="highs")
+        bnb = solve_milp(model.problem, backend="bnb")
+        assert highs.objective == pytest.approx(bnb.objective, abs=1e-6)
+
+    def test_metadata_fields(self):
+        model, _ = build_small(c=1.25)
+        assert model.c == 1.25
+        assert model.grid.num_segments == 5
+        assert np.isfinite(model.f1_constant)

@@ -1,0 +1,164 @@
+"""Unit + property tests for the inner worst-case problem.
+
+The central cross-check: three independent algorithms (vertex enumeration,
+the paper's LP (6-8), and the dual root) must agree on random instances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.worst_case import (
+    evaluate_worst_case,
+    worst_case_dual_root,
+    worst_case_lp,
+    worst_case_response,
+)
+
+
+@st.composite
+def random_instance(draw):
+    n = draw(st.integers(1, 8))
+    fl_u = st.floats(-10, 10, allow_nan=False)
+    ud = np.array([draw(fl_u) for _ in range(n)])
+    lo = np.array([draw(st.floats(0.01, 5.0)) for _ in range(n)])
+    width = np.array([draw(st.floats(0.0, 5.0)) for _ in range(n)])
+    return ud, lo, lo + width
+
+
+class TestCrossMethodAgreement:
+    @given(random_instance())
+    @settings(max_examples=100, deadline=None)
+    def test_enumeration_matches_lp(self, instance):
+        ud, lo, hi = instance
+        fast = worst_case_response(ud, lo, hi)
+        lp = worst_case_lp(ud, lo, hi)
+        assert fast.value == pytest.approx(lp.value, abs=1e-6)
+
+    @given(random_instance())
+    @settings(max_examples=100, deadline=None)
+    def test_enumeration_matches_dual_root(self, instance):
+        ud, lo, hi = instance
+        fast = worst_case_response(ud, lo, hi)
+        root = worst_case_dual_root(ud, lo, hi)
+        assert fast.value == pytest.approx(root, abs=1e-8)
+
+
+class TestWorstCaseResponse:
+    def test_degenerate_intervals_give_nominal(self):
+        """With L = U there is no uncertainty: the value is the point
+        model's expected utility."""
+        ud = np.array([1.0, -2.0, 3.0])
+        f = np.array([0.5, 1.5, 1.0])
+        sol = worst_case_response(ud, f, f)
+        expected = float(f @ ud / f.sum())
+        assert sol.value == pytest.approx(expected)
+        np.testing.assert_allclose(sol.attractiveness, f)
+
+    def test_adversary_raises_weight_on_bad_targets(self):
+        ud = np.array([-5.0, 5.0])
+        lo = np.array([1.0, 1.0])
+        hi = np.array([3.0, 3.0])
+        sol = worst_case_response(ud, lo, hi)
+        # Worst case: F high on the harmful target, low on the good one.
+        np.testing.assert_allclose(sol.attractiveness, [3.0, 1.0])
+        assert sol.value == pytest.approx((3 * -5 + 1 * 5) / 4)
+
+    def test_single_target(self):
+        sol = worst_case_response([2.5], [1.0], [4.0])
+        assert sol.value == pytest.approx(2.5)
+        np.testing.assert_allclose(sol.attack_distribution, [1.0])
+
+    def test_distribution_sums_to_one(self):
+        ud = np.array([0.0, 1.0, -1.0, 2.0])
+        lo = np.full(4, 0.5)
+        hi = np.full(4, 2.0)
+        sol = worst_case_response(ud, lo, hi)
+        assert sol.attack_distribution.sum() == pytest.approx(1.0)
+
+    def test_value_between_min_and_max_utility(self):
+        ud = np.array([-3.0, 0.0, 4.0])
+        lo = np.array([0.1, 0.2, 0.3])
+        hi = np.array([1.0, 2.0, 3.0])
+        sol = worst_case_response(ud, lo, hi)
+        assert ud.min() - 1e-12 <= sol.value <= ud.max() + 1e-12
+
+    def test_value_below_any_feasible_realisation(self, rng):
+        ud = rng.normal(size=5) * 4
+        lo = rng.uniform(0.1, 1.0, size=5)
+        hi = lo + rng.uniform(0.0, 2.0, size=5)
+        sol = worst_case_response(ud, lo, hi)
+        for _ in range(50):
+            f = rng.uniform(lo, hi)
+            assert sol.value <= f @ ud / f.sum() + 1e-9
+
+    def test_attractiveness_at_interval_endpoints(self, rng):
+        ud = rng.normal(size=6)
+        lo = rng.uniform(0.1, 1.0, size=6)
+        hi = lo + rng.uniform(0.01, 2.0, size=6)
+        sol = worst_case_response(ud, lo, hi)
+        at_lo = np.isclose(sol.attractiveness, lo)
+        at_hi = np.isclose(sol.attractiveness, hi)
+        assert np.all(at_lo | at_hi)
+
+    def test_widening_intervals_never_helps(self, rng):
+        """Monotonicity: a larger uncertainty set can only lower the value."""
+        ud = rng.normal(size=5) * 3
+        lo = rng.uniform(0.2, 1.0, size=5)
+        hi = lo + rng.uniform(0.1, 1.0, size=5)
+        narrow = worst_case_response(ud, lo, hi).value
+        wide = worst_case_response(ud, lo * 0.8, hi * 1.25).value
+        assert wide <= narrow + 1e-9
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            worst_case_response([1.0], [0.0], [1.0])
+        with pytest.raises(ValueError, match="lower <= upper"):
+            worst_case_response([1.0], [2.0], [1.0])
+        with pytest.raises(ValueError, match="one shape"):
+            worst_case_response([1.0, 2.0], [1.0], [1.0])
+
+
+class TestWorstCaseLP:
+    def test_z_is_reciprocal_of_total(self):
+        ud = np.array([1.0, -1.0])
+        lo = np.array([0.5, 0.5])
+        hi = np.array([2.0, 2.0])
+        sol = worst_case_lp(ud, lo, hi)
+        # F = y / z must lie in the intervals.
+        assert np.all(sol.attractiveness >= lo - 1e-6)
+        assert np.all(sol.attractiveness <= hi + 1e-6)
+
+
+class TestWorstCaseDualRoot:
+    def test_equal_utilities_shortcut(self):
+        assert worst_case_dual_root([2.0, 2.0], [1.0, 1.0], [3.0, 3.0]) == 2.0
+
+    def test_matches_manual_two_target(self):
+        """Hand-checkable 2-target case: u = (0, 1), L = (1, 1), U = (3, 3).
+        Worst case puts F=3 on the u=0 target: value 3*0+1*1 over 4 = 0.25."""
+        val = worst_case_dual_root([0.0, 1.0], [1.0, 1.0], [3.0, 3.0])
+        assert val == pytest.approx(0.25)
+
+
+class TestEvaluateWorstCase:
+    def test_wrapper_consistency(self, small_interval_game, small_uncertainty):
+        x = small_interval_game.strategy_space.uniform()
+        sol = evaluate_worst_case(small_interval_game, small_uncertainty, x)
+        direct = worst_case_response(
+            small_interval_game.defender_utilities(x),
+            small_uncertainty.lower(x),
+            small_uncertainty.upper(x),
+        )
+        assert sol.value == direct.value
+
+    def test_more_coverage_never_hurts_uniformly(self, small_interval_game, small_uncertainty):
+        """Scaling the uniform strategy up (more resources) improves the
+        worst case — coverage is good for the defender."""
+        space = small_interval_game.strategy_space
+        low = np.full(4, 0.2)
+        high = np.full(4, 0.375)
+        v_low = evaluate_worst_case(small_interval_game, small_uncertainty, low).value
+        v_high = evaluate_worst_case(small_interval_game, small_uncertainty, high).value
+        assert v_high >= v_low - 1e-9

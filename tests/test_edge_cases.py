@@ -1,0 +1,154 @@
+"""Edge-case battery: degenerate games and extreme parameters.
+
+These are the configurations that break sloppy implementations: a single
+target, full coverage budget, zero-width intervals, a single piecewise
+segment, huge attractiveness scales, equal payoffs everywhere.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.behavior.interval import IntervalSUQR
+from repro.core.cubis import solve_cubis
+from repro.core.worst_case import evaluate_worst_case, worst_case_response
+from repro.game.payoffs import IntervalPayoffs
+from repro.game.ssg import IntervalSecurityGame
+
+
+def tiny_game(num_targets=1, resources=1.0):
+    base_r = np.linspace(2.0, 4.0, num_targets)
+    base_p = np.linspace(-4.0, -2.0, num_targets)
+    payoffs = IntervalPayoffs.zero_sum_midpoint(
+        attacker_reward_lo=base_r - 0.5,
+        attacker_reward_hi=base_r + 0.5,
+        attacker_penalty_lo=base_p - 0.5,
+        attacker_penalty_hi=base_p + 0.5,
+    )
+    return IntervalSecurityGame(payoffs, num_resources=resources)
+
+
+def uncertainty_for(game, **kw):
+    return IntervalSUQR(
+        game.payoffs, w1=(-4.0, -2.0), w2=(0.5, 0.9), w3=(0.3, 0.6),
+        convention="tight", **kw,
+    )
+
+
+class TestSingleTarget:
+    def test_cubis_single_target(self):
+        game = tiny_game(1, resources=1.0)
+        u = uncertainty_for(game)
+        result = solve_cubis(game, u, num_segments=5, epsilon=0.01)
+        # Only one strategy exists: full coverage of the single target.
+        np.testing.assert_allclose(result.strategy, [1.0], atol=1e-6)
+        ud = game.defender_utilities(result.strategy)
+        assert result.worst_case_value == pytest.approx(float(ud[0]), abs=1e-9)
+
+    def test_worst_case_single_target(self):
+        sol = worst_case_response([3.0], [0.5], [2.0])
+        assert sol.value == 3.0
+        assert sol.attack_distribution[0] == 1.0
+
+
+class TestFullCoverage:
+    def test_resources_equal_targets(self):
+        game = tiny_game(3, resources=3.0)
+        u = uncertainty_for(game)
+        result = solve_cubis(game, u, num_segments=5, epsilon=0.01)
+        np.testing.assert_allclose(result.strategy, np.ones(3), atol=1e-6)
+
+
+class TestDegenerateIntervals:
+    def test_zero_width_weight_boxes(self):
+        """Point weight boxes + point payoffs = classic known-model game;
+        CUBIS must agree with PASAQ."""
+        base_r = np.array([3.0, 6.0])
+        base_p = np.array([-5.0, -3.0])
+        payoffs = IntervalPayoffs.zero_sum_midpoint(
+            attacker_reward_lo=base_r, attacker_reward_hi=base_r,
+            attacker_penalty_lo=base_p, attacker_penalty_hi=base_p,
+        )
+        game = IntervalSecurityGame(payoffs, num_resources=1)
+        u = IntervalSUQR(
+            payoffs, w1=(-3.0, -3.0), w2=(0.7, 0.7), w3=(0.5, 0.5),
+            convention="tight",
+        )
+        cubis = solve_cubis(game, u, num_segments=25, epsilon=1e-4)
+        pasaq = repro.solve_pasaq(
+            game.midpoint_game(), u.midpoint_model(), num_segments=25, epsilon=1e-4
+        )
+        assert cubis.worst_case_value == pytest.approx(pasaq.value, abs=0.02)
+
+    def test_equal_utilities_everywhere(self):
+        """If every target yields the same defender utility, every strategy
+        is worth exactly that utility in the worst case."""
+        ud = np.full(4, -1.5)
+        sol = worst_case_response(ud, np.full(4, 0.3), np.full(4, 2.0))
+        assert sol.value == pytest.approx(-1.5)
+
+
+class TestExtremeScales:
+    def test_huge_attractiveness_normalised(self):
+        """SUQR weights that produce e^{40}-scale attractiveness must not
+        break the MILP (the grids are normalised internally)."""
+        base_r = np.array([8.0, 9.0, 10.0])
+        base_p = np.array([-2.0, -3.0, -2.5])
+        payoffs = IntervalPayoffs.zero_sum_midpoint(
+            attacker_reward_lo=base_r - 0.2, attacker_reward_hi=base_r + 0.2,
+            attacker_penalty_lo=base_p - 0.2, attacker_penalty_hi=base_p + 0.2,
+        )
+        game = IntervalSecurityGame(payoffs, num_resources=1)
+        u = IntervalSUQR(
+            payoffs, w1=(-1.0, -0.5), w2=(3.5, 4.0), w3=(0.1, 0.2),
+            convention="tight",
+        )
+        result = solve_cubis(game, u, num_segments=8, epsilon=0.05)
+        assert np.isfinite(result.worst_case_value)
+        assert game.strategy_space.contains(result.strategy, atol=1e-6)
+
+    def test_overflowing_attractiveness_raises_cleanly(self):
+        base_r = np.array([10.0, 9.0])
+        base_p = np.array([-2.0, -3.0])
+        payoffs = IntervalPayoffs.zero_sum_midpoint(
+            attacker_reward_lo=base_r, attacker_reward_hi=base_r,
+            attacker_penalty_lo=base_p, attacker_penalty_hi=base_p,
+        )
+        game = IntervalSecurityGame(payoffs, num_resources=1)
+        u = IntervalSUQR(
+            payoffs, w1=(-1.0, -0.5), w2=(90.0, 100.0), w3=(0.1, 0.2),
+            convention="tight",
+        )
+        with pytest.raises(ValueError, match="finite"):
+            with np.errstate(over="ignore"):
+                solve_cubis(game, u, num_segments=5, epsilon=0.1)
+
+
+class TestSingleSegment:
+    def test_k_equals_one(self):
+        """K=1 approximates every function by its chord — crude but must
+        run and produce a feasible strategy."""
+        game = tiny_game(3, resources=1.0)
+        u = uncertainty_for(game)
+        result = solve_cubis(game, u, num_segments=1, epsilon=0.05)
+        assert game.strategy_space.contains(result.strategy, atol=1e-6)
+        # Sanity: still no worse than a uniform strategy minus chord error.
+        uniform_v = evaluate_worst_case(
+            game, u, game.strategy_space.uniform()
+        ).value
+        assert result.worst_case_value >= uniform_v - 1.5
+
+    def test_pasaq_k_equals_one(self):
+        game = repro.random_game(3, num_resources=1, seed=0)
+        model = repro.SUQR(game.payoffs, (-2.0, 0.7, 0.4))
+        result = repro.solve_pasaq(game, model, num_segments=1, epsilon=0.05)
+        assert game.strategy_space.contains(result.strategy, atol=1e-6)
+
+
+class TestFractionalResources:
+    def test_cubis_fractional_budget(self):
+        game = tiny_game(3, resources=1.5)
+        u = uncertainty_for(game)
+        result = solve_cubis(game, u, num_segments=8, epsilon=0.02)
+        assert game.strategy_space.contains(result.strategy, atol=1e-6)
+        assert result.strategy.sum() == pytest.approx(1.5, abs=1e-6)

@@ -1,0 +1,43 @@
+"""The example scripts must at least parse and expose a main()."""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=[p.name for p in EXAMPLES])
+class TestExampleScripts:
+    def test_parses(self, path):
+        tree = ast.parse(path.read_text())
+        assert tree is not None
+
+    def test_has_main_guard(self, path):
+        source = path.read_text()
+        assert 'if __name__ == "__main__":' in source
+
+    def test_has_module_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+
+    def test_defines_main(self, path):
+        tree = ast.parse(path.read_text())
+        names = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+        assert "main" in names
+
+
+def test_expected_example_set():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "wildlife_patrol.py",
+        "airport_checkpoints.py",
+        "learning_intervals.py",
+        "patrol_calendar.py",
+        "park_graph.py",
+        "custom_model.py",
+    } <= names

@@ -1,0 +1,184 @@
+"""Smoke + semantics tests for the experiment drivers (tiny parameters).
+
+Each experiment must run end-to-end, produce the schema its formatter
+expects, and exhibit the qualitative shape claimed in DESIGN.md §2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PAPER_REFERENCE,
+    format_ablation,
+    format_intervals,
+    format_quality,
+    format_runtime,
+    format_table1,
+    run_ablation_epsilon,
+    run_ablation_k,
+    run_intervals,
+    run_quality,
+    run_runtime,
+    run_table1,
+)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table1(num_segments=25, epsilon=1e-4)
+
+    def test_robust_strategy_close_to_paper(self, result):
+        np.testing.assert_allclose(
+            result.robust_strategy, PAPER_REFERENCE.robust_strategy, atol=0.02
+        )
+
+    def test_robust_value_close_to_paper(self, result):
+        assert result.robust_worst_case == pytest.approx(
+            PAPER_REFERENCE.robust_worst_case, abs=0.05
+        )
+
+    def test_midpoint_strategy_close_to_paper(self, result):
+        np.testing.assert_allclose(
+            result.midpoint_strategy, PAPER_REFERENCE.midpoint_strategy, atol=0.04
+        )
+
+    def test_midpoint_value_close_to_paper(self, result):
+        assert result.midpoint_worst_case == pytest.approx(
+            PAPER_REFERENCE.midpoint_worst_case, abs=0.3
+        )
+
+    def test_robust_beats_midpoint(self, result):
+        assert result.robust_worst_case > result.midpoint_worst_case + 0.5
+
+    def test_formatter(self, result):
+        out = format_table1(result)
+        assert "Table I" in out and "robust" in out and "midpoint" in out
+
+
+class TestQuality:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_quality(
+            target_counts=(4, 6), num_trials=2, num_segments=8, epsilon=0.05,
+            num_types=3, seed=7,
+        )
+
+    def test_record_count(self, table):
+        assert len(table) == 2 * 2 * 5  # sizes * trials * algorithms
+
+    def test_cubis_tops_midpoint_and_uniform(self, table):
+        for size in (4, 6):
+            sub = table.where(num_targets=size)
+            means = {
+                name: np.mean(sub.where(algorithm=name).column("worst_case"))
+                for name in ("cubis", "midpoint", "uniform")
+            }
+            assert means["cubis"] >= means["midpoint"] - 0.05
+            assert means["cubis"] >= means["uniform"] - 0.05
+
+    def test_formatter(self, table):
+        out = format_quality(table)
+        assert "F1" in out and "cubis" in out
+
+
+class TestRuntime:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_runtime(
+            target_counts=(4,), num_trials=1, num_segments=6, epsilon=0.05,
+            num_starts=3, seed=7,
+        )
+
+    def test_records(self, table):
+        assert len(table) == 2
+        assert set(table.column("algorithm").tolist()) == {"cubis", "multistart"}
+
+    def test_times_positive(self, table):
+        assert np.all(table.column("seconds") > 0)
+
+    def test_formatter(self, table):
+        out = format_runtime(table)
+        assert "F2a" in out and "F2b" in out
+
+
+class TestIntervals:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_intervals(
+            scales=(0.0, 1.0), num_targets=4, num_trials=2, num_segments=8,
+            epsilon=0.05, seed=7,
+        )
+
+    def test_records(self, table):
+        assert len(table) == 2 * 2 * 2
+
+    def test_gap_grows_with_uncertainty(self, table):
+        """The robust-vs-midpoint worst-case gap widens as boxes widen."""
+        def gap(scale):
+            sub = table.where(scale=scale)
+            c = np.mean(sub.where(algorithm="cubis").column("worst_case"))
+            m = np.mean(sub.where(algorithm="midpoint").column("worst_case"))
+            return c - m
+
+        assert gap(1.0) >= gap(0.0) - 0.1
+
+    def test_formatter(self, table):
+        out = format_intervals(table)
+        assert "F3" in out and "gap" in out
+
+
+class TestAblation:
+    @pytest.fixture(scope="class")
+    def table_k(self):
+        return run_ablation_k(
+            segment_counts=(2, 12), num_targets=3, num_trials=2, seed=7
+        )
+
+    def test_gap_shrinks_with_k(self, table_k):
+        means = table_k.group_mean("num_segments", "gap")
+        assert means[12] <= means[2] + 0.02
+
+    def test_measured_below_certified(self, table_k):
+        for row in table_k.rows:
+            assert row["gap"] <= row["certified"] + 1e-6
+
+    def test_epsilon_sweep(self):
+        table = run_ablation_epsilon(
+            epsilons=(0.5, 0.01), num_targets=3, num_segments=12, num_trials=1, seed=7
+        )
+        means = table.group_mean("epsilon", "gap")
+        assert means[0.01] <= means[0.5] + 0.02
+
+    def test_formatter(self, table_k):
+        out = format_ablation(table_k, "num_segments")
+        assert "F4" in out and "certified" in out
+
+
+class TestLandscape:
+    @pytest.fixture(scope="class")
+    def table(self):
+        from repro.experiments import run_landscape
+
+        return run_landscape(
+            num_targets=5, num_trials=1, num_segments=8, epsilon=0.05,
+            num_types=3, seed=7,
+        )
+
+    def test_record_count(self, table):
+        from repro.experiments.landscape import LANDSCAPE_ALGORITHMS
+
+        assert len(table) == len(LANDSCAPE_ALGORITHMS)
+
+    def test_cubis_tops_worst_case(self, table):
+        worst = {row["algorithm"]: row["worst_case"] for row in table.rows}
+        for name, value in worst.items():
+            if name in ("cubis", "maximin"):
+                continue
+            assert worst["cubis"] >= value - 0.25, name
+
+    def test_formatter(self, table):
+        from repro.experiments import format_landscape
+
+        out = format_landscape(table)
+        assert "F5" in out and "cubis" in out and "sse" in out

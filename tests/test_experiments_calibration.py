@@ -1,0 +1,49 @@
+"""Tests for the Table I defender-payoff calibration."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.calibration import calibrate_table1, score_candidate
+from repro.game.generator import table1_game
+
+
+class TestScoreCandidate:
+    def test_published_candidate_matches_paper(self):
+        cand = score_candidate((5.0, 7.0), (-6.0, -10.0), grid_points=501)
+        assert cand.robust_x1 == pytest.approx(0.46, abs=0.01)
+        assert cand.robust_value == pytest.approx(-0.90, abs=0.02)
+        assert cand.midpoint_x1 == pytest.approx(0.34, abs=0.02)
+        assert cand.midpoint_value == pytest.approx(-2.26, abs=0.15)
+
+    def test_bad_candidate_scores_worse(self):
+        good = score_candidate((5.0, 7.0), (-6.0, -10.0), grid_points=201)
+        bad = score_candidate((9.0, 2.0), (-1.0, -2.0), grid_points=201)
+        assert good.score < bad.score
+
+    def test_score_components_consistent(self):
+        cand = score_candidate((5.0, 7.0), (-6.0, -10.0), grid_points=201)
+        manual = (
+            abs(cand.robust_x1 - 0.46)
+            + abs(cand.midpoint_x1 - 0.34)
+            + abs(cand.robust_value - (-0.90)) / 3.0
+            + abs(cand.midpoint_value - (-2.26)) / 3.0
+        )
+        assert cand.score == pytest.approx(manual)
+
+
+class TestCalibrateTable1:
+    def test_recovers_published_calibration(self):
+        best = calibrate_table1(grid_points=201)
+        assert best.defender_reward == (5.0, 7.0)
+        assert best.defender_penalty == (-6.0, -10.0)
+
+    def test_matches_table1_game(self):
+        """The shipped table1_game must use the calibration's optimum."""
+        best = calibrate_table1(grid_points=201)
+        game = table1_game()
+        np.testing.assert_array_equal(
+            game.payoffs.defender_reward, best.defender_reward
+        )
+        np.testing.assert_array_equal(
+            game.payoffs.defender_penalty, best.defender_penalty
+        )

@@ -1,0 +1,43 @@
+"""Tests for the one-call report generator."""
+
+import pytest
+
+from repro.experiments.report import QUICK, ReportSettings, generate_report
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    settings = ReportSettings(
+        table1_segments=10,
+        quality_targets=(4,),
+        quality_trials=1,
+        runtime_targets=(4,),
+        runtime_trials=1,
+        interval_scales=(0.0, 1.0),
+        interval_trials=1,
+        ablation_segments=(2, 8),
+        ablation_epsilons=(0.5, 0.05),
+        ablation_trials=1,
+        landscape_targets=4,
+        landscape_trials=1,
+        seed=7,
+    )
+    return generate_report(settings)
+
+
+class TestGenerateReport:
+    def test_all_sections_present(self, tiny_report):
+        for marker in ("T1", "F1", "F2", "F3", "F4", "F5"):
+            assert f"## {marker}" in tiny_report, marker
+
+    def test_contains_tables(self, tiny_report):
+        assert "Table I worked example" in tiny_report
+        assert "worst-case" in tiny_report or "worst case" in tiny_report
+
+    def test_markdown_structure(self, tiny_report):
+        assert tiny_report.startswith("# Experimental report")
+        assert tiny_report.count("```") % 2 == 0
+
+    def test_quick_settings_exist(self):
+        assert QUICK.quality_trials >= 1
+        assert QUICK.seed == 2016

@@ -1,0 +1,113 @@
+"""Tests for coverage side constraints and their CUBIS integration."""
+
+import numpy as np
+import pytest
+
+from repro.core.cubis import solve_cubis
+from repro.game.constraints import CoverageConstraints
+
+
+class TestCoverageConstraints:
+    def test_construction(self):
+        c = CoverageConstraints(np.array([[1.0, 1.0]]), np.array([0.5]))
+        assert c.num_constraints == 1 and c.num_targets == 2
+
+    def test_rhs_shape_mismatch(self):
+        with pytest.raises(ValueError, match="one entry per constraint"):
+            CoverageConstraints(np.ones((2, 3)), np.ones(3))
+
+    def test_satisfied(self):
+        c = CoverageConstraints(np.array([[1.0, 0.0]]), np.array([0.4]))
+        assert c.satisfied([0.3, 0.9])
+        assert not c.satisfied([0.5, 0.0])
+        assert not c.satisfied([0.3])  # wrong shape
+
+    def test_stacked(self):
+        a = CoverageConstraints(np.array([[1.0, 0.0]]), np.array([0.4]))
+        b = CoverageConstraints(np.array([[0.0, 1.0]]), np.array([0.6]))
+        both = a.stacked(b)
+        assert both.num_constraints == 2
+        assert both.satisfied([0.3, 0.5])
+        assert not both.satisfied([0.3, 0.7])
+
+    def test_stacked_mismatch(self):
+        a = CoverageConstraints(np.ones((1, 2)), np.ones(1))
+        b = CoverageConstraints(np.ones((1, 3)), np.ones(1))
+        with pytest.raises(ValueError, match="different target counts"):
+            a.stacked(b)
+
+    def test_zone_caps(self):
+        c = CoverageConstraints.zone_caps(4, zones=[[0, 1], [2, 3]], caps=[0.5, 1.5])
+        assert c.satisfied([0.25, 0.25, 0.75, 0.75])
+        assert not c.satisfied([0.4, 0.4, 0.0, 0.0])
+
+    def test_zone_caps_validation(self):
+        with pytest.raises(ValueError, match="one cap per zone"):
+            CoverageConstraints.zone_caps(3, zones=[[0]], caps=[0.5, 0.5])
+        with pytest.raises(ValueError, match="out of range"):
+            CoverageConstraints.zone_caps(3, zones=[[5]], caps=[0.5])
+
+    def test_minimum_coverage(self):
+        c = CoverageConstraints.minimum_coverage(3, targets=[1], floors=[0.4])
+        assert c.satisfied([0.0, 0.5, 0.0])
+        assert not c.satisfied([0.5, 0.3, 0.0])
+
+    def test_minimum_coverage_validation(self):
+        with pytest.raises(ValueError, match="one floor per"):
+            CoverageConstraints.minimum_coverage(3, targets=[1, 2], floors=[0.4])
+        with pytest.raises(ValueError, match="out of range"):
+            CoverageConstraints.minimum_coverage(3, targets=[4], floors=[0.4])
+
+
+class TestConstrainedCubis:
+    def test_vacuous_constraints_match_unconstrained(self, small_interval_game, small_uncertainty):
+        vacuous = CoverageConstraints(
+            np.ones((1, 4)), np.array([10.0])  # sum x <= 10: never binding
+        )
+        base = solve_cubis(small_interval_game, small_uncertainty, num_segments=10, epsilon=0.02)
+        constrained = solve_cubis(
+            small_interval_game, small_uncertainty, num_segments=10, epsilon=0.02,
+            coverage_constraints=vacuous,
+        )
+        assert constrained.worst_case_value == pytest.approx(
+            base.worst_case_value, abs=0.05
+        )
+
+    def test_binding_cap_honoured(self, small_interval_game, small_uncertainty):
+        base = solve_cubis(small_interval_game, small_uncertainty, num_segments=10, epsilon=0.02)
+        heavy = int(np.argmax(base.strategy))
+        cap = max(0.05, base.strategy[heavy] / 2)
+        constraints = CoverageConstraints.zone_caps(
+            4, zones=[[heavy]], caps=[cap]
+        )
+        constrained = solve_cubis(
+            small_interval_game, small_uncertainty, num_segments=10, epsilon=0.02,
+            coverage_constraints=constraints,
+        )
+        assert constrained.strategy[heavy] <= cap + 1e-6
+        # Constraining can only hurt (weakly).
+        assert constrained.worst_case_value <= base.worst_case_value + 0.05
+
+    def test_minimum_coverage_honoured(self, small_interval_game, small_uncertainty):
+        floors = CoverageConstraints.minimum_coverage(4, targets=[3], floors=[0.5])
+        constrained = solve_cubis(
+            small_interval_game, small_uncertainty, num_segments=10, epsilon=0.02,
+            coverage_constraints=floors,
+        )
+        assert constrained.strategy[3] >= 0.5 - 1e-6
+
+    def test_dp_oracle_rejects_constraints(self, small_interval_game, small_uncertainty):
+        vacuous = CoverageConstraints(np.ones((1, 4)), np.array([10.0]))
+        with pytest.raises(ValueError, match="milp"):
+            solve_cubis(
+                small_interval_game, small_uncertainty, oracle="dp",
+                coverage_constraints=vacuous,
+            )
+
+    def test_constraint_target_mismatch(self, small_interval_game, small_uncertainty):
+        wrong = CoverageConstraints(np.ones((1, 7)), np.array([1.0]))
+        with pytest.raises(ValueError, match="targets"):
+            solve_cubis(
+                small_interval_game, small_uncertainty,
+                coverage_constraints=wrong, num_segments=5, epsilon=0.1,
+            )

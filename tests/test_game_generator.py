@@ -1,0 +1,138 @@
+"""Unit tests for repro.game.generator."""
+
+import numpy as np
+import pytest
+
+from repro.game.generator import (
+    airport_game,
+    random_game,
+    random_interval_game,
+    table1_game,
+    wildlife_game,
+)
+
+
+class TestRandomGame:
+    def test_shapes_and_defaults(self):
+        g = random_game(10, seed=0)
+        assert g.num_targets == 10
+        assert g.num_resources == 2  # T // 5
+
+    def test_deterministic(self):
+        a = random_game(6, seed=42)
+        b = random_game(6, seed=42)
+        np.testing.assert_array_equal(a.payoffs.attacker_reward, b.payoffs.attacker_reward)
+
+    def test_different_seeds_differ(self):
+        a = random_game(6, seed=1)
+        b = random_game(6, seed=2)
+        assert not np.allclose(a.payoffs.attacker_reward, b.payoffs.attacker_reward)
+
+    def test_payoffs_in_range(self):
+        g = random_game(50, seed=0, reward_range=(2.0, 4.0), penalty_range=(-3.0, -2.0))
+        assert np.all(g.payoffs.attacker_reward >= 2.0)
+        assert np.all(g.payoffs.attacker_reward <= 4.0)
+        assert np.all(g.payoffs.attacker_penalty >= -3.0)
+        assert np.all(g.payoffs.attacker_penalty <= -2.0)
+
+    def test_zero_sum_flag(self):
+        g = random_game(5, seed=0, zero_sum=True)
+        np.testing.assert_allclose(g.payoffs.defender_reward, -g.payoffs.attacker_penalty)
+        np.testing.assert_allclose(g.payoffs.defender_penalty, -g.payoffs.attacker_reward)
+
+    def test_full_correlation_is_zero_sum(self):
+        g = random_game(5, seed=0, correlation=1.0)
+        np.testing.assert_allclose(g.payoffs.defender_reward, -g.payoffs.attacker_penalty)
+
+    def test_bad_ranges_rejected(self):
+        with pytest.raises(ValueError, match="non-degenerate"):
+            random_game(5, reward_range=(3.0, 3.0))
+        with pytest.raises(ValueError, match="strictly above"):
+            random_game(5, reward_range=(-1.0, 1.0), penalty_range=(-2.0, 0.5))
+
+    def test_bad_correlation_rejected(self):
+        with pytest.raises(ValueError, match="correlation"):
+            random_game(5, correlation=2.0)
+
+    def test_explicit_resources(self):
+        g = random_game(8, num_resources=3, seed=0)
+        assert g.num_resources == 3
+
+
+class TestRandomIntervalGame:
+    def test_default_halfwidth(self):
+        g = random_interval_game(10, seed=0)
+        width = g.payoffs.attacker_reward_hi - g.payoffs.attacker_reward_lo
+        assert np.all(width > 0)
+        assert np.all(width <= 2.0 + 1e-12)
+
+    def test_zero_halfwidth_degenerates(self):
+        g = random_interval_game(5, payoff_halfwidth=0.0, seed=0)
+        np.testing.assert_allclose(
+            g.payoffs.attacker_reward_lo, g.payoffs.attacker_reward_hi
+        )
+
+    def test_negative_halfwidth_rejected(self):
+        with pytest.raises(ValueError, match="payoff_halfwidth"):
+            random_interval_game(5, payoff_halfwidth=-1.0)
+
+    def test_reward_stays_above_penalty(self):
+        # Huge half-width must be clipped to keep intervals separated.
+        g = random_interval_game(30, payoff_halfwidth=50.0, seed=3)
+        assert np.all(g.payoffs.attacker_reward_lo > g.payoffs.attacker_penalty_hi)
+
+    def test_deterministic(self):
+        a = random_interval_game(6, seed=9)
+        b = random_interval_game(6, seed=9)
+        np.testing.assert_array_equal(
+            a.payoffs.attacker_reward_lo, b.payoffs.attacker_reward_lo
+        )
+
+
+class TestTable1Game:
+    def test_matches_paper_table(self):
+        g = table1_game()
+        np.testing.assert_array_equal(g.payoffs.attacker_reward_lo, [1.0, 5.0])
+        np.testing.assert_array_equal(g.payoffs.attacker_reward_hi, [5.0, 9.0])
+        np.testing.assert_array_equal(g.payoffs.attacker_penalty_lo, [-7.0, -9.0])
+        np.testing.assert_array_equal(g.payoffs.attacker_penalty_hi, [-3.0, -5.0])
+        assert g.num_resources == 1
+
+    def test_calibrated_defender_payoffs(self):
+        g = table1_game()
+        np.testing.assert_array_equal(g.payoffs.defender_reward, [5.0, 7.0])
+        np.testing.assert_array_equal(g.payoffs.defender_penalty, [-6.0, -10.0])
+
+
+class TestScenarioGames:
+    def test_wildlife_density_ordering(self):
+        g = wildlife_game(num_sites=10, seed=0)
+        mid = g.payoffs.attacker_reward_mid
+        # Densities decay overall: the first site outvalues the last.
+        assert mid[0] > mid[-1]
+
+    def test_wildlife_resources(self):
+        g = wildlife_game(num_sites=12, num_patrols=3, seed=0)
+        assert g.num_resources == 3
+
+    def test_wildlife_min_sites(self):
+        with pytest.raises(ValueError, match="num_sites"):
+            wildlife_game(num_sites=1)
+
+    def test_airport_structure(self):
+        g = airport_game(num_checkpoints=8, num_teams=2, seed=0)
+        assert g.num_targets == 8
+        assert g.num_resources == 2
+        # Defender penalties are skewed below the negated attacker reward.
+        assert np.all(g.payoffs.defender_penalty < 0)
+
+    def test_airport_min_checkpoints(self):
+        with pytest.raises(ValueError, match="num_checkpoints"):
+            airport_game(num_checkpoints=1)
+
+    def test_scenarios_deterministic(self):
+        a = wildlife_game(seed=5)
+        b = wildlife_game(seed=5)
+        np.testing.assert_array_equal(
+            a.payoffs.attacker_reward_lo, b.payoffs.attacker_reward_lo
+        )

@@ -1,0 +1,126 @@
+"""Tests for the geographic game builder (repro.game.graph)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.cubis import solve_cubis
+from repro.experiments.quality import default_uncertainty
+from repro.game.graph import (
+    diffuse_density,
+    geographic_game,
+    station_zones,
+)
+
+
+class TestDiffuseDensity:
+    def test_mass_conserved(self):
+        g = nx.path_graph(6)
+        d = diffuse_density(g, [0, 3], steps=4)
+        assert d.sum() == pytest.approx(2.0)
+
+    def test_mass_stays_near_hotspot(self):
+        g = nx.path_graph(9)
+        d = diffuse_density(g, [0], steps=2)
+        # After 2 steps, mass cannot travel more than 2 hops...
+        np.testing.assert_allclose(d[3:], 0.0)
+        # ...and the bulk stays within one hop of the hotspot (the peak can
+        # shift to the neighbour on a degree-1 boundary node).
+        assert d[0] + d[1] > 0.8
+
+    def test_zero_steps_is_initial_mass(self):
+        g = nx.path_graph(4)
+        d = diffuse_density(g, [2], steps=0)
+        np.testing.assert_allclose(d, [0, 0, 1, 0])
+
+    def test_isolated_node_keeps_mass(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        d = diffuse_density(g, [0], steps=3)
+        np.testing.assert_allclose(d, [1.0, 0.0])
+
+    def test_bad_hotspot_rejected(self):
+        with pytest.raises(ValueError, match="hotspot"):
+            diffuse_density(nx.path_graph(3), [7])
+
+    def test_bad_retention_rejected(self):
+        with pytest.raises(ValueError, match="retention"):
+            diffuse_density(nx.path_graph(3), [0], retention=1.5)
+
+
+class TestStationZones:
+    def test_nearest_assignment(self):
+        g = nx.path_graph(7)
+        zones = station_zones(g, [0, 6])
+        np.testing.assert_array_equal(zones[:3], [0, 0, 0])
+        np.testing.assert_array_equal(zones[4:], [1, 1, 1])
+
+    def test_tie_goes_to_first_station(self):
+        g = nx.path_graph(3)
+        zones = station_zones(g, [0, 2])
+        assert zones[1] == 0  # equidistant: first station wins
+
+    def test_empty_stations_rejected(self):
+        with pytest.raises(ValueError, match="station"):
+            station_zones(nx.path_graph(3), [])
+
+    def test_disconnected_rejected(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        with pytest.raises(ValueError, match="disconnected"):
+            station_zones(g, [0])
+
+
+class TestGeographicGame:
+    def test_structure(self):
+        game, constraints, layout = geographic_game(
+            num_sites=12, num_stations=2, teams_per_station=2, seed=0
+        )
+        assert game.num_targets == 12
+        assert constraints.num_targets == 12
+        assert constraints.num_constraints == 2
+        assert len(layout.stations) == 2
+        assert layout.zone_of.shape == (12,)
+        assert nx.is_connected(layout.graph)
+
+    def test_resources_match_caps(self):
+        game, constraints, _ = geographic_game(
+            num_sites=10, num_stations=2, teams_per_station=1, seed=1
+        )
+        assert game.num_resources <= 2.0
+
+    def test_density_drives_rewards(self):
+        game, _, layout = geographic_game(num_sites=14, seed=2)
+        mid = game.payoffs.attacker_reward_mid
+        dense = int(np.argmax(layout.density))
+        sparse = int(np.argmin(layout.density))
+        assert mid[dense] >= mid[sparse]
+
+    def test_deterministic(self):
+        a = geographic_game(num_sites=8, seed=5)
+        b = geographic_game(num_sites=8, seed=5)
+        np.testing.assert_array_equal(
+            a[0].payoffs.attacker_reward_lo, b[0].payoffs.attacker_reward_lo
+        )
+        assert a[2].stations == b[2].stations
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_sites"):
+            geographic_game(num_sites=1)
+        with pytest.raises(ValueError, match="station"):
+            geographic_game(num_sites=5, num_stations=0)
+
+    def test_constrained_cubis_respects_zones(self):
+        game, constraints, layout = geographic_game(
+            num_sites=10, num_stations=2, teams_per_station=1, seed=3
+        )
+        uncertainty = default_uncertainty(game.payoffs)
+        result = solve_cubis(
+            game, uncertainty, num_segments=8, epsilon=0.05,
+            coverage_constraints=constraints,
+        )
+        assert constraints.satisfied(result.strategy, atol=1e-6)
+        # Each zone's coverage respects its station's team count.
+        for z in range(2):
+            zone_cov = result.strategy[layout.zone_of == z].sum()
+            assert zone_cov <= 1.0 + 1e-6

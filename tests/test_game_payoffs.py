@@ -1,0 +1,198 @@
+"""Unit tests for repro.game.payoffs."""
+
+import numpy as np
+import pytest
+
+from repro.game.payoffs import IntervalPayoffs, PayoffMatrix
+
+
+def make_point(n=3):
+    return PayoffMatrix(
+        defender_reward=np.arange(1.0, n + 1.0),
+        defender_penalty=-np.arange(1.0, n + 1.0),
+        attacker_reward=np.arange(2.0, n + 2.0),
+        attacker_penalty=-np.arange(2.0, n + 2.0),
+    )
+
+
+class TestPayoffMatrix:
+    def test_num_targets(self):
+        assert make_point(4).num_targets == 4
+
+    def test_reward_must_exceed_penalty_defender(self):
+        with pytest.raises(ValueError, match="defender_reward"):
+            PayoffMatrix([1.0], [1.0], [2.0], [-1.0])
+
+    def test_reward_must_exceed_penalty_attacker(self):
+        with pytest.raises(ValueError, match="attacker_reward"):
+            PayoffMatrix([1.0], [-1.0], [2.0], [2.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            PayoffMatrix([1.0, 2.0], [-1.0], [2.0], [-2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one target"):
+            PayoffMatrix([], [], [], [])
+
+    def test_arrays_are_readonly(self):
+        p = make_point()
+        with pytest.raises(ValueError):
+            p.defender_reward[0] = 99.0
+
+    def test_defender_utilities_endpoints(self):
+        p = make_point()
+        np.testing.assert_allclose(p.defender_utilities(np.zeros(3)), p.defender_penalty)
+        np.testing.assert_allclose(p.defender_utilities(np.ones(3)), p.defender_reward)
+
+    def test_defender_utilities_affine(self):
+        p = make_point()
+        x = np.array([0.25, 0.5, 0.75])
+        expected = x * p.defender_reward + (1 - x) * p.defender_penalty
+        np.testing.assert_allclose(p.defender_utilities(x), expected)
+
+    def test_attacker_utilities_endpoints(self):
+        p = make_point()
+        np.testing.assert_allclose(p.attacker_utilities(np.zeros(3)), p.attacker_reward)
+        np.testing.assert_allclose(p.attacker_utilities(np.ones(3)), p.attacker_penalty)
+
+    def test_utility_range(self):
+        p = make_point()
+        lo, hi = p.utility_range()
+        assert lo == p.defender_penalty.min()
+        assert hi == p.defender_reward.max()
+
+    def test_zero_sum_construction(self):
+        p = PayoffMatrix.zero_sum([3.0, 5.0], [-2.0, -4.0])
+        np.testing.assert_array_equal(p.defender_reward, [2.0, 4.0])
+        np.testing.assert_array_equal(p.defender_penalty, [-3.0, -5.0])
+
+    def test_zero_sum_utilities_negate(self):
+        p = PayoffMatrix.zero_sum([3.0, 5.0], [-2.0, -4.0])
+        x = np.array([0.3, 0.7])
+        np.testing.assert_allclose(p.defender_utilities(x), -p.attacker_utilities(x))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            PayoffMatrix([np.nan], [-1.0], [1.0], [-1.0])
+
+
+def make_interval():
+    return IntervalPayoffs(
+        defender_reward=np.array([5.0, 7.0]),
+        defender_penalty=np.array([-6.0, -10.0]),
+        attacker_reward_lo=np.array([1.0, 5.0]),
+        attacker_reward_hi=np.array([5.0, 9.0]),
+        attacker_penalty_lo=np.array([-7.0, -9.0]),
+        attacker_penalty_hi=np.array([-3.0, -5.0]),
+    )
+
+
+class TestIntervalPayoffs:
+    def test_num_targets(self):
+        assert make_interval().num_targets == 2
+
+    def test_midpoints(self):
+        p = make_interval()
+        np.testing.assert_array_equal(p.attacker_reward_mid, [3.0, 7.0])
+        np.testing.assert_array_equal(p.attacker_penalty_mid, [-5.0, -7.0])
+
+    def test_midpoint_collapse_keeps_defender(self):
+        p = make_interval()
+        mid = p.midpoint()
+        np.testing.assert_array_equal(mid.defender_reward, p.defender_reward)
+        np.testing.assert_array_equal(mid.attacker_reward, p.attacker_reward_mid)
+
+    def test_crossed_reward_interval_rejected(self):
+        with pytest.raises(ValueError, match="lower <= upper"):
+            IntervalPayoffs(
+                defender_reward=[5.0],
+                defender_penalty=[-5.0],
+                attacker_reward_lo=[4.0],
+                attacker_reward_hi=[2.0],
+                attacker_penalty_lo=[-3.0],
+                attacker_penalty_hi=[-1.0],
+            )
+
+    def test_reward_interval_must_exceed_penalty_interval(self):
+        with pytest.raises(ValueError, match="strictly above"):
+            IntervalPayoffs(
+                defender_reward=[5.0],
+                defender_penalty=[-5.0],
+                attacker_reward_lo=[1.0],
+                attacker_reward_hi=[2.0],
+                attacker_penalty_lo=[0.0],
+                attacker_penalty_hi=[1.5],
+            )
+
+    def test_defender_reward_must_exceed_penalty(self):
+        with pytest.raises(ValueError, match="defender_reward"):
+            IntervalPayoffs(
+                defender_reward=[-5.0],
+                defender_penalty=[5.0],
+                attacker_reward_lo=[1.0],
+                attacker_reward_hi=[2.0],
+                attacker_penalty_lo=[-2.0],
+                attacker_penalty_hi=[-1.0],
+            )
+
+    def test_zero_sum_midpoint_convention(self):
+        p = IntervalPayoffs.zero_sum_midpoint(
+            attacker_reward_lo=[1.0, 5.0],
+            attacker_reward_hi=[5.0, 9.0],
+            attacker_penalty_lo=[-7.0, -9.0],
+            attacker_penalty_hi=[-3.0, -5.0],
+        )
+        np.testing.assert_array_equal(p.defender_reward, [5.0, 7.0])
+        np.testing.assert_array_equal(p.defender_penalty, [-3.0, -7.0])
+
+    def test_defender_utilities(self):
+        p = make_interval()
+        x = np.array([0.5, 0.5])
+        expected = 0.5 * p.defender_reward + 0.5 * p.defender_penalty
+        np.testing.assert_allclose(p.defender_utilities(x), expected)
+
+    def test_utility_range(self):
+        p = make_interval()
+        assert p.utility_range() == (-10.0, 7.0)
+
+    def test_degenerate_intervals_allowed(self):
+        p = IntervalPayoffs(
+            defender_reward=[5.0],
+            defender_penalty=[-5.0],
+            attacker_reward_lo=[3.0],
+            attacker_reward_hi=[3.0],
+            attacker_penalty_lo=[-3.0],
+            attacker_penalty_hi=[-3.0],
+        )
+        mid = p.midpoint()
+        assert mid.attacker_reward[0] == 3.0
+
+
+class TestScaledWidth:
+    def test_zero_collapses_to_midpoints(self):
+        p = make_interval().with_scaled_width(0.0)
+        np.testing.assert_allclose(p.attacker_reward_lo, p.attacker_reward_hi)
+        np.testing.assert_allclose(p.attacker_reward_lo, make_interval().attacker_reward_mid)
+
+    def test_unit_factor_is_identity(self):
+        base = make_interval()
+        p = base.with_scaled_width(1.0)
+        np.testing.assert_allclose(p.attacker_reward_lo, base.attacker_reward_lo)
+        np.testing.assert_allclose(p.attacker_penalty_hi, base.attacker_penalty_hi)
+
+    def test_half_factor_halves_widths(self):
+        base = make_interval()
+        p = base.with_scaled_width(0.5)
+        base_w = base.attacker_reward_hi - base.attacker_reward_lo
+        np.testing.assert_allclose(p.attacker_reward_hi - p.attacker_reward_lo, 0.5 * base_w)
+
+    def test_defender_payoffs_untouched(self):
+        base = make_interval()
+        p = base.with_scaled_width(0.25)
+        np.testing.assert_array_equal(p.defender_reward, base.defender_reward)
+        np.testing.assert_array_equal(p.defender_penalty, base.defender_penalty)
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError, match="factor"):
+            make_interval().with_scaled_width(-0.5)

@@ -1,0 +1,114 @@
+"""Unit + property tests for repro.game.schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.game.schedules import PatrolSchedule, decompose_coverage, sample_patrols
+from repro.game.strategy import StrategySpace
+
+
+class TestPatrolSchedule:
+    def test_marginals(self):
+        s = PatrolSchedule(
+            patrols=np.array([[True, False], [False, True]]),
+            probabilities=np.array([0.3, 0.7]),
+        )
+        np.testing.assert_allclose(s.marginals(), [0.3, 0.7])
+
+    def test_resources_used(self):
+        s = PatrolSchedule(
+            patrols=np.array([[True, True, False]]),
+            probabilities=np.array([1.0]),
+        )
+        np.testing.assert_array_equal(s.resources_used(), [2])
+
+    def test_bad_distribution_rejected(self):
+        with pytest.raises(ValueError, match="distribution"):
+            PatrolSchedule(np.array([[True]]), np.array([0.5]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="per patrol"):
+            PatrolSchedule(np.array([[True]]), np.array([0.5, 0.5]))
+
+
+class TestDecomposeCoverage:
+    def test_integral_coverage_single_patrol(self):
+        s = decompose_coverage(np.array([1.0, 0.0, 1.0]))
+        assert s.num_patrols == 1
+        np.testing.assert_array_equal(s.patrols[0], [True, False, True])
+
+    def test_zero_coverage(self):
+        s = decompose_coverage(np.zeros(3))
+        np.testing.assert_allclose(s.marginals(), np.zeros(3))
+
+    def test_simple_split(self):
+        s = decompose_coverage(np.array([0.5, 0.5]))
+        np.testing.assert_allclose(s.marginals(), [0.5, 0.5], atol=1e-9)
+        np.testing.assert_array_equal(s.resources_used(), np.ones(s.num_patrols))
+
+    def test_marginals_match_exactly(self):
+        x = np.array([0.7, 0.3, 0.6, 0.4])  # R = 2
+        s = decompose_coverage(x)
+        np.testing.assert_allclose(s.marginals(), x, atol=1e-9)
+
+    def test_every_patrol_uses_all_resources(self):
+        x = np.array([0.9, 0.8, 0.3])  # R = 2
+        s = decompose_coverage(x)
+        np.testing.assert_array_equal(s.resources_used(), np.full(s.num_patrols, 2))
+
+    def test_patrol_count_at_most_t_plus_one(self):
+        x = np.array([0.25, 0.15, 0.35, 0.55, 0.45, 0.25])  # R = 2
+        s = decompose_coverage(x)
+        assert s.num_patrols <= len(x) + 1
+
+    def test_fractional_total_rejected(self):
+        with pytest.raises(ValueError, match="integral"):
+            decompose_coverage(np.array([0.5, 0.2]))
+
+    def test_out_of_box_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            decompose_coverage(np.array([1.5, 0.5]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            decompose_coverage(np.ones((2, 2)))
+
+    @given(st.integers(2, 8), st.integers(1, 3), st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_random_strategies_decompose(self, t, r, seed):
+        if r > t:
+            r = t
+        space = StrategySpace(t, r)
+        x = space.random(seed)
+        s = decompose_coverage(x)
+        np.testing.assert_allclose(s.marginals(), x, atol=1e-7)
+        np.testing.assert_array_equal(s.resources_used(), np.full(s.num_patrols, r))
+        assert s.probabilities.min() > 0
+
+
+class TestSamplePatrols:
+    def test_shape(self):
+        cal = sample_patrols(np.array([0.5, 0.5]), num_days=10, seed=0)
+        assert cal.shape == (10, 2)
+
+    def test_each_day_uses_r_resources(self):
+        x = np.array([0.6, 0.8, 0.6])  # R = 2
+        cal = sample_patrols(x, num_days=25, seed=1)
+        np.testing.assert_array_equal(cal.sum(axis=1), np.full(25, 2))
+
+    def test_empirical_coverage_converges(self):
+        x = np.array([0.7, 0.3, 0.5, 0.5])
+        cal = sample_patrols(x, num_days=40_000, seed=2)
+        np.testing.assert_allclose(cal.mean(axis=0), x, atol=0.01)
+
+    def test_deterministic(self):
+        x = np.array([0.5, 0.5])
+        np.testing.assert_array_equal(
+            sample_patrols(x, 7, seed=3), sample_patrols(x, 7, seed=3)
+        )
+
+    def test_invalid_days(self):
+        with pytest.raises(ValueError, match="num_days"):
+            sample_patrols(np.array([1.0]), 0)

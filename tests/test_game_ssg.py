@@ -1,0 +1,83 @@
+"""Unit tests for repro.game.ssg."""
+
+import numpy as np
+import pytest
+
+from repro.game.ssg import IntervalSecurityGame, SecurityGame
+
+
+class TestSecurityGame:
+    def test_basic_properties(self, simple_game):
+        assert simple_game.num_targets == 3
+        assert simple_game.num_resources == 1.0
+        assert simple_game.strategy_space.num_targets == 3
+
+    def test_invalid_resources(self, simple_payoffs):
+        with pytest.raises(ValueError, match="num_resources"):
+            SecurityGame(simple_payoffs, num_resources=10)
+
+    def test_defender_utilities_delegate(self, simple_game):
+        x = np.array([0.5, 0.25, 0.25])
+        np.testing.assert_allclose(
+            simple_game.defender_utilities(x),
+            simple_game.payoffs.defender_utilities(x),
+        )
+
+    def test_attacker_utilities_delegate(self, simple_game):
+        x = np.array([0.5, 0.25, 0.25])
+        np.testing.assert_allclose(
+            simple_game.attacker_utilities(x),
+            simple_game.payoffs.attacker_utilities(x),
+        )
+
+    def test_expected_defender_utility(self, simple_game):
+        x = simple_game.strategy_space.uniform()
+        q = np.array([1.0, 0.0, 0.0])
+        val = simple_game.expected_defender_utility(x, q)
+        assert val == pytest.approx(simple_game.defender_utilities(x)[0])
+
+    def test_expected_defender_utility_rejects_bad_distribution(self, simple_game):
+        x = simple_game.strategy_space.uniform()
+        with pytest.raises(ValueError, match="sum to"):
+            simple_game.expected_defender_utility(x, [0.5, 0.2, 0.2])
+
+    def test_expected_defender_utility_length_check(self, simple_game):
+        x = simple_game.strategy_space.uniform()
+        with pytest.raises(ValueError, match="length"):
+            simple_game.expected_defender_utility(x, [0.5, 0.5])
+
+    def test_utility_range(self, simple_game):
+        assert simple_game.utility_range() == (-8.0, 6.0)
+
+
+class TestIntervalSecurityGame:
+    def test_basic_properties(self, small_interval_game):
+        g = small_interval_game
+        assert g.num_targets == 4
+        assert g.num_resources == 1.5
+
+    def test_midpoint_game_type(self, small_interval_game):
+        mid = small_interval_game.midpoint_game()
+        assert isinstance(mid, SecurityGame)
+        assert mid.num_resources == small_interval_game.num_resources
+
+    def test_midpoint_preserves_defender_payoffs(self, small_interval_game):
+        mid = small_interval_game.midpoint_game()
+        np.testing.assert_array_equal(
+            mid.payoffs.defender_reward, small_interval_game.payoffs.defender_reward
+        )
+
+    def test_defender_utilities(self, small_interval_game):
+        x = small_interval_game.strategy_space.uniform()
+        ud = small_interval_game.defender_utilities(x)
+        assert ud.shape == (4,)
+
+    def test_utility_range_matches_payoffs(self, small_interval_game):
+        assert (
+            small_interval_game.utility_range()
+            == small_interval_game.payoffs.utility_range()
+        )
+
+    def test_invalid_resources(self, small_interval_game):
+        with pytest.raises(ValueError, match="num_resources"):
+            IntervalSecurityGame(small_interval_game.payoffs, num_resources=0)

@@ -1,0 +1,156 @@
+"""Unit and property tests for repro.game.strategy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.game.strategy import StrategySpace
+
+
+class TestConstruction:
+    def test_valid(self):
+        s = StrategySpace(5, 2)
+        assert s.num_targets == 5 and s.num_resources == 2.0
+
+    def test_fractional_resources(self):
+        s = StrategySpace(4, 1.5)
+        assert s.num_resources == 1.5
+
+    def test_zero_resources_rejected(self):
+        with pytest.raises(ValueError, match="num_resources"):
+            StrategySpace(3, 0)
+
+    def test_too_many_resources_rejected(self):
+        with pytest.raises(ValueError, match="num_resources"):
+            StrategySpace(3, 4)
+
+    def test_resources_equal_targets_allowed(self):
+        s = StrategySpace(3, 3)
+        np.testing.assert_allclose(s.uniform(), np.ones(3))
+
+    def test_no_targets_rejected(self):
+        with pytest.raises(ValueError, match="num_targets"):
+            StrategySpace(0, 0.5)
+
+
+class TestContainsValidate:
+    def test_uniform_contained(self):
+        s = StrategySpace(4, 2)
+        assert s.contains(s.uniform())
+
+    def test_wrong_sum(self):
+        s = StrategySpace(4, 2)
+        assert not s.contains(np.full(4, 0.4))
+
+    def test_out_of_box(self):
+        s = StrategySpace(2, 1.5)
+        assert not s.contains(np.array([1.6, -0.1]))
+
+    def test_wrong_shape(self):
+        s = StrategySpace(3, 1)
+        assert not s.contains(np.array([0.5, 0.5]))
+
+    def test_validate_returns_array(self):
+        s = StrategySpace(2, 1)
+        out = s.validate([0.4, 0.6])
+        assert isinstance(out, np.ndarray)
+
+    def test_validate_raises(self):
+        s = StrategySpace(2, 1)
+        with pytest.raises(ValueError, match="feasible"):
+            s.validate([0.9, 0.9])
+
+    def test_validate_shape_error(self):
+        s = StrategySpace(3, 1)
+        with pytest.raises(ValueError, match="shape"):
+            s.validate([0.5, 0.5])
+
+
+class TestProjection:
+    def test_feasible_point_fixed(self):
+        s = StrategySpace(3, 1)
+        x = np.array([0.2, 0.3, 0.5])
+        np.testing.assert_allclose(s.project(x), x, atol=1e-8)
+
+    def test_projection_feasible(self, rng):
+        s = StrategySpace(6, 2)
+        for _ in range(20):
+            v = rng.normal(size=6) * 3
+            p = s.project(v)
+            assert s.contains(p, atol=1e-6)
+
+    def test_projection_is_nearest_on_simple_case(self):
+        # Project (2, 0): caps at 1, remainder must go to the other slot.
+        s = StrategySpace(2, 1.5)
+        p = s.project(np.array([2.0, 0.0]))
+        np.testing.assert_allclose(p, [1.0, 0.5], atol=1e-6)
+
+    def test_projection_idempotent(self, rng):
+        s = StrategySpace(5, 2)
+        v = rng.normal(size=5)
+        p1 = s.project(v)
+        p2 = s.project(p1)
+        np.testing.assert_allclose(p1, p2, atol=1e-6)
+
+    def test_projection_shape_error(self):
+        s = StrategySpace(3, 1)
+        with pytest.raises(ValueError, match="shape"):
+            s.project([0.5, 0.5])
+
+    @given(st.lists(st.floats(-5, 5), min_size=4, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_projection_always_feasible(self, values):
+        s = StrategySpace(4, 1.5)
+        p = s.project(np.array(values))
+        assert s.contains(p, atol=1e-5)
+
+    @given(st.lists(st.floats(-3, 3), min_size=3, max_size=3), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_projection_no_closer_feasible_point(self, values, seed):
+        """The projection is at least as close as random feasible points."""
+        s = StrategySpace(3, 1)
+        v = np.array(values)
+        p = s.project(v)
+        dist_p = np.linalg.norm(v - p)
+        other = s.random(seed)
+        assert dist_p <= np.linalg.norm(v - other) + 1e-6
+
+
+class TestSampling:
+    def test_uniform_strategy(self):
+        s = StrategySpace(4, 2)
+        np.testing.assert_allclose(s.uniform(), np.full(4, 0.5))
+
+    def test_random_feasible(self):
+        s = StrategySpace(5, 2)
+        for seed in range(10):
+            assert s.contains(s.random(seed), atol=1e-6)
+
+    def test_random_deterministic(self):
+        s = StrategySpace(5, 2)
+        np.testing.assert_array_equal(s.random(3), s.random(3))
+
+    def test_random_batch_shape(self):
+        s = StrategySpace(4, 1)
+        batch = s.random_batch(7, seed=0)
+        assert batch.shape == (7, 4)
+        for row in batch:
+            assert s.contains(row, atol=1e-6)
+
+    def test_vertices_sample_integral_resources(self):
+        s = StrategySpace(5, 2)
+        verts = s.vertices_sample(8, seed=0)
+        assert verts.shape == (8, 5)
+        for row in verts:
+            assert s.contains(row, atol=1e-9)
+            assert set(np.round(row, 9)) <= {0.0, 1.0}
+
+    def test_vertices_sample_fractional_resources(self):
+        s = StrategySpace(4, 1.5)
+        verts = s.vertices_sample(5, seed=1)
+        for row in verts:
+            assert s.contains(row, atol=1e-9)
+            # one full target and one half target
+            assert np.isclose(sorted(row)[-1], 1.0)
+            assert np.isclose(sorted(row)[-2], 0.5)

@@ -1,0 +1,145 @@
+"""End-to-end integration tests: full user workflows through the public API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.evaluation import evaluate_strategy
+from repro.behavior.sampling import sample_attacker_types
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.behavior
+        import repro.core
+        import repro.experiments
+        import repro.game
+        import repro.solvers
+
+        for module in (
+            repro.analysis,
+            repro.baselines,
+            repro.behavior,
+            repro.core,
+            repro.experiments,
+            repro.game,
+            repro.solvers,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, f"{module.__name__}.{name}"
+
+
+class TestQuickstartFlow:
+    """The README quickstart, assertion-hardened."""
+
+    def test_full_flow(self):
+        game = repro.table1_game()
+        uncertainty = repro.IntervalSUQR(
+            game.payoffs, w1=(-6.0, -2.0), w2=(0.5, 1.0), w3=(0.4, 0.9)
+        )
+        robust = repro.solve_cubis(game, uncertainty, num_segments=25, epsilon=1e-4)
+        midpoint = repro.solve_midpoint(game, uncertainty, num_segments=25)
+        np.testing.assert_allclose(robust.strategy, [0.46, 0.54], atol=0.02)
+        assert robust.worst_case_value == pytest.approx(-0.91, abs=0.05)
+        assert midpoint.worst_case_value < -1.9
+        assert robust.worst_case_value > midpoint.worst_case_value + 1.0
+
+
+class TestLearningToPlanningFlow:
+    """Attack logs -> MLE -> bootstrap boxes -> CUBIS -> patrol calendar."""
+
+    def test_full_pipeline(self):
+        game = repro.wildlife_game(num_sites=6, num_patrols=2, uncertainty=0.0, seed=5)
+        point_game = game.midpoint_game()
+        truth = repro.SUQR(point_game.payoffs, repro.SUQRWeights(-3.0, 0.8, 0.5))
+
+        history = game.strategy_space.random_batch(15, seed=1)
+        log = repro.simulate_attacks(truth, history, attacks_per_strategy=40, seed=2)
+        boxes = repro.bootstrap_weight_boxes(
+            point_game.payoffs, log, num_bootstrap=10, seed=3
+        )
+        uncertainty = repro.IntervalSUQR(game.payoffs, *boxes, convention="tight")
+        result = repro.solve_cubis(game, uncertainty, num_segments=10, epsilon=0.02)
+        assert game.strategy_space.contains(result.strategy, atol=1e-6)
+
+        # The plan must be implementable as a patrol calendar.
+        calendar = repro.sample_patrols(result.strategy, num_days=5000, seed=4)
+        np.testing.assert_allclose(
+            calendar.mean(axis=0), result.strategy, atol=0.05
+        )
+        assert np.all(calendar.sum(axis=1) == 2)
+
+    def test_true_model_within_uncertainty_set_implies_guarantee(self):
+        """If the truth is inside the box, the worst-case guarantee holds
+        for the true model (the whole point of the robust formulation)."""
+        game = repro.wildlife_game(num_sites=5, num_patrols=2, uncertainty=0.0, seed=9)
+        point_game = game.midpoint_game()
+        truth = repro.SUQR(point_game.payoffs, repro.SUQRWeights(-3.0, 0.7, 0.5))
+        uncertainty = repro.IntervalSUQR(
+            game.payoffs,
+            w1=(-4.0, -2.0), w2=(0.5, 0.9), w3=(0.3, 0.7),
+            convention="tight",
+        )
+        result = repro.solve_cubis(game, uncertainty, num_segments=12, epsilon=0.01)
+        true_value = truth.expected_defender_utility(
+            point_game.defender_utilities(result.strategy), result.strategy
+        )
+        assert true_value >= result.worst_case_value - 1e-6
+
+
+class TestBaselineOrderings:
+    """Cross-solver sanity on one fixture game."""
+
+    @pytest.fixture(scope="class")
+    def world(self):
+        game = repro.random_interval_game(8, payoff_halfwidth=0.5, seed=21)
+        uncertainty = repro.IntervalSUQR(
+            game.payoffs, w1=(-4.0, -2.0), w2=(0.6, 0.9), w3=(0.3, 0.6),
+            convention="tight",
+        )
+        return game, uncertainty
+
+    def test_cubis_is_worst_case_champion(self, world):
+        game, uncertainty = world
+        robust = repro.solve_cubis(game, uncertainty, num_segments=15, epsilon=0.005)
+        types = sample_attacker_types(uncertainty, 6, seed=0)
+        contenders = {
+            "midpoint": repro.solve_midpoint(game, uncertainty, num_segments=15).strategy,
+            "uniform": repro.solve_uniform(game).strategy,
+            "worst_type": repro.solve_worst_type(game, types, num_starts=4, seed=1).strategy,
+        }
+        for name, x in contenders.items():
+            ev = evaluate_strategy(game, uncertainty, x)
+            assert robust.worst_case_value >= ev.worst_case - 0.05, name
+
+    def test_sse_on_midpoint_game(self, world):
+        game, _ = world
+        sse = repro.solve_sse(game.midpoint_game())
+        assert game.strategy_space.contains(sse.strategy, atol=1e-6)
+
+    def test_exact_comparator_agrees_roughly(self, world):
+        game, uncertainty = world
+        robust = repro.solve_cubis(game, uncertainty, num_segments=15, epsilon=0.005)
+        exact = repro.solve_exact(game, uncertainty, num_starts=10, seed=2)
+        assert abs(robust.worst_case_value - exact.worst_case_value) < 0.5
+
+
+class TestIntervalQRFlow:
+    def test_qr_uncertainty_end_to_end(self):
+        game = repro.random_interval_game(5, payoff_halfwidth=0.5, seed=31)
+        model = repro.IntervalQR(game.payoffs, rationality=(0.2, 1.0))
+        result = repro.solve_cubis(game, model, num_segments=12, epsilon=0.01)
+        mid = repro.solve_pasaq(
+            game.midpoint_game(), model.midpoint_model(), num_segments=12
+        )
+        ev_mid = evaluate_strategy(game, model, mid.strategy)
+        assert result.worst_case_value >= ev_mid.worst_case - 0.05

@@ -1,0 +1,136 @@
+"""Cross-cutting property-based tests (hypothesis) on whole-game invariants.
+
+These tie multiple subsystems together on randomly generated games:
+duality, monotonicity of robustness, schedule implementability, and the
+consistency of every evaluation angle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.analysis.evaluation import evaluate_strategy
+from repro.core.dual import beta_star, g_value
+from repro.core.worst_case import worst_case_response
+
+
+@st.composite
+def interval_world(draw):
+    """A random interval game + tight SUQR uncertainty + a strategy."""
+    t = draw(st.integers(2, 7))
+    seed = draw(st.integers(0, 10**6))
+    game = repro.random_interval_game(t, payoff_halfwidth=0.5, seed=seed)
+    w1_lo = draw(st.floats(-5.0, -2.0))
+    w1_w = draw(st.floats(0.0, 2.0))
+    uncertainty = repro.IntervalSUQR(
+        game.payoffs,
+        w1=(w1_lo - w1_w, w1_lo),
+        w2=(0.5, 0.9),
+        w3=(0.3, 0.7),
+        convention="tight",
+    )
+    x = game.strategy_space.random(draw(st.integers(0, 10**6)))
+    return game, uncertainty, x
+
+
+class TestWorldInvariants:
+    @given(interval_world())
+    @settings(max_examples=30, deadline=None)
+    def test_worst_leq_midpoint_leq_best(self, world):
+        game, uncertainty, x = world
+        ev = evaluate_strategy(game, uncertainty, x)
+        assert ev.worst_case <= ev.midpoint + 1e-9
+        assert ev.midpoint <= ev.best_case + 1e-9
+
+    @given(interval_world())
+    @settings(max_examples=30, deadline=None)
+    def test_worst_case_within_utility_range(self, world):
+        game, uncertainty, x = world
+        ev = evaluate_strategy(game, uncertainty, x)
+        ud = game.defender_utilities(x)
+        assert ud.min() - 1e-9 <= ev.worst_case <= ud.max() + 1e-9
+
+    @given(interval_world())
+    @settings(max_examples=30, deadline=None)
+    def test_duality_gap_zero(self, world):
+        """Primal vertex enumeration == dual fixed point at any strategy."""
+        game, uncertainty, x = world
+        ud = game.defender_utilities(x)
+        lo, hi = uncertainty.lower(x), uncertainty.upper(x)
+        primal = worst_case_response(ud, lo, hi).value
+        # At c = primal, the dual G must vanish (strong duality).
+        g = g_value(lo, hi, ud, beta_star(ud, primal), primal)
+        assert g == pytest.approx(0.0, abs=max(1e-7, 1e-7 * abs(lo.sum())))
+
+    @given(interval_world())
+    @settings(max_examples=30, deadline=None)
+    def test_sampled_types_respect_worst_case(self, world):
+        game, uncertainty, x = world
+        ud = game.defender_utilities(x)
+        worst = worst_case_response(ud, uncertainty.lower(x), uncertainty.upper(x)).value
+        for seed in range(3):
+            model = uncertainty.sample_model(seed)
+            assert model.expected_defender_utility(ud, x) >= worst - 1e-7
+
+    @given(interval_world())
+    @settings(max_examples=20, deadline=None)
+    def test_narrowing_uncertainty_weakly_improves_worst_case(self, world):
+        game, uncertainty, x = world
+        narrow = uncertainty.with_scaled_uncertainty(0.5)
+        wide_v = evaluate_strategy(game, uncertainty, x).worst_case
+        narrow_v = evaluate_strategy(game, narrow, x).worst_case
+        assert narrow_v >= wide_v - 1e-9
+
+    @given(interval_world())
+    @settings(max_examples=15, deadline=None)
+    def test_integral_strategies_schedule(self, world):
+        game, uncertainty, x = world
+        if abs(game.num_resources - round(game.num_resources)) > 1e-9:
+            return  # comb decomposition needs whole patrols
+        schedule = repro.decompose_coverage(x)
+        np.testing.assert_allclose(schedule.marginals(), x, atol=1e-7)
+
+    @given(interval_world())
+    @settings(max_examples=10, deadline=None)
+    def test_uniform_scaling_of_attractiveness_is_invariant(self, world):
+        """q is scale-invariant in F: multiplying L and U by a constant
+        leaves the worst-case utility unchanged."""
+        game, uncertainty, x = world
+        ud = game.defender_utilities(x)
+        lo, hi = uncertainty.lower(x), uncertainty.upper(x)
+        base = worst_case_response(ud, lo, hi).value
+        scaled = worst_case_response(ud, 7.5 * lo, 7.5 * hi).value
+        assert scaled == pytest.approx(base, abs=1e-9, rel=1e-9)
+
+
+class TestCubisProperties:
+    @given(st.integers(0, 10**4))
+    @settings(max_examples=8, deadline=None)
+    def test_cubis_beats_uniform_and_is_feasible(self, seed):
+        game = repro.random_interval_game(4, payoff_halfwidth=0.5, seed=seed)
+        uncertainty = repro.IntervalSUQR(
+            game.payoffs, w1=(-4.0, -2.0), w2=(0.6, 0.9), w3=(0.3, 0.6),
+            convention="tight",
+        )
+        result = repro.solve_cubis(game, uncertainty, num_segments=10, epsilon=0.02)
+        assert game.strategy_space.contains(result.strategy, atol=1e-6)
+        uniform_v = evaluate_strategy(
+            game, uncertainty, game.strategy_space.uniform()
+        ).worst_case
+        assert result.worst_case_value >= uniform_v - 0.05
+
+    @given(st.integers(0, 10**4))
+    @settings(max_examples=5, deadline=None)
+    def test_binary_search_trace_monotone(self, seed):
+        game = repro.random_interval_game(4, payoff_halfwidth=0.5, seed=seed)
+        uncertainty = repro.IntervalSUQR(
+            game.payoffs, w1=(-4.0, -2.0), w2=(0.6, 0.9), w3=(0.3, 0.6),
+            convention="tight",
+        )
+        result = repro.solve_cubis(game, uncertainty, num_segments=6, epsilon=0.05)
+        feas = [c for c, ok in result.trace if ok]
+        infeas = [c for c, ok in result.trace if not ok]
+        if feas and infeas:
+            assert max(feas) <= min(infeas) + 1e-9

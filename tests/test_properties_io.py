@@ -1,0 +1,102 @@
+"""Property-based round-trip tests for the JSON codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.io import (
+    game_from_dict,
+    game_to_dict,
+    uncertainty_from_dict,
+    uncertainty_to_dict,
+)
+from repro.behavior.interval import IntervalSUQR
+from repro.behavior.interval_qr import IntervalQR
+from repro.game.generator import random_game, random_interval_game
+
+
+@st.composite
+def point_games(draw):
+    t = draw(st.integers(1, 10))
+    seed = draw(st.integers(0, 10**6))
+    return random_game(t, seed=seed)
+
+
+@st.composite
+def interval_games(draw):
+    t = draw(st.integers(1, 10))
+    seed = draw(st.integers(0, 10**6))
+    hw = draw(st.floats(0.0, 2.0))
+    zero_sum = draw(st.booleans())
+    return random_interval_game(t, payoff_halfwidth=hw, zero_sum=zero_sum, seed=seed)
+
+
+class TestGameRoundTripProperties:
+    @given(point_games())
+    @settings(max_examples=40, deadline=None)
+    def test_point_game_round_trip(self, game):
+        restored = game_from_dict(game_to_dict(game))
+        assert restored.num_resources == game.num_resources
+        for field in ("defender_reward", "defender_penalty", "attacker_reward", "attacker_penalty"):
+            np.testing.assert_allclose(
+                getattr(restored.payoffs, field), getattr(game.payoffs, field)
+            )
+
+    @given(interval_games())
+    @settings(max_examples=40, deadline=None)
+    def test_interval_game_round_trip(self, game):
+        restored = game_from_dict(game_to_dict(game))
+        for field in (
+            "defender_reward",
+            "defender_penalty",
+            "attacker_reward_lo",
+            "attacker_reward_hi",
+            "attacker_penalty_lo",
+            "attacker_penalty_hi",
+        ):
+            np.testing.assert_allclose(
+                getattr(restored.payoffs, field), getattr(game.payoffs, field)
+            )
+
+    @given(interval_games())
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_preserves_utilities(self, game):
+        restored = game_from_dict(game_to_dict(game))
+        x = game.strategy_space.uniform()
+        np.testing.assert_allclose(
+            restored.defender_utilities(x), game.defender_utilities(x)
+        )
+
+
+class TestUncertaintyRoundTripProperties:
+    @given(
+        interval_games(),
+        st.floats(-6.0, -2.0),
+        st.floats(0.0, 2.0),
+        st.floats(0.3, 0.8),
+        st.floats(0.0, 0.5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_suqr_round_trip_preserves_bounds(self, game, w1_hi, w1_w, w2_lo, w2_w):
+        model = IntervalSUQR(
+            game.payoffs,
+            w1=(w1_hi - w1_w, w1_hi),
+            w2=(w2_lo, w2_lo + w2_w),
+            w3=(0.3, 0.6),
+            convention="tight",
+        )
+        restored = uncertainty_from_dict(uncertainty_to_dict(model), game.payoffs)
+        x = game.strategy_space.uniform()
+        np.testing.assert_allclose(restored.lower(x), model.lower(x))
+        np.testing.assert_allclose(restored.upper(x), model.upper(x))
+
+    @given(interval_games(), st.floats(0.0, 2.0), st.floats(0.0, 2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_qr_round_trip_preserves_bounds(self, game, lam_lo, lam_w):
+        model = IntervalQR(game.payoffs, rationality=(lam_lo, lam_lo + lam_w))
+        restored = uncertainty_from_dict(uncertainty_to_dict(model), game.payoffs)
+        x = game.strategy_space.uniform()
+        with np.errstate(over="ignore"):
+            np.testing.assert_allclose(restored.lower(x), model.lower(x))
+            np.testing.assert_allclose(restored.upper(x), model.upper(x))

@@ -1,0 +1,108 @@
+"""Unit tests for repro.solvers.assembly."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.assembly import ConstraintBuilder, VariableLayout
+
+
+class TestVariableLayout:
+    def test_contiguous_groups(self):
+        layout = VariableLayout()
+        a = layout.add("a", 3)
+        b = layout.add("b", 2)
+        np.testing.assert_array_equal(a, [0, 1, 2])
+        np.testing.assert_array_equal(b, [3, 4])
+        assert layout.size == 5
+
+    def test_lookup(self):
+        layout = VariableLayout()
+        layout.add("x", 4)
+        np.testing.assert_array_equal(layout["x"], [0, 1, 2, 3])
+
+    def test_duplicate_rejected(self):
+        layout = VariableLayout()
+        layout.add("x", 1)
+        with pytest.raises(ValueError, match="already defined"):
+            layout.add("x", 1)
+
+    def test_empty_group(self):
+        layout = VariableLayout()
+        g = layout.add("empty", 0)
+        assert len(g) == 0 and layout.size == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            VariableLayout().add("x", -1)
+
+
+class TestConstraintBuilder:
+    def test_single_row(self):
+        b = ConstraintBuilder(3)
+        b.add_row([0, 2], [1.0, -2.0], 5.0)
+        A, rhs = b.build()
+        assert A.shape == (1, 3)
+        np.testing.assert_allclose(A.toarray(), [[1.0, 0.0, -2.0]])
+        np.testing.assert_allclose(rhs, [5.0])
+
+    def test_block_rows(self):
+        b = ConstraintBuilder(4)
+        b.add_block(
+            columns=np.array([[0, 1], [2, 3]]),
+            coefficients=np.array([[1.0, 2.0], [3.0, 4.0]]),
+            rhs=np.array([1.0, 2.0]),
+        )
+        A, rhs = b.build()
+        np.testing.assert_allclose(
+            A.toarray(), [[1.0, 2.0, 0.0, 0.0], [0.0, 0.0, 3.0, 4.0]]
+        )
+        np.testing.assert_allclose(rhs, [1.0, 2.0])
+
+    def test_mixed_rows_and_blocks(self):
+        b = ConstraintBuilder(2)
+        b.add_row([0], [1.0], 1.0)
+        b.add_block(np.array([[1]]), np.array([[2.0]]), np.array([3.0]))
+        A, rhs = b.build()
+        assert A.shape == (2, 2)
+        assert b.num_rows == 2
+
+    def test_empty_build(self):
+        A, rhs = ConstraintBuilder(3).build()
+        assert A.shape == (0, 3)
+        assert rhs.shape == (0,)
+
+    def test_out_of_range_column(self):
+        b = ConstraintBuilder(2)
+        with pytest.raises(ValueError, match="out of range"):
+            b.add_row([2], [1.0], 0.0)
+        with pytest.raises(ValueError, match="out of range"):
+            b.add_block(np.array([[5]]), np.array([[1.0]]), np.array([0.0]))
+
+    def test_shape_mismatch(self):
+        b = ConstraintBuilder(2)
+        with pytest.raises(ValueError, match="matching"):
+            b.add_row([0, 1], [1.0], 0.0)
+        with pytest.raises(ValueError, match="2-D"):
+            b.add_block(np.array([0]), np.array([1.0]), np.array([0.0]))
+
+    def test_rhs_shape_mismatch(self):
+        b = ConstraintBuilder(2)
+        with pytest.raises(ValueError, match="rhs"):
+            b.add_block(np.array([[0]]), np.array([[1.0]]), np.array([0.0, 1.0]))
+
+    def test_zero_coefficients_dropped(self):
+        b = ConstraintBuilder(3)
+        b.add_row([0, 1, 2], [1.0, 0.0, 2.0], 1.0)
+        A, _ = b.build()
+        assert A.nnz == 2
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError, match="num_variables"):
+            ConstraintBuilder(0)
+
+    def test_duplicate_columns_summed(self):
+        """COO assembly sums duplicate (row, col) entries — document it."""
+        b = ConstraintBuilder(2)
+        b.add_row([0, 0], [1.0, 2.0], 1.0)
+        A, _ = b.build()
+        assert A[0, 0] == 3.0

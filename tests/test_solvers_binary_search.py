@@ -1,0 +1,81 @@
+"""Unit tests for repro.solvers.binary_search."""
+
+import pytest
+
+from repro.solvers.binary_search import binary_search_max
+
+
+def threshold_oracle(threshold, payload="ok"):
+    """Feasible exactly on (-inf, threshold]."""
+
+    def oracle(c):
+        return c <= threshold, payload if c <= threshold else None
+
+    return oracle
+
+
+class TestBinarySearchMax:
+    def test_finds_threshold(self):
+        res = binary_search_max(threshold_oracle(0.37), 0.0, 1.0, tolerance=1e-6)
+        assert res.lower == pytest.approx(0.37, abs=1e-5)
+        assert res.upper - res.lower <= 1e-6
+        assert res.payload == "ok"
+
+    def test_whole_interval_feasible(self):
+        res = binary_search_max(threshold_oracle(5.0), 0.0, 1.0)
+        assert res.lower == res.upper == 1.0
+        assert res.gap == 0.0
+
+    def test_nothing_feasible(self):
+        res = binary_search_max(threshold_oracle(-5.0), 0.0, 1.0)
+        assert res.lower == -float("inf")
+        assert res.payload is None
+
+    def test_payload_tracks_last_feasible(self):
+        calls = []
+
+        def oracle(c):
+            calls.append(c)
+            return (c <= 0.5, f"x at {c}") if c <= 0.5 else (False, None)
+
+        res = binary_search_max(oracle, 0.0, 1.0, tolerance=1e-3)
+        assert res.payload.startswith("x at ")
+        assert float(res.payload.split()[-1]) <= 0.5
+
+    def test_trace_records_all_calls(self):
+        res = binary_search_max(threshold_oracle(0.25), 0.0, 1.0, tolerance=0.1)
+        assert res.iterations == len(res.trace)
+        for c, feasible in res.trace:
+            assert feasible == (c <= 0.25)
+
+    def test_max_iterations_cap(self):
+        res = binary_search_max(
+            threshold_oracle(0.5), 0.0, 1.0, tolerance=1e-12, max_iterations=5
+        )
+        assert res.iterations <= 5
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError, match="lo <= hi"):
+            binary_search_max(threshold_oracle(0.0), 1.0, 0.0)
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            binary_search_max(threshold_oracle(0.0), 0.0, 1.0, tolerance=0.0)
+
+    def test_no_endpoint_checks(self):
+        """Without endpoint checks, the search assumes lo feasible."""
+        res = binary_search_max(
+            threshold_oracle(0.6), 0.0, 1.0, tolerance=1e-4, check_endpoints=False
+        )
+        assert res.lower == pytest.approx(0.6, abs=1e-3)
+
+    def test_gap_property(self):
+        res = binary_search_max(threshold_oracle(0.3), 0.0, 1.0, tolerance=0.01)
+        assert res.gap == res.upper - res.lower
+        assert res.gap <= 0.01
+
+    def test_monotone_convergence(self):
+        """Tighter tolerance never yields a worse lower bound."""
+        loose = binary_search_max(threshold_oracle(0.71), 0.0, 1.0, tolerance=0.1)
+        tight = binary_search_max(threshold_oracle(0.71), 0.0, 1.0, tolerance=1e-5)
+        assert tight.lower >= loose.lower - 1e-12

@@ -1,0 +1,135 @@
+"""Unit + property tests for the pure-Python branch-and-bound MILP solver.
+
+The key property: on random mixed-binary programs, branch and bound must
+agree with HiGHS to numerical tolerance (it is the CPLEX substitution —
+exactness is its whole contract).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers.bnb import solve_bnb
+from repro.solvers.milp_backend import MILPProblem, solve_milp
+
+
+def knapsack_problem():
+    return MILPProblem(
+        c=np.array([-5.0, -4.0, -3.0]),
+        A_ub=np.array([[2.0, 3.0, 1.0]]),
+        b_ub=np.array([4.0]),
+        lb=np.zeros(3),
+        ub=np.ones(3),
+        integrality=np.ones(3, dtype=int),
+    )
+
+
+class TestBranchAndBound:
+    def test_knapsack(self):
+        res = solve_bnb(knapsack_problem())
+        assert res.optimal
+        assert res.objective == pytest.approx(-8.0)
+        np.testing.assert_allclose(res.x, [1.0, 0.0, 1.0], atol=1e-6)
+
+    def test_pure_lp_no_branching(self):
+        p = MILPProblem(c=np.array([-1.0, -2.0]), ub=np.array([1.0, 1.0]))
+        res = solve_bnb(p)
+        assert res.optimal
+        assert res.nodes == 1
+        assert res.objective == pytest.approx(-3.0)
+
+    def test_infeasible(self):
+        p = MILPProblem(
+            c=np.array([1.0]),
+            A_ub=np.array([[1.0]]),
+            b_ub=np.array([-1.0]),
+            ub=np.array([1.0]),
+            integrality=np.array([1]),
+        )
+        res = solve_bnb(p)
+        assert res.status == "infeasible"
+
+    def test_integrality_forced(self):
+        # LP relaxation optimum is fractional (x = 1.5); B&B must integerise.
+        p = MILPProblem(
+            c=np.array([-1.0]),
+            A_ub=np.array([[2.0]]),
+            b_ub=np.array([3.0]),
+            ub=np.array([5.0]),
+            integrality=np.array([1]),
+        )
+        res = solve_bnb(p)
+        assert res.optimal
+        assert res.x[0] == pytest.approx(1.0)
+
+    def test_mixed_integer_continuous(self):
+        # y continuous, b binary: max y s.t. y <= 2.7 b; best is b=1, y=2.7.
+        p = MILPProblem(
+            c=np.array([-1.0, 0.0]),
+            A_ub=np.array([[1.0, -2.7]]),
+            b_ub=np.array([0.0]),
+            ub=np.array([10.0, 1.0]),
+            integrality=np.array([0, 1]),
+        )
+        res = solve_bnb(p)
+        assert res.optimal
+        assert res.objective == pytest.approx(-2.7)
+        assert res.x[1] == pytest.approx(1.0)
+
+    def test_node_limit(self):
+        res = solve_bnb(knapsack_problem(), max_nodes=0)
+        assert res.status == "error"
+        assert "node limit" in res.message
+
+    def test_unbounded_integer_rejected(self):
+        p = MILPProblem(c=np.array([1.0]), integrality=np.array([1]))
+        with pytest.raises(ValueError, match="finite bounds"):
+            solve_bnb(p)
+
+    def test_equality_constraints(self):
+        p = MILPProblem(
+            c=np.array([1.0, 1.0, 1.0]),
+            A_eq=np.array([[1.0, 1.0, 1.0]]),
+            b_eq=np.array([2.0]),
+            ub=np.ones(3),
+            integrality=np.ones(3, dtype=int),
+        )
+        res = solve_bnb(p)
+        assert res.optimal
+        assert res.objective == pytest.approx(2.0)
+        assert np.isclose(res.x.sum(), 2.0)
+
+
+@st.composite
+def random_binary_milp(draw):
+    """Random small mixed-binary program with a bounded feasible region."""
+    n_bin = draw(st.integers(1, 4))
+    n_cont = draw(st.integers(0, 2))
+    n = n_bin + n_cont
+    m = draw(st.integers(1, 3))
+    fl = st.floats(-5, 5, allow_nan=False)
+    c = np.array([draw(fl) for _ in range(n)])
+    A = np.array([[draw(fl) for _ in range(n)] for _ in range(m)])
+    # RHS chosen so the all-zeros point is feasible -> problem is feasible.
+    b = np.array([abs(draw(fl)) for _ in range(m)])
+    integrality = np.array([1] * n_bin + [0] * n_cont)
+    ub = np.ones(n)
+    return MILPProblem(c=c, A_ub=A, b_ub=b, lb=np.zeros(n), ub=ub, integrality=integrality)
+
+
+class TestCrossBackend:
+    @given(random_binary_milp())
+    @settings(max_examples=40, deadline=None)
+    def test_bnb_matches_highs(self, problem):
+        ours = solve_bnb(problem)
+        highs = solve_milp(problem, backend="highs")
+        assert ours.status == highs.status
+        if ours.optimal:
+            assert ours.objective == pytest.approx(highs.objective, abs=1e-6)
+
+    def test_backend_dispatch(self):
+        p = knapsack_problem()
+        via_dispatch = solve_milp(p, backend="bnb")
+        direct = solve_bnb(p)
+        assert via_dispatch.objective == pytest.approx(direct.objective)

@@ -1,0 +1,60 @@
+"""Unit tests for repro.solvers.lp."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.lp import solve_lp
+
+
+class TestSolveLP:
+    def test_simple_minimisation(self):
+        # min x + y s.t. x + y >= 1, x,y >= 0  ->  value 1.
+        res = solve_lp(
+            [1.0, 1.0],
+            A_ub=[[-1.0, -1.0]],
+            b_ub=[-1.0],
+            bounds=[(0, None), (0, None)],
+        )
+        assert res.success
+        assert res.objective == pytest.approx(1.0)
+
+    def test_maximisation_sign_handling(self):
+        # max x s.t. x <= 3.
+        res = solve_lp([1.0], bounds=[(0, 3)], maximize=True)
+        assert res.success
+        assert res.objective == pytest.approx(3.0)
+        assert res.x[0] == pytest.approx(3.0)
+
+    def test_equality_constraints(self):
+        res = solve_lp(
+            [1.0, 2.0],
+            A_eq=[[1.0, 1.0]],
+            b_eq=[1.0],
+            bounds=[(0, 1), (0, 1)],
+        )
+        assert res.success
+        np.testing.assert_allclose(res.x, [1.0, 0.0], atol=1e-8)
+
+    def test_infeasible_detected(self):
+        res = solve_lp(
+            [1.0],
+            A_ub=[[1.0]],
+            b_ub=[-1.0],
+            bounds=[(0, None)],
+        )
+        assert res.infeasible
+        assert not res.success
+        assert res.x is None and res.objective is None
+
+    def test_unbounded_detected(self):
+        res = solve_lp([-1.0], bounds=[(0, None)])
+        assert res.unbounded
+
+    def test_degenerate_single_point(self):
+        res = solve_lp([5.0], bounds=[(2.0, 2.0)])
+        assert res.success
+        assert res.objective == pytest.approx(10.0)
+
+    def test_result_is_array(self):
+        res = solve_lp([1.0, 1.0], bounds=[(0, 1), (0, 1)])
+        assert isinstance(res.x, np.ndarray)

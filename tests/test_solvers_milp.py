@@ -1,0 +1,107 @@
+"""Unit tests for repro.solvers.milp_backend (problem container + HiGHS)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.solvers.milp_backend import MILPProblem, MILPResult, solve_milp
+
+
+def knapsack_problem():
+    """max 5a + 4b + 3c s.t. 2a + 3b + c <= 4, binary -> min form."""
+    return MILPProblem(
+        c=np.array([-5.0, -4.0, -3.0]),
+        A_ub=np.array([[2.0, 3.0, 1.0]]),
+        b_ub=np.array([4.0]),
+        lb=np.zeros(3),
+        ub=np.ones(3),
+        integrality=np.ones(3, dtype=int),
+    )
+
+
+class TestMILPProblem:
+    def test_defaults(self):
+        p = MILPProblem(c=[1.0, 2.0])
+        np.testing.assert_array_equal(p.lb, [0.0, 0.0])
+        assert np.all(np.isinf(p.ub))
+        assert p.num_integer == 0
+        assert p.num_variables == 2
+
+    def test_bound_shape_validation(self):
+        with pytest.raises(ValueError, match="lb"):
+            MILPProblem(c=[1.0, 2.0], lb=[0.0])
+
+    def test_crossed_bounds_rejected(self):
+        with pytest.raises(ValueError, match="lb <= ub"):
+            MILPProblem(c=[1.0], lb=[2.0], ub=[1.0])
+
+    def test_matrix_without_rhs_rejected(self):
+        with pytest.raises(ValueError, match="together"):
+            MILPProblem(c=[1.0], A_ub=np.ones((1, 1)))
+
+    def test_wrong_column_count_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            MILPProblem(c=[1.0], A_ub=np.ones((1, 2)), b_ub=[1.0])
+
+    def test_num_integer(self):
+        p = knapsack_problem()
+        assert p.num_integer == 3
+
+
+class TestHighsBackend:
+    def test_knapsack_optimum(self):
+        res = solve_milp(knapsack_problem())
+        assert res.optimal
+        # Best is a + c = 8 with weight 3 <= 4.
+        assert res.objective == pytest.approx(-8.0)
+        np.testing.assert_allclose(res.x, [1.0, 0.0, 1.0], atol=1e-6)
+
+    def test_continuous_problem(self):
+        p = MILPProblem(c=np.array([-1.0]), ub=np.array([2.5]))
+        res = solve_milp(p)
+        assert res.optimal
+        assert res.objective == pytest.approx(-2.5)
+
+    def test_equality_constraints(self):
+        p = MILPProblem(
+            c=np.array([1.0, 1.0]),
+            A_eq=np.array([[1.0, 2.0]]),
+            b_eq=np.array([2.0]),
+            ub=np.array([5.0, 5.0]),
+            integrality=np.array([1, 1]),
+        )
+        res = solve_milp(p)
+        assert res.optimal
+        np.testing.assert_allclose(res.x, [0.0, 1.0], atol=1e-6)
+
+    def test_infeasible(self):
+        p = MILPProblem(
+            c=np.array([1.0]),
+            A_ub=np.array([[1.0]]),
+            b_ub=np.array([-1.0]),
+        )
+        res = solve_milp(p)
+        assert res.status == "infeasible"
+        assert not res.optimal
+
+    def test_sparse_matrix_accepted(self):
+        p = MILPProblem(
+            c=np.array([-1.0, -1.0]),
+            A_ub=sp.csr_matrix(np.array([[1.0, 1.0]])),
+            b_ub=np.array([1.0]),
+            ub=np.ones(2),
+            integrality=np.ones(2, dtype=int),
+        )
+        res = solve_milp(p)
+        assert res.optimal
+        assert res.objective == pytest.approx(-1.0)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            solve_milp(knapsack_problem(), backend="gurobi")
+
+
+class TestMILPResult:
+    def test_optimal_property(self):
+        assert MILPResult("optimal", np.zeros(1), 0.0).optimal
+        assert not MILPResult("infeasible", None, None).optimal

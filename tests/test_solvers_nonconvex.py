@@ -1,0 +1,69 @@
+"""Unit tests for repro.solvers.nonconvex."""
+
+import numpy as np
+import pytest
+from scipy.optimize import LinearConstraint
+
+from repro.solvers.nonconvex import maximize_multistart
+
+
+class TestMaximizeMultistart:
+    def test_concave_quadratic(self):
+        # max -(x-1)^2 - (y+2)^2 -> optimum (1, -2), value 0.
+        obj = lambda z: -((z[0] - 1) ** 2) - (z[1] + 2) ** 2
+        starts = np.array([[0.0, 0.0], [3.0, 3.0]])
+        res = maximize_multistart(obj, starts, bounds=[(-5, 5), (-5, 5)])
+        assert res.success
+        np.testing.assert_allclose(res.x, [1.0, -2.0], atol=1e-4)
+        assert res.objective == pytest.approx(0.0, abs=1e-6)
+
+    def test_multistart_escapes_local_optimum(self):
+        # f has local max near x=-1 (value 1) and global near x=2 (value 4).
+        def obj(z):
+            x = z[0]
+            return -0.05 * (x + 1) ** 2 * (x - 2) ** 2 + np.where(x > 0.5, 4 - (x - 2) ** 2, 1 - (x + 1) ** 2)
+
+        starts = np.array([[-1.5], [2.5]])
+        res = maximize_multistart(obj, starts, bounds=[(-4, 4)])
+        assert res.objective > 3.0
+
+    def test_respects_bounds(self):
+        obj = lambda z: z[0]
+        res = maximize_multistart(obj, np.array([[0.0]]), bounds=[(0, 2)])
+        assert res.x[0] == pytest.approx(2.0, abs=1e-6)
+
+    def test_linear_constraint(self):
+        obj = lambda z: z[0] + z[1]
+        lc = LinearConstraint(np.array([[1.0, 1.0]]), -np.inf, 1.0)
+        res = maximize_multistart(
+            obj, np.array([[0.0, 0.0]]), constraints=[lc], bounds=[(0, 1), (0, 1)]
+        )
+        assert res.objective == pytest.approx(1.0, abs=1e-6)
+
+    def test_feasibility_check_filters(self):
+        obj = lambda z: z[0]
+        res = maximize_multistart(
+            obj,
+            np.array([[0.5]]),
+            bounds=[(0, 1)],
+            feasibility_check=lambda z: False,
+        )
+        assert not res.success
+        assert res.x is None
+
+    def test_objectives_recorded_per_start(self):
+        obj = lambda z: -(z[0] ** 2)
+        starts = np.array([[1.0], [2.0], [3.0]])
+        res = maximize_multistart(obj, starts, bounds=[(-5, 5)])
+        assert res.objectives.shape == (3,)
+        assert res.num_converged >= 1
+
+    def test_jacobian_used(self):
+        obj = lambda z: -(z[0] ** 2)
+        jac = lambda z: np.array([-2 * z[0]])
+        res = maximize_multistart(obj, np.array([[2.0]]), jac=jac, bounds=[(-5, 5)])
+        assert res.x[0] == pytest.approx(0.0, abs=1e-5)
+
+    def test_starts_shape_validated(self):
+        with pytest.raises(ValueError, match="2-D"):
+            maximize_multistart(lambda z: 0.0, np.zeros(3))

@@ -1,0 +1,141 @@
+"""Unit + property tests for repro.solvers.piecewise."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers.piecewise import SegmentGrid
+
+
+class TestConstruction:
+    def test_breakpoints(self):
+        g = SegmentGrid(4)
+        np.testing.assert_allclose(g.breakpoints, [0.0, 0.25, 0.5, 0.75, 1.0])
+        assert g.segment_length == 0.25
+
+    def test_single_segment(self):
+        g = SegmentGrid(1)
+        np.testing.assert_allclose(g.breakpoints, [0.0, 1.0])
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError, match="num_segments"):
+            SegmentGrid(0)
+
+    def test_breakpoints_readonly(self):
+        g = SegmentGrid(3)
+        with pytest.raises(ValueError):
+            g.breakpoints[0] = 5.0
+
+
+class TestSlopes:
+    def test_linear_function_constant_slope(self):
+        g = SegmentGrid(5)
+        values = 3.0 * g.breakpoints + 1.0  # f(x) = 3x + 1
+        s = g.slopes(values)
+        np.testing.assert_allclose(s, np.full(5, 3.0))
+
+    def test_multi_target(self):
+        g = SegmentGrid(2)
+        values = np.array([[0.0, 1.0, 4.0], [1.0, 0.5, 0.0]])
+        s = g.slopes(values)
+        np.testing.assert_allclose(s, [[2.0, 6.0], [-1.0, -1.0]])
+
+    def test_wrong_columns(self):
+        g = SegmentGrid(3)
+        with pytest.raises(ValueError, match="breakpoint columns"):
+            g.slopes(np.zeros((2, 3)))
+
+
+class TestDecompose:
+    def test_paper_example_1(self):
+        """Paper Example 1: K=5, x=0.3 -> x_{i,1}=0.2, x_{i,2}=0.1, rest 0."""
+        g = SegmentGrid(5)
+        parts = g.decompose(np.array([0.3]))
+        np.testing.assert_allclose(parts[0], [0.2, 0.1, 0.0, 0.0, 0.0])
+
+    def test_full_coverage(self):
+        g = SegmentGrid(4)
+        parts = g.decompose(np.array([1.0]))
+        np.testing.assert_allclose(parts[0], [0.25] * 4)
+
+    def test_zero_coverage(self):
+        g = SegmentGrid(4)
+        np.testing.assert_allclose(g.decompose(np.array([0.0]))[0], np.zeros(4))
+
+    def test_out_of_range_rejected(self):
+        g = SegmentGrid(4)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            g.decompose(np.array([1.2]))
+
+    def test_reconstruct_roundtrip(self):
+        g = SegmentGrid(7)
+        x = np.array([0.0, 0.123, 0.5, 0.987, 1.0])
+        np.testing.assert_allclose(g.reconstruct(g.decompose(x)), x, atol=1e-12)
+
+    @given(st.lists(st.floats(0, 1), min_size=1, max_size=6), st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_decompose_properties(self, xs, k):
+        g = SegmentGrid(k)
+        x = np.array(xs)
+        parts = g.decompose(x)
+        assert parts.shape == (len(x), k)
+        assert np.all(parts >= 0.0)
+        assert np.all(parts <= g.segment_length + 1e-12)
+        np.testing.assert_allclose(parts.sum(axis=1), x, atol=1e-9)
+        assert g.is_fill_ordered(parts)
+
+
+class TestFillOrder:
+    def test_accepts_fill_ordered(self):
+        g = SegmentGrid(3)
+        ok = np.array([[1 / 3, 0.1, 0.0]])
+        assert g.is_fill_ordered(ok)
+
+    def test_rejects_gap(self):
+        g = SegmentGrid(3)
+        bad = np.array([[0.1, 0.2, 0.0]])  # seg 2 used but seg 1 not full
+        assert not g.is_fill_ordered(bad)
+
+    def test_shape_check_in_reconstruct(self):
+        g = SegmentGrid(3)
+        with pytest.raises(ValueError, match="columns"):
+            g.reconstruct(np.zeros((1, 4)))
+
+
+class TestInterpolate:
+    def test_exact_on_linear(self):
+        g = SegmentGrid(6)
+        bp = g.breakpoints
+        values = np.stack([2 * bp - 1, -0.5 * bp + 3])
+        x = np.array([0.37, 0.81])
+        out = g.interpolate(values, x)
+        np.testing.assert_allclose(out, [2 * 0.37 - 1, -0.5 * 0.81 + 3], atol=1e-12)
+
+    def test_exact_at_breakpoints(self):
+        g = SegmentGrid(4)
+        f = lambda t: np.exp(-2 * t)
+        values = f(g.breakpoints)[None, :].repeat(2, axis=0)
+        x = np.array([0.25, 0.75])
+        out = g.interpolate(values, x)
+        np.testing.assert_allclose(out, f(x), atol=1e-12)
+
+    def test_error_decreases_with_k(self):
+        """Lemma 1 in miniature: PWL error of a smooth function ~ 1/K."""
+        f = lambda t: np.exp(-3 * t)
+        xs = np.linspace(0, 1, 101)
+        errors = []
+        for k in (2, 4, 8, 16, 32):
+            g = SegmentGrid(k)
+            values = f(g.breakpoints)[None, :]
+            approx = np.array([g.interpolate(values, np.array([x]))[0] for x in xs])
+            errors.append(np.abs(approx - f(xs)).max())
+        assert all(errors[i + 1] < errors[i] for i in range(len(errors) - 1))
+        # Roughly quadratic convergence for interpolation of smooth f, but
+        # at least the O(1/K) of Lemma 1.
+        assert errors[-1] < errors[0] / 16
+
+    def test_max_abs_on_grid(self):
+        g = SegmentGrid(2)
+        values = np.array([[1.0, -5.0, 2.0]])
+        assert g.max_abs_on_grid(values)[0] == 5.0

@@ -1,0 +1,61 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=5)
+        b = as_generator(42).integers(0, 1000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 10**9)
+        b = as_generator(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        g = as_generator(ss)
+        assert isinstance(g, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 5)
+        assert len(gens) == 5
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            spawn_generators(0, -1)
+
+    def test_streams_are_independent(self):
+        gens = spawn_generators(0, 3)
+        draws = [g.integers(0, 10**9, size=4).tolist() for g in gens]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_reproducible_from_root_seed(self):
+        a = [g.integers(0, 10**9) for g in spawn_generators(99, 3)]
+        b = [g.integers(0, 10**9) for g in spawn_generators(99, 3)]
+        assert a == b
+
+    def test_accepts_generator_as_root(self):
+        gens = spawn_generators(np.random.default_rng(5), 2)
+        assert len(gens) == 2
+
+    def test_accepts_seed_sequence_as_root(self):
+        gens = spawn_generators(np.random.SeedSequence(5), 2)
+        assert len(gens) == 2

@@ -1,0 +1,50 @@
+"""Unit tests for repro.utils.timing."""
+
+import time
+
+from repro.utils.timing import Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.total
+        with t:
+            pass
+        assert t.count == 2
+        assert t.total >= first
+
+    def test_mean_before_use_is_zero(self):
+        assert Timer().mean == 0.0
+
+    def test_mean_after_blocks(self):
+        t = Timer()
+        with t:
+            pass
+        with t:
+            pass
+        assert t.mean == t.total / 2
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0 and t.total == 0.0 and t.count == 0
+
+    def test_elapsed_is_last_block(self):
+        t = Timer()
+        with t:
+            time.sleep(0.02)
+        long = t.elapsed
+        with t:
+            pass
+        assert t.elapsed < long

@@ -1,0 +1,128 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_finite_array,
+    check_in_closed_interval,
+    check_interval_pair,
+    check_positive,
+    check_probability_vector,
+    check_shape_match,
+)
+
+
+class TestCheckFiniteArray:
+    def test_accepts_lists(self):
+        arr = check_finite_array([1, 2, 3], "x")
+        assert arr.dtype == np.float64
+        np.testing.assert_array_equal(arr, [1.0, 2.0, 3.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_finite_array([1.0, np.nan], "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_finite_array([np.inf], "x")
+
+    def test_ndim_enforced(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            check_finite_array([[1.0, 2.0]], "x", ndim=1)
+
+    def test_ndim_accepted(self):
+        arr = check_finite_array([[1.0], [2.0]], "x", ndim=2)
+        assert arr.shape == (2, 1)
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValueError, match="my_arg"):
+            check_finite_array([np.nan], "my_arg")
+
+
+class TestCheckPositive:
+    def test_strict_accepts_positive(self):
+        assert check_positive(0.5, "x") == 0.5
+
+    def test_strict_rejects_zero(self):
+        with pytest.raises(ValueError, match="> 0"):
+            check_positive(0.0, "x")
+
+    def test_nonstrict_accepts_zero(self):
+        assert check_positive(0.0, "x", strict=False) == 0.0
+
+    def test_nonstrict_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_positive(-1.0, "x", strict=False)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive(float("nan"), "x")
+
+
+class TestCheckInClosedInterval:
+    def test_interior(self):
+        assert check_in_closed_interval(0.5, 0.0, 1.0, "x") == 0.5
+
+    def test_endpoints(self):
+        assert check_in_closed_interval(0.0, 0.0, 1.0, "x") == 0.0
+        assert check_in_closed_interval(1.0, 0.0, 1.0, "x") == 1.0
+
+    def test_slack_clips(self):
+        # A value just outside (within numerical slack) is clipped in.
+        v = check_in_closed_interval(1.0 + 1e-14, 0.0, 1.0, "x")
+        assert v == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match="lie in"):
+            check_in_closed_interval(1.5, 0.0, 1.0, "x")
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_uniform(self):
+        q = check_probability_vector([0.25] * 4, "q")
+        np.testing.assert_allclose(q.sum(), 1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            check_probability_vector([-0.1, 1.1], "q")
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError, match="sum to"):
+            check_probability_vector([0.5, 0.6], "q")
+
+    def test_custom_total(self):
+        q = check_probability_vector([1.0, 1.0], "q", total=2.0)
+        assert q.sum() == 2.0
+
+    def test_clips_tiny_negatives(self):
+        q = check_probability_vector([1.0 + 1e-12, -1e-12], "q")
+        assert np.all(q >= 0.0)
+
+
+class TestCheckShapeMatch:
+    def test_match_passes(self):
+        check_shape_match(np.zeros(3), np.ones(3), "a", "b")
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError, match="same shape"):
+            check_shape_match(np.zeros(3), np.ones(4), "a", "b")
+
+
+class TestCheckIntervalPair:
+    def test_valid_pair(self):
+        lo, hi = check_interval_pair([1.0, 2.0], [1.5, 2.0], "w")
+        np.testing.assert_array_equal(lo, [1.0, 2.0])
+        np.testing.assert_array_equal(hi, [1.5, 2.0])
+
+    def test_crossed_raises_with_index(self):
+        with pytest.raises(ValueError, match="index 1"):
+            check_interval_pair([1.0, 3.0], [1.5, 2.0], "w")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="same shape"):
+            check_interval_pair([1.0], [1.0, 2.0], "w")
+
+    def test_degenerate_interval_ok(self):
+        lo, hi = check_interval_pair([2.0], [2.0], "w")
+        assert lo[0] == hi[0] == 2.0
