@@ -48,6 +48,15 @@ from repro.core import (
     solve_exact,
     worst_case_response,
 )
+from repro.resilience import (
+    FaultInjector,
+    ResiliencePolicy,
+    Rung,
+    SolutionCertificate,
+    certify_result,
+    injected_policy,
+    theorem_slack,
+)
 from repro.game import (
     CoverageConstraints,
     IntervalPayoffs,
@@ -72,6 +81,7 @@ __all__ = [
     "AttackLog",
     "CoverageConstraints",
     "CubisResult",
+    "FaultInjector",
     "IntervalPayoffs",
     "IntervalQR",
     "IntervalSUQR",
@@ -79,17 +89,22 @@ __all__ = [
     "PatrolSchedule",
     "PayoffMatrix",
     "QuantalResponse",
+    "ResiliencePolicy",
+    "Rung",
     "SUQR",
     "SUQRWeights",
     "SecurityGame",
+    "SolutionCertificate",
     "StrategySpace",
     "WeightBox",
     "__version__",
     "airport_game",
     "bootstrap_weight_boxes",
+    "certify_result",
     "decompose_coverage",
     "evaluate_worst_case",
     "fit_suqr",
+    "injected_policy",
     "geographic_game",
     "random_game",
     "random_interval_game",
@@ -104,5 +119,6 @@ __all__ = [
     "solve_uniform",
     "solve_worst_type",
     "table1_game",
+    "theorem_slack",
     "wildlife_game",
 ]

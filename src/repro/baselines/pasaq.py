@@ -30,11 +30,19 @@ import numpy as np
 
 from repro.behavior.base import DiscreteChoiceModel
 from repro.game.ssg import SecurityGame
+from repro.resilience.events import SolveEventLog
+from repro.resilience.policy import (
+    OracleLadder,
+    OracleStepError,
+    ResiliencePolicy,
+    ResilienceReport,
+)
 from repro.solvers.assembly import ConstraintBuilder, VariableLayout
 from repro.solvers.binary_search import binary_search_max
 from repro.solvers.milp_backend import MILPProblem, solve_milp
 from repro.solvers.piecewise import SegmentGrid
 from repro.utils.timing import Timer
+from repro.utils.validation import check_int_at_least
 
 __all__ = ["PasaqResult", "solve_pasaq"]
 
@@ -45,7 +53,9 @@ class PasaqResult:
 
     ``value`` is the exact expected defender utility of ``strategy`` under
     the model (not the piecewise approximation); ``lower_bound`` /
-    ``upper_bound`` bracket the approximated optimum.
+    ``upper_bound`` bracket the approximated optimum.  ``converged``,
+    ``degraded`` and ``resilience`` mirror the CUBIS result fields (see
+    :class:`repro.core.cubis.CubisResult`).
     """
 
     strategy: np.ndarray
@@ -54,6 +64,9 @@ class PasaqResult:
     upper_bound: float
     iterations: int
     solve_seconds: float
+    converged: bool = True
+    degraded: bool = False
+    resilience: ResilienceReport | None = None
 
 
 def _build_feasibility_milp(
@@ -119,10 +132,13 @@ def solve_pasaq(
     backend: str = "highs",
     feasibility_tolerance: float = 1e-7,
     max_iterations: int = 200,
+    resilience: ResiliencePolicy | None = None,
 ) -> PasaqResult:
     """Optimal defender strategy against a known discrete-choice attacker.
 
-    Parameters mirror :func:`repro.core.cubis.solve_cubis`.
+    Parameters mirror :func:`repro.core.cubis.solve_cubis`; a
+    ``resilience`` policy is restricted to its MILP rungs (PASAQ has no
+    DP formulation of the feasibility check).
     """
     if model.num_targets != game.num_targets:
         raise ValueError(
@@ -130,6 +146,8 @@ def solve_pasaq(
         )
     if epsilon <= 0:
         raise ValueError(f"epsilon must be > 0, got {epsilon}")
+    num_segments = check_int_at_least(num_segments, 1, "num_segments")
+    max_iterations = check_int_at_least(max_iterations, 1, "max_iterations")
 
     grid = SegmentGrid(num_segments)
     breakpoints = grid.breakpoints
@@ -146,25 +164,62 @@ def solve_pasaq(
         + np.outer(game.payoffs.defender_penalty, 1.0 - breakpoints)
     )
 
-    def oracle(r: float):
-        problem, layout, g0 = _build_feasibility_milp(
-            weights_grid, ud_grid, game.num_resources, r, grid
+    def make_oracle(milp_backend, *, validate: bool = True):
+        label = milp_backend if isinstance(milp_backend, str) else getattr(
+            milp_backend, "__name__", type(milp_backend).__name__
         )
-        result = solve_milp(problem, backend=backend)
-        if not result.optimal:
-            raise RuntimeError(
-                f"PASAQ MILP solve failed at r={r:.6g}: {result.status} {result.message}"
+
+        def oracle(r: float):
+            problem, layout, g0 = _build_feasibility_milp(
+                weights_grid, ud_grid, game.num_resources, r, grid
             )
-        best = g0 - result.objective  # max of the linearised numerator
-        k = grid.num_segments
-        xik = result.x[layout["x"]].reshape(game.num_targets, k)
-        return best >= -feasibility_tolerance, xik.sum(axis=1)
+            result = solve_milp(problem, backend=milp_backend)
+            if not result.optimal:
+                raise OracleStepError(
+                    f"PASAQ MILP solve failed at r={r:.6g} with backend "
+                    f"{label!r}: {result.status} {result.message}"
+                )
+            best = g0 - result.objective  # max of the linearised numerator
+            k = grid.num_segments
+            xik = result.x[layout["x"]].reshape(game.num_targets, k)
+            strategy = xik.sum(axis=1)
+            if validate:
+                if not np.isfinite(best):
+                    raise OracleStepError(
+                        f"backend {label!r} reported a non-finite objective "
+                        f"at r={r:.6g}"
+                    )
+                if (
+                    not np.all(np.isfinite(strategy))
+                    or np.any(strategy < -1e-6)
+                    or np.any(strategy > 1.0 + 1e-6)
+                    or strategy.sum() > game.num_resources + 1e-6
+                ):
+                    raise OracleStepError(
+                        f"backend {label!r} returned an invalid strategy at "
+                        f"r={r:.6g}"
+                    )
+            return best >= -feasibility_tolerance, strategy
+
+        return oracle
+
+    ladder: OracleLadder | None = None
+    if resilience is not None:
+        policy = resilience.milp_only()
+        rung_oracles = tuple(
+            make_oracle(r.backend, validate=policy.validate_steps)
+            for r in policy.rungs
+        )
+        ladder = OracleLadder(policy, rung_oracles, SolveEventLog())
+        step_oracle = ladder
+    else:
+        step_oracle = make_oracle(backend)
 
     timer = Timer()
     with timer:
         lo, hi = game.utility_range()
         search = binary_search_max(
-            oracle, lo, hi, tolerance=epsilon, max_iterations=max_iterations
+            step_oracle, lo, hi, tolerance=epsilon, max_iterations=max_iterations
         )
         if search.payload is None:
             raise RuntimeError(
@@ -182,4 +237,7 @@ def solve_pasaq(
         upper_bound=search.upper,
         iterations=search.iterations,
         solve_seconds=timer.elapsed,
+        converged=search.converged,
+        degraded=ladder.degraded if ladder is not None else False,
+        resilience=ladder.report() if ladder is not None else None,
     )

@@ -11,6 +11,16 @@ without writing code::
     python -m repro all          # everything, at quick settings
 
 Each command prints the same table its benchmark counterpart produces.
+
+``solve`` runs one CUBIS solve through the fault-tolerant pipeline::
+
+    python -m repro solve --targets 8 --resilience --certify
+    python -m repro solve --table1 --inject-faults 0.5 --certify
+
+``--resilience`` routes every oracle step through the highs -> bnb -> dp
+fallback ladder, ``--certify`` validates the machine-checkable solution
+certificate, and ``--inject-faults RATE`` exercises the ladder with
+seeded solver failures (see docs/RESILIENCE.md).
 """
 
 from __future__ import annotations
@@ -93,6 +103,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rep.add_argument("--full", action="store_true", help="full (slow) settings")
     rep.add_argument("--output", type=str, default=None, help="write to a file")
+
+    s = sub.add_parser(
+        "solve", help="one CUBIS solve through the fault-tolerant pipeline"
+    )
+    s.add_argument("--targets", type=int, default=8, help="random-game size T")
+    s.add_argument("--table1", action="store_true",
+                   help="solve the paper's Table I game instead of a random one")
+    s.add_argument("--segments", type=int, default=10, help="piecewise segments K")
+    s.add_argument("--epsilon", type=float, default=1e-3,
+                   help="binary-search tolerance")
+    s.add_argument("--seed", type=int, default=2016, help="game seed")
+    s.add_argument("--resilience", action="store_true",
+                   help="use the highs -> bnb -> dp fallback ladder")
+    s.add_argument("--certify", action="store_true",
+                   help="validate and print the solution certificate")
+    s.add_argument("--inject-faults", type=float, default=0.0, metavar="RATE",
+                   help="inject seeded MILP faults at this rate "
+                        "(implies --resilience)")
+    s.add_argument("--fault-seed", type=int, default=0,
+                   help="seed of the injected fault schedule")
+    s.add_argument("--retries", type=int, default=1,
+                   help="extra attempts per ladder rung")
+    s.add_argument("--events", action="store_true",
+                   help="print the per-attempt event summary")
 
     sub.add_parser("all", help="run every experiment at quick settings")
     return parser
@@ -189,6 +223,80 @@ def _run_report(args) -> str:
     return text
 
 
+def _run_solve(args) -> str:
+    import numpy as np
+
+    from repro.core.cubis import solve_cubis
+    from repro.experiments.quality import default_uncertainty
+    from repro.game.generator import random_interval_game, table1_game
+    from repro.resilience import (
+        FaultInjector,
+        ResiliencePolicy,
+        certify_result,
+        injected_policy,
+    )
+
+    if args.table1:
+        game = table1_game()
+    else:
+        game = random_interval_game(args.targets, seed=args.seed)
+    uncertainty = default_uncertainty(game.payoffs)
+
+    policy = None
+    injector = None
+    if args.resilience or args.inject_faults != 0.0:
+        policy = ResiliencePolicy(max_retries=args.retries)
+        if args.inject_faults != 0.0:
+            injector = FaultInjector(args.inject_faults, seed=args.fault_seed)
+            policy = injected_policy(injector, policy)
+
+    result = solve_cubis(
+        game,
+        uncertainty,
+        num_segments=args.segments,
+        epsilon=args.epsilon,
+        resilience=policy,
+    )
+
+    with np.printoptions(precision=4, suppress=True):
+        lines = [
+            f"strategy          {result.strategy}",
+            f"worst-case value  {result.worst_case_value:.6f}",
+            f"bracket           [{result.lower_bound:.6f}, {result.upper_bound:.6f}]"
+            f"  (gap {result.upper_bound - result.lower_bound:.2g})",
+            f"iterations        {result.iterations}"
+            f"  ({result.solve_seconds:.3f}s)",
+            f"converged         {result.converged}",
+        ]
+    if result.resilience is not None:
+        rep = result.resilience
+        used = ", ".join(
+            f"{label}={count}"
+            for label, count in zip(rep.rung_labels, rep.rung_counts)
+        )
+        lines.append(f"degraded          {rep.degraded}")
+        lines.append(f"ladder            {used}"
+                     f"  ({rep.failed_attempts} failed attempts)")
+    if injector is not None:
+        lines.append(
+            f"injected faults   {injector.faults}/{injector.calls} MILP calls"
+        )
+    if args.events and result.resilience is not None:
+        by_outcome: dict[str, int] = {}
+        for event in result.resilience.events:
+            by_outcome[event.outcome] = by_outcome.get(event.outcome, 0) + 1
+        lines.append("events            " + ", ".join(
+            f"{k}={v}" for k, v in sorted(by_outcome.items())
+        ))
+    if args.certify:
+        certificate = certify_result(game, uncertainty, result)
+        lines.append(certificate.summary())
+        if not certificate.valid:
+            # Certification is a gate: fail the process so CI catches it.
+            raise SystemExit("\n".join(lines))
+    return "\n".join(lines)
+
+
 def _run_all() -> str:
     parser = build_parser()
     sections = []
@@ -216,6 +324,7 @@ def main(argv=None) -> int:
         "landscape": _run_landscape,
         "calibrate": _run_calibrate,
         "report": _run_report,
+        "solve": _run_solve,
     }
     if args.experiment == "all":
         print(_run_all())

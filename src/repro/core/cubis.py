@@ -32,9 +32,24 @@ from repro.game.ssg import IntervalSecurityGame
 from repro.solvers.binary_search import binary_search_max
 from repro.solvers.milp_backend import solve_milp
 from repro.solvers.piecewise import SegmentGrid
+from repro.resilience.events import SolveEventLog
+from repro.resilience.policy import (
+    LadderExhaustedError,
+    OracleLadder,
+    OracleStepError,
+    ResiliencePolicy,
+    ResilienceReport,
+)
 from repro.utils.timing import Timer
+from repro.utils.validation import check_int_at_least
 
 __all__ = ["CubisResult", "solve_cubis"]
+
+#: Numerical slack allowed when sanity-checking a backend's solution
+#: (box membership, budget).  Looser than ``feasibility_tolerance``
+#: because branch-and-cut backends report solutions at their own
+#: primal-feasibility tolerance.
+_STEP_VALIDATION_TOL = 1e-6
 
 
 @dataclass(frozen=True)
@@ -62,6 +77,16 @@ class CubisResult:
         ``(c, feasible)`` per step.
     solve_seconds:
         Wall-clock time of the whole call.
+    converged:
+        Whether the binary search closed its bracket to ``epsilon``;
+        False means ``max_iterations`` ran out first and the bracket
+        (still valid) is wider than requested.
+    degraded:
+        True iff a fallback rung other than the first answered at least
+        one step (always False without a resilience policy).
+    resilience:
+        The :class:`~repro.resilience.policy.ResilienceReport` for the
+        solve when a policy was active, else ``None``.
     """
 
     strategy: np.ndarray
@@ -74,6 +99,9 @@ class CubisResult:
     iterations: int
     trace: tuple
     solve_seconds: float
+    converged: bool = True
+    degraded: bool = False
+    resilience: ResilienceReport | None = None
 
 
 def solve_cubis(
@@ -89,6 +117,7 @@ def solve_cubis(
     execution_alpha: float = 0.0,
     feasibility_tolerance: float = 1e-7,
     max_iterations: int = 200,
+    resilience: ResiliencePolicy | None = None,
 ) -> CubisResult:
     """Run CUBIS on an interval security game.
 
@@ -134,6 +163,14 @@ def solve_cubis(
         counts as feasible).
     max_iterations:
         Hard cap on binary-search steps.
+    resilience:
+        Optional :class:`~repro.resilience.policy.ResiliencePolicy`.
+        When given, every binary-search step runs through the policy's
+        fallback ladder (by default ``highs`` → ``bnb`` → ``dp``) with
+        bounded retries and soft timeouts, and the result carries a
+        :class:`~repro.resilience.policy.ResilienceReport`; the
+        ``backend`` / ``oracle`` arguments are ignored in favour of the
+        policy's rungs.
     """
     if uncertainty.num_targets != game.num_targets:
         raise ValueError(
@@ -145,6 +182,8 @@ def solve_cubis(
 
     if execution_alpha < 0:
         raise ValueError(f"execution_alpha must be >= 0, got {execution_alpha}")
+    num_segments = check_int_at_least(num_segments, 1, "num_segments")
+    max_iterations = check_int_at_least(max_iterations, 1, "max_iterations")
     grid = SegmentGrid(num_segments)
     breakpoints = grid.breakpoints
     # Tabulate everything once: U^d, L, U at the K+1 breakpoints (T, K+1).
@@ -175,29 +214,74 @@ def solve_cubis(
         raise ValueError(f"oracle must be 'milp' or 'dp', got {oracle!r}")
     if coverage_constraints is not None and oracle != "milp":
         raise ValueError("coverage_constraints require the 'milp' oracle")
-
-    def milp_oracle(c: float):
-        model = build_cubis_milp(
-            ud_grid,
-            lower_grid,
-            upper_grid,
-            game.num_resources,
-            c,
-            grid,
-            equality_resources=equality_resources,
-            coverage_constraints=coverage_constraints,
-        )
-        result = solve_milp(model.problem, backend=backend)
-        if not result.optimal:
-            # The MILP is always feasible in (x, v, q, h) — x = anything
-            # feasible, q = 1, v at its forced value — so a non-optimal
-            # status signals a solver failure, not (P1) infeasibility.
-            raise RuntimeError(
-                f"CUBIS MILP solve failed at c={c:.6g}: {result.status} {result.message}"
+    if coverage_constraints is not None and resilience is not None:
+        if any(r.oracle != "milp" for r in resilience.rungs):
+            raise ValueError(
+                "coverage_constraints require milp rungs only; pass "
+                "resilience.milp_only()"
             )
-        g_bar = model.g_bar_from_objective(result.objective)
-        feasible = g_bar >= -feasibility_tolerance
-        return feasible, model.strategy_from_solution(result.x)
+
+    def validate_step_solution(strategy: np.ndarray, label: str) -> None:
+        # Cheap sanity screen on a backend's solution; a corrupted or
+        # perturbed answer must not silently steer the binary search.
+        tol = _STEP_VALIDATION_TOL
+        if not np.all(np.isfinite(strategy)):
+            raise OracleStepError(f"{label} returned a non-finite strategy")
+        if np.any(strategy < -tol) or np.any(strategy > 1.0 + tol):
+            raise OracleStepError(
+                f"{label} returned coverage outside [0, 1]: "
+                f"min {strategy.min():.6g}, max {strategy.max():.6g}"
+            )
+        spent = float(strategy.sum())
+        over = spent - game.num_resources
+        if over > tol or (equality_resources and abs(over) > tol):
+            raise OracleStepError(
+                f"{label} violated the resource budget: sum x = {spent:.6g} "
+                f"vs R = {game.num_resources:.6g}"
+            )
+        if coverage_constraints is not None and not coverage_constraints.satisfied(
+            strategy, atol=tol
+        ):
+            raise OracleStepError(f"{label} violated the side constraints")
+
+    def make_milp_oracle(milp_backend, *, validate: bool = True):
+        label = milp_backend if isinstance(milp_backend, str) else getattr(
+            milp_backend, "__name__", type(milp_backend).__name__
+        )
+
+        def milp_oracle(c: float):
+            model = build_cubis_milp(
+                ud_grid,
+                lower_grid,
+                upper_grid,
+                game.num_resources,
+                c,
+                grid,
+                equality_resources=equality_resources,
+                coverage_constraints=coverage_constraints,
+            )
+            result = solve_milp(model.problem, backend=milp_backend)
+            if not result.optimal:
+                # The MILP is always feasible in (x, v, q, h) — x = anything
+                # feasible, q = 1, v at its forced value — so a non-optimal
+                # status signals a solver failure, not (P1) infeasibility.
+                raise OracleStepError(
+                    f"CUBIS MILP solve failed at c={c:.6g} with backend "
+                    f"{label!r}: {result.status} {result.message}"
+                )
+            g_bar = model.g_bar_from_objective(result.objective)
+            strategy = model.strategy_from_solution(result.x)
+            if validate:
+                if not np.isfinite(g_bar):
+                    raise OracleStepError(
+                        f"backend {label!r} reported a non-finite objective "
+                        f"at c={c:.6g}"
+                    )
+                validate_step_solution(strategy, f"backend {label!r}")
+            feasible = g_bar >= -feasibility_tolerance
+            return feasible, strategy
+
+        return milp_oracle
 
     budget_units = int(np.floor(game.num_resources * num_segments + 1e-9))
 
@@ -210,11 +294,41 @@ def solve_cubis(
         feasible = allocation.value >= -feasibility_tolerance
         return feasible, allocation.coverage(num_segments)
 
-    step_oracle = milp_oracle if oracle == "milp" else dp_oracle
+    lo, hi = game.utility_range()
+    ladder: OracleLadder | None = None
+    if resilience is not None:
+        rung_oracles = tuple(
+            make_milp_oracle(r.backend, validate=resilience.validate_steps)
+            if r.oracle == "milp"
+            else dp_oracle
+            for r in resilience.rungs
+        )
+        ladder = OracleLadder(resilience, rung_oracles, SolveEventLog())
+        base_oracle = ladder
+    else:
+        base_oracle = make_milp_oracle(backend) if oracle == "milp" else dp_oracle
+
+    # Bookkeeping wrapper: tracks the step index and the live bracket so
+    # a hard failure surfaces with enough context for production triage.
+    state = {"step": 0, "lo": lo, "hi": hi}
+
+    def step_oracle(c: float):
+        state["step"] += 1
+        try:
+            feasible, payload = base_oracle(c)
+        except (OracleStepError, LadderExhaustedError) as exc:
+            raise type(exc)(
+                f"{exc} (binary-search step {state['step']}, bracket "
+                f"[{state['lo']:.6g}, {state['hi']:.6g}])"
+            ) from exc
+        if feasible:
+            state["lo"] = max(state["lo"], c)
+        else:
+            state["hi"] = min(state["hi"], c)
+        return feasible, payload
 
     timer = Timer()
     with timer:
-        lo, hi = game.utility_range()
         search = binary_search_max(
             step_oracle,
             lo,
@@ -249,4 +363,7 @@ def solve_cubis(
         iterations=search.iterations,
         trace=search.trace,
         solve_seconds=timer.elapsed,
+        converged=search.converged,
+        degraded=ladder.degraded if ladder is not None else False,
+        resilience=ladder.report() if ladder is not None else None,
     )

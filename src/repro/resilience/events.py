@@ -1,0 +1,134 @@
+"""Structured solve diagnostics for the fault-tolerant pipeline.
+
+Every oracle attempt made by the fallback ladder is recorded as a
+:class:`StepEvent` — which binary-search step it belonged to, the
+candidate utility ``c``, which ladder rung (oracle kind + backend)
+answered, how the attempt ended, and how long it took.  A
+:class:`SolveEventLog` collects the events for one solve and mirrors
+them onto the stdlib ``repro.resilience`` logger so operators can tail a
+solve without touching the result object; the CLI (``repro solve
+--resilience``) and the benchmarks consume the same log.
+
+The events are plain frozen dataclasses on purpose: they serialise
+cleanly (``dataclasses.asdict``), cost nothing to record, and keep the
+resilience layer free of any dependency on the solver internals.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+
+__all__ = ["StepEvent", "SolveEventLog", "logger"]
+
+#: The subsystem logger.  Library code never configures handlers; attach
+#: one (or ``logging.basicConfig``) from the application to see events.
+logger = logging.getLogger("repro.resilience")
+
+#: Attempt outcomes a :class:`StepEvent` may carry.
+OUTCOMES = ("ok", "error", "timeout")
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """One oracle attempt inside one binary-search step.
+
+    Attributes
+    ----------
+    step:
+        1-based binary-search step index (= oracle call ordinal).
+    c:
+        The candidate utility level the step tested.
+    rung:
+        0-based index of the ladder rung that ran the attempt.
+    oracle:
+        Oracle kind of that rung (``"milp"`` or ``"dp"``).
+    backend:
+        Backend label for MILP rungs (``"highs"``, ``"bnb"``, or the
+        name of an injected callable); ``None`` for the DP rung.
+    attempt:
+        1-based attempt number within the rung (retries increment it).
+    outcome:
+        ``"ok"`` (verdict accepted), ``"error"`` (the oracle raised or
+        returned an invalid solution) or ``"timeout"`` (the attempt
+        exceeded the policy's soft per-step budget).
+    feasible:
+        The oracle's verdict when ``outcome == "ok"``, else ``None``.
+    wall_seconds:
+        Wall-clock duration of the attempt.
+    message:
+        Failure detail (exception text) for non-``ok`` outcomes.
+    """
+
+    step: int
+    c: float
+    rung: int
+    oracle: str
+    backend: str | None
+    attempt: int
+    outcome: str
+    feasible: bool | None
+    wall_seconds: float
+    message: str = ""
+
+    @property
+    def label(self) -> str:
+        """Human-readable rung label, e.g. ``"milp:highs"`` or ``"dp"``."""
+        return f"{self.oracle}:{self.backend}" if self.backend else self.oracle
+
+
+class SolveEventLog:
+    """Collects :class:`StepEvent` records for one solve.
+
+    Successful attempts are logged at ``DEBUG``; failures and timeouts at
+    ``WARNING`` so degraded production solves surface in default logging
+    configurations.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[StepEvent] = []
+
+    def record(self, event: StepEvent) -> None:
+        """Append an event and mirror it to the module logger."""
+        self._events.append(event)
+        if event.outcome == "ok":
+            logger.debug(
+                "step %d c=%.6g %s attempt %d ok feasible=%s (%.3fs)",
+                event.step, event.c, event.label, event.attempt,
+                event.feasible, event.wall_seconds,
+            )
+        else:
+            logger.warning(
+                "step %d c=%.6g %s attempt %d %s: %s (%.3fs)",
+                event.step, event.c, event.label, event.attempt,
+                event.outcome, event.message, event.wall_seconds,
+            )
+
+    @property
+    def events(self) -> tuple[StepEvent, ...]:
+        """All recorded events, in order."""
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def failures(self) -> tuple[StepEvent, ...]:
+        """Events whose outcome was not ``"ok"``."""
+        return tuple(e for e in self._events if e.outcome != "ok")
+
+    def summary(self) -> str:
+        """A compact multi-line text summary (used by the CLI)."""
+        by_label: dict[str, list[StepEvent]] = {}
+        for event in self._events:
+            by_label.setdefault(event.label, []).append(event)
+        lines = [f"oracle attempts: {len(self._events)}"]
+        for label, events in by_label.items():
+            ok = sum(1 for e in events if e.outcome == "ok")
+            err = sum(1 for e in events if e.outcome == "error")
+            slow = sum(1 for e in events if e.outcome == "timeout")
+            total = sum(e.wall_seconds for e in events)
+            lines.append(
+                f"  {label}: {ok} ok, {err} error, {slow} timeout "
+                f"({total:.3f}s)"
+            )
+        return "\n".join(lines)

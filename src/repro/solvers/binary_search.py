@@ -9,6 +9,7 @@ implies infeasible for all ``c >= c0``), which is exactly the contract of
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -33,6 +34,10 @@ class BinarySearchResult:
         Number of oracle calls.
     trace:
         List of ``(c, feasible)`` pairs in evaluation order.
+    converged:
+        True iff the final gap is within the requested tolerance.  False
+        when ``max_iterations`` was exhausted first (a warning is emitted)
+        or when nothing in the interval was feasible.
     """
 
     lower: float
@@ -40,10 +45,11 @@ class BinarySearchResult:
     payload: Any
     iterations: int
     trace: tuple
+    converged: bool = True
 
     @property
     def gap(self) -> float:
-        """``upper - lower`` — must be ``<= tolerance`` on normal exit."""
+        """``upper - lower`` — ``<= tolerance`` iff ``converged``."""
         return self.upper - self.lower
 
 
@@ -89,12 +95,14 @@ def binary_search_max(
         trace.append((hi, feasible_hi))
         iterations += 1
         if feasible_hi:
-            return BinarySearchResult(hi, hi, payload_hi, iterations, tuple(trace))
+            return BinarySearchResult(hi, hi, payload_hi, iterations, tuple(trace), True)
         feasible_lo, payload_lo = oracle(lo)
         trace.append((lo, feasible_lo))
         iterations += 1
         if not feasible_lo:
-            return BinarySearchResult(-float("inf"), lo, None, iterations, tuple(trace))
+            return BinarySearchResult(
+                -float("inf"), lo, None, iterations, tuple(trace), False
+            )
         payload = payload_lo
 
     while hi - lo > tolerance and iterations < max_iterations:
@@ -107,4 +115,13 @@ def binary_search_max(
             payload = mid_payload
         else:
             hi = mid
-    return BinarySearchResult(lo, hi, payload, iterations, tuple(trace))
+    converged = hi - lo <= tolerance
+    if not converged:
+        warnings.warn(
+            f"binary search exhausted max_iterations={max_iterations} with gap "
+            f"{hi - lo:.6g} > tolerance {tolerance:.6g}; the returned bracket "
+            f"is valid but wider than requested",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return BinarySearchResult(lo, hi, payload, iterations, tuple(trace), converged)

@@ -107,15 +107,30 @@ class MILPResult:
         return self.status == "optimal"
 
 
-def solve_milp(problem: MILPProblem, *, backend: str = "highs", **backend_options) -> MILPResult:
-    """Solve a :class:`MILPProblem` with the selected backend."""
+def solve_milp(problem: MILPProblem, *, backend="highs", **backend_options) -> MILPResult:
+    """Solve a :class:`MILPProblem` with the selected backend.
+
+    ``backend`` is a name (``"highs"`` / ``"bnb"``) or any callable
+    ``(problem, **options) -> MILPResult`` — the hook used by the
+    resilience layer to interpose fault injectors and custom solvers.
+    """
+    if callable(backend):
+        result = backend(problem, **backend_options)
+        if not isinstance(result, MILPResult):
+            raise TypeError(
+                f"callable backend must return a MILPResult, got "
+                f"{type(result).__name__}"
+            )
+        return result
     if backend == "highs":
         return _solve_highs(problem)
     if backend == "bnb":
         from repro.solvers.bnb import solve_bnb
 
         return solve_bnb(problem, **backend_options)
-    raise ValueError(f"unknown MILP backend {backend!r}; use 'highs' or 'bnb'")
+    raise ValueError(
+        f"unknown MILP backend {backend!r}; use 'highs', 'bnb', or a callable"
+    )
 
 
 def _solve_highs(problem: MILPProblem) -> MILPResult:

@@ -15,6 +15,7 @@ import numpy as np
 __all__ = [
     "check_finite_array",
     "check_in_closed_interval",
+    "check_int_at_least",
     "check_interval_pair",
     "check_positive",
     "check_probability_vector",
@@ -56,6 +57,25 @@ def check_positive(value: float, name: str, *, strict: bool = True) -> float:
         raise ValueError(f"{name} must be > 0, got {value}")
     if not strict and value < 0:
         raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_int_at_least(value, minimum: int, name: str) -> int:
+    """Require an integer (or integral float) ``>= minimum``; return it
+    as a plain ``int``."""
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got bool")
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise TypeError(f"{name} must be an integer, got {value}")
+        value = int(value)
+    if not isinstance(value, (int, np.integer)):
+        raise TypeError(
+            f"{name} must be an integer, got {type(value).__name__}"
+        )
+    value = int(value)
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
     return value
 
 

@@ -1,11 +1,41 @@
-"""Shared fixtures: small canonical games and uncertainty models."""
+"""Shared fixtures (small canonical games and uncertainty models) and
+the Hypothesis profiles every property test runs under.
+
+Profiles
+--------
+``dev``
+    The default for local runs: 50 examples per property, no deadline
+    (solver-backed properties have wildly varying step times).
+``ci``
+    Selected automatically when ``CI`` is set (or explicitly via
+    ``HYPOTHESIS_PROFILE=ci``): 150 examples for deeper coverage.
+``fast``
+    ``HYPOTHESIS_PROFILE=fast``: 10 examples, for quick smoke loops.
+
+Individual tests only pin ``max_examples`` when the property is
+*cost-bound* (each example runs a full solve); those explicit caps
+override the profile.  Everything else inherits the profile, so
+``HYPOTHESIS_PROFILE`` scales the whole suite.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.behavior.interval import IntervalSUQR
+
+settings.register_profile("dev", max_examples=50, deadline=None)
+settings.register_profile("ci", max_examples=150, deadline=None)
+settings.register_profile("fast", max_examples=10, deadline=None)
+settings.load_profile(
+    os.environ.get(
+        "HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "dev"
+    )
+)
 from repro.game.generator import random_interval_game, table1_game
 from repro.game.payoffs import IntervalPayoffs, PayoffMatrix
 from repro.game.ssg import IntervalSecurityGame, SecurityGame

@@ -91,3 +91,45 @@ class TestPasaqMechanics:
         # The attacker's top target at the found strategy gets real coverage.
         q = sharp.choice_probabilities(result.strategy)
         assert result.strategy[np.argmax(q)] > 0.1
+
+
+class TestPasaqResilience:
+    def test_converged_flag_default(self, simple_game):
+        model = SUQR(simple_game.payoffs, (-2.0, 0.7, 0.4))
+        result = solve_pasaq(simple_game, model, num_segments=8, epsilon=0.01)
+        assert result.converged
+        assert not result.degraded and result.resilience is None
+
+    def test_validates_num_segments(self, simple_game):
+        model = SUQR(simple_game.payoffs, (-2.0, 0.7, 0.4))
+        with pytest.raises(ValueError, match="num_segments"):
+            solve_pasaq(simple_game, model, num_segments=0)
+        with pytest.raises(ValueError, match="max_iterations"):
+            solve_pasaq(simple_game, model, max_iterations=0)
+
+    def test_ladder_strips_dp_rung(self, simple_game):
+        from repro.resilience import ResiliencePolicy
+
+        model = SUQR(simple_game.payoffs, (-2.0, 0.7, 0.4))
+        result = solve_pasaq(
+            simple_game, model, num_segments=8, epsilon=0.01,
+            resilience=ResiliencePolicy(),
+        )
+        assert result.resilience is not None
+        assert all("milp" in label for label in result.resilience.rung_labels)
+        assert not result.degraded
+
+    def test_recovers_from_injected_faults(self, simple_game):
+        from repro.resilience import FaultInjector, ResiliencePolicy, injected_policy
+
+        model = SUQR(simple_game.payoffs, (-2.0, 0.7, 0.4))
+        clean = solve_pasaq(simple_game, model, num_segments=8, epsilon=0.01)
+        injector = FaultInjector(0.5, seed=11)
+        policy = injected_policy(injector, ResiliencePolicy(max_retries=4))
+        faulty = solve_pasaq(
+            simple_game, model, num_segments=8, epsilon=0.01,
+            resilience=policy,
+        )
+        assert injector.faults > 0
+        assert faulty.value == pytest.approx(clean.value, abs=1e-9)
+        assert faulty.degraded == (faulty.resilience.rung_counts[1] > 0)

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.behavior.interval import (
@@ -53,7 +53,6 @@ class TestWeightBox:
         st.floats(-3, 3), st.floats(0, 2), st.floats(-3, 3), st.floats(0, 2),
         st.floats(0, 1), st.floats(0, 1),
     )
-    @settings(max_examples=60, deadline=None)
     def test_product_range_contains_samples(self, a, da, b, db, ta, tb):
         box = WeightBox(a, a + da)
         y_lo, y_hi = b, b + db

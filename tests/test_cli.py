@@ -79,3 +79,47 @@ class TestNewSubcommands:
     def test_report_parser(self):
         args = build_parser().parse_args(["report", "--full", "--output", "r.md"])
         assert args.full and args.output == "r.md"
+
+
+class TestSolveSubcommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.targets == 8 and not args.table1
+        assert args.segments == 10 and args.epsilon == 1e-3
+        assert not args.resilience and not args.certify
+        assert args.inject_faults == 0.0 and args.retries == 1
+
+    def test_parser_fault_flags(self):
+        args = build_parser().parse_args(
+            ["solve", "--table1", "--inject-faults", "0.5", "--fault-seed",
+             "7", "--retries", "3", "--certify", "--events"]
+        )
+        assert args.table1 and args.inject_faults == 0.5
+        assert args.fault_seed == 7 and args.retries == 3
+        assert args.certify and args.events
+
+    def test_plain_solve_runs(self, capsys):
+        code = main(["solve", "--targets", "4", "--segments", "6",
+                     "--epsilon", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worst-case value" in out and "converged" in out
+
+    def test_faulty_certified_solve_runs(self, capsys):
+        code = main(
+            ["solve", "--targets", "4", "--segments", "6", "--epsilon",
+             "0.01", "--inject-faults", "0.5", "--certify", "--events"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ladder" in out and "injected faults" in out
+        assert "certificate: VALID" in out and "events" in out
+
+    def test_resilience_flag_without_faults(self, capsys):
+        code = main(
+            ["solve", "--table1", "--segments", "6", "--epsilon", "0.01",
+             "--resilience"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degraded          False" in out and "ladder" in out

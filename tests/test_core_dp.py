@@ -4,7 +4,7 @@ import itertools
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.behavior.interval import IntervalSUQR
@@ -78,7 +78,6 @@ class TestMaximizeSeparableOnGrid:
         st.integers(0, 8),
         st.integers(0, 10**6),
     )
-    @settings(max_examples=60, deadline=None)
     def test_matches_brute_force(self, t, k, budget, seed):
         rng = np.random.default_rng(seed)
         phi = rng.normal(size=(t, k + 1)) * 3

@@ -6,7 +6,7 @@ against the primal worst-case solvers.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.dual import beta_star, g_value, h_beta_value, h_value
@@ -38,7 +38,6 @@ class TestBetaStar:
 
 class TestHAndGIdentities:
     @given(random_instance(), st.floats(-8, 8, allow_nan=False))
-    @settings(max_examples=80, deadline=None)
     def test_g_is_numerator_of_h_minus_c(self, instance, c):
         """G(x, beta; c) = (H(x, beta) - c) * sum(L) for any beta >= 0."""
         ud, lo, hi = instance
@@ -48,7 +47,6 @@ class TestHAndGIdentities:
         assert g == pytest.approx((h - c) * lo.sum(), abs=1e-8, rel=1e-8)
 
     @given(random_instance())
-    @settings(max_examples=80, deadline=None)
     def test_strong_duality(self, instance):
         """H_beta(x) (the dual optimum at fixed x) equals the primal
         worst-case value."""
@@ -58,7 +56,6 @@ class TestHAndGIdentities:
         assert dual == pytest.approx(primal, abs=1e-7)
 
     @given(random_instance())
-    @settings(max_examples=50, deadline=None)
     def test_g_sign_test_matches_feasibility(self, instance):
         """Proposition 2 in scalar form: G(x, beta*(c), c) >= 0 exactly when
         the worst-case value is >= c."""

@@ -6,7 +6,7 @@ the paper's LP (6-8), and the dual root) must agree on random instances.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.worst_case import (
@@ -29,7 +29,6 @@ def random_instance(draw):
 
 class TestCrossMethodAgreement:
     @given(random_instance())
-    @settings(max_examples=100, deadline=None)
     def test_enumeration_matches_lp(self, instance):
         ud, lo, hi = instance
         fast = worst_case_response(ud, lo, hi)
@@ -37,7 +36,6 @@ class TestCrossMethodAgreement:
         assert fast.value == pytest.approx(lp.value, abs=1e-6)
 
     @given(random_instance())
-    @settings(max_examples=100, deadline=None)
     def test_enumeration_matches_dual_root(self, instance):
         ud, lo, hi = instance
         fast = worst_case_response(ud, lo, hi)

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.game.schedules import PatrolSchedule, decompose_coverage, sample_patrols
@@ -76,7 +76,6 @@ class TestDecomposeCoverage:
             decompose_coverage(np.ones((2, 2)))
 
     @given(st.integers(2, 8), st.integers(1, 3), st.integers(0, 10**6))
-    @settings(max_examples=60, deadline=None)
     def test_random_strategies_decompose(self, t, r, seed):
         if r > t:
             r = t

@@ -99,14 +99,13 @@ class TestProjection:
             s.project([0.5, 0.5])
 
     @given(st.lists(st.floats(-5, 5), min_size=4, max_size=4))
-    @settings(max_examples=50, deadline=None)
     def test_projection_always_feasible(self, values):
         s = StrategySpace(4, 1.5)
         p = s.project(np.array(values))
         assert s.contains(p, atol=1e-5)
 
     @given(st.lists(st.floats(-3, 3), min_size=3, max_size=3), st.integers(0, 10**6))
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_projection_no_closer_feasible_point(self, values, seed):
         """The projection is at least as close as random feasible points."""
         s = StrategySpace(3, 1)

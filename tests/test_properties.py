@@ -37,7 +37,7 @@ def interval_world(draw):
 
 class TestWorldInvariants:
     @given(interval_world())
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_worst_leq_midpoint_leq_best(self, world):
         game, uncertainty, x = world
         ev = evaluate_strategy(game, uncertainty, x)
@@ -45,7 +45,7 @@ class TestWorldInvariants:
         assert ev.midpoint <= ev.best_case + 1e-9
 
     @given(interval_world())
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_worst_case_within_utility_range(self, world):
         game, uncertainty, x = world
         ev = evaluate_strategy(game, uncertainty, x)
@@ -53,7 +53,7 @@ class TestWorldInvariants:
         assert ud.min() - 1e-9 <= ev.worst_case <= ud.max() + 1e-9
 
     @given(interval_world())
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_duality_gap_zero(self, world):
         """Primal vertex enumeration == dual fixed point at any strategy."""
         game, uncertainty, x = world
@@ -65,7 +65,7 @@ class TestWorldInvariants:
         assert g == pytest.approx(0.0, abs=max(1e-7, 1e-7 * abs(lo.sum())))
 
     @given(interval_world())
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_sampled_types_respect_worst_case(self, world):
         game, uncertainty, x = world
         ud = game.defender_utilities(x)
@@ -75,7 +75,7 @@ class TestWorldInvariants:
             assert model.expected_defender_utility(ud, x) >= worst - 1e-7
 
     @given(interval_world())
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20)
     def test_narrowing_uncertainty_weakly_improves_worst_case(self, world):
         game, uncertainty, x = world
         narrow = uncertainty.with_scaled_uncertainty(0.5)
@@ -84,7 +84,7 @@ class TestWorldInvariants:
         assert narrow_v >= wide_v - 1e-9
 
     @given(interval_world())
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15)
     def test_integral_strategies_schedule(self, world):
         game, uncertainty, x = world
         if abs(game.num_resources - round(game.num_resources)) > 1e-9:
@@ -93,7 +93,7 @@ class TestWorldInvariants:
         np.testing.assert_allclose(schedule.marginals(), x, atol=1e-7)
 
     @given(interval_world())
-    @settings(max_examples=10, deadline=None)
+    @settings(max_examples=10)
     def test_uniform_scaling_of_attractiveness_is_invariant(self, world):
         """q is scale-invariant in F: multiplying L and U by a constant
         leaves the worst-case utility unchanged."""
@@ -107,7 +107,7 @@ class TestWorldInvariants:
 
 class TestCubisProperties:
     @given(st.integers(0, 10**4))
-    @settings(max_examples=8, deadline=None)
+    @settings(max_examples=8)
     def test_cubis_beats_uniform_and_is_feasible(self, seed):
         game = repro.random_interval_game(4, payoff_halfwidth=0.5, seed=seed)
         uncertainty = repro.IntervalSUQR(
@@ -122,7 +122,7 @@ class TestCubisProperties:
         assert result.worst_case_value >= uniform_v - 0.05
 
     @given(st.integers(0, 10**4))
-    @settings(max_examples=5, deadline=None)
+    @settings(max_examples=5)
     def test_binary_search_trace_monotone(self, seed):
         game = repro.random_interval_game(4, payoff_halfwidth=0.5, seed=seed)
         uncertainty = repro.IntervalSUQR(

@@ -34,7 +34,7 @@ def interval_games(draw):
 
 class TestGameRoundTripProperties:
     @given(point_games())
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_point_game_round_trip(self, game):
         restored = game_from_dict(game_to_dict(game))
         assert restored.num_resources == game.num_resources
@@ -44,7 +44,7 @@ class TestGameRoundTripProperties:
             )
 
     @given(interval_games())
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_interval_game_round_trip(self, game):
         restored = game_from_dict(game_to_dict(game))
         for field in (
@@ -60,7 +60,7 @@ class TestGameRoundTripProperties:
             )
 
     @given(interval_games())
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_round_trip_preserves_utilities(self, game):
         restored = game_from_dict(game_to_dict(game))
         x = game.strategy_space.uniform()
@@ -77,7 +77,7 @@ class TestUncertaintyRoundTripProperties:
         st.floats(0.3, 0.8),
         st.floats(0.0, 0.5),
     )
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_suqr_round_trip_preserves_bounds(self, game, w1_hi, w1_w, w2_lo, w2_w):
         model = IntervalSUQR(
             game.payoffs,
@@ -92,7 +92,7 @@ class TestUncertaintyRoundTripProperties:
         np.testing.assert_allclose(restored.upper(x), model.upper(x))
 
     @given(interval_games(), st.floats(0.0, 2.0), st.floats(0.0, 2.0))
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_qr_round_trip_preserves_bounds(self, game, lam_lo, lam_w):
         model = IntervalQR(game.payoffs, rationality=(lam_lo, lam_lo + lam_w))
         restored = uncertainty_from_dict(uncertainty_to_dict(model), game.payoffs)

@@ -1,0 +1,170 @@
+"""Tests for the solver-independent solution certificates."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.cubis import solve_cubis
+from repro.game.constraints import CoverageConstraints
+from repro.resilience.certificate import certify_result, theorem_slack
+
+
+@pytest.fixture(scope="module")
+def solved(request):
+    from repro.behavior.interval import IntervalSUQR
+    from repro.game.generator import random_interval_game
+
+    game = random_interval_game(4, num_resources=1.5, seed=7)
+    uncertainty = IntervalSUQR(
+        game.payoffs, w1=(-4.0, -1.0), w2=(0.6, 0.9), w3=(0.3, 0.6),
+        convention="tight",
+    )
+    result = solve_cubis(game, uncertainty, num_segments=10, epsilon=1e-3)
+    return game, uncertainty, result
+
+
+class TestValidSolves:
+    def test_clean_solve_certifies(self, solved):
+        game, uncertainty, result = solved
+        certificate = certify_result(game, uncertainty, result)
+        assert certificate.valid, certificate.summary()
+        assert certificate.failures() == ()
+
+    def test_summary_mentions_every_check(self, solved):
+        game, uncertainty, result = solved
+        certificate = certify_result(game, uncertainty, result)
+        summary = certificate.summary()
+        assert "VALID" in summary
+        for name in (
+            "strategy_box", "budget", "bracket", "value_in_bracket",
+            "reported_value", "adversary_consistent", "oracle_feasibility",
+        ):
+            assert name in summary
+
+    def test_dp_oracle_solve_certifies(self, solved):
+        game, uncertainty, _ = solved
+        result = solve_cubis(
+            game, uncertainty, num_segments=10, epsilon=1e-3, oracle="dp"
+        )
+        assert certify_result(game, uncertainty, result).valid
+
+    def test_theorem_slack_scales(self, solved):
+        game, _, _ = solved
+        assert theorem_slack(game, 0.1, 10) > theorem_slack(game, 0.1, 100)
+        assert theorem_slack(game, 0.5, 10) == pytest.approx(
+            theorem_slack(game, 0.1, 10) + 0.4
+        )
+
+    def test_execution_alpha_path(self, solved):
+        game, uncertainty, _ = solved
+        result = solve_cubis(
+            game, uncertainty, num_segments=10, epsilon=1e-3,
+            execution_alpha=0.05,
+        )
+        certificate = certify_result(
+            game, uncertainty, result, execution_alpha=0.05
+        )
+        assert certificate.valid, certificate.summary()
+
+    def test_coverage_constraints_path(self, solved):
+        game, uncertainty, _ = solved
+        constraints = CoverageConstraints(
+            matrix=np.eye(game.num_targets), rhs=np.full(game.num_targets, 0.9)
+        )
+        result = solve_cubis(
+            game, uncertainty, num_segments=10, epsilon=1e-3,
+            coverage_constraints=constraints,
+        )
+        certificate = certify_result(
+            game, uncertainty, result, coverage_constraints=constraints
+        )
+        assert certificate.valid, certificate.summary()
+
+
+class TestCorruptedResults:
+    def test_budget_violation_rejected(self, solved):
+        game, uncertainty, result = solved
+        corrupted = dataclasses.replace(
+            result, strategy=np.ones(game.num_targets)
+        )
+        certificate = certify_result(game, uncertainty, corrupted)
+        assert not certificate.valid
+        assert "budget" in certificate.failures()
+
+    def test_box_violation_rejected(self, solved):
+        game, uncertainty, result = solved
+        bad = result.strategy.copy()
+        bad[0] = 1.7
+        certificate = certify_result(
+            game, uncertainty, dataclasses.replace(result, strategy=bad)
+        )
+        assert "strategy_box" in certificate.failures()
+
+    def test_bracket_inversion_rejected(self, solved):
+        game, uncertainty, result = solved
+        corrupted = dataclasses.replace(
+            result,
+            lower_bound=result.upper_bound + 1.0,
+            upper_bound=result.lower_bound,
+        )
+        certificate = certify_result(game, uncertainty, corrupted)
+        assert not certificate.valid
+        assert "bracket" in certificate.failures()
+
+    def test_wide_gap_with_converged_flag_rejected(self, solved):
+        game, uncertainty, result = solved
+        corrupted = dataclasses.replace(
+            result, lower_bound=result.upper_bound - 10 * result.epsilon
+        )
+        certificate = certify_result(game, uncertainty, corrupted)
+        assert "bracket" in certificate.failures()
+
+    def test_wide_gap_tolerated_when_not_converged(self, solved):
+        game, uncertainty, result = solved
+        unconverged = dataclasses.replace(
+            result,
+            lower_bound=result.upper_bound - 10 * result.epsilon,
+            converged=False,
+        )
+        certificate = certify_result(game, uncertainty, unconverged)
+        assert "bracket" not in certificate.failures()
+
+    def test_lying_value_rejected(self, solved):
+        game, uncertainty, result = solved
+        corrupted = dataclasses.replace(
+            result, worst_case_value=result.worst_case_value + 1.0
+        )
+        certificate = certify_result(game, uncertainty, corrupted)
+        assert "reported_value" in certificate.failures()
+
+    def test_inflated_bracket_rejected_by_value_check(self, solved):
+        game, uncertainty, result = solved
+        # A bracket far above what the strategy actually achieves: the
+        # exact recomputation falls out of the slack envelope.
+        shift = 10 * certify_result(game, uncertainty, result).slack
+        corrupted = dataclasses.replace(
+            result,
+            lower_bound=result.lower_bound + shift,
+            upper_bound=result.lower_bound + shift + result.epsilon / 2,
+        )
+        certificate = certify_result(game, uncertainty, corrupted)
+        assert not certificate.valid
+        assert "value_in_bracket" in certificate.failures()
+
+    def test_corrupted_adversary_rejected(self, solved):
+        game, uncertainty, result = solved
+        worst = result.worst_case
+        corrupted_worst = dataclasses.replace(
+            worst, attractiveness=worst.attractiveness * 50.0
+        )
+        certificate = certify_result(
+            game, uncertainty, dataclasses.replace(result, worst_case=corrupted_worst)
+        )
+        assert "adversary_consistent" in certificate.failures()
+
+    def test_nonfinite_lower_bound_rejected(self, solved):
+        game, uncertainty, result = solved
+        corrupted = dataclasses.replace(result, lower_bound=-float("inf"))
+        certificate = certify_result(game, uncertainty, corrupted)
+        assert "oracle_feasibility" in certificate.failures()

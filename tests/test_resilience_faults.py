@@ -1,0 +1,122 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.resilience.faults import FAULT_MODES, FaultInjector, injected_policy
+from repro.resilience.policy import ResiliencePolicy, Rung
+from repro.solvers.milp_backend import MILPProblem, solve_milp
+
+
+def tiny_problem() -> MILPProblem:
+    """max x0 + x1 s.t. x0 + x1 <= 1.5, box [0, 1] (as a minimisation)."""
+    return MILPProblem(
+        c=np.array([-1.0, -1.0]),
+        A_ub=np.array([[1.0, 1.0]]),
+        b_ub=np.array([1.5]),
+        ub=np.array([1.0, 1.0]),
+    )
+
+
+class TestSchedule:
+    def test_determinism(self):
+        a = FaultInjector(0.5, seed=42)
+        b = FaultInjector(0.5, seed=42)
+        wrapped_a, wrapped_b = a.wrap("highs"), b.wrap("highs")
+        for _ in range(30):
+            wrapped_a(tiny_problem())
+            wrapped_b(tiny_problem())
+        assert a.history == b.history
+        assert a.faults == b.faults > 0
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector(0.5, seed=1)
+        b = FaultInjector(0.5, seed=2)
+        wa, wb = a.wrap("highs"), b.wrap("highs")
+        for _ in range(30):
+            wa(tiny_problem())
+            wb(tiny_problem())
+        assert a.history != b.history
+
+    def test_rate_zero_never_faults(self):
+        injector = FaultInjector(0.0, seed=0)
+        backend = injector.wrap("highs")
+        for _ in range(10):
+            assert backend(tiny_problem()).optimal
+        assert injector.faults == 0
+
+    def test_rate_one_always_faults(self):
+        injector = FaultInjector(1.0, seed=0)
+        backend = injector.wrap("highs")
+        for _ in range(10):
+            backend(tiny_problem())
+        assert injector.faults == 10
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError, match="failure_rate"):
+            FaultInjector(1.5)
+        with pytest.raises(ValueError, match="fault modes"):
+            FaultInjector(0.5, modes=("explode",))
+
+
+class TestModes:
+    def test_error_mode(self):
+        backend = FaultInjector(1.0, modes=("error",), seed=0).wrap("highs")
+        result = backend(tiny_problem())
+        assert result.status == "error" and "injected" in result.message
+
+    def test_infeasible_mode(self):
+        backend = FaultInjector(1.0, modes=("infeasible",), seed=0).wrap("highs")
+        assert backend(tiny_problem()).status == "infeasible"
+
+    def test_nan_mode(self):
+        backend = FaultInjector(1.0, modes=("nan",), seed=0).wrap("highs")
+        result = backend(tiny_problem())
+        assert result.optimal and np.isnan(result.objective)
+        assert result.x is not None  # the solution itself is intact
+
+    def test_perturb_mode(self):
+        clean = solve_milp(tiny_problem(), backend="highs")
+        backend = FaultInjector(1.0, modes=("perturb",), seed=0).wrap("highs")
+        result = backend(tiny_problem())
+        assert result.optimal
+        assert not np.allclose(result.x, clean.x)
+        # The corruption is large enough to violate the unit box/budget.
+        assert result.x.sum() > clean.x.sum() + 0.1
+
+    def test_slow_mode(self):
+        backend = FaultInjector(
+            1.0, modes=("slow",), seed=0, slow_seconds=0.03
+        ).wrap("highs")
+        start = time.perf_counter()
+        result = backend(tiny_problem())
+        assert time.perf_counter() - start >= 0.03
+        assert result.optimal  # slow solves still return the right answer
+
+
+class TestIntegration:
+    def test_usable_as_solve_milp_backend(self):
+        injector = FaultInjector(0.0, seed=0)
+        result = solve_milp(tiny_problem(), backend=injector.wrap("bnb"))
+        assert result.optimal
+        assert result.objective == pytest.approx(-1.5)
+
+    def test_injected_policy_wraps_milp_rungs_only(self):
+        injector = FaultInjector(1.0, modes=("error",), seed=0)
+        policy = injected_policy(injector)
+        assert [r.oracle for r in policy.rungs] == ["milp", "milp", "dp"]
+        assert all(callable(r.backend) for r in policy.rungs[:2])
+        assert policy.rungs[2].backend is None
+
+    def test_injected_policy_preserves_settings(self):
+        base = ResiliencePolicy(
+            rungs=(Rung("milp", "bnb"),), max_retries=3, step_timeout=2.0,
+            sticky=True,
+        )
+        policy = injected_policy(FaultInjector(0.5), base)
+        assert policy.max_retries == 3
+        assert policy.step_timeout == 2.0
+        assert policy.sticky is True
+        assert len(policy.rungs) == 1

@@ -1,0 +1,201 @@
+"""Tests for the fallback ladder and retry policy (synthetic oracles —
+no real solves, so every scenario is exact and fast)."""
+
+import time
+
+import pytest
+
+from repro.resilience.events import SolveEventLog
+from repro.resilience.policy import (
+    DEFAULT_RUNGS,
+    LadderExhaustedError,
+    OracleLadder,
+    OracleStepError,
+    ResiliencePolicy,
+    Rung,
+)
+
+
+def ok_oracle(c):
+    return True, "payload"
+
+
+def failing_oracle(c):
+    raise OracleStepError("synthetic failure")
+
+
+def two_rung_policy(**kwargs):
+    return ResiliencePolicy(
+        rungs=(Rung("milp", "highs"), Rung("dp")), **kwargs
+    )
+
+
+class TestRungAndPolicyValidation:
+    def test_default_ladder_shape(self):
+        assert [r.label for r in DEFAULT_RUNGS] == ["milp:highs", "milp:bnb", "dp"]
+
+    def test_bad_oracle_kind(self):
+        with pytest.raises(ValueError, match="milp.*dp"):
+            Rung("simplex")
+
+    def test_milp_requires_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            Rung("milp")
+
+    def test_dp_takes_no_backend(self):
+        with pytest.raises(ValueError, match="no backend"):
+            Rung("dp", "highs")
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ValueError, match="at least one rung"):
+            ResiliencePolicy(rungs=())
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            ResiliencePolicy(max_retries=-1)
+
+    def test_milp_only_strips_dp(self):
+        policy = ResiliencePolicy().milp_only()
+        assert all(r.oracle == "milp" for r in policy.rungs)
+        with pytest.raises(ValueError, match="no milp rungs"):
+            ResiliencePolicy(rungs=(Rung("dp"),)).milp_only()
+
+    def test_ladder_needs_one_oracle_per_rung(self):
+        with pytest.raises(ValueError, match="one oracle per rung"):
+            OracleLadder(two_rung_policy(), (ok_oracle,))
+
+
+class TestFallback:
+    def test_healthy_rung_answers(self):
+        ladder = OracleLadder(two_rung_policy(), (ok_oracle, failing_oracle))
+        assert ladder(1.0) == (True, "payload")
+        assert not ladder.degraded
+        report = ladder.report()
+        assert report.rung_counts == (1, 0)
+        assert report.failed_attempts == 0
+        assert report.rungs_used == ("milp:highs",)
+
+    def test_falls_to_second_rung(self):
+        ladder = OracleLadder(two_rung_policy(), (failing_oracle, ok_oracle))
+        assert ladder(1.0) == (True, "payload")
+        assert ladder.degraded
+        report = ladder.report()
+        assert report.degraded
+        assert report.rung_counts == (0, 1)
+        # Default policy gives the first rung two attempts before escalating.
+        assert report.failed_attempts == 2
+
+    def test_retry_recovers_without_escalating(self):
+        calls = {"n": 0}
+
+        def flaky(c):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OracleStepError("transient")
+            return False, None
+
+        ladder = OracleLadder(
+            two_rung_policy(max_retries=1), (flaky, ok_oracle)
+        )
+        assert ladder(1.0) == (False, None)
+        assert not ladder.degraded
+        assert ladder.report().failed_attempts == 1
+
+    def test_exhausted_ladder_raises(self):
+        ladder = OracleLadder(
+            two_rung_policy(max_retries=0),
+            (failing_oracle, failing_oracle),
+        )
+        with pytest.raises(LadderExhaustedError):
+            ladder(3.0)
+
+    def test_exhausted_ladder_error_message(self):
+        ladder = OracleLadder(
+            ResiliencePolicy(rungs=(Rung("milp", "highs"),), max_retries=1),
+            (failing_oracle,),
+        )
+        with pytest.raises(LadderExhaustedError) as excinfo:
+            ladder(3.5)
+        message = str(excinfo.value)
+        assert "step 1" in message and "c=3.5" in message
+        assert "milp:highs" in message and "synthetic failure" in message
+
+    def test_runtime_errors_are_caught_too(self):
+        def raises_runtime(c):
+            raise RuntimeError("plain runtime failure")
+
+        ladder = OracleLadder(two_rung_policy(), (raises_runtime, ok_oracle))
+        assert ladder(0.0) == (True, "payload")
+        assert ladder.degraded
+
+
+class TestTimeouts:
+    def test_slow_attempt_escalates(self):
+        def slow(c):
+            time.sleep(0.03)
+            return True, "slow-answer"
+
+        policy = two_rung_policy(step_timeout=0.005, max_retries=0)
+        ladder = OracleLadder(policy, (slow, ok_oracle))
+        assert ladder(1.0) == (True, "payload")
+        events = ladder.report().events
+        assert events[0].outcome == "timeout"
+        assert "soft timeout" in events[0].message
+
+    def test_fast_attempt_within_budget(self):
+        policy = two_rung_policy(step_timeout=10.0)
+        ladder = OracleLadder(policy, (ok_oracle, failing_oracle))
+        assert ladder(1.0) == (True, "payload")
+        assert ladder.report().failed_attempts == 0
+
+
+class TestSticky:
+    def test_sticky_skips_failed_rung_on_later_steps(self):
+        ladder = OracleLadder(
+            two_rung_policy(sticky=True, max_retries=0),
+            (failing_oracle, ok_oracle),
+        )
+        ladder(1.0)
+        ladder(2.0)
+        events = ladder.report().events
+        step2 = [e for e in events if e.step == 2]
+        assert all(e.rung == 1 for e in step2)  # never consulted rung 0 again
+
+    def test_non_sticky_retries_from_top(self):
+        ladder = OracleLadder(
+            two_rung_policy(sticky=False, max_retries=0),
+            (failing_oracle, ok_oracle),
+        )
+        ladder(1.0)
+        ladder(2.0)
+        step2 = [e for e in ladder.report().events if e.step == 2]
+        assert step2[0].rung == 0
+
+
+class TestEvents:
+    def test_event_fields(self):
+        log = SolveEventLog()
+        ladder = OracleLadder(
+            two_rung_policy(max_retries=0), (failing_oracle, ok_oracle), log
+        )
+        ladder(2.5)
+        failure, success = log.events
+        assert (failure.step, failure.rung, failure.attempt) == (1, 0, 1)
+        assert failure.outcome == "error"
+        assert failure.oracle == "milp" and failure.backend == "highs"
+        assert failure.feasible is None
+        assert "synthetic failure" in failure.message
+        assert success.outcome == "ok" and success.feasible is True
+        assert success.oracle == "dp" and success.backend is None
+        assert success.label == "dp"
+        assert success.wall_seconds >= 0.0
+
+    def test_log_summary_mentions_each_rung(self):
+        log = SolveEventLog()
+        ladder = OracleLadder(
+            two_rung_policy(max_retries=0), (failing_oracle, ok_oracle), log
+        )
+        ladder(1.0)
+        summary = log.summary()
+        assert "milp:highs" in summary and "dp" in summary
+        assert len(log.failures()) == 1

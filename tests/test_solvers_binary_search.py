@@ -49,10 +49,27 @@ class TestBinarySearchMax:
             assert feasible == (c <= 0.25)
 
     def test_max_iterations_cap(self):
-        res = binary_search_max(
-            threshold_oracle(0.5), 0.0, 1.0, tolerance=1e-12, max_iterations=5
-        )
+        with pytest.warns(RuntimeWarning, match="max_iterations=5"):
+            res = binary_search_max(
+                threshold_oracle(0.5), 0.0, 1.0, tolerance=1e-12, max_iterations=5
+            )
         assert res.iterations <= 5
+
+    def test_exhaustion_sets_converged_false(self):
+        with pytest.warns(RuntimeWarning, match="exhausted"):
+            res = binary_search_max(
+                threshold_oracle(0.5), 0.0, 1.0, tolerance=1e-12, max_iterations=3
+            )
+        assert not res.converged
+        assert res.gap > 1e-12
+
+    def test_normal_run_sets_converged_true(self):
+        res = binary_search_max(threshold_oracle(0.37), 0.0, 1.0, tolerance=1e-4)
+        assert res.converged
+
+    def test_endpoint_shortcuts_converge(self):
+        assert binary_search_max(threshold_oracle(5.0), 0.0, 1.0).converged
+        assert not binary_search_max(threshold_oracle(-5.0), 0.0, 1.0).converged
 
     def test_invalid_interval(self):
         with pytest.raises(ValueError, match="lo <= hi"):

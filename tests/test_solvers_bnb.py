@@ -120,7 +120,7 @@ def random_binary_milp(draw):
 
 class TestCrossBackend:
     @given(random_binary_milp())
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_bnb_matches_highs(self, problem):
         ours = solve_bnb(problem)
         highs = solve_milp(problem, backend="highs")

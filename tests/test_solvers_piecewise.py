@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.solvers.piecewise import SegmentGrid
@@ -74,7 +74,6 @@ class TestDecompose:
         np.testing.assert_allclose(g.reconstruct(g.decompose(x)), x, atol=1e-12)
 
     @given(st.lists(st.floats(0, 1), min_size=1, max_size=6), st.integers(1, 20))
-    @settings(max_examples=60, deadline=None)
     def test_decompose_properties(self, xs, k):
         g = SegmentGrid(k)
         x = np.array(xs)

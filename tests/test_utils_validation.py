@@ -6,6 +6,7 @@ import pytest
 from repro.utils.validation import (
     check_finite_array,
     check_in_closed_interval,
+    check_int_at_least,
     check_interval_pair,
     check_positive,
     check_probability_vector,
@@ -98,6 +99,34 @@ class TestCheckProbabilityVector:
     def test_clips_tiny_negatives(self):
         q = check_probability_vector([1.0 + 1e-12, -1e-12], "q")
         assert np.all(q >= 0.0)
+
+
+class TestCheckIntAtLeast:
+    def test_accepts_int(self):
+        assert check_int_at_least(3, 1, "k") == 3
+
+    def test_accepts_integral_float(self):
+        value = check_int_at_least(4.0, 1, "k")
+        assert value == 4 and isinstance(value, int)
+
+    def test_accepts_numpy_integer(self):
+        assert check_int_at_least(np.int64(2), 1, "k") == 2
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            check_int_at_least(0, 1, "k")
+
+    def test_rejects_fractional(self):
+        with pytest.raises(TypeError, match="k"):
+            check_int_at_least(2.5, 1, "k")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError, match="k"):
+            check_int_at_least(True, 1, "k")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError, match="k"):
+            check_int_at_least("3", 1, "k")
 
 
 class TestCheckShapeMatch:
