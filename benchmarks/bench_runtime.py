@@ -11,14 +11,19 @@ competitive at small T, and its time grows faster with T.
 Run:  pytest benchmarks/bench_runtime.py --benchmark-only
 """
 
+import pathlib
+
 import numpy as np
 import pytest
 
 from repro.core.cubis import solve_cubis
 from repro.core.exact import solve_exact
+from repro.experiments.perf import format_bench, run_bench_runtime, write_bench_json
 from repro.experiments.quality import default_uncertainty
 from repro.experiments.runtime import format_runtime, run_runtime
 from repro.game.generator import random_interval_game
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 def _instance(num_targets: int):
@@ -31,6 +36,40 @@ def test_f2_cubis(benchmark, num_targets):
     game, uncertainty = _instance(num_targets)
     result = benchmark(solve_cubis, game, uncertainty, num_segments=10, epsilon=0.01)
     assert np.isfinite(result.worst_case_value)
+
+
+@pytest.mark.parametrize("memoise", [False, True], ids=["cold", "memoised"])
+def test_f2_memoisation(benchmark, memoise):
+    """Cold (rebuild + full MILP per step) vs memoised (patched skeleton +
+    LP screen) on the same instance — the per-solve half of the tentpole."""
+    game, uncertainty = _instance(20)
+    result = benchmark(
+        solve_cubis, game, uncertainty,
+        num_segments=10, epsilon=0.01, memoise=memoise,
+    )
+    assert np.isfinite(result.worst_case_value)
+
+
+def test_f2_bench_runtime_json(benchmark, report):
+    """Emit BENCH_runtime.json (repo root) and assert the deterministic
+    wins: fewer full MILP solves on the warm path, parallel == serial."""
+    payload = run_bench_runtime(
+        num_targets=50, num_segments=10, epsilon=1e-2,
+        num_games=4, seed=2016, workers=2,
+    )
+    write_bench_json(payload, REPO_ROOT / "BENCH_runtime.json")
+
+    # Give the benchmark fixture something cheap but real to time.
+    game, uncertainty = _instance(10)
+    benchmark(solve_cubis, game, uncertainty, num_segments=5, epsilon=0.1)
+
+    report("f2_bench_runtime", format_bench(payload))
+
+    # Count-based assertions only — wall-clock ratios are hardware noise,
+    # solver-call counts are not.
+    assert payload["warm"]["milp_solves"] < payload["cold"]["milp_solves"]
+    assert payload["cold"]["milp_solves"] == payload["cold"]["oracle_calls"]
+    assert payload["parallel"]["identical_to_serial"]
 
 
 @pytest.mark.parametrize("num_targets", [5, 10, 20])

@@ -40,6 +40,21 @@ def test_a4_milp_scaling(benchmark, num_targets):
     assert np.isfinite(result.worst_case_value)
 
 
+@pytest.mark.parametrize("num_targets", [25, 50, 100])
+def test_a4_cold_scaling(benchmark, num_targets):
+    """The memoise=False baseline at the same sizes — the gap between this
+    and test_a4_milp_scaling is the per-solve win of the performance layer."""
+    game, uncertainty = _instance(num_targets)
+    result = benchmark.pedantic(
+        solve_cubis,
+        args=(game, uncertainty),
+        kwargs={"num_segments": 10, "epsilon": 0.02, "memoise": False},
+        rounds=2,
+        iterations=1,
+    )
+    assert np.isfinite(result.worst_case_value)
+
+
 @pytest.mark.parametrize("num_targets", [50, 100, 200])
 def test_a4_dp_scaling(benchmark, num_targets):
     game, uncertainty = _instance(num_targets)

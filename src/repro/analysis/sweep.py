@@ -13,7 +13,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro.utils.rng import spawn_generators
+from repro.utils.rng import spawn_generators, spawn_seed_sequences
 
 __all__ = ["ResultTable", "run_grid"]
 
@@ -56,10 +56,24 @@ class ResultTable:
             return np.asarray(values, dtype=object)
 
     def where(self, **conditions) -> "ResultTable":
-        """Rows matching all ``column == value`` conditions."""
+        """Rows matching all ``column == value`` conditions.
+
+        Condition keys are validated against the table schema — a typo'd
+        column name raises :class:`KeyError` instead of silently matching
+        nothing (mirroring :meth:`append`'s typo catching).  On an empty
+        table there is no schema yet, so any conditions return an empty
+        table.
+        """
+        if self.rows:
+            unknown = set(conditions) - set(self.rows[0])
+            if unknown:
+                raise KeyError(
+                    f"unknown column(s) {sorted(unknown)}; "
+                    f"table columns are {self.columns}"
+                )
         out = ResultTable()
         for row in self.rows:
-            if all(row.get(k) == v for k, v in conditions.items()):
+            if all(row[k] == v for k, v in conditions.items()):
                 out.rows.append(row)
         return out
 
@@ -82,12 +96,28 @@ class ResultTable:
         }
 
 
+def _run_trial_records(
+    trial: Callable[..., Iterable[dict]],
+    rng: np.random.Generator,
+    trial_index: int,
+    params: dict,
+) -> list[dict]:
+    """Materialise one trial's records.
+
+    Module-level (not a closure) so :func:`run_grid` can ship it to a
+    :class:`~concurrent.futures.ProcessPoolExecutor` worker — the trial
+    callable, its params, and the pre-spawned generator are pickled along.
+    """
+    return [dict(record) for record in trial(rng=rng, trial_index=trial_index, **params)]
+
+
 def run_grid(
     trial: Callable[..., Iterable[dict]],
     grid: Sequence[dict],
     *,
     num_trials: int = 1,
     seed=0,
+    workers: int | None = None,
 ) -> ResultTable:
     """Run ``trial`` over a parameter grid with seeded repetitions.
 
@@ -101,16 +131,43 @@ def run_grid(
         A sequence of parameter dicts (one per configuration).
     num_trials:
         Independent repetitions per configuration, each with its own
-        spawned generator.
+        spawned generator.  Seeding is hierarchical — one
+        :class:`~numpy.random.SeedSequence` child per configuration,
+        sub-spawned per trial — so raising ``num_trials`` (or appending
+        configurations to the grid) extends the sweep without perturbing
+        the streams of existing (configuration, trial) cells.
     seed:
         Root seed; the whole sweep is reproducible from it.
+    workers:
+        ``None`` or ``1`` runs serially in-process.  ``N > 1`` fans the
+        (configuration, trial) cells out over a process pool.  Every
+        generator is spawned *before* dispatch and results are gathered in
+        submission order, so the returned table is bit-identical to the
+        serial run at the same ``seed`` regardless of scheduling.
+        Requires ``trial`` (and its params) to be picklable — a
+        module-level function, not a lambda or closure.
     """
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     table = ResultTable()
-    rngs = spawn_generators(seed, len(grid) * num_trials)
-    k = 0
-    for params in grid:
-        for t in range(num_trials):
-            for record in trial(rng=rngs[k], trial_index=t, **params):
-                table.append(**{**params, "trial": t, **record})
-            k += 1
+    jobs: list[tuple[dict, int, np.random.Generator]] = []
+    for params, config_seq in zip(grid, spawn_seed_sequences(seed, len(grid))):
+        for t, rng in enumerate(spawn_generators(config_seq, num_trials)):
+            jobs.append((params, t, rng))
+    if workers is not None and workers > 1 and len(jobs) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_trial_records, trial, rng, t, params)
+                for params, t, rng in jobs
+            ]
+            results = [future.result() for future in futures]
+    else:
+        results = [
+            _run_trial_records(trial, rng, t, params) for params, t, rng in jobs
+        ]
+    for (params, t, _), records in zip(jobs, results):
+        for record in records:
+            table.append(**{**params, "trial": t, **record})
     return table

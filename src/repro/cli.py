@@ -48,6 +48,14 @@ from repro.experiments import (
 __all__ = ["build_parser", "main"]
 
 
+def _add_workers(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="fan trials out over N worker processes (results are "
+             "bit-identical to a serial run at the same seed)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -66,18 +74,21 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--segments", type=int, default=10)
     q.add_argument("--epsilon", type=float, default=0.01)
     q.add_argument("--seed", type=int, default=2016)
+    _add_workers(q)
 
     r = sub.add_parser("runtime", help="F2: runtime scaling vs #targets")
     r.add_argument("--targets", type=int, nargs="+", default=[5, 10, 20])
     r.add_argument("--trials", type=int, default=2)
     r.add_argument("--starts", type=int, default=8, help="multi-start comparator starts")
     r.add_argument("--seed", type=int, default=2016)
+    _add_workers(r)
 
     i = sub.add_parser("intervals", help="F3: robustness value vs uncertainty level")
     i.add_argument("--scales", type=float, nargs="+", default=[0.0, 0.25, 0.5, 1.0, 1.5])
     i.add_argument("--targets", type=int, default=10)
     i.add_argument("--trials", type=int, default=3)
     i.add_argument("--seed", type=int, default=2016)
+    _add_workers(i)
 
     a = sub.add_parser("ablation", help="F4: the O(epsilon + 1/K) bound, measured")
     a.add_argument("--segments", type=int, nargs="+", default=[2, 4, 8, 16, 32])
@@ -85,12 +96,32 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument("--targets", type=int, default=5)
     a.add_argument("--trials", type=int, default=2)
     a.add_argument("--seed", type=int, default=2016)
+    _add_workers(a)
 
     l = sub.add_parser("landscape", help="F5: all nine solution concepts, one table")
     l.add_argument("--targets", type=int, default=10)
     l.add_argument("--trials", type=int, default=3)
     l.add_argument("--types", type=int, default=6)
     l.add_argument("--seed", type=int, default=2016)
+    _add_workers(l)
+
+    b = sub.add_parser(
+        "bench",
+        help="benchmark the performance layer and emit BENCH_runtime.json",
+    )
+    b.add_argument("--targets", type=int, default=50, help="random-game size T")
+    b.add_argument("--segments", type=int, default=10, help="piecewise segments K")
+    b.add_argument("--epsilon", type=float, default=1e-2)
+    b.add_argument("--games", type=int, default=6, help="games in the solve chain")
+    b.add_argument("--seed", type=int, default=2016)
+    b.add_argument("--workers", type=int, default=4,
+                   help="process-pool size for the parallel determinism check")
+    b.add_argument("--warm-start", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="chain warm starts across games in the warm pass "
+                        "(--no-warm-start isolates memoisation alone)")
+    b.add_argument("--out", type=str, default="BENCH_runtime.json",
+                   help="output JSON path")
 
     c = sub.add_parser(
         "calibrate",
@@ -143,6 +174,7 @@ def _run_quality(args) -> str:
         num_segments=args.segments,
         epsilon=args.epsilon,
         seed=args.seed,
+        workers=args.workers,
     )
     return format_quality(table)
 
@@ -153,6 +185,7 @@ def _run_runtime(args) -> str:
         num_trials=args.trials,
         num_starts=args.starts,
         seed=args.seed,
+        workers=args.workers,
     )
     return format_runtime(table)
 
@@ -163,6 +196,7 @@ def _run_intervals(args) -> str:
         num_targets=args.targets,
         num_trials=args.trials,
         seed=args.seed,
+        workers=args.workers,
     )
     return format_intervals(table)
 
@@ -173,12 +207,14 @@ def _run_ablation(args) -> str:
         num_targets=args.targets,
         num_trials=args.trials,
         seed=args.seed,
+        workers=args.workers,
     )
     e_table = run_ablation_epsilon(
         epsilons=tuple(args.epsilons),
         num_targets=args.targets,
         num_trials=args.trials,
         seed=args.seed,
+        workers=args.workers,
     )
     return (
         format_ablation(k_table, "num_segments")
@@ -193,8 +229,29 @@ def _run_landscape(args) -> str:
         num_trials=args.trials,
         num_types=args.types,
         seed=args.seed,
+        workers=args.workers,
     )
     return format_landscape(table)
+
+
+def _run_bench(args) -> str:
+    from repro.experiments.perf import format_bench, run_bench_runtime, write_bench_json
+
+    payload = run_bench_runtime(
+        num_targets=args.targets,
+        num_segments=args.segments,
+        epsilon=args.epsilon,
+        num_games=args.games,
+        seed=args.seed,
+        workers=args.workers,
+        warm_start=args.warm_start,
+    )
+    path = write_bench_json(payload, args.out)
+    text = format_bench(payload) + f"\nwritten to {path}"
+    if not payload["parallel"]["identical_to_serial"]:
+        # Determinism is a hard guarantee; fail the process so CI catches it.
+        raise SystemExit(text)
+    return text
 
 
 def _run_calibrate(args) -> str:
@@ -325,6 +382,7 @@ def main(argv=None) -> int:
         "calibrate": _run_calibrate,
         "report": _run_report,
         "solve": _run_solve,
+        "bench": _run_bench,
     }
     if args.experiment == "all":
         print(_run_all())

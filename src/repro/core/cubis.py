@@ -26,11 +26,11 @@ import numpy as np
 
 from repro.behavior.interval import UncertaintyModel
 from repro.core.dp import maximize_separable_on_grid
-from repro.core.milp import build_cubis_milp
+from repro.core.milp import CubisMilpSkeleton, build_cubis_milp
 from repro.core.worst_case import WorstCaseSolution, evaluate_worst_case
 from repro.game.ssg import IntervalSecurityGame
 from repro.solvers.binary_search import binary_search_max
-from repro.solvers.milp_backend import solve_milp
+from repro.solvers.milp_backend import relax_integrality, solve_milp
 from repro.solvers.piecewise import SegmentGrid
 from repro.resilience.events import SolveEventLog
 from repro.resilience.policy import (
@@ -43,13 +43,43 @@ from repro.resilience.policy import (
 from repro.utils.timing import Timer
 from repro.utils.validation import check_int_at_least
 
-__all__ = ["CubisResult", "solve_cubis"]
+__all__ = ["CubisResult", "WarmStart", "solve_cubis"]
 
 #: Numerical slack allowed when sanity-checking a backend's solution
 #: (box membership, budget).  Looser than ``feasibility_tolerance``
 #: because branch-and-cut backends report solutions at their own
 #: primal-feasibility tolerance.
 _STEP_VALIDATION_TOL = 1e-6
+
+#: Cap on cached feasibility certificates per solve.  The pool holds the
+#: warm-start strategies plus the most recent feasible MILP maximisers;
+#: each certificate check is O(T), so the cap only bounds memory.
+_CERTIFICATE_POOL_LIMIT = 16
+
+
+@dataclass(frozen=True)
+class WarmStart:
+    """Carry-over state from a previous CUBIS solve.
+
+    Attributes
+    ----------
+    bracket:
+        The previous solve's final ``[lb, ub]``.  It is *probed*, never
+        trusted: both ends are re-verified by the oracle before use, so a
+        bracket from a neighbouring problem (the same game at a different
+        ``K``, the previous game of a sweep) can only shrink the search
+        interval, never corrupt it.
+    strategies:
+        Candidate coverage vectors (typically the previous solve's
+        strategy).  Each is screened against the current game's budget and
+        side constraints, then used as a feasibility certificate: any
+        candidate utility it still certifies is answered without a MILP
+        solve.  Strategies of the wrong dimension are ignored, so a sweep
+        over ``T`` can thread one warm start throughout.
+    """
+
+    bracket: tuple[float, float] | None = None
+    strategies: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -81,6 +111,21 @@ class CubisResult:
         Whether the binary search closed its bracket to ``epsilon``;
         False means ``max_iterations`` ran out first and the bracket
         (still valid) is wider than requested.
+    milp_solves:
+        Full (integer) MILP solves actually performed — equals
+        ``iterations`` for a cold MILP-oracle run; with ``memoise=True``
+        most steps are answered by the certificate pool or the
+        LP-relaxation screen instead, and this drops to a handful; 0 for
+        the ``"dp"`` oracle.
+    lp_solves:
+        LP-relaxation screens performed (``memoise=True`` only).  The
+        relaxation's optimum bounds the MILP's from above, so a
+        low-enough value proves infeasibility outright; its coverage,
+        evaluated exactly through a certificate, usually proves
+        feasibility.  Only the gap between the two pays for a full MILP.
+    cache_hits:
+        Oracle steps answered by a cached strategy certificate with no
+        solver call at all (always 0 with ``memoise=False``).
     degraded:
         True iff a fallback rung other than the first answered at least
         one step (always False without a resilience policy).
@@ -102,6 +147,21 @@ class CubisResult:
     converged: bool = True
     degraded: bool = False
     resilience: ResilienceReport | None = None
+    milp_solves: int = 0
+    lp_solves: int = 0
+    cache_hits: int = 0
+
+    @property
+    def oracle_calls(self) -> int:
+        """Alias for ``iterations`` — total feasibility-oracle queries."""
+        return self.iterations
+
+    def as_warm_start(self) -> WarmStart:
+        """Package this result for a neighbouring solve's ``warm_start``."""
+        return WarmStart(
+            bracket=(self.lower_bound, self.upper_bound),
+            strategies=(self.strategy,),
+        )
 
 
 def solve_cubis(
@@ -118,6 +178,8 @@ def solve_cubis(
     feasibility_tolerance: float = 1e-7,
     max_iterations: int = 200,
     resilience: ResiliencePolicy | None = None,
+    memoise: bool = True,
+    warm_start: WarmStart | None = None,
 ) -> CubisResult:
     """Run CUBIS on an interval security game.
 
@@ -171,6 +233,24 @@ def solve_cubis(
         :class:`~repro.resilience.policy.ResilienceReport`; the
         ``backend`` / ``oracle`` arguments are ignored in favour of the
         policy's rungs.
+    memoise:
+        Enable the per-solve performance layer (default on): the MILP
+        skeleton is assembled once and re-coefficiented per step, and
+        feasible strategies are cached as certificates that answer later
+        oracle steps without a MILP solve (see docs/PERFORMANCE.md).
+        Feasibility *verdicts* are unchanged — a certificate only fires
+        when the MILP would also have reported feasible — but the
+        certifying strategy may replace the MILP maximiser as the step's
+        witness.  ``memoise=False`` restores the cold, rebuild-every-step
+        path (the benchmark baseline).  Certificate short-circuits apply
+        to the ``"milp"`` oracle without a resilience policy; the ``"dp"``
+        oracle and ladder runs keep their exact step-by-step semantics.
+    warm_start:
+        Optional :class:`WarmStart` from a neighbouring solve (same game
+        with a different ``K``/``epsilon``, or a similar game in a sweep).
+        The carried bracket is probed — not trusted — and the carried
+        strategies join the certificate pool, so a stale warm start
+        degrades gracefully to at most two extra oracle calls.
     """
     if uncertainty.num_targets != game.num_targets:
         raise ValueError(
@@ -244,22 +324,101 @@ def solve_cubis(
         ):
             raise OracleStepError(f"{label} violated the side constraints")
 
+    # --- performance layer -------------------------------------------- #
+    # memoise=True assembles the MILP structure once (patched per step)
+    # and keeps a pool of feasible-strategy certificates that answer
+    # oracle steps in O(T) when a cached strategy still certifies the
+    # candidate.  Certificate short-circuits are restricted to the plain
+    # MILP oracle: the dp oracle and the resilience ladder keep their
+    # exact per-step semantics (see docs/PERFORMANCE.md).
+    use_certificates = memoise and resilience is None and oracle == "milp"
+    needs_milp = (
+        any(r.oracle == "milp" for r in resilience.rungs)
+        if resilience is not None
+        else oracle == "milp"
+    )
+    skeleton = (
+        CubisMilpSkeleton(
+            ud_grid,
+            lower_grid,
+            upper_grid,
+            game.num_resources,
+            grid,
+            equality_resources=equality_resources,
+            coverage_constraints=coverage_constraints,
+        )
+        if memoise and needs_milp
+        else None
+    )
+    pool: list = []  # StrategyCertificate entries, oldest first
+    counters = {"milp": 0, "lp": 0, "hits": 0}
+
     def make_milp_oracle(milp_backend, *, validate: bool = True):
         label = milp_backend if isinstance(milp_backend, str) else getattr(
             milp_backend, "__name__", type(milp_backend).__name__
         )
 
         def milp_oracle(c: float):
-            model = build_cubis_milp(
-                ud_grid,
-                lower_grid,
-                upper_grid,
-                game.num_resources,
-                c,
-                grid,
-                equality_resources=equality_resources,
-                coverage_constraints=coverage_constraints,
+            if use_certificates and pool:
+                best, best_g = None, -float("inf")
+                for cert in pool:
+                    g = cert.g_bar(c)
+                    if g > best_g:
+                        best, best_g = cert, g
+                if best_g >= -feasibility_tolerance:
+                    # A cached strategy certifies c: the MILP maximum can
+                    # only be higher, so the verdict is the one the solver
+                    # would have returned.
+                    counters["hits"] += 1
+                    return True, best.strategy
+            model = (
+                skeleton.patch(c)
+                if skeleton is not None
+                else build_cubis_milp(
+                    ud_grid,
+                    lower_grid,
+                    upper_grid,
+                    game.num_resources,
+                    c,
+                    grid,
+                    equality_resources=equality_resources,
+                    coverage_constraints=coverage_constraints,
+                )
             )
+            if use_certificates and isinstance(milp_backend, str):
+                # LP-relaxation screen.  The relaxation's optimum bounds
+                # the integer optimum from above, so a value below the
+                # tolerance proves infeasibility; conversely the relaxed
+                # coverage — evaluated exactly through a certificate, not
+                # the relaxation's own objective — usually proves
+                # feasibility.  Either way the verdict matches what the
+                # full MILP would have said; only the gap between the two
+                # bounds pays for branch and cut.
+                counters["lp"] += 1
+                relaxed = solve_milp(
+                    relax_integrality(model.problem), backend=milp_backend
+                )
+                if relaxed.optimal:
+                    g_upper = model.g_bar_from_objective(relaxed.objective)
+                    if g_upper < -feasibility_tolerance:
+                        return False, None
+                    candidate = np.clip(
+                        model.strategy_from_solution(relaxed.x), 0.0, 1.0
+                    )
+                    cert = skeleton.certificate(candidate)
+                    if cert.g_bar(c) >= -feasibility_tolerance:
+                        screened = True
+                        if validate:
+                            try:
+                                validate_step_solution(candidate, "lp relaxation")
+                            except OracleStepError:
+                                screened = False  # fall through to the MILP
+                        if screened:
+                            pool.append(cert)
+                            if len(pool) > _CERTIFICATE_POOL_LIMIT:
+                                del pool[0]
+                            return True, candidate
+            counters["milp"] += 1
             result = solve_milp(model.problem, backend=milp_backend)
             if not result.optimal:
                 # The MILP is always feasible in (x, v, q, h) — x = anything
@@ -279,6 +438,10 @@ def solve_cubis(
                     )
                 validate_step_solution(strategy, f"backend {label!r}")
             feasible = g_bar >= -feasibility_tolerance
+            if use_certificates and feasible:
+                pool.append(skeleton.certificate(strategy))
+                if len(pool) > _CERTIFICATE_POOL_LIMIT:
+                    del pool[0]
             return feasible, strategy
 
         return milp_oracle
@@ -295,6 +458,40 @@ def solve_cubis(
         return feasible, allocation.coverage(num_segments)
 
     lo, hi = game.utility_range()
+
+    # Warm-start intake: screened strategies join the certificate pool and
+    # contribute one proven-feasible guess (the best level the pool
+    # certifies, computed without any MILP); the carried bracket's ends
+    # are probed as ordinary oracle candidates.  Everything is verified
+    # against *this* game, so stale warm starts cannot corrupt the result.
+    guesses: list[float] = []
+    if warm_start is not None:
+        if use_certificates:
+            for candidate in warm_start.strategies:
+                arr = np.asarray(candidate, dtype=np.float64)
+                if arr.shape != (game.num_targets,) or not np.all(np.isfinite(arr)):
+                    continue
+                arr = np.clip(arr, 0.0, 1.0)
+                over = float(arr.sum()) - game.num_resources
+                if over > _STEP_VALIDATION_TOL or (
+                    equality_resources and abs(over) > _STEP_VALIDATION_TOL
+                ):
+                    continue
+                if coverage_constraints is not None and not (
+                    coverage_constraints.satisfied(arr, atol=_STEP_VALIDATION_TOL)
+                ):
+                    continue
+                pool.append(skeleton.certificate(arr))
+            if pool:
+                level = max(cert.guaranteed_level(lo, hi) for cert in pool)
+                if np.isfinite(level):
+                    guesses.append(level)
+        if warm_start.bracket is not None:
+            prev_lb, prev_ub = warm_start.bracket
+            for value in (float(prev_ub), float(prev_lb)):
+                if np.isfinite(value):
+                    guesses.append(value)
+
     ladder: OracleLadder | None = None
     if resilience is not None:
         rung_oracles = tuple(
@@ -327,6 +524,12 @@ def solve_cubis(
             state["hi"] = min(state["hi"], c)
         return feasible, payload
 
+    def certified_level(strategy) -> float:
+        # The exact utility level a feasible step's strategy certifies —
+        # lets the binary search jump its lower bound past intermediate
+        # midpoints (sound: the level is proven by the strategy itself).
+        return skeleton.certificate(strategy).guaranteed_level(lo, hi)
+
     timer = Timer()
     with timer:
         search = binary_search_max(
@@ -335,6 +538,8 @@ def solve_cubis(
             hi,
             tolerance=epsilon,
             max_iterations=max_iterations,
+            initial_guesses=tuple(guesses),
+            payload_bound=certified_level if use_certificates else None,
         )
         if search.payload is None:
             raise RuntimeError(
@@ -366,4 +571,7 @@ def solve_cubis(
         converged=search.converged,
         degraded=ladder.degraded if ladder is not None else False,
         resilience=ladder.report() if ladder is not None else None,
+        milp_solves=counters["milp"],
+        lp_solves=counters["lp"],
+        cache_hits=counters["hits"],
     )

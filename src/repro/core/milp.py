@@ -16,6 +16,15 @@ over segment variables ``x_{i,k}``, products ``v_i``, indicator binaries
 ``f_i^2(x) = U_i(x) (U_i^d(x) - c)`` are tabulated on the ``K``-segment
 grid and ``bar`` denotes the piecewise-linear approximant.
 
+Only the candidate ``c`` changes between binary-search steps; the
+variable layout, sparsity pattern and the rows (37)-(40) do not.
+:class:`CubisMilpSkeleton` therefore assembles the structure **once per
+game** and :meth:`CubisMilpSkeleton.patch` rewrites just the
+``c``-dependent coefficients — the big-M column of (34), the slope rows
+(35)-(36) and their right-hand sides, the objective, and the ``v``
+bounds — per step.  :func:`build_cubis_milp` (skeleton + single patch)
+remains the one-shot entry point.
+
 This module only *builds* the MILP (as a
 :class:`~repro.solvers.milp_backend.MILPProblem` plus index metadata); the
 solve and the feasibility verdict live in :mod:`repro.core.cubis`.
@@ -26,12 +35,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.solvers.assembly import ConstraintBuilder, VariableLayout
 from repro.solvers.milp_backend import MILPProblem
 from repro.solvers.piecewise import SegmentGrid
 
-__all__ = ["CubisMilp", "build_cubis_milp"]
+__all__ = [
+    "CubisMilp",
+    "CubisMilpSkeleton",
+    "StrategyCertificate",
+    "build_cubis_milp",
+]
 
 #: Extra slack added to the data-driven big-M constants; keeps the
 #: indicator constraints strictly inactive on the off branch despite
@@ -76,6 +91,318 @@ class CubisMilp:
         return self.f1_constant - milp_objective
 
 
+@dataclass(frozen=True)
+class StrategyCertificate:
+    """A fixed strategy's piecewise-linear objective, reduced to ``O(T)``
+    per candidate utility.
+
+    For a fixed coverage ``x``, every term of
+    ``G_bar(x; c) = sum_i min(fbar1_i(x_i), fbar2_i(x_i))`` is affine in
+    ``c`` — ``fbar1_i(x_i) = interp(L U^d, x)_i - c * interp(L, x)_i`` and
+    likewise for ``fbar2`` — so evaluating feasibility of a candidate
+    costs four precomputed vectors and one ``min``/``sum``.  Since
+    ``G_bar(x; c) >= 0`` proves ``c`` feasible (Proposition 2 with witness
+    ``x``), certificates let the binary search skip MILP solves: any
+    cached feasible strategy that still certifies the new candidate
+    answers the oracle for free.
+    """
+
+    strategy: np.ndarray
+    #: ``interp(L * U^d, x)`` / ``interp(L, x)`` per target.
+    p1: np.ndarray
+    q1: np.ndarray
+    #: ``interp(U * U^d, x)`` / ``interp(U, x)`` per target.
+    p2: np.ndarray
+    q2: np.ndarray
+
+    def g_bar(self, c: float) -> float:
+        """``G_bar(strategy; c)`` — a lower bound on the MILP optimum."""
+        return float(
+            np.minimum(self.p1 - c * self.q1, self.p2 - c * self.q2).sum()
+        )
+
+    def guaranteed_level(self, lo: float, hi: float, *, iterations: int = 64) -> float:
+        """The largest ``c`` in ``[lo, hi]`` with ``G_bar(strategy; c) >= 0``.
+
+        ``G_bar(x; .)`` is continuous and non-increasing in ``c`` (both
+        ``q`` vectors are positive attractiveness bounds), so a bisection
+        pins the exact utility level this strategy certifies — the warm
+        start's sound lower bound, no MILP involved.
+        """
+        if self.g_bar(lo) < 0.0:
+            return -float("inf")
+        if self.g_bar(hi) >= 0.0:
+            return float(hi)
+        feasible, infeasible = float(lo), float(hi)
+        for _ in range(iterations):
+            mid = 0.5 * (feasible + infeasible)
+            if self.g_bar(mid) >= 0.0:
+                feasible = mid
+            else:
+                infeasible = mid
+        return feasible
+
+
+class CubisMilpSkeleton:
+    """Once-per-game immutable structure of the MILP (33-40).
+
+    The constructor validates and tabulates the game data, lays out the
+    variables, and assembles the full sparsity pattern a single time —
+    recording which entries of the CSR ``data`` array, which right-hand
+    sides, and which bounds depend on the binary-search candidate ``c``.
+    :meth:`patch` then produces a :class:`CubisMilp` for any ``c`` by
+    rewriting only those coefficients (same float operations as a from-
+    scratch build, so patched and fresh models are bit-identical).
+
+    Parameters match :func:`build_cubis_milp` minus ``c``.
+    """
+
+    def __init__(
+        self,
+        defender_utility_grid: np.ndarray,
+        lower_grid: np.ndarray,
+        upper_grid: np.ndarray,
+        num_resources: float,
+        grid: SegmentGrid,
+        *,
+        equality_resources: bool = False,
+        coverage_constraints=None,
+    ) -> None:
+        ud = np.asarray(defender_utility_grid, dtype=np.float64)
+        lo = np.asarray(lower_grid, dtype=np.float64)
+        hi = np.asarray(upper_grid, dtype=np.float64)
+        k = grid.num_segments
+        if ud.ndim != 2 or ud.shape[1] != k + 1:
+            raise ValueError(
+                f"defender_utility_grid must have shape (T, {k + 1}), got {ud.shape}"
+            )
+        if lo.shape != ud.shape or hi.shape != ud.shape:
+            raise ValueError(
+                "lower_grid and upper_grid must match defender_utility_grid"
+            )
+        num_targets = ud.shape[0]
+        self._ud = ud
+        self._lo = lo
+        self._hi = hi
+        self.grid = grid
+        self.num_targets = num_targets
+        self.num_resources = float(num_resources)
+
+        layout = VariableLayout()
+        x_idx = layout.add("x", num_targets * k).reshape(num_targets, k)
+        v_idx = layout.add("v", num_targets)
+        q_idx = layout.add("q", num_targets)
+        h_idx = (
+            layout.add("h", num_targets * (k - 1)).reshape(num_targets, k - 1)
+            if k > 1
+            else layout.add("h", 0).reshape(num_targets, 0)
+        )
+        n = layout.size
+        self.layout = layout
+        self._x_idx = x_idx
+        self._v_idx = v_idx
+        self._q_idx = q_idx
+        self._h_idx = h_idx
+
+        builder = ConstraintBuilder(n)
+        t = num_targets
+        ones_t = np.ones(t)
+        # The c-dependent blocks are assembled with placeholder ones so the
+        # sparsity pattern never loses an entry to a coincidental zero;
+        # patch() overwrites every value in these slices.
+        # (34) v_i - M_i q_i <= 0.
+        builder.add_block(
+            columns=np.column_stack([v_idx, q_idx]),
+            coefficients=np.column_stack([ones_t, ones_t]),
+            rhs=np.zeros(t),
+        )
+        self._vals_34 = slice(0, builder.num_entries)
+        # (35) sum_k (s1-s2)_{i,k} x_{i,k} - v_i <= -(f1 - f2)(0)_i.
+        builder.add_block(
+            columns=np.column_stack([x_idx, v_idx]),
+            coefficients=np.ones((t, k + 1)),
+            rhs=np.zeros(t),
+        )
+        self._vals_35 = slice(self._vals_34.stop, builder.num_entries)
+        # (36) v_i - sum_k (s1-s2)_{i,k} x_{i,k} + M_i q_i <= (f1-f2)(0)_i + M_i.
+        builder.add_block(
+            columns=np.column_stack([x_idx, v_idx, q_idx]),
+            coefficients=np.ones((t, k + 2)),
+            rhs=np.zeros(t),
+        )
+        self._vals_36 = slice(self._vals_35.stop, builder.num_entries)
+        self._rhs_patch = slice(t, 3 * t)  # rows of (35) and (36)
+
+        # (38) h_{i,k} / K - x_{i,k} <= 0   for k = 1..K-1.
+        if k > 1:
+            builder.add_block(
+                columns=np.column_stack([h_idx.ravel(), x_idx[:, :-1].ravel()]),
+                coefficients=np.column_stack(
+                    [
+                        np.full(t * (k - 1), grid.segment_length),
+                        -np.ones(t * (k - 1)),
+                    ]
+                ),
+                rhs=np.zeros(t * (k - 1)),
+            )
+            # (39) x_{i,k+1} - h_{i,k} <= 0.
+            builder.add_block(
+                columns=np.column_stack([x_idx[:, 1:].ravel(), h_idx.ravel()]),
+                coefficients=np.column_stack(
+                    [
+                        np.ones(t * (k - 1)),
+                        -np.ones(t * (k - 1)),
+                    ]
+                ),
+                rhs=np.zeros(t * (k - 1)),
+            )
+        # (37) sum_{i,k} x_{i,k} <= R  (or = R).
+        self._A_eq = None
+        self._b_eq = None
+        if equality_resources:
+            data = np.ones(t * k)
+            self._A_eq = sp.csr_matrix(
+                (data, (np.zeros(t * k, dtype=np.int64), x_idx.ravel())),
+                shape=(1, n),
+            )
+            self._b_eq = np.array([self.num_resources])
+        else:
+            builder.add_row(x_idx.ravel(), np.ones(t * k), self.num_resources)
+
+        if coverage_constraints is not None:
+            if coverage_constraints.num_targets != num_targets:
+                raise ValueError(
+                    f"coverage constraints cover {coverage_constraints.num_targets} "
+                    f"targets but the game has {num_targets}"
+                )
+            rows = coverage_constraints.num_constraints
+            builder.add_block(
+                columns=np.tile(x_idx.ravel(), (rows, 1)),
+                coefficients=np.repeat(coverage_constraints.matrix, k, axis=1),
+                rhs=coverage_constraints.rhs,
+            )
+
+        rows, cols, vals, rhs = builder.build_coo()
+        num_rows = builder.num_rows
+        # Map COO insertion order onto CSR data order once: a marker matrix
+        # whose values are the 1-based entry indices survives the
+        # conversion (no duplicate coordinates, asserted below), giving a
+        # permanent entry -> data-slot permutation.
+        marker = sp.coo_matrix(
+            (np.arange(1, len(vals) + 1, dtype=np.float64), (rows, cols)),
+            shape=(num_rows, n),
+        ).tocsr()
+        if marker.nnz != len(vals):
+            raise AssertionError(
+                "CUBIS MILP blocks produced duplicate (row, col) entries; "
+                "the memoised sparsity pattern requires unique coordinates"
+            )
+        self._csr_order = marker.data.astype(np.int64) - 1
+        self._csr_indices = marker.indices
+        self._csr_indptr = marker.indptr
+        self._shape = (num_rows, n)
+        self._vals_template = vals
+        self._rhs_template = rhs
+
+        # Fixed bound / integrality patterns (v's upper bound is patched).
+        ub = np.full(n, np.inf)
+        ub[x_idx.ravel()] = grid.segment_length
+        ub[q_idx] = 1.0
+        if h_idx.size:
+            ub[h_idx.ravel()] = 1.0
+        self._ub_template = ub
+        integrality = np.zeros(n, dtype=np.int64)
+        integrality[q_idx] = 1
+        if h_idx.size:
+            integrality[h_idx.ravel()] = 1
+        self._integrality = integrality
+
+    def patch(self, c: float) -> CubisMilp:
+        """Assemble the MILP for candidate utility ``c``.
+
+        Only the ``c``-dependent coefficients are recomputed; the
+        structure is shared with every other patch of this skeleton.
+        """
+        ud, lo, hi = self._ud, self._lo, self._hi
+        grid = self.grid
+        t = self.num_targets
+        n = self._shape[1]
+        x_idx, v_idx = self._x_idx, self._v_idx
+
+        # Breakpoint tabulation of f^1, f^2 and their slopes (Eqs. 31-32).
+        margin = ud - c  # (T, K+1): U_i^d(t) - c
+        f1 = lo * margin
+        f2 = hi * margin
+        s1 = grid.slopes(f1)  # (T, K)
+        s2 = grid.slopes(f2)
+        diff_slopes = s1 - s2  # slopes of f1 - f2 = -(U - L)(U^d - c)
+        g0 = f1[:, 0] - f2[:, 0]  # (f1 - f2)(0) per target
+
+        # Data-driven per-target big-M: |f1 - f2| peaks at a breakpoint of
+        # the piecewise approximant.
+        big_m = np.abs(f1 - f2).max(axis=1) + _BIG_M_SLACK
+
+        vals = self._vals_template.copy()
+        vals[self._vals_34] = np.column_stack([np.ones(t), -big_m]).ravel()
+        vals[self._vals_35] = np.column_stack([diff_slopes, -np.ones(t)]).ravel()
+        vals[self._vals_36] = np.column_stack(
+            [-diff_slopes, np.ones(t), big_m]
+        ).ravel()
+        rhs = self._rhs_template.copy()
+        rhs[self._rhs_patch] = np.concatenate([-g0, g0 + big_m])
+        A_ub = sp.csr_matrix(
+            (vals[self._csr_order], self._csr_indices, self._csr_indptr),
+            shape=self._shape,
+        )
+
+        # Objective (33), minimisation form: min  -sum s1 x + sum v.
+        cost = np.zeros(n)
+        cost[x_idx.ravel()] = -s1.ravel()
+        cost[v_idx] = 1.0
+
+        ub = self._ub_template.copy()
+        ub[v_idx] = big_m
+
+        problem = MILPProblem(
+            c=cost,
+            A_ub=A_ub,
+            b_ub=rhs,
+            A_eq=self._A_eq,
+            b_eq=None if self._b_eq is None else self._b_eq.copy(),
+            lb=np.zeros(n),
+            ub=ub,
+            integrality=self._integrality.copy(),
+        )
+        return CubisMilp(
+            problem=problem,
+            layout=self.layout,
+            grid=grid,
+            f1_constant=float(f1[:, 0].sum()),
+            c=float(c),
+        )
+
+    def certificate(self, strategy: np.ndarray) -> StrategyCertificate:
+        """Reduce ``strategy`` to its :class:`StrategyCertificate`.
+
+        The four interpolants are of the *c-free* grids, exploiting that
+        ``fbar(x; c)`` is affine in ``c`` at fixed ``x`` (interpolation is
+        linear in the tabulated values).
+        """
+        x = np.clip(np.asarray(strategy, dtype=np.float64), 0.0, 1.0)
+        if x.shape != (self.num_targets,):
+            raise ValueError(
+                f"strategy must have shape ({self.num_targets},), got {x.shape}"
+            )
+        grid = self.grid
+        return StrategyCertificate(
+            strategy=x,
+            p1=grid.interpolate(self._lo * self._ud, x),
+            q1=grid.interpolate(self._lo, x),
+            p2=grid.interpolate(self._hi * self._ud, x),
+            q2=grid.interpolate(self._hi, x),
+        )
+
+
 def build_cubis_milp(
     defender_utility_grid: np.ndarray,
     lower_grid: np.ndarray,
@@ -88,6 +415,10 @@ def build_cubis_milp(
     coverage_constraints=None,
 ) -> CubisMilp:
     """Assemble the MILP (33-40) for candidate utility ``c``.
+
+    One-shot convenience over :class:`CubisMilpSkeleton`; callers that
+    sweep many candidates on one game should build the skeleton once and
+    :meth:`~CubisMilpSkeleton.patch` per candidate instead.
 
     Parameters
     ----------
@@ -111,148 +442,13 @@ def build_cubis_milp(
         ``A x <= b``; each row is lifted onto the segment variables via
         ``x_i = sum_k x_{i,k}`` (an extension beyond the paper's Eq. 37).
     """
-    ud = np.asarray(defender_utility_grid, dtype=np.float64)
-    lo = np.asarray(lower_grid, dtype=np.float64)
-    hi = np.asarray(upper_grid, dtype=np.float64)
-    k = grid.num_segments
-    if ud.ndim != 2 or ud.shape[1] != k + 1:
-        raise ValueError(
-            f"defender_utility_grid must have shape (T, {k + 1}), got {ud.shape}"
-        )
-    if lo.shape != ud.shape or hi.shape != ud.shape:
-        raise ValueError("lower_grid and upper_grid must match defender_utility_grid")
-    num_targets = ud.shape[0]
-
-    # Breakpoint tabulation of f^1, f^2 and their slopes (Eqs. 31-32).
-    margin = ud - c  # (T, K+1): U_i^d(t) - c
-    f1 = lo * margin
-    f2 = hi * margin
-    s1 = grid.slopes(f1)  # (T, K)
-    s2 = grid.slopes(f2)
-    diff_slopes = s1 - s2  # slopes of f1 - f2 = -(U - L)(U^d - c)
-    g0 = f1[:, 0] - f2[:, 0]  # (f1 - f2)(0) per target
-
-    # Data-driven per-target big-M: |f1 - f2| peaks at a breakpoint of the
-    # piecewise approximant.
-    big_m = np.abs(f1 - f2).max(axis=1) + _BIG_M_SLACK
-
-    layout = VariableLayout()
-    x_idx = layout.add("x", num_targets * k).reshape(num_targets, k)
-    v_idx = layout.add("v", num_targets)
-    q_idx = layout.add("q", num_targets)
-    h_idx = (
-        layout.add("h", num_targets * (k - 1)).reshape(num_targets, k - 1)
-        if k > 1
-        else layout.add("h", 0).reshape(num_targets, 0)
+    skeleton = CubisMilpSkeleton(
+        defender_utility_grid,
+        lower_grid,
+        upper_grid,
+        num_resources,
+        grid,
+        equality_resources=equality_resources,
+        coverage_constraints=coverage_constraints,
     )
-    n = layout.size
-
-    builder = ConstraintBuilder(n)
-
-    # (34) v_i - M_i q_i <= 0.
-    builder.add_block(
-        columns=np.column_stack([v_idx, q_idx]),
-        coefficients=np.column_stack([np.ones(num_targets), -big_m]),
-        rhs=np.zeros(num_targets),
-    )
-    # (35) sum_k (s1-s2)_{i,k} x_{i,k} - v_i <= -(f1 - f2)(0)_i.
-    builder.add_block(
-        columns=np.column_stack([x_idx, v_idx]),
-        coefficients=np.column_stack([diff_slopes, -np.ones(num_targets)]),
-        rhs=-g0,
-    )
-    # (36) v_i - sum_k (s1-s2)_{i,k} x_{i,k} + M_i q_i <= (f1 - f2)(0)_i + M_i.
-    builder.add_block(
-        columns=np.column_stack([x_idx, v_idx, q_idx]),
-        coefficients=np.column_stack(
-            [-diff_slopes, np.ones(num_targets), big_m]
-        ),
-        rhs=g0 + big_m,
-    )
-    # (38) h_{i,k} / K - x_{i,k} <= 0   for k = 1..K-1.
-    if k > 1:
-        builder.add_block(
-            columns=np.column_stack([h_idx.ravel(), x_idx[:, :-1].ravel()]),
-            coefficients=np.column_stack(
-                [
-                    np.full(num_targets * (k - 1), grid.segment_length),
-                    -np.ones(num_targets * (k - 1)),
-                ]
-            ),
-            rhs=np.zeros(num_targets * (k - 1)),
-        )
-        # (39) x_{i,k+1} - h_{i,k} <= 0.
-        builder.add_block(
-            columns=np.column_stack([x_idx[:, 1:].ravel(), h_idx.ravel()]),
-            coefficients=np.column_stack(
-                [
-                    np.ones(num_targets * (k - 1)),
-                    -np.ones(num_targets * (k - 1)),
-                ]
-            ),
-            rhs=np.zeros(num_targets * (k - 1)),
-        )
-    # (37) sum_{i,k} x_{i,k} <= R  (or = R).
-    A_eq = None
-    b_eq = None
-    if equality_resources:
-        import scipy.sparse as sp
-
-        data = np.ones(num_targets * k)
-        A_eq = sp.csr_matrix(
-            (data, (np.zeros(num_targets * k, dtype=np.int64), x_idx.ravel())),
-            shape=(1, n),
-        )
-        b_eq = np.array([float(num_resources)])
-    else:
-        builder.add_row(x_idx.ravel(), np.ones(num_targets * k), float(num_resources))
-
-    if coverage_constraints is not None:
-        if coverage_constraints.num_targets != num_targets:
-            raise ValueError(
-                f"coverage constraints cover {coverage_constraints.num_targets} "
-                f"targets but the game has {num_targets}"
-            )
-        rows = coverage_constraints.num_constraints
-        builder.add_block(
-            columns=np.tile(x_idx.ravel(), (rows, 1)),
-            coefficients=np.repeat(coverage_constraints.matrix, k, axis=1),
-            rhs=coverage_constraints.rhs,
-        )
-
-    A_ub, b_ub = builder.build()
-
-    # Objective (33), minimisation form: min  -sum s1 x + sum v.
-    cost = np.zeros(n)
-    cost[x_idx.ravel()] = -s1.ravel()
-    cost[v_idx] = 1.0
-
-    lb = np.zeros(n)
-    ub = np.full(n, np.inf)
-    ub[x_idx.ravel()] = grid.segment_length
-    ub[v_idx] = big_m
-    ub[q_idx] = 1.0
-    if h_idx.size:
-        ub[h_idx.ravel()] = 1.0
-    integrality = np.zeros(n, dtype=np.int64)
-    integrality[q_idx] = 1
-    if h_idx.size:
-        integrality[h_idx.ravel()] = 1
-
-    problem = MILPProblem(
-        c=cost,
-        A_ub=A_ub,
-        b_ub=b_ub,
-        A_eq=A_eq,
-        b_eq=b_eq,
-        lb=lb,
-        ub=ub,
-        integrality=integrality,
-    )
-    return CubisMilp(
-        problem=problem,
-        layout=layout,
-        grid=grid,
-        f1_constant=float(f1[:, 0].sum()),
-        c=float(c),
-    )
+    return skeleton.patch(c)

@@ -80,13 +80,14 @@ def run_ablation_k(
     epsilon: float = 1e-4,
     num_trials: int = 3,
     seed: int = 2016,
+    workers: int | None = None,
 ) -> ResultTable:
     """Sweep the segment count ``K`` at a fixed tight ``epsilon``."""
     grid = [
         {"num_segments": k, "num_targets": num_targets, "epsilon": epsilon}
         for k in segment_counts
     ]
-    return run_grid(_trial_k, grid, num_trials=num_trials, seed=seed)
+    return run_grid(_trial_k, grid, num_trials=num_trials, seed=seed, workers=workers)
 
 
 def run_ablation_epsilon(
@@ -96,13 +97,14 @@ def run_ablation_epsilon(
     num_segments: int = 30,
     num_trials: int = 3,
     seed: int = 2016,
+    workers: int | None = None,
 ) -> ResultTable:
     """Sweep the binary-search tolerance at a fixed large ``K``."""
     grid = [
         {"epsilon": e, "num_targets": num_targets, "num_segments": num_segments}
         for e in epsilons
     ]
-    return run_grid(_trial_epsilon, grid, num_trials=num_trials, seed=seed)
+    return run_grid(_trial_epsilon, grid, num_trials=num_trials, seed=seed, workers=workers)
 
 
 def format_ablation(table: ResultTable, axis: str) -> str:

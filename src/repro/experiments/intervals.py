@@ -71,6 +71,7 @@ def run_intervals(
     num_segments: int = 10,
     epsilon: float = 1e-2,
     seed: int = 2016,
+    workers: int | None = None,
 ) -> ResultTable:
     """Run the F3 sweep over uncertainty scales.
 
@@ -88,7 +89,7 @@ def run_intervals(
         }
         for s in scales
     ]
-    return run_grid(_trial, grid, num_trials=num_trials, seed=seed)
+    return run_grid(_trial, grid, num_trials=num_trials, seed=seed, workers=workers)
 
 
 def format_intervals(table: ResultTable) -> str:

@@ -34,6 +34,7 @@ from repro.behavior.sampling import sample_attacker_types
 from repro.core.cubis import solve_cubis
 from repro.experiments.quality import default_uncertainty
 from repro.game.generator import random_interval_game
+from repro.utils.rng import spawn_generators
 
 __all__ = ["LANDSCAPE_ALGORITHMS", "run_landscape", "format_landscape"]
 
@@ -62,26 +63,30 @@ def _trial(
     # General-sum stakes + moderate uncertainty: the regime where the nine
     # concepts separate (zero-sum games collapse SSE = MATCH = maximin,
     # and very wide intervals collapse the robust optimum onto maximin).
+    # One child stream per random consumer so a change in any solver's
+    # appetite for randomness (e.g. num_starts) cannot re-deal the game
+    # or perturb its siblings.
+    game_rng, types_rng, wt_rng, regret_rng, bayes_rng = spawn_generators(rng, 5)
     game = random_interval_game(
-        num_targets, payoff_halfwidth=0.5, zero_sum=False, seed=rng
+        num_targets, payoff_halfwidth=0.5, zero_sum=False, seed=game_rng
     )
     uncertainty = default_uncertainty(game.payoffs).with_scaled_uncertainty(0.4)
-    types = sample_attacker_types(uncertainty, num_types, seed=rng)
+    types = sample_attacker_types(uncertainty, num_types, seed=types_rng)
     midpoint_game = game.midpoint_game()
 
     strategies = {
         "cubis": solve_cubis(
             game, uncertainty, num_segments=num_segments, epsilon=epsilon
         ).strategy,
-        "worst_type": solve_worst_type(game, types, num_starts=5, seed=rng).strategy,
+        "worst_type": solve_worst_type(game, types, num_starts=5, seed=wt_rng).strategy,
         "minimax_regret": solve_minimax_regret(
-            game, types, num_segments=num_segments, num_starts=5, seed=rng
+            game, types, num_segments=num_segments, num_starts=5, seed=regret_rng
         ).strategy,
         "maximin": solve_maximin(game).strategy,
         "midpoint": solve_midpoint(
             game, uncertainty, num_segments=num_segments, epsilon=epsilon
         ).strategy,
-        "bayesian": solve_bayesian(game, types, num_starts=5, seed=rng).strategy,
+        "bayesian": solve_bayesian(game, types, num_starts=5, seed=bayes_rng).strategy,
         "sse": solve_sse(midpoint_game).strategy,
         "match": solve_match(midpoint_game, beta=1.0).strategy,
         "uniform": solve_uniform(game).strategy,
@@ -105,6 +110,7 @@ def run_landscape(
     epsilon: float = 0.01,
     num_types: int = 6,
     seed: int = 2016,
+    workers: int | None = None,
 ) -> ResultTable:
     """Run the landscape comparison; one record per (trial, algorithm)."""
     grid = [
@@ -115,7 +121,7 @@ def run_landscape(
             "num_types": num_types,
         }
     ]
-    return run_grid(_trial, grid, num_trials=num_trials, seed=seed)
+    return run_grid(_trial, grid, num_trials=num_trials, seed=seed, workers=workers)
 
 
 def format_landscape(table: ResultTable) -> str:

@@ -1,0 +1,184 @@
+"""Benchmark harness for the performance layer — emits ``BENCH_runtime.json``.
+
+Three measurements, one JSON payload:
+
+* **cold** — every game solved with ``memoise=False`` (rebuild each MILP,
+  no certificates, no LP screen): the baseline the paper-era pipeline ran.
+* **warm** — the same games with ``memoise=True`` and each solve
+  warm-started from its predecessor (``CubisResult.as_warm_start``): the
+  production path.  The headline number is ``speedup = cold / warm``
+  wall-clock on the solves themselves.
+* **parallel** — a small :func:`repro.analysis.sweep.run_grid` executed
+  serially and with a process pool, asserting the two tables are
+  bit-identical at the same root seed (the determinism guarantee of
+  docs/PERFORMANCE.md, checked on every benchmark run).
+
+``python -m repro bench`` drives this module from the command line; the
+CI benchmark-smoke job runs a reduced configuration and uploads the JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.sweep import run_grid
+from repro.core.cubis import solve_cubis
+from repro.experiments.quality import default_uncertainty
+from repro.game.generator import random_interval_game
+from repro.utils.rng import spawn_generators
+
+__all__ = ["run_bench_runtime", "write_bench_json", "format_bench"]
+
+
+def _solve_stats(result, seconds: float) -> dict:
+    return {
+        "wall_clock_seconds": seconds,
+        "oracle_calls": result.oracle_calls,
+        "milp_solves": result.milp_solves,
+        "lp_solves": result.lp_solves,
+        "cache_hits": result.cache_hits,
+        "lower_bound": result.lower_bound,
+        "worst_case": result.worst_case_value,
+    }
+
+
+def _bench_trial(rng, trial_index: int, *, num_targets: int, num_segments: int, epsilon: float):
+    """One sweep cell for the parallel-equality check.
+
+    Module-level (picklable) so ``run_grid`` can ship it to pool workers;
+    yields only deterministic columns — no timings — because the check
+    asserts bit-identical serial and parallel tables.
+    """
+    game = random_interval_game(num_targets, seed=rng)
+    result = solve_cubis(
+        game, default_uncertainty(game.payoffs),
+        num_segments=num_segments, epsilon=epsilon,
+    )
+    yield {
+        "lower_bound": result.lower_bound,
+        "upper_bound": result.upper_bound,
+        "worst_case": result.worst_case_value,
+        "oracle_calls": result.oracle_calls,
+        "milp_solves": result.milp_solves,
+    }
+
+
+def run_bench_runtime(
+    *,
+    num_targets: int = 50,
+    num_segments: int = 10,
+    epsilon: float = 1e-2,
+    num_games: int = 6,
+    seed: int = 2016,
+    workers: int = 4,
+    warm_start: bool = True,
+) -> dict:
+    """Measure cold vs warm+memoised solve time and check parallel determinism.
+
+    Returns the ``BENCH_runtime.json`` payload as a dict.  ``warm_start=False``
+    keeps memoisation on in the warm pass but drops the cross-game
+    warm-start chaining (isolating the two contributions).
+    """
+    games = [
+        random_interval_game(num_targets, seed=rng)
+        for rng in spawn_generators(seed, num_games)
+    ]
+    models = [default_uncertainty(g.payoffs) for g in games]
+    common = {"num_segments": num_segments, "epsilon": epsilon}
+
+    cold_games = []
+    t0 = time.perf_counter()
+    for game, uncertainty in zip(games, models):
+        t1 = time.perf_counter()
+        result = solve_cubis(game, uncertainty, memoise=False, **common)
+        cold_games.append(_solve_stats(result, time.perf_counter() - t1))
+    cold_total = time.perf_counter() - t0
+
+    warm_games = []
+    carry = None
+    t0 = time.perf_counter()
+    for game, uncertainty in zip(games, models):
+        t1 = time.perf_counter()
+        result = solve_cubis(
+            game, uncertainty, memoise=True, warm_start=carry, **common
+        )
+        warm_games.append(_solve_stats(result, time.perf_counter() - t1))
+        if warm_start:
+            carry = result.as_warm_start()
+    warm_total = time.perf_counter() - t0
+
+    # Parallel determinism check: a reduced grid (the full T would make the
+    # smoke run slow) solved serially and through the pool must agree on
+    # every deterministic column, byte for byte.
+    check_grid = [
+        {"num_targets": t, **common}
+        for t in sorted({min(num_targets, 10), min(num_targets, 20)})
+    ]
+    serial = run_grid(_bench_trial, check_grid, num_trials=2, seed=seed)
+    pooled = run_grid(_bench_trial, check_grid, num_trials=2, seed=seed, workers=workers)
+    identical = serial.rows == pooled.rows
+
+    def totals(per_game: list[dict]) -> dict:
+        keys = ("wall_clock_seconds", "oracle_calls", "milp_solves", "lp_solves", "cache_hits")
+        out = {k: sum(g[k] for g in per_game) for k in keys}
+        calls = out["oracle_calls"]
+        out["cache_hit_rate"] = out["cache_hits"] / calls if calls else 0.0
+        return out
+
+    cold = totals(cold_games)
+    warm = totals(warm_games)
+    return {
+        "benchmark": "bench_runtime",
+        "config": {
+            "num_targets": num_targets,
+            "num_segments": num_segments,
+            "epsilon": epsilon,
+            "num_games": num_games,
+            "seed": seed,
+            "workers": workers,
+            "warm_start": warm_start,
+        },
+        "cold": {**cold, "per_game": cold_games},
+        "warm": {**warm, "per_game": warm_games},
+        "speedup": (
+            cold["wall_clock_seconds"] / warm["wall_clock_seconds"]
+            if warm["wall_clock_seconds"] > 0
+            else float("inf")
+        ),
+        "cold_wall_clock_seconds": cold_total,
+        "warm_wall_clock_seconds": warm_total,
+        "parallel": {
+            "workers": workers,
+            "cells": len(serial.rows),
+            "identical_to_serial": identical,
+        },
+    }
+
+
+def write_bench_json(payload: dict, path) -> Path:
+    """Write the benchmark payload as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def format_bench(payload: dict) -> str:
+    """Human-readable one-screen summary of a benchmark payload."""
+    cold, warm, par = payload["cold"], payload["warm"], payload["parallel"]
+    cfg = payload["config"]
+    lines = [
+        f"bench_runtime: T={cfg['num_targets']} K={cfg['num_segments']} "
+        f"eps={cfg['epsilon']} games={cfg['num_games']} seed={cfg['seed']}",
+        f"  cold : {cold['wall_clock_seconds']:.2f}s  "
+        f"oracle={cold['oracle_calls']}  milp={cold['milp_solves']}",
+        f"  warm : {warm['wall_clock_seconds']:.2f}s  "
+        f"oracle={warm['oracle_calls']}  milp={warm['milp_solves']}  "
+        f"lp={warm['lp_solves']}  hits={warm['cache_hits']} "
+        f"({100 * warm['cache_hit_rate']:.0f}%)",
+        f"  speedup: {payload['speedup']:.2f}x",
+        f"  parallel (workers={par['workers']}, {par['cells']} cells): "
+        + ("identical to serial" if par["identical_to_serial"] else "MISMATCH"),
+    ]
+    return "\n".join(lines)

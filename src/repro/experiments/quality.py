@@ -28,6 +28,7 @@ from repro.behavior.interval import IntervalSUQR
 from repro.behavior.sampling import sample_attacker_types
 from repro.core.cubis import solve_cubis
 from repro.game.generator import random_interval_game
+from repro.utils.rng import spawn_generators
 
 __all__ = ["run_quality", "format_quality", "DEFAULT_WEIGHT_BOXES", "ALGORITHMS", "default_uncertainty"]
 
@@ -54,8 +55,12 @@ def _trial(
     payoff_halfwidth: float,
     num_types: int,
 ):
+    # One child stream per random consumer (game draw, type sampling,
+    # multistart solver) so none of them can perturb the others' streams
+    # when its parameters change.
+    game_rng, types_rng, solver_rng = spawn_generators(rng, 3)
     game = random_interval_game(
-        num_targets, payoff_halfwidth=payoff_halfwidth, seed=rng
+        num_targets, payoff_halfwidth=payoff_halfwidth, seed=game_rng
     )
     uncertainty = default_uncertainty(game.payoffs)
 
@@ -66,9 +71,9 @@ def _trial(
     strategies["midpoint"] = solve_midpoint(
         game, uncertainty, num_segments=num_segments, epsilon=epsilon
     ).strategy
-    types = sample_attacker_types(uncertainty, num_types, seed=rng)
+    types = sample_attacker_types(uncertainty, num_types, seed=types_rng)
     strategies["worst_type"] = solve_worst_type(
-        game, types, num_starts=5, seed=rng
+        game, types, num_starts=5, seed=solver_rng
     ).strategy
     strategies["maximin"] = solve_maximin(game).strategy
     strategies["uniform"] = solve_uniform(game).strategy
@@ -92,6 +97,7 @@ def run_quality(
     payoff_halfwidth: float = 1.0,
     num_types: int = 8,
     seed: int = 2016,
+    workers: int | None = None,
 ) -> ResultTable:
     """Run the F1 sweep; returns one record per (size, trial, algorithm)."""
     grid = [
@@ -104,7 +110,7 @@ def run_quality(
         }
         for t in target_counts
     ]
-    return run_grid(_trial, grid, num_trials=num_trials, seed=seed)
+    return run_grid(_trial, grid, num_trials=num_trials, seed=seed, workers=workers)
 
 
 def format_quality(table: ResultTable) -> str:

@@ -19,6 +19,7 @@ from repro.core.cubis import solve_cubis
 from repro.core.exact import solve_exact
 from repro.experiments.quality import default_uncertainty
 from repro.game.generator import random_interval_game
+from repro.utils.rng import spawn_generators
 
 __all__ = ["run_runtime", "format_runtime"]
 
@@ -32,11 +33,16 @@ def _trial(
     epsilon: float,
     num_starts: int,
 ):
-    game = random_interval_game(num_targets, seed=rng)
+    # Decoupled streams: the game draw must not share a stream with the
+    # solver — otherwise the amount of randomness the multistart consumes
+    # (num_starts) would bleed into everything drawn after it, and the two
+    # algorithms would not be measured on identical games across configs.
+    game_rng, solver_rng = spawn_generators(rng, 2)
+    game = random_interval_game(num_targets, seed=game_rng)
     uncertainty = default_uncertainty(game.payoffs)
 
     cubis = solve_cubis(game, uncertainty, num_segments=num_segments, epsilon=epsilon)
-    exact = solve_exact(game, uncertainty, num_starts=num_starts, seed=rng)
+    exact = solve_exact(game, uncertainty, num_starts=num_starts, seed=solver_rng)
 
     yield {
         "algorithm": "cubis",
@@ -58,8 +64,13 @@ def run_runtime(
     epsilon: float = 1e-2,
     num_starts: int = 10,
     seed: int = 2016,
+    workers: int | None = None,
 ) -> ResultTable:
-    """Run the F2 sweep; one record per (size, trial, algorithm)."""
+    """Run the F2 sweep; one record per (size, trial, algorithm).
+
+    ``workers > 1`` fans the (size, trial) cells out over a process pool;
+    results are bit-identical to the serial run at the same seed.
+    """
     grid = [
         {
             "num_targets": t,
@@ -69,7 +80,7 @@ def run_runtime(
         }
         for t in target_counts
     ]
-    return run_grid(_trial, grid, num_trials=num_trials, seed=seed)
+    return run_grid(_trial, grid, num_trials=num_trials, seed=seed, workers=workers)
 
 
 def format_runtime(table: ResultTable) -> str:

@@ -74,6 +74,12 @@ class ConstraintBuilder:
         """Number of rows added so far."""
         return self._m
 
+    @property
+    def num_entries(self) -> int:
+        """Number of (row, col, val) entries added so far — the offsets a
+        caller needs to locate a block inside :meth:`build_coo` output."""
+        return sum(len(c) for c in self._cols)
+
     def add_row(self, columns, coefficients, rhs: float) -> None:
         """Append a single row ``sum_j coef_j x_{col_j} <= rhs``."""
         cols = np.asarray(columns, dtype=np.int64)
@@ -115,9 +121,21 @@ class ConstraintBuilder:
         """Materialise ``(A_ub, b_ub)``; drops explicitly-zero entries."""
         if self._m == 0:
             return sp.csr_matrix((0, self._n)), np.zeros(0)
+        rows, cols, vals, rhs = self.build_coo()
+        A = sp.coo_matrix((vals, (rows, cols)), shape=(self._m, self._n)).tocsr()
+        A.eliminate_zeros()
+        return A, rhs
+
+    def build_coo(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The raw ``(rows, cols, vals, rhs)`` triplets in insertion order.
+
+        Entry order matches the ``add_row`` / ``add_block`` call sequence,
+        so a caller that recorded :attr:`num_entries` around each block can
+        later rewrite just that block's values — the memoisation hook used
+        by :class:`repro.core.milp.CubisMilpSkeleton` to re-coefficient a
+        fixed sparsity pattern instead of rebuilding the matrix.
+        """
         rows = np.concatenate(self._rows) if self._rows else np.zeros(0, dtype=np.int64)
         cols = np.concatenate(self._cols) if self._cols else np.zeros(0, dtype=np.int64)
         vals = np.concatenate(self._vals) if self._vals else np.zeros(0)
-        A = sp.coo_matrix((vals, (rows, cols)), shape=(self._m, self._n)).tocsr()
-        A.eliminate_zeros()
-        return A, np.asarray(self._rhs)
+        return rows, cols, vals, np.asarray(self._rhs)

@@ -5,13 +5,27 @@ utility axis for the largest value ``c`` whose feasibility problem admits a
 solution; Proposition 1 guarantees monotonicity (infeasible at ``c0``
 implies infeasible for all ``c >= c0``), which is exactly the contract of
 :func:`binary_search_max`.
+
+Two warm-start hooks cut oracle calls on repeated, related searches:
+
+* ``initial_guesses`` — candidate values probed before bisection.  A
+  feasible guess raises the lower bound, an infeasible one lowers the
+  upper bound, so a bracket carried over from a neighbouring problem
+  (same game at a coarser grid, the previous game of a sweep) shrinks
+  the interval in one or two probes instead of ``log2(range/tol)`` steps.
+  Guesses are *probed*, never trusted: a stale bracket costs at most two
+  extra oracle calls and can never corrupt the result.
+* ``payload_bound`` — maps a feasible payload to a value proven feasible
+  by that payload (for CUBIS: the exact utility level the returned
+  strategy certifies).  When it exceeds the probed candidate, the lower
+  bound jumps there directly, skipping the midpoints in between.
 """
 
 from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 __all__ = ["BinarySearchResult", "binary_search_max"]
 
@@ -23,7 +37,8 @@ class BinarySearchResult:
     Attributes
     ----------
     lower:
-        Final lower bound ``lb`` — the largest value proven feasible.
+        Final lower bound ``lb`` — the largest value proven feasible
+        (``-inf`` when nothing in the interval was proven feasible).
     upper:
         Final upper bound ``ub`` — the smallest value proven infeasible
         (or the initial ``hi`` if even that was feasible).
@@ -37,7 +52,7 @@ class BinarySearchResult:
     converged:
         True iff the final gap is within the requested tolerance.  False
         when ``max_iterations`` was exhausted first (a warning is emitted)
-        or when nothing in the interval was feasible.
+        or when nothing in the interval was proven feasible.
     """
 
     lower: float
@@ -61,6 +76,8 @@ def binary_search_max(
     tolerance: float = 1e-3,
     max_iterations: int = 200,
     check_endpoints: bool = True,
+    initial_guesses: Sequence[float] = (),
+    payload_bound: Callable[[Any], float] | None = None,
 ) -> BinarySearchResult:
     """Find the largest ``c`` in ``[lo, hi]`` for which ``oracle(c)`` is
     feasible, assuming downward-closed feasibility.
@@ -73,7 +90,8 @@ def binary_search_max(
     lo, hi:
         Search interval.  ``lo`` is expected to be feasible (CUBIS: the
         bottom of the utility range always is, see DESIGN.md §5); if it is
-        not, the result reports ``lower = -inf``.
+        not — or if no candidate is ever proven feasible — the result
+        reports ``lower = -inf`` and ``converged = False``.
     tolerance:
         Terminate once ``hi - lo <= tolerance`` (the paper's ``epsilon``).
     max_iterations:
@@ -81,6 +99,17 @@ def binary_search_max(
     check_endpoints:
         If true, first test ``hi`` (returning immediately when the whole
         interval is feasible) and then ``lo``.
+    initial_guesses:
+        Warm-start candidates probed (in order) before bisection begins.
+        Guesses outside the current open bracket are skipped; each probe
+        is a normal oracle call recorded in the trace.
+    payload_bound:
+        Optional ``payload -> proven-feasible value``.  After every
+        feasible verdict, the lower bound is raised to
+        ``min(payload_bound(payload), upper)`` when that beats the probed
+        candidate.  The callable must only return values its payload
+        genuinely certifies — the bound is trusted without a further
+        oracle call.
     """
     if hi < lo:
         raise ValueError(f"binary search requires lo <= hi, got [{lo}, {hi}]")
@@ -89,6 +118,18 @@ def binary_search_max(
     trace: list[tuple[float, bool]] = []
     payload = None
     iterations = 0
+    proven_feasible = False
+
+    def raise_lower(candidate: float, feasible_payload: Any) -> float:
+        # A feasible verdict at `candidate`; optionally jump further using
+        # the payload's own certificate (never past the proven-infeasible
+        # upper bound).
+        if payload_bound is None:
+            return candidate
+        bound = payload_bound(feasible_payload)
+        if bound > candidate:
+            return min(float(bound), hi)
+        return candidate
 
     if check_endpoints:
         feasible_hi, payload_hi = oracle(hi)
@@ -104,6 +145,24 @@ def binary_search_max(
                 -float("inf"), lo, None, iterations, tuple(trace), False
             )
         payload = payload_lo
+        proven_feasible = True
+        lo = raise_lower(lo, payload_lo)
+
+    for guess in initial_guesses:
+        if iterations >= max_iterations or hi - lo <= tolerance:
+            break
+        guess = float(guess)
+        if not (lo < guess < hi):
+            continue
+        feasible, guess_payload = oracle(guess)
+        trace.append((guess, feasible))
+        iterations += 1
+        if feasible:
+            payload = guess_payload
+            proven_feasible = True
+            lo = raise_lower(guess, guess_payload)
+        else:
+            hi = guess
 
     while hi - lo > tolerance and iterations < max_iterations:
         mid = 0.5 * (lo + hi)
@@ -111,10 +170,18 @@ def binary_search_max(
         trace.append((mid, feasible))
         iterations += 1
         if feasible:
-            lo = mid
             payload = mid_payload
+            proven_feasible = True
+            lo = raise_lower(mid, mid_payload)
         else:
             hi = mid
+    if not proven_feasible:
+        # Nothing in the interval was ever proven feasible (possible only
+        # without endpoint checks): mirror the check_endpoints=True
+        # contract rather than reporting the unproven `lo` as feasible.
+        return BinarySearchResult(
+            -float("inf"), hi, None, iterations, tuple(trace), False
+        )
     converged = hi - lo <= tolerance
     if not converged:
         warnings.warn(

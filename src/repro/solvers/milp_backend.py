@@ -22,7 +22,7 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.optimize import LinearConstraint, milp
 
-__all__ = ["MILPProblem", "MILPResult", "solve_milp"]
+__all__ = ["MILPProblem", "MILPResult", "relax_integrality", "solve_milp"]
 
 
 @dataclass
@@ -105,6 +105,28 @@ class MILPResult:
     def optimal(self) -> bool:
         """Whether an optimal solution was found."""
         return self.status == "optimal"
+
+
+def relax_integrality(problem: MILPProblem) -> MILPProblem:
+    """The LP relaxation of ``problem`` — identical but with every
+    integrality mark dropped.
+
+    The relaxation's optimum bounds the MILP's from below (minimisation
+    form), which makes it a sound one-sided screen: callers can reject a
+    candidate whenever even the relaxed problem cannot reach the required
+    level, and solving an LP costs a fraction of a branch-and-cut run.
+    Matrices are shared with the original problem, not copied.
+    """
+    return MILPProblem(
+        c=problem.c,
+        A_ub=problem.A_ub,
+        b_ub=problem.b_ub,
+        A_eq=problem.A_eq,
+        b_eq=problem.b_eq,
+        lb=problem.lb,
+        ub=problem.ub,
+        integrality=None,
+    )
 
 
 def solve_milp(problem: MILPProblem, *, backend="highs", **backend_options) -> MILPResult:

@@ -83,24 +83,37 @@ class SegmentGrid:
         """Fill-order decomposition ``x -> x_{.,k}``.
 
         ``x`` has shape ``(T,)`` with entries in ``[0, 1]``; the result has
-        shape ``(T, K)`` with ``x_{i,k} = clip(x_i - (k-1)/K, 0, 1/K)``.
+        shape ``(T, K)`` with ``x_{i,k} = min(x_i, k/K) - min(x_i, (k-1)/K)``.
         Matches the paper's Example 1 (``K=5, x=0.3 -> (0.2, 0.1, 0, 0, 0)``).
+
+        The telescoping form (rather than ``clip(x - (k-1)/K, 0, 1/K)``)
+        makes the decomposition exact in float arithmetic: consecutive
+        clipped breakpoints are within a factor of two of each other, so by
+        Sterbenz's lemma every difference is computed without rounding, no
+        segment ever receives more than its true breakpoint-to-breakpoint
+        capacity, and a sequential re-summation telescopes back to exactly
+        ``x`` — including at seam points like ``x = 1.0``, where the naive
+        form loses an ulp (``3 * fl(1/3) < 1``).
         """
         x = np.asarray(x, dtype=np.float64)
         if np.any(x < -1e-9) or np.any(x > 1.0 + 1e-9):
             raise ValueError("coverage values must lie in [0, 1]")
-        return np.clip(
-            x[..., None] - self._breakpoints[:-1], 0.0, self.segment_length
-        )
+        filled = np.minimum(np.clip(x, 0.0, 1.0)[..., None], self._breakpoints)
+        return np.diff(filled, axis=-1)
 
     def reconstruct(self, segments) -> np.ndarray:
-        """Inverse of :meth:`decompose`: sum the per-segment portions."""
+        """Inverse of :meth:`decompose`: sum the per-segment portions.
+
+        Summed sequentially (``cumsum``) rather than with numpy's pairwise
+        reduction: the portions produced by :meth:`decompose` telescope, so
+        a left-to-right sum recovers the original coverage bit for bit.
+        """
         segments = np.asarray(segments, dtype=np.float64)
         if segments.shape[-1] != self._k:
             raise ValueError(
                 f"segments must have {self._k} columns, got {segments.shape[-1]}"
             )
-        return segments.sum(axis=-1)
+        return np.cumsum(segments, axis=-1)[..., -1]
 
     def is_fill_ordered(self, segments, *, atol: float = 1e-7) -> bool:
         """Whether ``segments`` respect fill order: any positive mass in

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["as_generator", "spawn_generators"]
+__all__ = ["as_generator", "spawn_generators", "spawn_seed_sequences"]
 
 SeedLike = "int | None | np.random.Generator | np.random.SeedSequence"
 
@@ -31,13 +31,14 @@ def as_generator(seed=None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_generators(seed, n: int) -> list[np.random.Generator]:
-    """Create ``n`` independent generators derived from ``seed``.
+def spawn_seed_sequences(seed, n: int) -> list[np.random.SeedSequence]:
+    """Create ``n`` independent :class:`~numpy.random.SeedSequence` children
+    derived from ``seed``.
 
-    Uses :class:`numpy.random.SeedSequence` spawning, which guarantees
-    non-overlapping streams — the correct way to parallelise Monte Carlo
-    trials (each worker gets its own child stream, results do not depend on
-    scheduling order).
+    The children form a *stable prefix*: the first ``k`` children are the
+    same regardless of ``n``, which is what lets a sweep spawn one child
+    per configuration and then sub-spawn per trial — adding trials (or
+    configurations) never perturbs the streams of existing ones.
     """
     if n < 0:
         raise ValueError(f"n must be >= 0, got {n}")
@@ -48,4 +49,15 @@ def spawn_generators(seed, n: int) -> list[np.random.Generator]:
         root = seed
     else:
         root = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in root.spawn(n)]
+    return root.spawn(n)
+
+
+def spawn_generators(seed, n: int) -> list[np.random.Generator]:
+    """Create ``n`` independent generators derived from ``seed``.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, which guarantees
+    non-overlapping streams — the correct way to parallelise Monte Carlo
+    trials (each worker gets its own child stream, results do not depend on
+    scheduling order).
+    """
+    return [np.random.default_rng(child) for child in spawn_seed_sequences(seed, n)]

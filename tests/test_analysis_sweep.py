@@ -6,6 +6,11 @@ import pytest
 from repro.analysis.sweep import ResultTable, run_grid
 
 
+def _pickleable_trial(rng, trial_index, *, size):
+    """Module-level trial so the process-pool tests can pickle it."""
+    yield {"value": float(rng.uniform()), "draws": rng.integers(0, 10**9, size=2).tolist()}
+
+
 class TestResultTable:
     def test_append_and_len(self):
         t = ResultTable()
@@ -40,6 +45,27 @@ class TestResultTable:
         sub = t.where(algo="a")
         assert len(sub) == 2
         np.testing.assert_array_equal(sub.column("v"), [1.0, 3.0])
+
+    def test_where_typo_raises(self):
+        """Regression: a typo'd column used to silently match nothing."""
+        t = ResultTable()
+        t.append(algo="a", v=1.0)
+        with pytest.raises(KeyError, match="algorithm"):
+            t.where(algorithm="a")  # column is 'algo'
+
+    def test_where_reports_known_columns(self):
+        t = ResultTable()
+        t.append(algo="a", v=1.0)
+        with pytest.raises(KeyError, match="algo"):
+            t.where(nope=1)
+
+    def test_where_no_match_is_empty_not_error(self):
+        t = ResultTable()
+        t.append(algo="a", v=1.0)
+        assert len(t.where(algo="zzz")) == 0
+
+    def test_where_on_empty_table(self):
+        assert len(ResultTable().where(anything=1)) == 0
 
     def test_group_mean(self):
         t = ResultTable()
@@ -95,3 +121,48 @@ class TestRunGrid:
 
         table = run_grid(multi, [{"size": 2}], num_trials=2, seed=0)
         assert len(table) == 4
+
+
+class TestHierarchicalSeeding:
+    """Seeds spawn per configuration, then per trial — so growing the
+    sweep in either direction never re-deals existing cells."""
+
+    GRID = [{"size": 2}, {"size": 3}]
+
+    def test_adding_trials_keeps_existing_trials(self):
+        """Regression: flat spawning indexed streams by
+        ``config * num_trials + trial``, so changing ``num_trials``
+        re-dealt every configuration after the first."""
+        one = run_grid(_pickleable_trial, self.GRID, num_trials=1, seed=7)
+        three = run_grid(_pickleable_trial, self.GRID, num_trials=3, seed=7)
+        kept = [row for row in three.rows if row["trial"] == 0]
+        assert one.rows == kept
+
+    def test_extending_grid_keeps_existing_configs(self):
+        small = run_grid(_pickleable_trial, self.GRID[:1], num_trials=2, seed=7)
+        big = run_grid(_pickleable_trial, self.GRID, num_trials=2, seed=7)
+        assert small.rows == big.rows[: len(small.rows)]
+
+    def test_configs_get_distinct_streams(self):
+        table = run_grid(_pickleable_trial, self.GRID, num_trials=1, seed=7)
+        assert table.rows[0]["value"] != table.rows[1]["value"]
+
+
+class TestParallelRunGrid:
+    GRID = [{"size": 2}, {"size": 3}]
+
+    def test_parallel_bit_identical_to_serial(self):
+        serial = run_grid(_pickleable_trial, self.GRID, num_trials=2, seed=3)
+        parallel = run_grid(
+            _pickleable_trial, self.GRID, num_trials=2, seed=3, workers=2
+        )
+        assert serial.rows == parallel.rows
+
+    def test_workers_one_stays_in_process(self):
+        serial = run_grid(_pickleable_trial, self.GRID, num_trials=1, seed=3)
+        one = run_grid(_pickleable_trial, self.GRID, num_trials=1, seed=3, workers=1)
+        assert serial.rows == one.rows
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_grid(_pickleable_trial, self.GRID, num_trials=1, seed=3, workers=0)

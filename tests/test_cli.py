@@ -123,3 +123,44 @@ class TestSolveSubcommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "degraded          False" in out and "ladder" in out
+
+
+class TestBenchSubcommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.targets == 50 and args.segments == 10
+        assert args.games == 6 and args.workers == 4
+        assert args.warm_start is True
+        assert args.out == "BENCH_runtime.json"
+
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "--targets", "12", "--games", "2", "--workers", "1",
+             "--no-warm-start", "--out", "x.json"]
+        )
+        assert args.targets == 12 and args.games == 2 and args.workers == 1
+        assert args.warm_start is False and args.out == "x.json"
+
+    def test_workers_flag_on_experiments(self):
+        for sub in ("quality", "runtime", "intervals", "ablation", "landscape"):
+            args = build_parser().parse_args([sub, "--workers", "3"])
+            assert args.workers == 3, sub
+            assert build_parser().parse_args([sub]).workers is None
+
+    def test_bench_runs_small(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--targets", "8", "--segments", "6", "--games", "2",
+             "--epsilon", "0.05", "--workers", "1", "--out", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["parallel"]["identical_to_serial"]
+        for section in ("cold", "warm"):
+            assert "wall_clock_seconds" in payload[section]
+            assert "oracle_calls" in payload[section]
+            assert "cache_hit_rate" in payload[section]

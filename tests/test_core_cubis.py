@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from repro.behavior.interval import IntervalSUQR
-from repro.core.cubis import solve_cubis
+from repro.core.cubis import WarmStart, solve_cubis
 from repro.core.worst_case import evaluate_worst_case
 from repro.game.generator import random_interval_game, table1_game
 
@@ -176,3 +176,97 @@ class TestRobustDominance:
             game, uncertainty, game.strategy_space.uniform()
         ).value
         assert result.worst_case_value >= uniform_v - 0.05
+
+
+class TestPerformanceLayer:
+    """Memoisation, the LP-relaxation screen, and warm starts must change
+    solver-call counts, never answers."""
+
+    def solve(self, game, unc, **kw):
+        kw.setdefault("num_segments", 8)
+        kw.setdefault("epsilon", 0.01)
+        return solve_cubis(game, unc, **kw)
+
+    def test_memoised_matches_cold_value(self, small_interval_game, small_uncertainty):
+        cold = self.solve(small_interval_game, small_uncertainty, memoise=False)
+        memo = self.solve(small_interval_game, small_uncertainty, memoise=True)
+        # Both brackets enclose the same approximated optimum.
+        assert memo.lower_bound <= cold.upper_bound + 1e-9
+        assert cold.lower_bound <= memo.upper_bound + 1e-9
+        assert abs(memo.lower_bound - cold.lower_bound) <= memo.epsilon
+        assert abs(memo.worst_case_value - cold.worst_case_value) <= 2 * memo.epsilon
+
+    def test_cold_counters(self, small_interval_game, small_uncertainty):
+        cold = self.solve(small_interval_game, small_uncertainty, memoise=False)
+        assert cold.lp_solves == 0
+        assert cold.cache_hits == 0
+        assert cold.milp_solves == cold.oracle_calls == cold.iterations
+
+    def test_memoised_counters(self, small_interval_game, small_uncertainty):
+        cold = self.solve(small_interval_game, small_uncertainty, memoise=False)
+        memo = self.solve(small_interval_game, small_uncertainty, memoise=True)
+        # Every oracle step is accounted for by exactly one mechanism.
+        assert memo.milp_solves + memo.lp_solves + memo.cache_hits >= memo.iterations
+        assert memo.milp_solves < cold.milp_solves
+
+    def test_warm_start_cuts_solver_calls(self, small_interval_game, small_uncertainty):
+        first = self.solve(small_interval_game, small_uncertainty)
+        warm = self.solve(
+            small_interval_game, small_uncertainty,
+            warm_start=first.as_warm_start(),
+        )
+        assert warm.lower_bound == pytest.approx(first.lower_bound, abs=first.epsilon)
+        calls = lambda r: r.milp_solves + r.lp_solves  # noqa: E731
+        assert calls(warm) + warm.cache_hits <= calls(first) + first.cache_hits
+        assert warm.cache_hits > 0 or calls(warm) < calls(first)
+
+    def test_warm_vs_cold_equal_answer(self, small_interval_game, small_uncertainty):
+        """Warm starts may only shorten the path, never move the answer."""
+        first = self.solve(small_interval_game, small_uncertainty, memoise=False)
+        warm = self.solve(
+            small_interval_game, small_uncertainty, memoise=False,
+            warm_start=first.as_warm_start(),
+        )
+        assert warm.lower_bound >= first.lower_bound - 1e-9
+        assert warm.upper_bound <= first.upper_bound + 1e-9
+        assert abs(warm.worst_case_value - first.worst_case_value) <= 2 * first.epsilon
+
+    def test_garbage_warm_start_ignored(self, small_interval_game, small_uncertainty):
+        baseline = self.solve(small_interval_game, small_uncertainty)
+        garbage = WarmStart(
+            bracket=(float("nan"), float("inf")),
+            strategies=(
+                np.ones(7),              # wrong dimension
+                np.full(4, 10.0),        # violates the budget
+                np.array([-1.0, 0.0, 0.0, 0.0]),  # outside the box
+            ),
+        )
+        result = self.solve(
+            small_interval_game, small_uncertainty, warm_start=garbage
+        )
+        assert result.lower_bound == pytest.approx(
+            baseline.lower_bound, abs=baseline.epsilon
+        )
+        assert result.converged
+
+    def test_as_warm_start_round_trip(self, small_interval_game, small_uncertainty):
+        result = self.solve(small_interval_game, small_uncertainty)
+        ws = result.as_warm_start()
+        assert ws.bracket == (result.lower_bound, result.upper_bound)
+        np.testing.assert_array_equal(ws.strategies[0], result.strategy)
+
+    def test_cross_game_warm_start_is_safe(self):
+        """A warm start from a different game must not corrupt the result."""
+        games = [random_interval_game(5, payoff_halfwidth=0.5, seed=s) for s in (11, 12)]
+        uncs = [
+            IntervalSUQR(g.payoffs, w1=(-4.0, -2.0), w2=(0.6, 0.9), w3=(0.3, 0.6),
+                         convention="tight")
+            for g in games
+        ]
+        cold = solve_cubis(games[1], uncs[1], num_segments=8, epsilon=0.01)
+        carried = solve_cubis(games[0], uncs[0], num_segments=8, epsilon=0.01)
+        warm = solve_cubis(
+            games[1], uncs[1], num_segments=8, epsilon=0.01,
+            warm_start=carried.as_warm_start(),
+        )
+        assert warm.lower_bound == pytest.approx(cold.lower_bound, abs=cold.epsilon)

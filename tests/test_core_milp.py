@@ -10,7 +10,8 @@ import numpy as np
 import pytest
 
 from repro.core.dual import beta_star
-from repro.core.milp import build_cubis_milp
+from repro.core.milp import CubisMilpSkeleton, build_cubis_milp
+from repro.game.constraints import CoverageConstraints
 from repro.solvers.milp_backend import solve_milp
 from repro.solvers.piecewise import SegmentGrid
 
@@ -133,3 +134,124 @@ class TestBuildCubisMilp:
         assert model.c == 1.25
         assert model.grid.num_segments == 5
         assert np.isfinite(model.f1_constant)
+
+
+def small_data(k=5):
+    """The raw arrays behind :func:`build_small`."""
+    grid = SegmentGrid(k)
+    bp = grid.breakpoints
+    rd = np.array([4.0, 6.0])
+    pd = np.array([-5.0, -7.0])
+    ud = np.outer(rd, bp) + np.outer(pd, 1 - bp)
+    lo = np.exp(np.stack([-2.0 * bp + 0.5, -2.0 * bp + 1.0]))
+    hi = np.exp(np.stack([-1.0 * bp + 1.5, -1.0 * bp + 2.0]))
+    return ud, lo, hi, grid, rd, pd
+
+
+def assert_models_identical(patched, fresh):
+    """Bit-identical comparison of two CubisMilp instances."""
+    a, b = patched.problem, fresh.problem
+    np.testing.assert_array_equal(a.c, b.c)
+    np.testing.assert_array_equal(a.b_ub, b.b_ub)
+    np.testing.assert_array_equal(a.lb, b.lb)
+    np.testing.assert_array_equal(a.ub, b.ub)
+    np.testing.assert_array_equal(a.integrality, b.integrality)
+    for mat_a, mat_b in [(a.A_ub, b.A_ub), (a.A_eq, b.A_eq)]:
+        if mat_a is None or mat_b is None:
+            assert mat_a is mat_b is None
+            continue
+        if hasattr(mat_a, "tocsr"):
+            ca, cb = mat_a.tocsr(), mat_b.tocsr()
+            np.testing.assert_array_equal(ca.indptr, cb.indptr)
+            np.testing.assert_array_equal(ca.indices, cb.indices)
+            np.testing.assert_array_equal(ca.data, cb.data)
+        else:
+            np.testing.assert_array_equal(np.asarray(mat_a), np.asarray(mat_b))
+    if b.b_eq is not None or a.b_eq is not None:
+        np.testing.assert_array_equal(a.b_eq, b.b_eq)
+    assert patched.f1_constant == fresh.f1_constant
+    assert patched.c == fresh.c
+
+
+class TestCubisMilpSkeleton:
+    """patch(c) must reproduce a from-scratch build bit for bit."""
+
+    @pytest.mark.parametrize("c", [-3.0, -0.5, 0.0, 1.0, 2.5])
+    def test_patch_matches_fresh_build(self, c):
+        ud, lo, hi, grid, *_ = small_data()
+        skeleton = CubisMilpSkeleton(ud, lo, hi, 1.0, grid)
+        fresh = build_cubis_milp(ud, lo, hi, 1.0, c, grid)
+        assert_models_identical(skeleton.patch(c), fresh)
+
+    def test_patch_is_stateless(self):
+        """Re-patching an earlier candidate leaves no residue from the
+        candidates patched in between."""
+        ud, lo, hi, grid, *_ = small_data()
+        skeleton = CubisMilpSkeleton(ud, lo, hi, 1.0, grid)
+        skeleton.patch(-2.0)
+        skeleton.patch(3.0)
+        again = skeleton.patch(0.75)
+        assert_models_identical(again, build_cubis_milp(ud, lo, hi, 1.0, 0.75, grid))
+
+    def test_patch_with_equality_budget(self):
+        ud, lo, hi, grid, *_ = small_data()
+        skeleton = CubisMilpSkeleton(ud, lo, hi, 1.0, grid, equality_resources=True)
+        fresh = build_cubis_milp(ud, lo, hi, 1.0, -1.0, grid, equality_resources=True)
+        assert_models_identical(skeleton.patch(-1.0), fresh)
+
+    def test_patch_with_coverage_constraints(self):
+        ud, lo, hi, grid, *_ = small_data()
+        extra = CoverageConstraints(np.array([[1.0, 0.0]]), np.array([0.4]))
+        skeleton = CubisMilpSkeleton(ud, lo, hi, 1.0, grid, coverage_constraints=extra)
+        fresh = build_cubis_milp(
+            ud, lo, hi, 1.0, 0.5, grid, coverage_constraints=extra
+        )
+        assert_models_identical(skeleton.patch(0.5), fresh)
+
+    @pytest.mark.parametrize("c", [-2.0, 0.0, 1.5])
+    def test_patched_solution_matches_fresh(self, c):
+        ud, lo, hi, grid, *_ = small_data()
+        skeleton = CubisMilpSkeleton(ud, lo, hi, 1.0, grid)
+        res_patched = solve_milp(skeleton.patch(c).problem)
+        res_fresh = solve_milp(build_cubis_milp(ud, lo, hi, 1.0, c, grid).problem)
+        assert res_patched.optimal and res_fresh.optimal
+        assert res_patched.objective == res_fresh.objective
+
+
+class TestStrategyCertificate:
+    def certificate_for(self, x, k=5):
+        ud, lo, hi, grid, rd, pd = small_data(k)
+        skeleton = CubisMilpSkeleton(ud, lo, hi, 1.0, grid)
+        return skeleton.certificate(np.asarray(x)), (rd, pd, lo, hi, grid)
+
+    @pytest.mark.parametrize("c", [-3.0, -1.0, 0.0, 0.8, 2.5])
+    def test_g_bar_matches_direct_evaluation(self, c):
+        for x in ([0.0, 0.0], [0.3, 0.7], [0.55, 0.45], [1.0, 0.0]):
+            cert, (rd, pd, lo, hi, grid) = self.certificate_for(x)
+            assert cert.g_bar(c) == pytest.approx(
+                g_bar_direct(np.asarray(x), c, rd, pd, lo, hi, grid), abs=1e-9
+            )
+
+    def test_g_bar_nonincreasing_in_c(self):
+        cert, _ = self.certificate_for([0.4, 0.6])
+        values = [cert.g_bar(c) for c in np.linspace(-4.0, 4.0, 41)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_guaranteed_level_is_a_crossing_point(self):
+        cert, _ = self.certificate_for([0.4, 0.6])
+        lo_c, hi_c = -5.0, 5.0
+        level = cert.guaranteed_level(lo_c, hi_c)
+        assert np.isfinite(level)
+        assert cert.g_bar(level) >= 0.0
+        if level < hi_c:
+            assert cert.g_bar(level + 1e-9) < 0.0
+
+    def test_guaranteed_level_neg_inf_when_lo_uncertified(self):
+        cert, _ = self.certificate_for([0.0, 0.0])
+        # Far above any achievable utility nothing certifies.
+        assert cert.guaranteed_level(100.0, 200.0) == -float("inf")
+
+    def test_guaranteed_level_clamps_to_hi(self):
+        cert, _ = self.certificate_for([0.4, 0.6])
+        # Far below the certified range the whole bracket is feasible.
+        assert cert.guaranteed_level(-100.0, -50.0) == -50.0

@@ -101,6 +101,35 @@ class TestRuntime:
         out = format_runtime(table)
         assert "F2a" in out and "F2b" in out
 
+    def test_game_and_solver_streams_decoupled(self, monkeypatch):
+        """Regression: the trial used to feed one shared generator into
+        both the game draw and the multistart solver, correlating the
+        solver's starting points with the game's payoffs."""
+        from repro.experiments import runtime as runtime_mod
+
+        captured = {}
+        real_game, real_exact = runtime_mod.random_interval_game, runtime_mod.solve_exact
+
+        def fake_game(num_targets, seed=None):
+            captured["game"] = seed
+            return real_game(num_targets, seed=1)
+
+        def fake_exact(game, uncertainty, num_starts, seed):
+            captured["solver"] = seed
+            return real_exact(game, uncertainty, num_starts=1, seed=0)
+
+        monkeypatch.setattr(runtime_mod, "random_interval_game", fake_game)
+        monkeypatch.setattr(runtime_mod, "solve_exact", fake_exact)
+        rng = np.random.default_rng(5)
+        list(
+            runtime_mod._trial(
+                rng, 0, num_targets=4, num_segments=6, epsilon=0.1, num_starts=3
+            )
+        )
+        assert captured["game"] is not captured["solver"]
+        # Spawned children, not the shared parent stream.
+        assert captured["game"] is not rng and captured["solver"] is not rng
+
 
 class TestIntervals:
     @pytest.fixture(scope="class")

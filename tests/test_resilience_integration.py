@@ -71,7 +71,7 @@ class TestFaultyEqualsFaultFree:
         ok_events = [e for e in report.events if e.outcome == "ok"]
         assert len(ok_events) == result.iterations
 
-    def test_clean_policy_is_not_degraded(self, instance, clean_result):
+    def test_clean_policy_is_not_degraded(self, instance):
         game, uncertainty = instance
         result = solve_cubis(
             game, uncertainty, num_segments=10, epsilon=1e-3,
@@ -79,9 +79,14 @@ class TestFaultyEqualsFaultFree:
         )
         assert not result.degraded
         assert result.resilience.rung_counts[1:] == (0, 0)
-        np.testing.assert_allclose(
-            result.strategy, clean_result.strategy, atol=1e-8
+        # Ladder runs answer every step with an exact MILP solve, so the
+        # strategy must match the plain exact path (memoise=False); the
+        # default memoised path may return a different — equally valid —
+        # witness from the LP-relaxation screen.
+        exact = solve_cubis(
+            game, uncertainty, num_segments=10, epsilon=1e-3, memoise=False,
         )
+        np.testing.assert_allclose(result.strategy, exact.strategy, atol=1e-8)
 
 
 class TestCrossBackendLadderEquality:

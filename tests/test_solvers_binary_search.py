@@ -96,3 +96,122 @@ class TestBinarySearchMax:
         loose = binary_search_max(threshold_oracle(0.71), 0.0, 1.0, tolerance=0.1)
         tight = binary_search_max(threshold_oracle(0.71), 0.0, 1.0, tolerance=1e-5)
         assert tight.lower >= loose.lower - 1e-12
+
+
+class TestNothingFeasibleContract:
+    """Regression: with ``check_endpoints=False`` the search used to report
+    ``lower=lo, converged=True`` when no candidate was ever feasible, even
+    though ``lo`` was never probed.  Both flag values must now agree on
+    ``lower=-inf, converged=False, payload=None``."""
+
+    @pytest.mark.parametrize("check_endpoints", [True, False])
+    def test_always_infeasible_oracle(self, check_endpoints):
+        res = binary_search_max(
+            threshold_oracle(-5.0), 0.0, 1.0,
+            tolerance=1e-3, check_endpoints=check_endpoints,
+        )
+        assert res.lower == -float("inf")
+        assert res.payload is None
+        assert not res.converged
+        assert all(not feasible for _, feasible in res.trace)
+
+    def test_unproven_lo_is_not_reported_feasible(self):
+        """The returned lower bound must never be a value the oracle did
+        not confirm."""
+        probed = []
+
+        def oracle(c):
+            probed.append(c)
+            return False, None
+
+        res = binary_search_max(
+            oracle, 0.0, 1.0, tolerance=1e-3, check_endpoints=False
+        )
+        assert 0.0 not in probed  # lo genuinely never tested
+        assert res.lower == -float("inf")
+
+
+class TestWarmStartHooks:
+    def count_calls(self, oracle):
+        calls = []
+
+        def counting(c):
+            calls.append(c)
+            return oracle(c)
+
+        return counting, calls
+
+    def test_good_guesses_cut_oracle_calls(self):
+        cold = binary_search_max(threshold_oracle(0.6), 0.0, 1.0, tolerance=1e-4)
+        warm = binary_search_max(
+            threshold_oracle(0.6), 0.0, 1.0, tolerance=1e-4,
+            initial_guesses=(0.60005, 0.6 - 1e-5),
+        )
+        assert warm.lower == pytest.approx(0.6, abs=1e-4)
+        assert warm.iterations < cold.iterations
+
+    def test_feasible_guess_raises_lower(self):
+        res = binary_search_max(
+            threshold_oracle(0.6), 0.0, 1.0, tolerance=1e-4,
+            initial_guesses=(0.55,),
+        )
+        assert (0.55, True) in res.trace
+        assert res.lower >= 0.55
+
+    def test_infeasible_guess_lowers_upper(self):
+        res = binary_search_max(
+            threshold_oracle(0.6), 0.0, 1.0, tolerance=1e-4,
+            initial_guesses=(0.9,),
+        )
+        assert (0.9, False) in res.trace
+        assert res.upper <= 0.9
+
+    def test_out_of_bracket_guesses_skipped(self):
+        oracle, calls = self.count_calls(threshold_oracle(0.6))
+        binary_search_max(
+            oracle, 0.0, 1.0, tolerance=1e-4,
+            initial_guesses=(-3.0, 0.0, 1.0, 7.5),
+        )
+        for skipped in (-3.0, 7.5):
+            assert skipped not in calls
+
+    def test_stale_guesses_cannot_corrupt_result(self):
+        """Wildly wrong guesses cost oracle calls but the answer stands."""
+        res = binary_search_max(
+            threshold_oracle(0.6), 0.0, 1.0, tolerance=1e-4,
+            initial_guesses=(0.01, 0.99, 0.02, 0.98),
+        )
+        assert res.lower == pytest.approx(0.6, abs=1e-4)
+        assert res.converged
+
+    def test_payload_bound_jumps_lower(self):
+        """A payload certifying the true threshold collapses the search."""
+
+        def oracle(c):
+            return (c <= 0.6, "witness") if c <= 0.6 else (False, None)
+
+        cold = binary_search_max(oracle, 0.0, 1.0, tolerance=1e-6)
+        warm = binary_search_max(
+            oracle, 0.0, 1.0, tolerance=1e-6,
+            payload_bound=lambda payload: 0.6,
+        )
+        assert warm.lower == pytest.approx(0.6, abs=1e-6)
+        assert warm.iterations < cold.iterations
+
+    def test_payload_bound_pins_exact_threshold(self):
+        """A truthful bound pins the lower end exactly while bisection
+        closes in from above, never past the proven-infeasible upper."""
+        res = binary_search_max(
+            threshold_oracle(0.65), 0.0, 1.0, tolerance=1e-6,
+            initial_guesses=(0.7,),  # proves upper <= 0.7 first
+            payload_bound=lambda payload: 0.65,
+        )
+        assert res.lower == pytest.approx(0.65, abs=1e-12)
+        assert res.lower <= res.upper <= 0.7
+
+    def test_payload_bound_below_candidate_ignored(self):
+        res = binary_search_max(
+            threshold_oracle(0.6), 0.0, 1.0, tolerance=1e-4,
+            payload_bound=lambda payload: -100.0,
+        )
+        assert res.lower == pytest.approx(0.6, abs=1e-4)

@@ -85,6 +85,64 @@ class TestDecompose:
         assert g.is_fill_ordered(parts)
 
 
+class TestSeamPoints:
+    """Decomposition exactly at segment boundaries, where float arithmetic
+    is most likely to over- or underfill a segment."""
+
+    @given(st.integers(1, 64))
+    def test_every_breakpoint_round_trips_exactly(self, k):
+        g = SegmentGrid(k)
+        for j in range(k + 1):
+            x = np.array([j / k])
+            parts = g.decompose(x)
+            # Exact equality, not approx: j/k must survive the round trip.
+            assert g.reconstruct(parts)[0] == x[0]
+
+    @given(st.integers(1, 64))
+    def test_breakpoint_fill_is_all_or_nothing(self, k):
+        """At x = j/K the first j segments are exactly full and the rest
+        are exactly empty — no seam segment holds a stray epsilon."""
+        g = SegmentGrid(k)
+        for j in range(k + 1):
+            parts = g.decompose(np.array([j / k]))[0]
+            filled = parts >= g.segment_length - 1e-15
+            empty = parts <= 1e-15
+            assert filled[:j].all() if j else True
+            assert empty[j:].all()
+            assert g.is_fill_ordered(parts[None, :])
+
+    @given(st.integers(1, 64))
+    def test_full_coverage_exact(self, k):
+        g = SegmentGrid(k)
+        parts = g.decompose(np.array([1.0]))
+        assert g.reconstruct(parts)[0] == 1.0
+        assert np.all(parts[0] <= np.diff(g.breakpoints))
+
+    @given(
+        st.integers(1, 32),
+        st.floats(0.0, 1.0, allow_nan=False),
+    )
+    def test_never_overfills_a_segment(self, k, x):
+        """Strict bound — no tolerance: ``decompose`` must never assign a
+        segment more mass than its breakpoint-to-breakpoint capacity."""
+        g = SegmentGrid(k)
+        parts = g.decompose(np.array([x]))[0]
+        capacity = np.diff(g.breakpoints)
+        assert np.all(parts <= capacity)
+        assert np.all(parts >= 0.0)
+
+    @given(st.integers(1, 32), st.floats(0.0, 1.0, allow_nan=False))
+    def test_near_seam_perturbations(self, k, x):
+        """Points one ulp either side of a seam still decompose cleanly."""
+        g = SegmentGrid(k)
+        for nudged in (np.nextafter(x, 0.0), x, np.nextafter(x, 1.0)):
+            if not 0.0 <= nudged <= 1.0:
+                continue
+            parts = g.decompose(np.array([nudged]))
+            assert g.is_fill_ordered(parts)
+            np.testing.assert_allclose(g.reconstruct(parts), [nudged], atol=1e-15)
+
+
 class TestFillOrder:
     def test_accepts_fill_ordered(self):
         g = SegmentGrid(3)

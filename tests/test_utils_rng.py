@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.rng import as_generator, spawn_generators, spawn_seed_sequences
 
 
 class TestAsGenerator:
@@ -59,3 +59,40 @@ class TestSpawnGenerators:
     def test_accepts_seed_sequence_as_root(self):
         gens = spawn_generators(np.random.SeedSequence(5), 2)
         assert len(gens) == 2
+
+
+class TestSpawnSeedSequences:
+    def test_count_and_type(self):
+        children = spawn_seed_sequences(0, 3)
+        assert len(children) == 3
+        assert all(isinstance(c, np.random.SeedSequence) for c in children)
+
+    def test_zero_count(self):
+        assert spawn_seed_sequences(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            spawn_seed_sequences(0, -1)
+
+    def test_stable_prefix(self):
+        """The first k children are identical regardless of how many are
+        spawned — the property that lets a sweep grow without re-dealing
+        existing cells."""
+        short = spawn_seed_sequences(42, 2)
+        long = spawn_seed_sequences(42, 5)
+        for a, b in zip(short, long):
+            assert a.generate_state(4).tolist() == b.generate_state(4).tolist()
+
+    def test_children_are_independent(self):
+        children = spawn_seed_sequences(42, 3)
+        states = [tuple(c.generate_state(4).tolist()) for c in children]
+        assert len(set(states)) == 3
+
+    def test_seed_sequence_root_spawns_deterministically(self):
+        a = spawn_seed_sequences(np.random.SeedSequence(9), 2)
+        b = spawn_seed_sequences(np.random.SeedSequence(9), 2)
+        assert a[0].generate_state(2).tolist() == b[0].generate_state(2).tolist()
+
+    def test_generator_root_accepted(self):
+        children = spawn_seed_sequences(np.random.default_rng(1), 2)
+        assert len(children) == 2
