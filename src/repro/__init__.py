@@ -48,6 +48,7 @@ from repro.core import (
     solve_exact,
     worst_case_response,
 )
+from repro.telemetry import Telemetry
 from repro.resilience import (
     FaultInjector,
     ResiliencePolicy,
@@ -96,6 +97,7 @@ __all__ = [
     "SecurityGame",
     "SolutionCertificate",
     "StrategySpace",
+    "Telemetry",
     "WeightBox",
     "__version__",
     "airport_game",

@@ -13,6 +13,8 @@ from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro import telemetry
+from repro.telemetry import Telemetry, TelemetryExport
 from repro.utils.rng import spawn_generators, spawn_seed_sequences
 
 __all__ = ["ResultTable", "run_grid"]
@@ -101,14 +103,36 @@ def _run_trial_records(
     rng: np.random.Generator,
     trial_index: int,
     params: dict,
-) -> list[dict]:
-    """Materialise one trial's records.
+    cell_index: int = 0,
+    capture: bool = False,
+) -> tuple[list[dict], TelemetryExport | None]:
+    """Materialise one trial's records (plus its telemetry, if captured).
 
     Module-level (not a closure) so :func:`run_grid` can ship it to a
     :class:`~concurrent.futures.ProcessPoolExecutor` worker — the trial
     callable, its params, and the pre-spawned generator are pickled along.
+
+    With ``capture=True`` the trial runs under a fresh
+    :class:`~repro.telemetry.Telemetry` context whose export is returned
+    alongside the records.  Worker processes do not inherit the parent's
+    context variable, so this per-trial context is what carries spans and
+    metrics back across the process boundary; the serial path uses the
+    *same* mechanism so serial and parallel sweeps merge identically.
     """
-    return [dict(record) for record in trial(rng=rng, trial_index=trial_index, **params)]
+    if not capture:
+        records = [
+            dict(record)
+            for record in trial(rng=rng, trial_index=trial_index, **params)
+        ]
+        return records, None
+    tele = Telemetry()
+    with telemetry.use(tele):
+        with tele.span("sweep.trial", cell=cell_index, trial=trial_index):
+            records = [
+                dict(record)
+                for record in trial(rng=rng, trial_index=trial_index, **params)
+            ]
+    return records, tele.export()
 
 
 def run_grid(
@@ -146,28 +170,47 @@ def run_grid(
         serial run at the same ``seed`` regardless of scheduling.
         Requires ``trial`` (and its params) to be picklable — a
         module-level function, not a lambda or closure.
+
+    When a telemetry context is active (``repro.telemetry.use``), every
+    trial — serial or pooled — runs under its own per-trial context
+    (rooted at a ``sweep.trial`` span) whose spans and metrics are
+    merged back in submission order, so the merged trace and histogram
+    state are deterministic and identical across ``workers`` settings.
     """
     if workers is not None and workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    tele = telemetry.current()
+    capture = tele.enabled
     table = ResultTable()
-    jobs: list[tuple[dict, int, np.random.Generator]] = []
-    for params, config_seq in zip(grid, spawn_seed_sequences(seed, len(grid))):
+    jobs: list[tuple[int, dict, int, np.random.Generator]] = []
+    for cell, (params, config_seq) in enumerate(
+        zip(grid, spawn_seed_sequences(seed, len(grid)))
+    ):
         for t, rng in enumerate(spawn_generators(config_seq, num_trials)):
-            jobs.append((params, t, rng))
-    if workers is not None and workers > 1 and len(jobs) > 1:
-        from concurrent.futures import ProcessPoolExecutor
+            jobs.append((cell, params, t, rng))
+    with tele.span(
+        "sweep.run_grid", cells=len(grid), trials=num_trials,
+        workers=workers or 1,
+    ):
+        if workers is not None and workers > 1 and len(jobs) > 1:
+            from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_run_trial_records, trial, rng, t, params)
-                for params, t, rng in jobs
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        _run_trial_records, trial, rng, t, params, cell, capture
+                    )
+                    for cell, params, t, rng in jobs
+                ]
+                results = [future.result() for future in futures]
+        else:
+            results = [
+                _run_trial_records(trial, rng, t, params, cell, capture)
+                for cell, params, t, rng in jobs
             ]
-            results = [future.result() for future in futures]
-    else:
-        results = [
-            _run_trial_records(trial, rng, t, params) for params, t, rng in jobs
-        ]
-    for (params, t, _), records in zip(jobs, results):
-        for record in records:
-            table.append(**{**params, "trial": t, **record})
+        for (_, params, t, _), (records, export) in zip(jobs, results):
+            if export is not None:
+                tele.absorb(export)
+            for record in records:
+                table.append(**{**params, "trial": t, **record})
     return table

@@ -21,12 +21,22 @@ Each command prints the same table its benchmark counterpart produces.
 fallback ladder, ``--certify`` validates the machine-checkable solution
 certificate, and ``--inject-faults RATE`` exercises the ladder with
 seeded solver failures (see docs/RESILIENCE.md).
+
+Every invocation runs under a telemetry context (docs/OBSERVABILITY.md):
+``solve --telemetry out.jsonl`` dumps the span tree and metrics as
+JSONL, ``bench`` folds a ``spans`` summary into BENCH_runtime.json, and
+a run manifest (git SHA, seed, config, aggregate metrics, slowest
+spans) is written at the end of every run — ``--manifest PATH`` moves
+it, ``--no-manifest`` suppresses it, ``--no-telemetry`` disables span
+recording entirely (both are top-level flags: ``repro --no-manifest
+table1``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.experiments import (
     calibrate_table1,
@@ -61,6 +71,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the CUBIS paper's experiments (see EXPERIMENTS.md).",
+    )
+    parser.add_argument(
+        "--manifest", type=str, default="RUN_manifest.json", metavar="PATH",
+        help="where to write the run manifest (default: RUN_manifest.json)",
+    )
+    parser.add_argument(
+        "--no-manifest", action="store_true",
+        help="do not write a run manifest",
+    )
+    parser.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable span recording (metrics and the manifest remain)",
     )
     sub = parser.add_subparsers(dest="experiment", required=True)
 
@@ -158,6 +180,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="extra attempts per ladder rung")
     s.add_argument("--events", action="store_true",
                    help="print the per-attempt event summary")
+    s.add_argument("--telemetry", type=str, default=None, metavar="PATH",
+                   help="write the solve's span tree and metrics as JSONL")
 
     sub.add_parser("all", help="run every experiment at quick settings")
     return parser
@@ -370,7 +394,16 @@ def _run_all() -> str:
 
 
 def main(argv=None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    The command runs inside a ``cli.<experiment>`` root span of a fresh
+    telemetry context; on the way out the context is flushed to the
+    ``--telemetry`` JSONL file (``solve`` only) and summarised into the
+    run manifest — even when the command fails, so a crashed run still
+    leaves its config, metrics, and slowest spans behind for triage.
+    """
+    from repro import telemetry
+
     args = build_parser().parse_args(argv)
     runners = {
         "table1": _run_table1,
@@ -384,10 +417,34 @@ def main(argv=None) -> int:
         "solve": _run_solve,
         "bench": _run_bench,
     }
-    if args.experiment == "all":
-        print(_run_all())
-    else:
-        print(runners[args.experiment](args))
+    tele = telemetry.DISABLED if args.no_telemetry else telemetry.Telemetry()
+    t0 = time.perf_counter()
+    status = "ok"
+    with telemetry.use(tele):
+        try:
+            with tele.span(f"cli.{args.experiment}"):
+                if args.experiment == "all":
+                    output = _run_all()
+                else:
+                    output = runners[args.experiment](args)
+        except BaseException:
+            status = "error"
+            raise
+        finally:
+            telemetry_path = getattr(args, "telemetry", None)
+            if telemetry_path and tele.enabled:
+                telemetry.write_jsonl(tele, telemetry_path)
+            if not args.no_manifest:
+                manifest = telemetry.build_manifest(
+                    command=args.experiment,
+                    config=vars(args),
+                    telemetry=tele,
+                    seed=getattr(args, "seed", None),
+                    status=status,
+                    wall_clock_seconds=time.perf_counter() - t0,
+                )
+                telemetry.write_manifest(manifest, args.manifest)
+    print(output)
     return 0
 
 

@@ -20,6 +20,7 @@ result is ``O(epsilon + 1/K)``-optimal.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -40,6 +41,7 @@ from repro.resilience.policy import (
     ResiliencePolicy,
     ResilienceReport,
 )
+from repro import telemetry
 from repro.utils.timing import Timer
 from repro.utils.validation import check_int_at_least
 
@@ -264,314 +266,359 @@ def solve_cubis(
         raise ValueError(f"execution_alpha must be >= 0, got {execution_alpha}")
     num_segments = check_int_at_least(num_segments, 1, "num_segments")
     max_iterations = check_int_at_least(max_iterations, 1, "max_iterations")
-    grid = SegmentGrid(num_segments)
-    breakpoints = grid.breakpoints
-    # Tabulate everything once: U^d, L, U at the K+1 breakpoints (T, K+1).
-    # Under execution noise, a planned coverage t realises (worst case) as
-    # max(t - alpha, 0) — all three grids are evaluated there.
-    realised = np.maximum(breakpoints - execution_alpha, 0.0)
-    ud_grid = (
-        np.outer(game.payoffs.defender_reward, realised)
-        + np.outer(game.payoffs.defender_penalty, 1.0 - realised)
-    )
-    lower_grid = uncertainty.lower_on_grid(realised)
-    upper_grid = uncertainty.upper_on_grid(realised)
-    if not (np.all(np.isfinite(upper_grid)) and np.all(lower_grid > 0)):
-        raise ValueError(
-            "uncertainty bounds must be positive and finite on the grid; "
-            "extreme model parameters (e.g. SUQR weights fitted at their "
-            "bounds) can overflow the exponential attractiveness"
-        )
-    # The attack probabilities — and hence the sign of G — are invariant
-    # to a global scaling of (L, U); normalise so the largest upper bound
-    # is 1, keeping the MILP's big-M coefficients well-conditioned no
-    # matter how large the raw exp(...) attractiveness values are.
-    scale = 1.0 / upper_grid.max()
-    lower_grid = lower_grid * scale
-    upper_grid = upper_grid * scale
-
-    if oracle not in ("milp", "dp"):
-        raise ValueError(f"oracle must be 'milp' or 'dp', got {oracle!r}")
-    if coverage_constraints is not None and oracle != "milp":
-        raise ValueError("coverage_constraints require the 'milp' oracle")
-    if coverage_constraints is not None and resilience is not None:
-        if any(r.oracle != "milp" for r in resilience.rungs):
-            raise ValueError(
-                "coverage_constraints require milp rungs only; pass "
-                "resilience.milp_only()"
-            )
-
-    def validate_step_solution(strategy: np.ndarray, label: str) -> None:
-        # Cheap sanity screen on a backend's solution; a corrupted or
-        # perturbed answer must not silently steer the binary search.
-        tol = _STEP_VALIDATION_TOL
-        if not np.all(np.isfinite(strategy)):
-            raise OracleStepError(f"{label} returned a non-finite strategy")
-        if np.any(strategy < -tol) or np.any(strategy > 1.0 + tol):
-            raise OracleStepError(
-                f"{label} returned coverage outside [0, 1]: "
-                f"min {strategy.min():.6g}, max {strategy.max():.6g}"
-            )
-        spent = float(strategy.sum())
-        over = spent - game.num_resources
-        if over > tol or (equality_resources and abs(over) > tol):
-            raise OracleStepError(
-                f"{label} violated the resource budget: sum x = {spent:.6g} "
-                f"vs R = {game.num_resources:.6g}"
-            )
-        if coverage_constraints is not None and not coverage_constraints.satisfied(
-            strategy, atol=tol
-        ):
-            raise OracleStepError(f"{label} violated the side constraints")
-
-    # --- performance layer -------------------------------------------- #
-    # memoise=True assembles the MILP structure once (patched per step)
-    # and keeps a pool of feasible-strategy certificates that answer
-    # oracle steps in O(T) when a cached strategy still certifies the
-    # candidate.  Certificate short-circuits are restricted to the plain
-    # MILP oracle: the dp oracle and the resilience ladder keep their
-    # exact per-step semantics (see docs/PERFORMANCE.md).
-    use_certificates = memoise and resilience is None and oracle == "milp"
-    needs_milp = (
-        any(r.oracle == "milp" for r in resilience.rungs)
-        if resilience is not None
-        else oracle == "milp"
-    )
-    skeleton = (
-        CubisMilpSkeleton(
-            ud_grid,
-            lower_grid,
-            upper_grid,
-            game.num_resources,
-            grid,
-            equality_resources=equality_resources,
-            coverage_constraints=coverage_constraints,
-        )
-        if memoise and needs_milp
-        else None
-    )
-    pool: list = []  # StrategyCertificate entries, oldest first
-    counters = {"milp": 0, "lp": 0, "hits": 0}
-
-    def make_milp_oracle(milp_backend, *, validate: bool = True):
-        label = milp_backend if isinstance(milp_backend, str) else getattr(
-            milp_backend, "__name__", type(milp_backend).__name__
-        )
-
-        def milp_oracle(c: float):
-            if use_certificates and pool:
-                best, best_g = None, -float("inf")
-                for cert in pool:
-                    g = cert.g_bar(c)
-                    if g > best_g:
-                        best, best_g = cert, g
-                if best_g >= -feasibility_tolerance:
-                    # A cached strategy certifies c: the MILP maximum can
-                    # only be higher, so the verdict is the one the solver
-                    # would have returned.
-                    counters["hits"] += 1
-                    return True, best.strategy
-            model = (
-                skeleton.patch(c)
-                if skeleton is not None
-                else build_cubis_milp(
-                    ud_grid,
-                    lower_grid,
-                    upper_grid,
-                    game.num_resources,
-                    c,
-                    grid,
-                    equality_resources=equality_resources,
-                    coverage_constraints=coverage_constraints,
-                )
-            )
-            if use_certificates and isinstance(milp_backend, str):
-                # LP-relaxation screen.  The relaxation's optimum bounds
-                # the integer optimum from above, so a value below the
-                # tolerance proves infeasibility; conversely the relaxed
-                # coverage — evaluated exactly through a certificate, not
-                # the relaxation's own objective — usually proves
-                # feasibility.  Either way the verdict matches what the
-                # full MILP would have said; only the gap between the two
-                # bounds pays for branch and cut.
-                counters["lp"] += 1
-                relaxed = solve_milp(
-                    relax_integrality(model.problem), backend=milp_backend
-                )
-                if relaxed.optimal:
-                    g_upper = model.g_bar_from_objective(relaxed.objective)
-                    if g_upper < -feasibility_tolerance:
-                        return False, None
-                    candidate = np.clip(
-                        model.strategy_from_solution(relaxed.x), 0.0, 1.0
-                    )
-                    cert = skeleton.certificate(candidate)
-                    if cert.g_bar(c) >= -feasibility_tolerance:
-                        screened = True
-                        if validate:
-                            try:
-                                validate_step_solution(candidate, "lp relaxation")
-                            except OracleStepError:
-                                screened = False  # fall through to the MILP
-                        if screened:
-                            pool.append(cert)
-                            if len(pool) > _CERTIFICATE_POOL_LIMIT:
-                                del pool[0]
-                            return True, candidate
-            counters["milp"] += 1
-            result = solve_milp(model.problem, backend=milp_backend)
-            if not result.optimal:
-                # The MILP is always feasible in (x, v, q, h) — x = anything
-                # feasible, q = 1, v at its forced value — so a non-optimal
-                # status signals a solver failure, not (P1) infeasibility.
-                raise OracleStepError(
-                    f"CUBIS MILP solve failed at c={c:.6g} with backend "
-                    f"{label!r}: {result.status} {result.message}"
-                )
-            g_bar = model.g_bar_from_objective(result.objective)
-            strategy = model.strategy_from_solution(result.x)
-            if validate:
-                if not np.isfinite(g_bar):
-                    raise OracleStepError(
-                        f"backend {label!r} reported a non-finite objective "
-                        f"at c={c:.6g}"
-                    )
-                validate_step_solution(strategy, f"backend {label!r}")
-            feasible = g_bar >= -feasibility_tolerance
-            if use_certificates and feasible:
-                pool.append(skeleton.certificate(strategy))
-                if len(pool) > _CERTIFICATE_POOL_LIMIT:
-                    del pool[0]
-            return feasible, strategy
-
-        return milp_oracle
-
-    budget_units = int(np.floor(game.num_resources * num_segments + 1e-9))
-
-    def dp_oracle(c: float):
-        # G(x, beta*) = sum_i min(f1_i, f2_i)(x_i) — separable, so the
-        # grid-restricted maximum is a multiple-choice knapsack.
-        margin = ud_grid - c
-        phi = np.minimum(lower_grid * margin, upper_grid * margin)
-        allocation = maximize_separable_on_grid(phi, budget_units)
-        feasible = allocation.value >= -feasibility_tolerance
-        return feasible, allocation.coverage(num_segments)
-
-    lo, hi = game.utility_range()
-
-    # Warm-start intake: screened strategies join the certificate pool and
-    # contribute one proven-feasible guess (the best level the pool
-    # certifies, computed without any MILP); the carried bracket's ends
-    # are probed as ordinary oracle candidates.  Everything is verified
-    # against *this* game, so stale warm starts cannot corrupt the result.
-    guesses: list[float] = []
-    if warm_start is not None:
-        if use_certificates:
-            for candidate in warm_start.strategies:
-                arr = np.asarray(candidate, dtype=np.float64)
-                if arr.shape != (game.num_targets,) or not np.all(np.isfinite(arr)):
-                    continue
-                arr = np.clip(arr, 0.0, 1.0)
-                over = float(arr.sum()) - game.num_resources
-                if over > _STEP_VALIDATION_TOL or (
-                    equality_resources and abs(over) > _STEP_VALIDATION_TOL
-                ):
-                    continue
-                if coverage_constraints is not None and not (
-                    coverage_constraints.satisfied(arr, atol=_STEP_VALIDATION_TOL)
-                ):
-                    continue
-                pool.append(skeleton.certificate(arr))
-            if pool:
-                level = max(cert.guaranteed_level(lo, hi) for cert in pool)
-                if np.isfinite(level):
-                    guesses.append(level)
-        if warm_start.bracket is not None:
-            prev_lb, prev_ub = warm_start.bracket
-            for value in (float(prev_ub), float(prev_lb)):
-                if np.isfinite(value):
-                    guesses.append(value)
-
-    ladder: OracleLadder | None = None
-    if resilience is not None:
-        rung_oracles = tuple(
-            make_milp_oracle(r.backend, validate=resilience.validate_steps)
-            if r.oracle == "milp"
-            else dp_oracle
-            for r in resilience.rungs
-        )
-        ladder = OracleLadder(resilience, rung_oracles, SolveEventLog())
-        base_oracle = ladder
-    else:
-        base_oracle = make_milp_oracle(backend) if oracle == "milp" else dp_oracle
-
-    # Bookkeeping wrapper: tracks the step index and the live bracket so
-    # a hard failure surfaces with enough context for production triage.
-    state = {"step": 0, "lo": lo, "hi": hi}
-
-    def step_oracle(c: float):
-        state["step"] += 1
-        try:
-            feasible, payload = base_oracle(c)
-        except (OracleStepError, LadderExhaustedError) as exc:
-            raise type(exc)(
-                f"{exc} (binary-search step {state['step']}, bracket "
-                f"[{state['lo']:.6g}, {state['hi']:.6g}])"
-            ) from exc
-        if feasible:
-            state["lo"] = max(state["lo"], c)
-        else:
-            state["hi"] = min(state["hi"], c)
-        return feasible, payload
-
-    def certified_level(strategy) -> float:
-        # The exact utility level a feasible step's strategy certifies —
-        # lets the binary search jump its lower bound past intermediate
-        # midpoints (sound: the level is proven by the strategy itself).
-        return skeleton.certificate(strategy).guaranteed_level(lo, hi)
-
-    timer = Timer()
-    with timer:
-        search = binary_search_max(
-            step_oracle,
-            lo,
-            hi,
-            tolerance=epsilon,
-            max_iterations=max_iterations,
-            initial_guesses=tuple(guesses),
-            payload_bound=certified_level if use_certificates else None,
-        )
-        if search.payload is None:
-            raise RuntimeError(
-                "CUBIS binary search found no feasible utility level; the bottom "
-                "of the utility range should always be feasible — this indicates "
-                "an inconsistent game or uncertainty model"
-            )
-        if coverage_constraints is None:
-            strategy = game.strategy_space.project(np.asarray(search.payload))
-        else:
-            # Projection onto sum(x) = R could violate the side constraints;
-            # keep the MILP's (feasible) strategy, clipped to the box.
-            strategy = np.clip(np.asarray(search.payload), 0.0, 1.0)
-        worst = evaluate_worst_case(
-            game, uncertainty, strategy, execution_alpha=execution_alpha
-        )
-
-    return CubisResult(
-        strategy=strategy,
-        worst_case_value=worst.value,
-        worst_case=worst,
-        lower_bound=search.lower,
-        upper_bound=search.upper,
+    solve_span = telemetry.span(
+        "cubis.solve",
+        targets=game.num_targets,
+        segments=int(num_segments),
         epsilon=float(epsilon),
-        num_segments=int(num_segments),
-        iterations=search.iterations,
-        trace=search.trace,
-        solve_seconds=timer.elapsed,
-        converged=search.converged,
-        degraded=ladder.degraded if ladder is not None else False,
-        resilience=ladder.report() if ladder is not None else None,
-        milp_solves=counters["milp"],
-        lp_solves=counters["lp"],
-        cache_hits=counters["hits"],
+        oracle=oracle,
+        backend=backend if isinstance(backend, str)
+        else getattr(backend, "__name__", type(backend).__name__),
+        memoise=bool(memoise),
+        resilient=resilience is not None,
     )
+    with solve_span:
+        grid = SegmentGrid(num_segments)
+        breakpoints = grid.breakpoints
+        # Tabulate everything once: U^d, L, U at the K+1 breakpoints (T, K+1).
+        # Under execution noise, a planned coverage t realises (worst case) as
+        # max(t - alpha, 0) — all three grids are evaluated there.
+        realised = np.maximum(breakpoints - execution_alpha, 0.0)
+        ud_grid = (
+            np.outer(game.payoffs.defender_reward, realised)
+            + np.outer(game.payoffs.defender_penalty, 1.0 - realised)
+        )
+        lower_grid = uncertainty.lower_on_grid(realised)
+        upper_grid = uncertainty.upper_on_grid(realised)
+        if not (np.all(np.isfinite(upper_grid)) and np.all(lower_grid > 0)):
+            raise ValueError(
+                "uncertainty bounds must be positive and finite on the grid; "
+                "extreme model parameters (e.g. SUQR weights fitted at their "
+                "bounds) can overflow the exponential attractiveness"
+            )
+        # The attack probabilities — and hence the sign of G — are invariant
+        # to a global scaling of (L, U); normalise so the largest upper bound
+        # is 1, keeping the MILP's big-M coefficients well-conditioned no
+        # matter how large the raw exp(...) attractiveness values are.
+        scale = 1.0 / upper_grid.max()
+        lower_grid = lower_grid * scale
+        upper_grid = upper_grid * scale
+
+        if oracle not in ("milp", "dp"):
+            raise ValueError(f"oracle must be 'milp' or 'dp', got {oracle!r}")
+        if coverage_constraints is not None and oracle != "milp":
+            raise ValueError("coverage_constraints require the 'milp' oracle")
+        if coverage_constraints is not None and resilience is not None:
+            if any(r.oracle != "milp" for r in resilience.rungs):
+                raise ValueError(
+                    "coverage_constraints require milp rungs only; pass "
+                    "resilience.milp_only()"
+                )
+
+        def validate_step_solution(strategy: np.ndarray, label: str) -> None:
+            # Cheap sanity screen on a backend's solution; a corrupted or
+            # perturbed answer must not silently steer the binary search.
+            tol = _STEP_VALIDATION_TOL
+            if not np.all(np.isfinite(strategy)):
+                raise OracleStepError(f"{label} returned a non-finite strategy")
+            if np.any(strategy < -tol) or np.any(strategy > 1.0 + tol):
+                raise OracleStepError(
+                    f"{label} returned coverage outside [0, 1]: "
+                    f"min {strategy.min():.6g}, max {strategy.max():.6g}"
+                )
+            spent = float(strategy.sum())
+            over = spent - game.num_resources
+            if over > tol or (equality_resources and abs(over) > tol):
+                raise OracleStepError(
+                    f"{label} violated the resource budget: sum x = {spent:.6g} "
+                    f"vs R = {game.num_resources:.6g}"
+                )
+            if coverage_constraints is not None and not coverage_constraints.satisfied(
+                strategy, atol=tol
+            ):
+                raise OracleStepError(f"{label} violated the side constraints")
+
+        # --- performance layer -------------------------------------------- #
+        # memoise=True assembles the MILP structure once (patched per step)
+        # and keeps a pool of feasible-strategy certificates that answer
+        # oracle steps in O(T) when a cached strategy still certifies the
+        # candidate.  Certificate short-circuits are restricted to the plain
+        # MILP oracle: the dp oracle and the resilience ladder keep their
+        # exact per-step semantics (see docs/PERFORMANCE.md).
+        use_certificates = memoise and resilience is None and oracle == "milp"
+        needs_milp = (
+            any(r.oracle == "milp" for r in resilience.rungs)
+            if resilience is not None
+            else oracle == "milp"
+        )
+        skeleton = (
+            CubisMilpSkeleton(
+                ud_grid,
+                lower_grid,
+                upper_grid,
+                game.num_resources,
+                grid,
+                equality_resources=equality_resources,
+                coverage_constraints=coverage_constraints,
+            )
+            if memoise and needs_milp
+            else None
+        )
+        pool: list = []  # StrategyCertificate entries, oldest first
+        # Run-level telemetry counters (docs/OBSERVABILITY.md).  They
+        # accumulate across every solve sharing the active context (a sweep,
+        # a service process); the per-solve CubisResult fields are recovered
+        # as deltas against this snapshot.
+        meter = telemetry.metrics()
+        milp_counter = meter.counter("repro_cubis_milp_solves_total")
+        lp_counter = meter.counter("repro_cubis_lp_screens_total")
+        hit_counter = meter.counter("repro_cubis_cache_hits_total")
+        miss_counter = meter.counter("repro_cubis_cache_misses_total")
+        counts_at_entry = (milp_counter.value, lp_counter.value, hit_counter.value)
+
+        def make_milp_oracle(milp_backend, *, validate: bool = True):
+            label = milp_backend if isinstance(milp_backend, str) else getattr(
+                milp_backend, "__name__", type(milp_backend).__name__
+            )
+
+            def milp_oracle(c: float):
+                if use_certificates and pool:
+                    best, best_g = None, -float("inf")
+                    for cert in pool:
+                        g = cert.g_bar(c)
+                        if g > best_g:
+                            best, best_g = cert, g
+                    if best_g >= -feasibility_tolerance:
+                        # A cached strategy certifies c: the MILP maximum can
+                        # only be higher, so the verdict is the one the solver
+                        # would have returned.
+                        hit_counter.inc()
+                        return True, best.strategy
+                if use_certificates:
+                    # The pool was consulted (possibly empty) and could not
+                    # answer; everything below pays for a solver call.
+                    miss_counter.inc()
+                model = (
+                    skeleton.patch(c)
+                    if skeleton is not None
+                    else build_cubis_milp(
+                        ud_grid,
+                        lower_grid,
+                        upper_grid,
+                        game.num_resources,
+                        c,
+                        grid,
+                        equality_resources=equality_resources,
+                        coverage_constraints=coverage_constraints,
+                    )
+                )
+                if use_certificates and isinstance(milp_backend, str):
+                    # LP-relaxation screen.  The relaxation's optimum bounds
+                    # the integer optimum from above, so a value below the
+                    # tolerance proves infeasibility; conversely the relaxed
+                    # coverage — evaluated exactly through a certificate, not
+                    # the relaxation's own objective — usually proves
+                    # feasibility.  Either way the verdict matches what the
+                    # full MILP would have said; only the gap between the two
+                    # bounds pays for branch and cut.
+                    lp_counter.inc()
+                    relaxed = solve_milp(
+                        relax_integrality(model.problem), backend=milp_backend
+                    )
+                    if relaxed.optimal:
+                        g_upper = model.g_bar_from_objective(relaxed.objective)
+                        if g_upper < -feasibility_tolerance:
+                            return False, None
+                        candidate = np.clip(
+                            model.strategy_from_solution(relaxed.x), 0.0, 1.0
+                        )
+                        cert = skeleton.certificate(candidate)
+                        if cert.g_bar(c) >= -feasibility_tolerance:
+                            screened = True
+                            if validate:
+                                try:
+                                    validate_step_solution(candidate, "lp relaxation")
+                                except OracleStepError:
+                                    screened = False  # fall through to the MILP
+                            if screened:
+                                pool.append(cert)
+                                if len(pool) > _CERTIFICATE_POOL_LIMIT:
+                                    del pool[0]
+                                return True, candidate
+                milp_counter.inc()
+                result = solve_milp(model.problem, backend=milp_backend)
+                if not result.optimal:
+                    # The MILP is always feasible in (x, v, q, h) — x = anything
+                    # feasible, q = 1, v at its forced value — so a non-optimal
+                    # status signals a solver failure, not (P1) infeasibility.
+                    raise OracleStepError(
+                        f"CUBIS MILP solve failed at c={c:.6g} with backend "
+                        f"{label!r}: {result.status} {result.message}"
+                    )
+                g_bar = model.g_bar_from_objective(result.objective)
+                strategy = model.strategy_from_solution(result.x)
+                if validate:
+                    if not np.isfinite(g_bar):
+                        raise OracleStepError(
+                            f"backend {label!r} reported a non-finite objective "
+                            f"at c={c:.6g}"
+                        )
+                    validate_step_solution(strategy, f"backend {label!r}")
+                feasible = g_bar >= -feasibility_tolerance
+                if use_certificates and feasible:
+                    pool.append(skeleton.certificate(strategy))
+                    if len(pool) > _CERTIFICATE_POOL_LIMIT:
+                        del pool[0]
+                return feasible, strategy
+
+            return milp_oracle
+
+        budget_units = int(np.floor(game.num_resources * num_segments + 1e-9))
+
+        def dp_oracle(c: float):
+            # G(x, beta*) = sum_i min(f1_i, f2_i)(x_i) — separable, so the
+            # grid-restricted maximum is a multiple-choice knapsack.
+            t0 = time.perf_counter()
+            with telemetry.span(
+                "dp.solve", kind="dp", budget_units=budget_units
+            ) as sp:
+                margin = ud_grid - c
+                phi = np.minimum(lower_grid * margin, upper_grid * margin)
+                allocation = maximize_separable_on_grid(phi, budget_units)
+                feasible = allocation.value >= -feasibility_tolerance
+                sp.set(feasible=bool(feasible))
+            telemetry.histogram("repro_oracle_seconds", kind="dp").observe(
+                time.perf_counter() - t0
+            )
+            return feasible, allocation.coverage(num_segments)
+
+        lo, hi = game.utility_range()
+
+        # Warm-start intake: screened strategies join the certificate pool and
+        # contribute one proven-feasible guess (the best level the pool
+        # certifies, computed without any MILP); the carried bracket's ends
+        # are probed as ordinary oracle candidates.  Everything is verified
+        # against *this* game, so stale warm starts cannot corrupt the result.
+        guesses: list[float] = []
+        if warm_start is not None:
+            if use_certificates:
+                for candidate in warm_start.strategies:
+                    arr = np.asarray(candidate, dtype=np.float64)
+                    if arr.shape != (game.num_targets,) or not np.all(np.isfinite(arr)):
+                        continue
+                    arr = np.clip(arr, 0.0, 1.0)
+                    over = float(arr.sum()) - game.num_resources
+                    if over > _STEP_VALIDATION_TOL or (
+                        equality_resources and abs(over) > _STEP_VALIDATION_TOL
+                    ):
+                        continue
+                    if coverage_constraints is not None and not (
+                        coverage_constraints.satisfied(arr, atol=_STEP_VALIDATION_TOL)
+                    ):
+                        continue
+                    pool.append(skeleton.certificate(arr))
+                if pool:
+                    level = max(cert.guaranteed_level(lo, hi) for cert in pool)
+                    if np.isfinite(level):
+                        guesses.append(level)
+            if warm_start.bracket is not None:
+                prev_lb, prev_ub = warm_start.bracket
+                for value in (float(prev_ub), float(prev_lb)):
+                    if np.isfinite(value):
+                        guesses.append(value)
+
+        ladder: OracleLadder | None = None
+        if resilience is not None:
+            rung_oracles = tuple(
+                make_milp_oracle(r.backend, validate=resilience.validate_steps)
+                if r.oracle == "milp"
+                else dp_oracle
+                for r in resilience.rungs
+            )
+            ladder = OracleLadder(resilience, rung_oracles, SolveEventLog())
+            base_oracle = ladder
+        else:
+            base_oracle = make_milp_oracle(backend) if oracle == "milp" else dp_oracle
+
+        # Bookkeeping wrapper: tracks the step index and the live bracket so
+        # a hard failure surfaces with enough context for production triage.
+        state = {"step": 0, "lo": lo, "hi": hi}
+
+        def step_oracle(c: float):
+            state["step"] += 1
+            try:
+                feasible, payload = base_oracle(c)
+            except (OracleStepError, LadderExhaustedError) as exc:
+                raise type(exc)(
+                    f"{exc} (binary-search step {state['step']}, bracket "
+                    f"[{state['lo']:.6g}, {state['hi']:.6g}])"
+                ) from exc
+            if feasible:
+                state["lo"] = max(state["lo"], c)
+            else:
+                state["hi"] = min(state["hi"], c)
+            return feasible, payload
+
+        def certified_level(strategy) -> float:
+            # The exact utility level a feasible step's strategy certifies —
+            # lets the binary search jump its lower bound past intermediate
+            # midpoints (sound: the level is proven by the strategy itself).
+            return skeleton.certificate(strategy).guaranteed_level(lo, hi)
+
+        timer = Timer()
+        with timer:
+            search = binary_search_max(
+                step_oracle,
+                lo,
+                hi,
+                tolerance=epsilon,
+                max_iterations=max_iterations,
+                initial_guesses=tuple(guesses),
+                payload_bound=certified_level if use_certificates else None,
+            )
+            if search.payload is None:
+                raise RuntimeError(
+                    "CUBIS binary search found no feasible utility level; the bottom "
+                    "of the utility range should always be feasible — this indicates "
+                    "an inconsistent game or uncertainty model"
+                )
+            if coverage_constraints is None:
+                strategy = game.strategy_space.project(np.asarray(search.payload))
+            else:
+                # Projection onto sum(x) = R could violate the side constraints;
+                # keep the MILP's (feasible) strategy, clipped to the box.
+                strategy = np.clip(np.asarray(search.payload), 0.0, 1.0)
+            with telemetry.span("cubis.evaluate_worst_case"):
+                worst = evaluate_worst_case(
+                    game, uncertainty, strategy, execution_alpha=execution_alpha
+                )
+
+        milp_solves = int(milp_counter.value - counts_at_entry[0])
+        lp_solves = int(lp_counter.value - counts_at_entry[1])
+        cache_hits = int(hit_counter.value - counts_at_entry[2])
+        solve_span.set(
+            iterations=search.iterations,
+            converged=search.converged,
+            milp_solves=milp_solves,
+            lp_solves=lp_solves,
+            cache_hits=cache_hits,
+            worst_case_value=float(worst.value),
+        )
+        return CubisResult(
+            strategy=strategy,
+            worst_case_value=worst.value,
+            worst_case=worst,
+            lower_bound=search.lower,
+            upper_bound=search.upper,
+            epsilon=float(epsilon),
+            num_segments=int(num_segments),
+            iterations=search.iterations,
+            trace=search.trace,
+            solve_seconds=timer.elapsed,
+            converged=search.converged,
+            degraded=ladder.degraded if ladder is not None else False,
+            resilience=ladder.report() if ladder is not None else None,
+            milp_solves=milp_solves,
+            lp_solves=lp_solves,
+            cache_hits=cache_hits,
+        )

@@ -23,6 +23,7 @@ import json
 import time
 from pathlib import Path
 
+from repro import telemetry
 from repro.analysis.sweep import run_grid
 from repro.core.cubis import solve_cubis
 from repro.experiments.quality import default_uncertainty
@@ -90,23 +91,25 @@ def run_bench_runtime(
 
     cold_games = []
     t0 = time.perf_counter()
-    for game, uncertainty in zip(games, models):
-        t1 = time.perf_counter()
-        result = solve_cubis(game, uncertainty, memoise=False, **common)
-        cold_games.append(_solve_stats(result, time.perf_counter() - t1))
+    with telemetry.span("bench.cold_pass", games=num_games):
+        for game, uncertainty in zip(games, models):
+            t1 = time.perf_counter()
+            result = solve_cubis(game, uncertainty, memoise=False, **common)
+            cold_games.append(_solve_stats(result, time.perf_counter() - t1))
     cold_total = time.perf_counter() - t0
 
     warm_games = []
     carry = None
     t0 = time.perf_counter()
-    for game, uncertainty in zip(games, models):
-        t1 = time.perf_counter()
-        result = solve_cubis(
-            game, uncertainty, memoise=True, warm_start=carry, **common
-        )
-        warm_games.append(_solve_stats(result, time.perf_counter() - t1))
-        if warm_start:
-            carry = result.as_warm_start()
+    with telemetry.span("bench.warm_pass", games=num_games, warm_start=warm_start):
+        for game, uncertainty in zip(games, models):
+            t1 = time.perf_counter()
+            result = solve_cubis(
+                game, uncertainty, memoise=True, warm_start=carry, **common
+            )
+            warm_games.append(_solve_stats(result, time.perf_counter() - t1))
+            if warm_start:
+                carry = result.as_warm_start()
     warm_total = time.perf_counter() - t0
 
     # Parallel determinism check: a reduced grid (the full T would make the
@@ -129,6 +132,12 @@ def run_bench_runtime(
 
     cold = totals(cold_games)
     warm = totals(warm_games)
+    # Where the time went, from the active telemetry context: a per-name
+    # rollup plus the slowest individual spans (None under
+    # ``--no-telemetry``).  Completed spans only — the surrounding
+    # ``cli.bench`` root span is still open at this point.
+    tele = telemetry.current()
+    spans_summary = telemetry.summarize_spans(tele.spans) if tele.enabled else None
     return {
         "benchmark": "bench_runtime",
         "config": {
@@ -154,6 +163,7 @@ def run_bench_runtime(
             "cells": len(serial.rows),
             "identical_to_serial": identical,
         },
+        "spans": spans_summary,
     }
 
 
@@ -181,4 +191,13 @@ def format_bench(payload: dict) -> str:
         f"  parallel (workers={par['workers']}, {par['cells']} cells): "
         + ("identical to serial" if par["identical_to_serial"] else "MISMATCH"),
     ]
+    if payload.get("spans"):
+        top = payload["spans"]["by_name"][:3]
+        lines.append(
+            "  spans: "
+            + ", ".join(
+                f"{a['name']} x{a['count']} ({a['total_seconds']:.2f}s)"
+                for a in top
+            )
+        )
     return "\n".join(lines)

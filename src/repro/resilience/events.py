@@ -7,7 +7,11 @@ answered, how the attempt ended, and how long it took.  A
 :class:`SolveEventLog` collects the events for one solve and mirrors
 them onto the stdlib ``repro.resilience`` logger so operators can tail a
 solve without touching the result object; the CLI (``repro solve
---resilience``) and the benchmarks consume the same log.
+--resilience``) and the benchmarks consume the same log.  Each recorded
+event is also emitted through :mod:`repro.telemetry` — as a
+``resilience.attempt`` instant span plus a
+``repro_resilience_attempts_total{outcome=...}`` counter — so ladder
+activity lands in the same trace as the solver spans it explains.
 
 The events are plain frozen dataclasses on purpose: they serialise
 cleanly (``dataclasses.asdict``), cost nothing to record, and keep the
@@ -18,6 +22,8 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass
+
+from repro import telemetry
 
 __all__ = ["StepEvent", "SolveEventLog", "logger"]
 
@@ -71,6 +77,13 @@ class StepEvent:
     wall_seconds: float
     message: str = ""
 
+    def __post_init__(self) -> None:
+        if self.outcome not in OUTCOMES:
+            raise ValueError(
+                f"outcome must be one of {OUTCOMES}, got {self.outcome!r}; "
+                f"a typo'd outcome would silently skew failures()/summary()"
+            )
+
     @property
     def label(self) -> str:
         """Human-readable rung label, e.g. ``"milp:highs"`` or ``"dp"``."""
@@ -89,8 +102,25 @@ class SolveEventLog:
         self._events: list[StepEvent] = []
 
     def record(self, event: StepEvent) -> None:
-        """Append an event and mirror it to the module logger."""
+        """Append an event; mirror it to the module logger and the active
+        telemetry context."""
         self._events.append(event)
+        telemetry.event(
+            "resilience.attempt",
+            step=event.step,
+            c=event.c,
+            rung=event.rung,
+            oracle=event.oracle,
+            backend=event.backend,
+            attempt=event.attempt,
+            outcome=event.outcome,
+            feasible=event.feasible,
+            wall_seconds=event.wall_seconds,
+            message=event.message,
+        )
+        telemetry.counter(
+            "repro_resilience_attempts_total", outcome=event.outcome
+        ).inc()
         if event.outcome == "ok":
             logger.debug(
                 "step %d c=%.6g %s attempt %d ok feasible=%s (%.3fs)",

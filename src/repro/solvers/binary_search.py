@@ -19,6 +19,10 @@ Two warm-start hooks cut oracle calls on repeated, related searches:
   by that payload (for CUBIS: the exact utility level the returned
   strategy certifies).  When it exceeds the probed candidate, the lower
   bound jumps there directly, skipping the midpoints in between.
+
+Every oracle call is traced as a ``binary_search.step`` span carrying
+the candidate ``c`` and the verdict (see docs/OBSERVABILITY.md); with no
+active telemetry context the spans are no-ops.
 """
 
 from __future__ import annotations
@@ -26,6 +30,8 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
+
+from repro import telemetry
 
 __all__ = ["BinarySearchResult", "binary_search_max"]
 
@@ -120,6 +126,15 @@ def binary_search_max(
     iterations = 0
     proven_feasible = False
 
+    def probe(candidate: float) -> tuple[bool, Any]:
+        # One traced oracle call: the span carries the candidate and, on
+        # a clean return, the verdict (an oracle exception propagates and
+        # marks the span status "error").
+        with telemetry.span("binary_search.step", c=float(candidate)) as sp:
+            feasible, probe_payload = oracle(candidate)
+            sp.set(feasible=bool(feasible))
+        return feasible, probe_payload
+
     def raise_lower(candidate: float, feasible_payload: Any) -> float:
         # A feasible verdict at `candidate`; optionally jump further using
         # the payload's own certificate (never past the proven-infeasible
@@ -132,12 +147,12 @@ def binary_search_max(
         return candidate
 
     if check_endpoints:
-        feasible_hi, payload_hi = oracle(hi)
+        feasible_hi, payload_hi = probe(hi)
         trace.append((hi, feasible_hi))
         iterations += 1
         if feasible_hi:
             return BinarySearchResult(hi, hi, payload_hi, iterations, tuple(trace), True)
-        feasible_lo, payload_lo = oracle(lo)
+        feasible_lo, payload_lo = probe(lo)
         trace.append((lo, feasible_lo))
         iterations += 1
         if not feasible_lo:
@@ -154,7 +169,7 @@ def binary_search_max(
         guess = float(guess)
         if not (lo < guess < hi):
             continue
-        feasible, guess_payload = oracle(guess)
+        feasible, guess_payload = probe(guess)
         trace.append((guess, feasible))
         iterations += 1
         if feasible:
@@ -166,7 +181,7 @@ def binary_search_max(
 
     while hi - lo > tolerance and iterations < max_iterations:
         mid = 0.5 * (lo + hi)
-        feasible, mid_payload = oracle(mid)
+        feasible, mid_payload = probe(mid)
         trace.append((mid, feasible))
         iterations += 1
         if feasible:

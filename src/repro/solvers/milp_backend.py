@@ -16,11 +16,14 @@ Both receive a :class:`MILPProblem` (minimisation form) and return a
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 import scipy.sparse as sp
 from scipy.optimize import LinearConstraint, milp
+
+from repro import telemetry
 
 __all__ = ["MILPProblem", "MILPResult", "relax_integrality", "solve_milp"]
 
@@ -135,7 +138,31 @@ def solve_milp(problem: MILPProblem, *, backend="highs", **backend_options) -> M
     ``backend`` is a name (``"highs"`` / ``"bnb"``) or any callable
     ``(problem, **options) -> MILPResult`` — the hook used by the
     resilience layer to interpose fault injectors and custom solvers.
+
+    Every call is traced as a ``milp.solve`` span and observed into the
+    ``repro_oracle_seconds`` histogram under an oracle-kind label:
+    ``"lp:<backend>"`` when the problem carries no integrality marks
+    (the LP-relaxation screen), else ``"milp:<backend>"``.
     """
+    if callable(backend):
+        label = getattr(backend, "__name__", type(backend).__name__)
+    else:
+        label = str(backend)
+    kind = ("lp:" if problem.num_integer == 0 else "milp:") + label
+    t0 = time.perf_counter()
+    with telemetry.span(
+        "milp.solve", kind=kind, variables=problem.num_variables,
+        integers=problem.num_integer,
+    ) as span:
+        result = _dispatch(problem, backend, backend_options)
+        span.set(status=result.status, nodes=result.nodes)
+    telemetry.histogram("repro_oracle_seconds", kind=kind).observe(
+        time.perf_counter() - t0
+    )
+    return result
+
+
+def _dispatch(problem: MILPProblem, backend, backend_options) -> MILPResult:
     if callable(backend):
         result = backend(problem, **backend_options)
         if not isinstance(result, MILPResult):

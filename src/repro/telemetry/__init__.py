@@ -1,0 +1,78 @@
+"""Unified telemetry: tracing spans, metrics, sinks, and run manifests.
+
+The solve pipeline's single observability layer (docs/OBSERVABILITY.md).
+Dependency-free and off by default: instrumented code calls the
+module-level helpers, which no-op against :data:`DISABLED` until a
+:class:`Telemetry` context is activated with :func:`use`::
+
+    from repro import telemetry
+
+    tele = telemetry.Telemetry()
+    with telemetry.use(tele):
+        result = repro.solve_cubis(game, uncertainty)
+
+    telemetry.write_jsonl(tele, "trace.jsonl")
+    print(telemetry.prometheus_text(tele.metrics))
+
+Submodules: :mod:`~repro.telemetry.spans` (the tracer),
+:mod:`~repro.telemetry.metrics` (counters / gauges / fixed-bucket
+histograms), :mod:`~repro.telemetry.sinks` (JSONL + Prometheus text),
+:mod:`~repro.telemetry.manifest` (per-run JSON manifests).
+"""
+
+from repro.telemetry.manifest import (
+    build_manifest,
+    git_sha,
+    summarize_spans,
+    write_manifest,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.runtime import (
+    DISABLED,
+    Telemetry,
+    TelemetryExport,
+    counter,
+    current,
+    event,
+    gauge,
+    histogram,
+    metrics,
+    span,
+    use,
+)
+from repro.telemetry.sinks import prometheus_text, read_jsonl, write_jsonl
+from repro.telemetry.spans import NULL_SPAN, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DISABLED",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "SpanRecord",
+    "Telemetry",
+    "TelemetryExport",
+    "Tracer",
+    "build_manifest",
+    "counter",
+    "current",
+    "event",
+    "gauge",
+    "git_sha",
+    "histogram",
+    "metrics",
+    "prometheus_text",
+    "read_jsonl",
+    "span",
+    "summarize_spans",
+    "use",
+    "write_jsonl",
+]

@@ -1,0 +1,111 @@
+"""Telemetry sinks: JSONL trace files and Prometheus text exposition.
+
+The in-memory recorder is the :class:`~repro.telemetry.runtime.Telemetry`
+object itself; this module turns one into artefacts:
+
+* :func:`write_jsonl` — one JSON object per line: a ``meta`` header,
+  every span (timestamp-ordered), then every metric.  ``repro solve
+  --telemetry out.jsonl`` emits this format; :func:`read_jsonl` parses
+  it back (used by the tests and the CI smoke job).
+* :func:`prometheus_text` — the metrics registry in Prometheus text
+  exposition format, for scraping or pushing from a service wrapper.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.runtime import Telemetry
+
+__all__ = ["write_jsonl", "read_jsonl", "prometheus_text"]
+
+_FORMAT_VERSION = 1
+
+
+def write_jsonl(telemetry: Telemetry, path) -> Path:
+    """Write a telemetry context as JSONL; returns the path."""
+    path = Path(path)
+    lines = [json.dumps({
+        "type": "meta",
+        "format_version": _FORMAT_VERSION,
+        "spans": len(telemetry.spans),
+        "metrics": len(telemetry.metrics),
+    }, sort_keys=True)]
+    for record in telemetry.spans:
+        lines.append(json.dumps(record.to_dict(), sort_keys=True, default=str))
+    for snap in telemetry.metrics.snapshot():
+        lines.append(json.dumps(snap, sort_keys=True))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_jsonl(path) -> dict:
+    """Parse a :func:`write_jsonl` file into
+    ``{"meta": dict, "spans": [dict], "metrics": [dict]}``."""
+    out: dict = {"meta": None, "spans": [], "metrics": []}
+    for line_no, line in enumerate(Path(path).read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        kind = obj.get("type")
+        if kind == "meta":
+            out["meta"] = obj
+        elif kind == "span":
+            out["spans"].append(obj)
+        elif kind in ("counter", "gauge", "histogram"):
+            out["metrics"].append(obj)
+        else:
+            raise ValueError(f"{path}:{line_no}: unknown record type {kind!r}")
+    return out
+
+
+def _label_text(labels: tuple) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for key, value in labels:
+        value = str(value).replace("\\", r"\\").replace('"', r"\"")
+        parts.append(f'{key}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _merge_labels(labels: tuple, extra: dict) -> str:
+    return _label_text(labels + tuple(sorted(extra.items())))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format.
+
+    Histograms emit cumulative ``_bucket`` series (``le`` labels, +Inf
+    included) plus ``_sum`` and ``_count``, matching what a scraper
+    expects from a native Prometheus client.
+    """
+    by_name: dict[str, list] = {}
+    for metric in registry:
+        by_name.setdefault(metric.name, []).append(metric)
+    lines: list[str] = []
+    for name, series in by_name.items():
+        lines.append(f"# TYPE {name} {series[0].kind}")
+        for metric in series:
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(f"{name}{_label_text(metric.labels)} {metric.value}")
+            elif isinstance(metric, Histogram):
+                cumulative = 0
+                for bound, count in zip(metric.bounds, metric.counts):
+                    cumulative += count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_merge_labels(metric.labels, {'le': bound})} "
+                        f"{cumulative}"
+                    )
+                cumulative += metric.counts[-1]
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_merge_labels(metric.labels, {'le': '+Inf'})} "
+                    f"{cumulative}"
+                )
+                lines.append(f"{name}_sum{_label_text(metric.labels)} {metric.total}")
+                lines.append(f"{name}_count{_label_text(metric.labels)} {metric.count}")
+    return "\n".join(lines) + "\n"

@@ -24,7 +24,11 @@ class Timer:
         print(t.total, t.count)   # accumulated over all blocks
 
     Re-entering accumulates; ``elapsed`` always refers to the most recent
-    completed block.
+    completed block.  Misuse raises :class:`RuntimeError` — entering a
+    timer that is already running (nested ``with`` on the same instance
+    would silently corrupt ``total``) and exiting one that was never
+    entered.  These are real exceptions, not ``assert`` guards, so the
+    checks survive ``python -O``.
     """
 
     def __init__(self) -> None:
@@ -34,11 +38,17 @@ class Timer:
         self._start: float | None = None
 
     def __enter__(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError(
+                "Timer re-entered while already running; nested timing needs "
+                "a separate Timer instance"
+            )
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        assert self._start is not None, "Timer exited without entering"
+        if self._start is None:
+            raise RuntimeError("Timer exited without entering")
         self.elapsed = time.perf_counter() - self._start
         self.total += self.elapsed
         self.count += 1

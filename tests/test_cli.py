@@ -1,8 +1,11 @@
 """Tests for the CLI experiment runner."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.telemetry import read_jsonl
 
 
 class TestParser:
@@ -125,6 +128,97 @@ class TestSolveSubcommand:
         assert "degraded          False" in out and "ladder" in out
 
 
+class TestTelemetryFlags:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.manifest == "RUN_manifest.json"
+        assert not args.no_manifest and not args.no_telemetry
+        assert args.telemetry is None
+
+    def test_top_level_flags_precede_subcommand(self):
+        args = build_parser().parse_args(
+            ["--no-manifest", "--no-telemetry", "--manifest", "m.json",
+             "solve", "--telemetry", "t.jsonl"]
+        )
+        assert args.no_manifest and args.no_telemetry
+        assert args.manifest == "m.json" and args.telemetry == "t.jsonl"
+
+    def test_solve_writes_telemetry_jsonl(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["--manifest", str(tmp_path / "m.json"),
+             "solve", "--table1", "--segments", "6", "--epsilon", "0.01",
+             "--telemetry", str(trace)]
+        )
+        assert code == 0
+        data = read_jsonl(trace)
+        assert data["meta"]["format_version"] == 1
+        roots = [s for s in data["spans"] if s["parent_id"] is None]
+        assert [s["name"] for s in roots] == ["cli.solve"]
+        names = {s["name"] for s in data["spans"]}
+        assert {"cubis.solve", "binary_search.step"} <= names
+        assert any(m["name"] == "repro_oracle_seconds"
+                   for m in data["metrics"])
+
+    def test_manifest_written(self, capsys, tmp_path):
+        path = tmp_path / "RUN_manifest.json"
+        code = main(
+            ["--manifest", str(path),
+             "solve", "--table1", "--segments", "6", "--epsilon", "0.01"]
+        )
+        assert code == 0
+        manifest = json.loads(path.read_text())
+        assert manifest["command"] == "solve"
+        assert manifest["status"] == "ok"
+        assert manifest["seed"] == 2016
+        assert manifest["telemetry_enabled"] is True
+        assert manifest["spans"]["total_spans"] > 0
+        assert len(manifest["spans"]["slowest"]) <= 10
+        assert manifest["config"]["segments"] == 6
+
+    def test_no_manifest_suppresses(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["--no-manifest", "solve", "--table1", "--segments", "6",
+                     "--epsilon", "0.01"])
+        assert code == 0
+        assert not (tmp_path / "RUN_manifest.json").exists()
+
+    def test_no_telemetry_skips_spans_keeps_manifest(self, capsys, tmp_path):
+        path = tmp_path / "m.json"
+        code = main(
+            ["--no-telemetry", "--manifest", str(path),
+             "solve", "--table1", "--segments", "6", "--epsilon", "0.01"]
+        )
+        assert code == 0
+        manifest = json.loads(path.read_text())
+        assert manifest["telemetry_enabled"] is False
+        assert manifest["spans"]["total_spans"] == 0
+        # Metrics survive without tracing (counters are always live).
+        assert any(m["name"] == "repro_oracle_seconds"
+                   for m in manifest["metrics"])
+
+    def test_no_telemetry_skips_jsonl(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        code = main(
+            ["--no-telemetry", "--manifest", str(tmp_path / "m.json"),
+             "solve", "--table1", "--segments", "6", "--epsilon", "0.01",
+             "--telemetry", str(trace)]
+        )
+        assert code == 0
+        assert not trace.exists()
+
+    def test_manifest_written_on_failure(self, capsys, tmp_path):
+        # A command that runs and fails must still leave a manifest
+        # behind (status "error") for triage.
+        path = tmp_path / "m.json"
+        with pytest.raises(ValueError, match="num_segments"):
+            main(["--manifest", str(path),
+                  "solve", "--table1", "--segments", "0"])
+        manifest = json.loads(path.read_text())
+        assert manifest["status"] == "error"
+        assert manifest["command"] == "solve"
+
+
 class TestBenchSubcommand:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["bench"])
@@ -164,3 +258,19 @@ class TestBenchSubcommand:
             assert "wall_clock_seconds" in payload[section]
             assert "oracle_calls" in payload[section]
             assert "cache_hit_rate" in payload[section]
+        # The telemetry rollup rides along in the payload (and the
+        # printed summary) unless --no-telemetry was given.
+        span_names = {a["name"] for a in payload["spans"]["by_name"]}
+        assert {"bench.cold_pass", "bench.warm_pass"} <= span_names
+        assert "spans:" in out
+
+    def test_bench_no_telemetry_omits_spans(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        code = main(
+            ["--no-telemetry", "--manifest", str(tmp_path / "m.json"),
+             "bench", "--targets", "8", "--segments", "6", "--games", "2",
+             "--epsilon", "0.05", "--workers", "1", "--out", str(out_path)]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["spans"] is None

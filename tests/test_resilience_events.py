@@ -1,0 +1,74 @@
+"""Tests for repro.resilience.events: validation and serialisation."""
+
+import dataclasses
+import json
+import logging
+
+import pytest
+
+from repro.resilience.events import OUTCOMES, SolveEventLog, StepEvent
+
+
+def make_event(**overrides):
+    base = dict(step=1, c=0.5, rung=0, oracle="milp", backend="highs",
+                attempt=1, outcome="ok", feasible=True, wall_seconds=0.01)
+    base.update(overrides)
+    return StepEvent(**base)
+
+
+class TestStepEventValidation:
+    @pytest.mark.parametrize("outcome", OUTCOMES)
+    def test_valid_outcomes_accepted(self, outcome):
+        assert make_event(outcome=outcome).outcome == outcome
+
+    @pytest.mark.parametrize("bad", ["Ok", "failed", "", "timed_out", None])
+    def test_invalid_outcome_raises(self, bad):
+        with pytest.raises(ValueError, match="outcome must be one of"):
+            make_event(outcome=bad)
+
+    def test_label(self):
+        assert make_event().label == "milp:highs"
+        assert make_event(oracle="dp", backend=None).label == "dp"
+
+
+class TestSerialisation:
+    def test_asdict_json_round_trip(self):
+        event = make_event(outcome="error", feasible=None, message="boom")
+        payload = json.dumps(dataclasses.asdict(event), sort_keys=True)
+        restored = StepEvent(**json.loads(payload))
+        assert restored == event
+
+    def test_log_events_round_trip(self):
+        log = SolveEventLog()
+        log.record(make_event())
+        log.record(make_event(step=2, outcome="timeout", feasible=None,
+                              message="slow"))
+        payload = json.dumps([dataclasses.asdict(e) for e in log.events])
+        restored = tuple(StepEvent(**d) for d in json.loads(payload))
+        assert restored == log.events
+
+
+class TestSolveEventLog:
+    def test_failures_and_len(self):
+        log = SolveEventLog()
+        log.record(make_event())
+        log.record(make_event(outcome="error", feasible=None, message="x"))
+        assert len(log) == 2
+        assert [e.outcome for e in log.failures()] == ["error"]
+
+    def test_summary_groups_by_label(self):
+        log = SolveEventLog()
+        log.record(make_event())
+        log.record(make_event(rung=1, oracle="dp", backend=None,
+                              outcome="timeout", feasible=None))
+        text = log.summary()
+        assert "oracle attempts: 2" in text
+        assert "milp:highs: 1 ok, 0 error, 0 timeout" in text
+        assert "dp: 0 ok, 0 error, 1 timeout" in text
+
+    def test_failures_log_at_warning(self, caplog):
+        log = SolveEventLog()
+        with caplog.at_level(logging.WARNING, logger="repro.resilience"):
+            log.record(make_event(outcome="error", feasible=None,
+                                  message="exploded"))
+        assert any("exploded" in r.message for r in caplog.records)

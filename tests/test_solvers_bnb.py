@@ -108,7 +108,11 @@ def random_binary_milp(draw):
     n_cont = draw(st.integers(0, 2))
     n = n_bin + n_cont
     m = draw(st.integers(1, 3))
-    fl = st.floats(-5, 5, allow_nan=False)
+    # Quantised to 1e-3 so no coefficient lands at the solvers'
+    # feasibility-tolerance scale (~1e-7), where an exact solver and a
+    # tolerance-based one legitimately disagree (e.g. 5e-8 * x <= 0
+    # binds x to 0 exactly but is slack for HiGHS).
+    fl = st.floats(-5, 5, allow_nan=False).map(lambda v: round(v, 3))
     c = np.array([draw(fl) for _ in range(n)])
     A = np.array([[draw(fl) for _ in range(n)] for _ in range(m)])
     # RHS chosen so the all-zeros point is feasible -> problem is feasible.

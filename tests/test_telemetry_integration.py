@@ -1,0 +1,197 @@
+"""End-to-end telemetry tests: the solve pipeline traced under a live
+context, counter/result-field agreement, and parallel sweep merges."""
+
+import pytest
+
+from repro import telemetry
+from repro.analysis.sweep import run_grid
+from repro.behavior.interval import IntervalSUQR
+from repro.core.cubis import solve_cubis
+from repro.game.generator import random_interval_game, table1_game
+from repro.telemetry import Telemetry
+
+
+def _table1_inputs():
+    game = table1_game()
+    uncertainty = IntervalSUQR(
+        game.payoffs, w1=(-6.0, -2.0), w2=(0.5, 1.0), w3=(0.4, 0.9)
+    )
+    return game, uncertainty
+
+
+def _telemetry_trial(rng, trial_index, *, num_targets):
+    """Module-level (picklable) sweep trial that solves a small game and
+    records deterministic values into a custom histogram."""
+    game = random_interval_game(num_targets, seed=rng)
+    uncertainty = IntervalSUQR(
+        game.payoffs, w1=(-4.0, -2.0), w2=(0.6, 0.9), w3=(0.3, 0.6)
+    )
+    result = solve_cubis(game, uncertainty, num_segments=6, epsilon=0.05)
+    # Deterministic observations (not timings): bit-identical across any
+    # workers setting.
+    telemetry.histogram(
+        "test_trial_values", buckets=(1.0, 2.0, 4.0)
+    ).observe(trial_index)
+    yield {"worst_case": result.worst_case_value,
+           "oracle_calls": result.oracle_calls}
+
+
+class TestSolveTracing:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        tele = Telemetry()
+        game, uncertainty = _table1_inputs()
+        with telemetry.use(tele):
+            result = solve_cubis(game, uncertainty, num_segments=10,
+                                 epsilon=1e-3)
+        return tele, result
+
+    def test_root_span_is_cubis_solve(self, traced):
+        tele, result = traced
+        roots = [r for r in tele.spans if r.parent_id is None]
+        assert [r.name for r in roots] == ["cubis.solve"]
+        root = roots[0]
+        assert root.attributes["targets"] == 2
+        assert root.attributes["iterations"] == result.iterations
+        assert root.attributes["milp_solves"] == result.milp_solves
+        assert root.attributes["worst_case_value"] == result.worst_case_value
+
+    def test_step_spans_cover_every_oracle_call(self, traced):
+        tele, result = traced
+        steps = [r for r in tele.spans if r.name == "binary_search.step"]
+        assert len(steps) == result.oracle_calls
+        for step in steps:
+            assert "c" in step.attributes
+            assert isinstance(step.attributes["feasible"], bool)
+
+    def test_oracle_spans_attribute_kind(self, traced):
+        tele, _ = traced
+        solves = [r for r in tele.spans
+                  if r.name in ("milp.solve", "dp.solve")]
+        assert solves
+        for r in solves:
+            kind = r.attributes["kind"]
+            assert kind == "dp" or kind.split(":")[0] in ("milp", "lp")
+
+    def test_oracle_seconds_histogram_recorded(self, traced):
+        tele, _ = traced
+        series = [m for m in tele.metrics
+                  if m.name == "repro_oracle_seconds"]
+        assert series
+        solves = [r for r in tele.spans
+                  if r.name in ("milp.solve", "dp.solve")]
+        assert sum(h.count for h in series) == len(solves)
+
+    def test_counters_match_result_fields(self):
+        # Fresh context so the run-level counters start at zero and the
+        # per-solve deltas equal the absolute values.
+        tele = Telemetry()
+        game, uncertainty = _table1_inputs()
+        with telemetry.use(tele):
+            result = solve_cubis(game, uncertainty, num_segments=10,
+                                 epsilon=1e-3)
+        counts = {m.name: m.value for m in tele.metrics
+                  if m.kind == "counter"}
+        assert counts["repro_cubis_milp_solves_total"] == result.milp_solves
+        assert counts.get("repro_cubis_lp_screens_total", 0) == result.lp_solves
+        assert counts.get("repro_cubis_cache_hits_total", 0) == result.cache_hits
+
+    def test_result_fields_survive_disabled_telemetry(self):
+        # The DISABLED fallback's registry is shared process-wide;
+        # per-solve fields are deltas, so they must be correct without
+        # any context active.
+        game, uncertainty = _table1_inputs()
+        r1 = solve_cubis(game, uncertainty, num_segments=10, epsilon=1e-3)
+        r2 = solve_cubis(game, uncertainty, num_segments=10, epsilon=1e-3)
+        assert r1.milp_solves == r2.milp_solves
+        assert r1.oracle_calls == r2.oracle_calls
+
+
+class TestSweepMerging:
+    GRID = [{"num_targets": 3}, {"num_targets": 4}]
+
+    def _run(self, workers):
+        tele = Telemetry()
+        with telemetry.use(tele):
+            table = run_grid(_telemetry_trial, self.GRID, num_trials=2,
+                             seed=123, workers=workers)
+        return tele, table
+
+    @staticmethod
+    def _skeleton(tele):
+        """Span tree minus timings and the ``workers`` attribute (both
+        legitimately vary across workers settings)."""
+        return [
+            (r.span_id, r.parent_id, r.name, r.depth, r.status,
+             tuple(sorted((k, v) for k, v in r.attributes.items()
+                          if k != "workers"
+                          and (not isinstance(v, float) or k == "c"))))
+            for r in tele.spans
+        ]
+
+    def test_serial_and_pooled_span_trees_identical(self):
+        tele1, table1 = self._run(workers=1)
+        tele4, table4 = self._run(workers=4)
+        assert table1.rows == table4.rows
+        assert self._skeleton(tele1) == self._skeleton(tele4)
+
+    def test_trial_spans_nested_under_run_grid(self):
+        tele, _ = self._run(workers=1)
+        by_name = {}
+        for r in tele.spans:
+            by_name.setdefault(r.name, []).append(r)
+        (grid,) = by_name["sweep.run_grid"]
+        trials = by_name["sweep.trial"]
+        assert len(trials) == 4  # 2 cells x 2 trials
+        assert all(t.parent_id == grid.span_id for t in trials)
+        assert [(t.attributes["cell"], t.attributes["trial"])
+                for t in trials] == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_histogram_merge_bit_identical_across_workers(self):
+        def hist_snapshot(tele):
+            (h,) = [m for m in tele.metrics if m.name == "test_trial_values"]
+            return h.snapshot()
+
+        tele1, _ = self._run(workers=1)
+        tele4, _ = self._run(workers=4)
+        assert hist_snapshot(tele1) == hist_snapshot(tele4)
+
+    def test_counters_merge_across_workers(self):
+        # These small games resolve through the LP screen, so the LP
+        # counter is the one guaranteed to move.
+        tele1, _ = self._run(workers=1)
+        tele4, _ = self._run(workers=4)
+        def lp_total(tele):
+            return sum(m.value for m in tele.metrics
+                       if m.name == "repro_cubis_lp_screens_total")
+        assert lp_total(tele1) == lp_total(tele4) > 0
+
+    def test_disabled_context_skips_trial_capture(self):
+        table = run_grid(_telemetry_trial, self.GRID, num_trials=1, seed=9)
+        assert len(table.rows) == 2  # no context: results only, no spans
+
+
+class TestResilienceEmission:
+    def test_event_log_emits_through_telemetry(self):
+        from repro.resilience.events import SolveEventLog, StepEvent
+
+        tele = Telemetry()
+        log = SolveEventLog()
+        with telemetry.use(tele):
+            log.record(StepEvent(step=1, c=0.5, rung=0, oracle="milp",
+                                 backend="highs", attempt=1, outcome="ok",
+                                 feasible=True, wall_seconds=0.01))
+            log.record(StepEvent(step=1, c=0.5, rung=1, oracle="dp",
+                                 backend=None, attempt=1, outcome="error",
+                                 feasible=None, wall_seconds=0.02,
+                                 message="boom"))
+        attempts = [r for r in tele.spans if r.name == "resilience.attempt"]
+        assert len(attempts) == 2
+        assert attempts[0].attributes["outcome"] == "ok"
+        assert attempts[1].attributes["message"] == "boom"
+        counts = {tuple(m.labels): m.value for m in tele.metrics
+                  if m.name == "repro_resilience_attempts_total"}
+        assert counts[(("outcome", "ok"),)] == 1
+        assert counts[(("outcome", "error"),)] == 1
+        # The public API is unchanged: the log still holds the events.
+        assert len(log) == 2 and len(log.failures()) == 1

@@ -1,0 +1,205 @@
+"""Tests for repro.telemetry metrics: counters, gauges, histograms, merge."""
+
+import pickle
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("hits_total")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_negative_increment_raises(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Counter("x").inc(-1)
+
+    def test_merge_adds(self):
+        a, b = Counter("x"), Counter("x")
+        a.inc(2)
+        b.inc(5)
+        a.merge(b)
+        assert a.value == 7
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("pool_size")
+        g.set(3)
+        g.set(7)
+        assert g.value == 7.0
+
+    def test_merge_is_last_write(self):
+        a, b = Gauge("x"), Gauge("x")
+        a.set(1)
+        b.set(9)
+        a.merge(b)
+        assert a.value == 9.0
+
+
+class TestHistogram:
+    def test_le_bucket_semantics(self):
+        h = Histogram("lat", bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 4.0, 99.0):
+            h.observe(v)
+        # Inclusive upper edges: 1.0 lands in the le=1.0 bucket, 4.0 in
+        # le=4.0, 99.0 in the implicit +Inf overflow.
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.total == pytest.approx(106.0)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("x", bounds=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("x", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError, match="non-empty"):
+            Histogram("x", bounds=())
+
+    def test_mean(self):
+        h = Histogram("x", bounds=(10.0,))
+        assert h.mean == 0.0
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean == 3.0
+
+    def test_quantile_bucket_resolution(self):
+        h = Histogram("x", bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.5, 1.5, 3.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 4.0
+        assert Histogram("y", bounds=(1.0,)).quantile(0.5) == 0.0
+
+    def test_quantile_overflow_is_inf(self):
+        h = Histogram("x", bounds=(1.0,))
+        h.observe(5.0)
+        assert h.quantile(1.0) == float("inf")
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            Histogram("x", bounds=(1.0,)).quantile(1.5)
+
+    def test_merge_is_elementwise_addition(self):
+        a = Histogram("x", bounds=(1.0, 2.0))
+        b = Histogram("x", bounds=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b)
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+        assert a.total == pytest.approx(11.0)
+
+    def test_merge_mismatched_bounds_raises(self):
+        a = Histogram("x", bounds=(1.0, 2.0))
+        b = Histogram("x", bounds=(1.0, 3.0))
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            a.merge(b)
+
+    def test_default_buckets_are_fixed_and_sorted(self):
+        assert list(DEFAULT_SECONDS_BUCKETS) == sorted(set(DEFAULT_SECONDS_BUCKETS))
+        h = Histogram("x")
+        assert h.bounds == DEFAULT_SECONDS_BUCKETS
+
+
+class TestMetricsRegistry:
+    def test_same_name_same_labels_is_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", k="v") is reg.counter("a", k="v")
+
+    def test_labels_create_separate_series(self):
+        reg = MetricsRegistry()
+        reg.counter("oracle_total", kind="milp").inc()
+        reg.counter("oracle_total", kind="dp").inc(2)
+        assert reg.counter("oracle_total", kind="milp").value == 1
+        assert reg.counter("oracle_total", kind="dp").value == 2
+        assert len(reg) == 2
+
+    def test_label_order_is_normalised(self):
+        reg = MetricsRegistry()
+        reg.counter("x", a="1", b="2").inc()
+        assert reg.counter("x", b="2", a="1").value == 1
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered as counter"):
+            reg.gauge("x")
+
+    def test_histogram_rebounds_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="already registered with bounds"):
+            reg.histogram("lat", buckets=(1.0, 3.0))
+        # Omitting buckets accepts the registered series.
+        assert reg.histogram("lat").bounds == (1.0, 2.0)
+
+    def test_merge_creates_missing_and_adds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        b.gauge("g").set(5)
+        b.histogram("h", buckets=(1.0,)).observe(0.5)
+        a.merge(b)
+        assert a.counter("c").value == 3
+        assert a.gauge("g").value == 5.0
+        assert a.histogram("h").counts == [1, 0]
+
+    def test_merge_type_conflict_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x")
+        b.gauge("x")
+        with pytest.raises(TypeError, match="cannot merge"):
+            a.merge(b)
+
+    def test_merge_order_determinism(self):
+        # Two different merge groupings of the same worker registries
+        # must produce bit-identical snapshots: merging is pure count
+        # addition on fixed buckets.
+        def worker(values):
+            reg = MetricsRegistry()
+            for v in values:
+                reg.histogram("h", buckets=(1.0, 2.0, 4.0)).observe(v)
+                reg.counter("n_total").inc()
+            return reg
+
+        workers = [worker([0.5, 1.5]), worker([3.0]), worker([9.0, 0.1])]
+        serial = MetricsRegistry()
+        for w in workers:
+            serial.merge(w)
+        paired = MetricsRegistry()
+        left = worker([0.5, 1.5])
+        left.merge(worker([3.0]))
+        paired.merge(left)
+        paired.merge(worker([9.0, 0.1]))
+        assert serial.snapshot() == paired.snapshot()
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", kind="milp").inc(2)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snaps = {s["name"]: s for s in reg.snapshot()}
+        assert snaps["c"] == {"type": "counter", "name": "c",
+                              "labels": {"kind": "milp"}, "value": 2}
+        assert snaps["h"]["counts"] == [1, 0]
+        assert snaps["h"]["bounds"] == [1.0]
+        assert snaps["h"]["sum"] == 0.5
+        assert snaps["h"]["count"] == 1
+
+    def test_registry_is_picklable(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("h", buckets=(1.0,)).observe(2.0)
+        clone = pickle.loads(pickle.dumps(reg))
+        assert clone.snapshot() == reg.snapshot()

@@ -1,0 +1,190 @@
+"""Tests for repro.telemetry sinks and manifests: JSONL, Prometheus text,
+span summaries, and the run manifest."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    Telemetry,
+    build_manifest,
+    git_sha,
+    prometheus_text,
+    read_jsonl,
+    summarize_spans,
+    write_jsonl,
+    write_manifest,
+)
+
+
+def _traced_context():
+    tele = Telemetry()
+    with tele.span("cli.solve", experiment="solve"):
+        with tele.span("cubis.solve", targets=8):
+            with tele.span("binary_search.step", c=0.25) as sp:
+                sp.set(feasible=True)
+    tele.counter("repro_cubis_milp_solves_total").inc(3)
+    tele.histogram("repro_oracle_seconds", kind="milp:highs").observe(0.002)
+    return tele
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tele = _traced_context()
+        path = write_jsonl(tele, tmp_path / "trace.jsonl")
+        data = read_jsonl(path)
+        assert data["meta"]["format_version"] == 1
+        assert data["meta"]["spans"] == 3
+        assert data["meta"]["metrics"] == 2
+        names = [s["name"] for s in data["spans"]]
+        assert names == ["cli.solve", "cubis.solve", "binary_search.step"]
+        step = data["spans"][2]
+        assert step["attributes"] == {"c": 0.25, "feasible": True}
+        assert step["parent_id"] == data["spans"][1]["span_id"]
+        kinds = {m["type"] for m in data["metrics"]}
+        assert kinds == {"counter", "histogram"}
+
+    def test_every_line_is_json(self, tmp_path):
+        path = write_jsonl(_traced_context(), tmp_path / "t.jsonl")
+        for line in path.read_text().splitlines():
+            json.loads(line)  # raises on any malformed line
+
+    def test_unknown_record_type_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown record type"):
+            read_jsonl(path)
+
+    def test_error_span_round_trips(self, tmp_path):
+        tele = Telemetry()
+        with pytest.raises(ValueError):
+            with tele.span("bad"):
+                raise ValueError("boom")
+        data = read_jsonl(write_jsonl(tele, tmp_path / "t.jsonl"))
+        (span,) = data["spans"]
+        assert span["status"] == "error"
+        assert span["error"] == "ValueError: boom"
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("attempts_total", outcome="ok").inc(4)
+        reg.gauge("pool_size").set(2)
+        text = prometheus_text(reg)
+        assert "# TYPE attempts_total counter" in text
+        assert 'attempts_total{outcome="ok"} 4' in text
+        assert "# TYPE pool_size gauge" in text
+        assert "pool_size 2.0" in text
+
+    def test_histogram_is_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 9.0):
+            h.observe(v)
+        text = prometheus_text(reg)
+        assert 'lat_seconds_bucket{le="1.0"} 1' in text
+        assert 'lat_seconds_bucket{le="2.0"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_sum 11.0" in text
+        assert "lat_seconds_count 3" in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", kind='odd"name\\x').inc()
+        text = prometheus_text(reg)
+        assert r'c_total{kind="odd\"name\\x"} 1' in text
+
+    def test_ends_with_newline(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        assert prometheus_text(reg).endswith("\n")
+
+
+class TestSummarizeSpans:
+    def test_rollup_sorted_by_total_time(self):
+        tele = _traced_context()
+        summary = summarize_spans(tele.spans)
+        assert summary["total_spans"] == 3
+        names = [a["name"] for a in summary["by_name"]]
+        # Outer spans include their children's time, so the CLI root
+        # dominates the rollup.
+        assert names[0] == "cli.solve"
+        for agg in summary["by_name"]:
+            assert agg["mean_seconds"] == pytest.approx(
+                agg["total_seconds"] / agg["count"]
+            )
+            assert agg["errors"] == 0
+
+    def test_slowest_limit(self):
+        tele = Telemetry()
+        for i in range(15):
+            with tele.span("s", i=i):
+                pass
+        summary = summarize_spans(tele.spans, slowest_limit=10)
+        assert len(summary["slowest"]) == 10
+        durations = [s["duration"] for s in summary["slowest"]]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_errors_counted(self):
+        tele = Telemetry()
+        with pytest.raises(RuntimeError):
+            with tele.span("s"):
+                raise RuntimeError("x")
+        summary = summarize_spans(tele.spans)
+        assert summary["by_name"][0]["errors"] == 1
+
+    def test_empty(self):
+        summary = summarize_spans(())
+        assert summary == {"total_spans": 0, "by_name": [], "slowest": []}
+
+
+class TestManifest:
+    def test_build_manifest_fields(self):
+        tele = _traced_context()
+        manifest = build_manifest(
+            command="solve",
+            config={"seed": 7, "epsilon": 0.01, "out": None},
+            telemetry=tele,
+            seed=7,
+            wall_clock_seconds=1.25,
+        )
+        assert manifest["schema_version"] == 1
+        assert manifest["command"] == "solve"
+        assert manifest["status"] == "ok"
+        assert manifest["seed"] == 7
+        assert manifest["config"]["epsilon"] == 0.01
+        assert manifest["wall_clock_seconds"] == 1.25
+        assert manifest["telemetry_enabled"] is True
+        assert isinstance(manifest["git_sha"], str) and manifest["git_sha"]
+        assert manifest["spans"]["total_spans"] == 3
+        metric_names = {m["name"] for m in manifest["metrics"]}
+        assert "repro_cubis_milp_solves_total" in metric_names
+
+    def test_wall_clock_defaults_to_root_spans(self):
+        tele = _traced_context()
+        manifest = build_manifest(command="solve", config={}, telemetry=tele)
+        root = tele.spans[0]
+        assert manifest["wall_clock_seconds"] == pytest.approx(root.duration)
+
+    def test_non_jsonable_config_is_stringified(self):
+        manifest = build_manifest(
+            command="x", config={"path": object()}, telemetry=Telemetry(),
+        )
+        json.dumps(manifest["config"])  # must not raise
+
+    def test_write_manifest_is_valid_json(self, tmp_path):
+        tele = _traced_context()
+        manifest = build_manifest(command="solve", config={"a": 1},
+                                  telemetry=tele)
+        path = write_manifest(manifest, tmp_path / "RUN_manifest.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["command"] == "solve"
+
+    def test_git_sha_in_repo(self):
+        sha = git_sha()
+        assert sha == "unknown" or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))
+
+    def test_git_sha_outside_repo(self, tmp_path):
+        assert git_sha(cwd=tmp_path) == "unknown"

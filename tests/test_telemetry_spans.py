@@ -1,0 +1,248 @@
+"""Tests for repro.telemetry tracing: spans, nesting, events, adoption."""
+
+import pickle
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import NULL_SPAN, SpanRecord, Telemetry, Tracer
+
+
+class TestSpanNesting:
+    def test_single_span_is_root(self):
+        tr = Tracer()
+        with tr.span("root"):
+            pass
+        (rec,) = tr.spans
+        assert rec.name == "root"
+        assert rec.parent_id is None
+        assert rec.depth == 0
+        assert rec.status == "ok"
+        assert rec.duration >= 0.0
+
+    def test_children_link_to_parent(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+            with tr.span("inner"):
+                pass
+        outer = next(r for r in tr.spans if r.name == "outer")
+        inners = [r for r in tr.spans if r.name == "inner"]
+        assert len(inners) == 2
+        assert all(r.parent_id == outer.span_id for r in inners)
+        assert all(r.depth == 1 for r in inners)
+
+    def test_ids_in_start_order(self):
+        # Children *complete* before parents, but ids are assigned at
+        # start: sorting by id (the ``spans`` property) recovers
+        # timestamp order.
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+        names = [r.name for r in tr.spans]
+        assert names == ["a", "b"]
+        assert [r.span_id for r in tr.spans] == [1, 2]
+
+    def test_siblings_after_nested(self):
+        tr = Tracer()
+        with tr.span("root"):
+            with tr.span("first"):
+                with tr.span("deep"):
+                    pass
+            with tr.span("second"):
+                pass
+        names = [r.name for r in tr.spans]
+        assert names == ["root", "first", "deep", "second"]
+        second = tr.spans[3]
+        root = tr.spans[0]
+        assert second.parent_id == root.span_id
+        assert second.depth == 1
+
+    def test_active_span_id(self):
+        tr = Tracer()
+        assert tr.active_span_id is None
+        with tr.span("outer"):
+            outer_id = tr.active_span_id
+            with tr.span("inner"):
+                assert tr.active_span_id != outer_id
+            assert tr.active_span_id == outer_id
+        assert tr.active_span_id is None
+
+
+class TestSpanAttributes:
+    def test_creation_and_set(self):
+        tr = Tracer()
+        with tr.span("step", c=0.5) as sp:
+            sp.set(feasible=True, extra=3)
+        (rec,) = tr.spans
+        assert rec.attributes == {"c": 0.5, "feasible": True, "extra": 3}
+
+    def test_set_chains(self):
+        tr = Tracer()
+        with tr.span("s") as sp:
+            assert sp.set(a=1) is sp
+
+
+class TestSpanErrors:
+    def test_exception_marks_error_and_propagates(self):
+        tr = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tr.span("bad"):
+                raise ValueError("boom")
+        (rec,) = tr.spans
+        assert rec.status == "error"
+        assert rec.error == "ValueError: boom"
+
+    def test_outer_records_even_when_inner_raises(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("outer"):
+                with tr.span("inner"):
+                    raise RuntimeError("x")
+        by_name = {r.name: r for r in tr.spans}
+        assert by_name["inner"].status == "error"
+        assert by_name["outer"].status == "error"
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+
+
+class TestEvents:
+    def test_event_is_instant_span(self):
+        tr = Tracer()
+        with tr.span("root"):
+            tr.event("ping", n=1)
+        root, ping = tr.spans
+        assert ping.name == "ping"
+        assert ping.duration == 0.0
+        assert ping.parent_id == root.span_id
+        assert ping.attributes == {"n": 1}
+
+    def test_event_outside_span_is_root(self):
+        tr = Tracer()
+        tr.event("lonely")
+        (rec,) = tr.spans
+        assert rec.parent_id is None and rec.depth == 0
+
+
+class TestNullSpan:
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as sp:
+            assert sp is NULL_SPAN
+            assert sp.set(anything=1) is sp
+
+    def test_null_span_does_not_swallow(self):
+        with pytest.raises(KeyError):
+            with NULL_SPAN:
+                raise KeyError("through")
+
+    def test_disabled_telemetry_returns_null_span(self):
+        tele = Telemetry(enabled=False)
+        assert tele.span("x") is NULL_SPAN
+        tele.event("y")
+        assert tele.spans == ()
+
+
+class TestContextActivation:
+    def test_use_scopes_the_context(self):
+        tele = Telemetry()
+        assert telemetry.current() is telemetry.DISABLED
+        with telemetry.use(tele):
+            assert telemetry.current() is tele
+            with telemetry.span("inside"):
+                pass
+        assert telemetry.current() is telemetry.DISABLED
+        assert [r.name for r in tele.spans] == ["inside"]
+
+    def test_module_span_without_context_is_noop(self):
+        assert telemetry.span("nothing") is NULL_SPAN
+
+    def test_disabled_metrics_stay_live(self):
+        # The DISABLED fallback drops spans but still counts: result
+        # fields are derived from counter deltas even when not tracing.
+        c = telemetry.counter("test_disabled_counter_total")
+        before = c.value
+        c.inc()
+        assert telemetry.counter("test_disabled_counter_total").value == before + 1
+
+    def test_nested_use_restores_outer(self):
+        outer, inner = Telemetry(), Telemetry()
+        with telemetry.use(outer):
+            with telemetry.use(inner):
+                assert telemetry.current() is inner
+            assert telemetry.current() is outer
+
+
+class TestAdopt:
+    def test_adopt_remaps_and_reparents(self):
+        worker = Tracer()
+        with worker.span("trial"):
+            with worker.span("solve"):
+                pass
+        parent = Tracer()
+        with parent.span("grid"):
+            parent.adopt(worker.spans)
+        by_name = {r.name: r for r in parent.spans}
+        grid, trial, solve = by_name["grid"], by_name["trial"], by_name["solve"]
+        assert trial.parent_id == grid.span_id
+        assert solve.parent_id == trial.span_id
+        assert (trial.depth, solve.depth) == (1, 2)
+        # Remapped ids are unique and past the parent's own.
+        ids = [r.span_id for r in parent.spans]
+        assert len(set(ids)) == len(ids)
+
+    def test_adopt_outside_span_makes_roots(self):
+        worker = Tracer()
+        with worker.span("trial"):
+            pass
+        parent = Tracer()
+        parent.adopt(worker.spans)
+        (rec,) = parent.spans
+        assert rec.parent_id is None and rec.depth == 0
+
+    def test_adopt_order_is_deterministic(self):
+        def make_worker(tag):
+            tr = Tracer()
+            with tr.span("trial", tag=tag):
+                pass
+            return tr.spans
+
+        a, b = make_worker("a"), make_worker("b")
+        p1, p2 = Tracer(), Tracer()
+        for p in (p1, p2):
+            with p.span("grid"):
+                p.adopt(a)
+                p.adopt(b)
+        skeleton = lambda tr: [
+            (r.span_id, r.parent_id, r.name, r.depth, dict(r.attributes))
+            for r in tr.spans
+        ]
+        assert skeleton(p1) == skeleton(p2)
+
+    def test_adopt_empty_is_noop(self):
+        tr = Tracer()
+        tr.adopt(())
+        assert len(tr) == 0
+
+
+class TestSerialisation:
+    def test_record_is_picklable(self):
+        tr = Tracer()
+        with tr.span("s", k=1):
+            pass
+        (rec,) = tr.spans
+        assert pickle.loads(pickle.dumps(rec)) == rec
+
+    def test_to_dict_shape(self):
+        rec = SpanRecord(span_id=3, parent_id=1, name="n", start=0.5,
+                         duration=0.25, depth=1, attributes={"a": 1})
+        d = rec.to_dict()
+        assert d["type"] == "span"
+        assert "error" not in d  # only present when status == "error"
+        assert d["attributes"] == {"a": 1}
+
+    def test_to_dict_includes_error(self):
+        rec = SpanRecord(span_id=1, parent_id=None, name="n", start=0.0,
+                         duration=0.0, depth=0, status="error",
+                         error="ValueError: x")
+        assert rec.to_dict()["error"] == "ValueError: x"

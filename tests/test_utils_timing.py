@@ -2,6 +2,8 @@
 
 import time
 
+import pytest
+
 from repro.utils.timing import Timer
 
 
@@ -48,3 +50,29 @@ class TestTimer:
         with t:
             pass
         assert t.elapsed < long
+
+    def test_exit_without_enter_raises(self):
+        # A RuntimeError, not an assert: the guard must survive python -O.
+        with pytest.raises(RuntimeError, match="without entering"):
+            Timer().__exit__(None, None, None)
+
+    def test_nested_reentry_raises(self):
+        t = Timer()
+        with pytest.raises(RuntimeError, match="already running"):
+            with t:
+                with t:
+                    pass
+
+    def test_usable_after_reentry_error(self):
+        t = Timer()
+        try:
+            with t:
+                with t:
+                    pass
+        except RuntimeError:
+            pass
+        # The failed inner enter must not have corrupted accumulation.
+        assert t.count == 1
+        with t:
+            pass
+        assert t.count == 2
