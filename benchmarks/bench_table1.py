@@ -2,25 +2,21 @@
 
 Regenerates the Section III worked example — midpoint vs robust strategy
 and their worst-case utilities — and times a full CUBIS solve of the
-Table I game.
+Table I game (instance definition shared with the test suite and the
+golden fixtures via ``tests/fixtures_games.py``).
 
 Run:  pytest benchmarks/bench_table1.py --benchmark-only
 """
 
 import pytest
 
-from repro.behavior.interval import IntervalSUQR
 from repro.core.cubis import solve_cubis
-from repro.experiments.table1 import TABLE1_WEIGHT_BOXES, format_table1, run_table1
-from repro.game.generator import table1_game
+from repro.experiments.table1 import format_table1, run_table1
 
 
-def test_t1_cubis_solve(benchmark, report):
-    game = table1_game()
-    uncertainty = IntervalSUQR(game.payoffs, **TABLE1_WEIGHT_BOXES)
-
+def test_t1_cubis_solve(benchmark, report, table1, table1_uncertainty):
     result = benchmark(
-        solve_cubis, game, uncertainty, num_segments=25, epsilon=1e-4
+        solve_cubis, table1, table1_uncertainty, num_segments=25, epsilon=1e-4
     )
     assert result.worst_case_value == pytest.approx(-0.90, abs=0.05)
 

@@ -1,12 +1,31 @@
-"""Shared benchmark helpers: terminal reporting despite pytest capture."""
+"""Shared benchmark helpers: terminal reporting despite pytest capture,
+plus the canonical game instances (from ``tests/fixtures_games.py``, so
+benchmarks and golden fixtures agree on instance definitions)."""
 
 from __future__ import annotations
 
 import pathlib
+import sys
 
 import pytest
 
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(ROOT) not in sys.path:  # allow `pytest benchmarks/...` from anywhere
+    sys.path.insert(0, str(ROOT))
+
+from tests import fixtures_games  # noqa: E402
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def table1():
+    return fixtures_games.canonical_table1()
+
+
+@pytest.fixture
+def table1_uncertainty(table1):
+    return fixtures_games.table1_suqr(table1)
 
 
 @pytest.fixture

@@ -49,6 +49,12 @@ from repro.core import (
     worst_case_response,
 )
 from repro.telemetry import Telemetry
+from repro.verify import (
+    ConformanceCheck,
+    ConformanceReport,
+    differential_check,
+    run_battery,
+)
 from repro.resilience import (
     FaultInjector,
     ResiliencePolicy,
@@ -80,6 +86,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AttackLog",
+    "ConformanceCheck",
+    "ConformanceReport",
     "CoverageConstraints",
     "CubisResult",
     "FaultInjector",
@@ -104,12 +112,14 @@ __all__ = [
     "bootstrap_weight_boxes",
     "certify_result",
     "decompose_coverage",
+    "differential_check",
     "evaluate_worst_case",
     "fit_suqr",
     "injected_policy",
     "geographic_game",
     "random_game",
     "random_interval_game",
+    "run_battery",
     "sample_patrols",
     "simulate_attacks",
     "solve_cubis",

@@ -183,6 +183,44 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--telemetry", type=str, default=None, metavar="PATH",
                    help="write the solve's span tree and metrics as JSONL")
 
+    v = sub.add_parser(
+        "verify",
+        help="run the conformance battery (docs/VERIFICATION.md); "
+             "exits nonzero on any violation",
+    )
+    v.add_argument("--seeds", type=int, default=3,
+                   help="number of random seeded instances (besides Table I)")
+    v.add_argument("--targets", type=int, default=5,
+                   help="targets per random instance")
+    v.add_argument("--segments", type=int, default=10, help="piecewise segments K")
+    v.add_argument("--epsilon", type=float, default=1e-3,
+                   help="binary-search tolerance")
+    v.add_argument("--fast", action="store_true",
+                   help="CI smoke settings: skip the monotonicity sweep, "
+                        "fewer comparator multistarts")
+    v.add_argument("--paths", type=str, nargs="+", default=None,
+                   metavar="PATH",
+                   help="solver paths to cross-check "
+                        "(default: milp-highs milp-bnb dp exact)")
+    v.add_argument("--inject-faults", type=float, default=0.0, metavar="RATE",
+                   help="corrupt the MILP path with seeded faults at this "
+                        "rate (the battery must then FAIL — self-test)")
+    v.add_argument("--fault-seed", type=int, default=0,
+                   help="seed of the injected fault schedule")
+    v.add_argument("--report", type=str, default="VERIFY_report.jsonl",
+                   metavar="PATH",
+                   help="JSONL conformance report (spans + metrics + verdicts)")
+    v.add_argument("--golden-dir", type=str, default=None, metavar="DIR",
+                   help="golden fixture directory (default: tests/golden)")
+    v.add_argument("--no-golden", action="store_true",
+                   help="skip the golden-fixture comparisons")
+    v.add_argument("--regenerate", action="store_true",
+                   help="recompute and rewrite the golden fixtures instead "
+                        "of checking them (refuses on unexplained drift)")
+    v.add_argument("--reason", type=str, default=None,
+                   help="why regenerated values are allowed to drift "
+                        "(recorded in fixture provenance)")
+
     sub.add_parser("all", help="run every experiment at quick settings")
     return parser
 
@@ -378,6 +416,71 @@ def _run_solve(args) -> str:
     return "\n".join(lines)
 
 
+def _run_verify(args) -> str:
+    from repro import telemetry
+    from repro.verify import (
+        DEFAULT_PATHS,
+        load_all_fixtures,
+        regenerate_fixture,
+        run_battery,
+        save_fixture,
+    )
+
+    if args.regenerate:
+        fixtures = load_all_fixtures(args.golden_dir)
+        if not fixtures:
+            return "no golden fixtures found — nothing to regenerate"
+        lines = []
+        for fixture in fixtures:
+            # GoldenDriftError propagates: unexplained drift must not be
+            # silently re-pinned (pass --reason to accept it).
+            updated = regenerate_fixture(fixture, reason=args.reason)
+            path = save_fixture(updated)
+            drifted = updated.provenance.get("drifted_keys", [])
+            note = f" (drifted: {', '.join(drifted)})" if drifted else ""
+            lines.append(f"regenerated {updated.name} -> {path}{note}")
+        return "\n".join(lines)
+
+    tele = telemetry.current()
+    paths = tuple(args.paths) if args.paths else DEFAULT_PATHS
+    reports = run_battery(
+        seeds=args.seeds,
+        num_targets=args.targets,
+        num_segments=args.segments,
+        epsilon=args.epsilon,
+        paths=paths,
+        fast=args.fast,
+        inject_faults=args.inject_faults,
+        fault_seed=args.fault_seed,
+        golden_dir=args.golden_dir,
+        include_golden=not args.no_golden,
+    )
+    for report in reports:
+        tele.counter(
+            "verify_checks_total", instance=report.instance
+        ).inc(len(report.checks))
+        tele.counter(
+            "verify_failures_total", instance=report.instance
+        ).inc(len(report.failures()))
+    if args.report:
+        telemetry.write_jsonl(
+            tele, args.report, extra_records=[r.to_dict() for r in reports]
+        )
+
+    total = sum(len(r.checks) for r in reports)
+    failed = sum(len(r.failures()) for r in reports)
+    lines = [r.summary() for r in reports]
+    lines.append(
+        f"battery: {len(reports)} instances, {total - failed}/{total} checks passed"
+        + (f"; report -> {args.report}" if args.report else "")
+    )
+    output = "\n".join(lines)
+    if failed:
+        # Conformance is a gate: fail the process so CI catches it.
+        raise SystemExit(output)
+    return output
+
+
 def _run_all() -> str:
     parser = build_parser()
     sections = []
@@ -416,6 +519,7 @@ def main(argv=None) -> int:
         "report": _run_report,
         "solve": _run_solve,
         "bench": _run_bench,
+        "verify": _run_verify,
     }
     tele = telemetry.DISABLED if args.no_telemetry else telemetry.Telemetry()
     t0 = time.perf_counter()

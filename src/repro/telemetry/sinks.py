@@ -24,27 +24,37 @@ __all__ = ["write_jsonl", "read_jsonl", "prometheus_text"]
 _FORMAT_VERSION = 1
 
 
-def write_jsonl(telemetry: Telemetry, path) -> Path:
-    """Write a telemetry context as JSONL; returns the path."""
+def write_jsonl(telemetry: Telemetry, path, *, extra_records=()) -> Path:
+    """Write a telemetry context as JSONL; returns the path.
+
+    ``extra_records`` are pre-serialised dicts appended after the spans
+    and metrics — each must carry a ``"type"`` tag :func:`read_jsonl`
+    knows (``repro verify`` streams its ``"conformance"`` reports through
+    here so one artefact holds the run's spans, metrics, and verdicts).
+    """
     path = Path(path)
+    extra_records = list(extra_records)
     lines = [json.dumps({
         "type": "meta",
         "format_version": _FORMAT_VERSION,
         "spans": len(telemetry.spans),
         "metrics": len(telemetry.metrics),
+        "extra_records": len(extra_records),
     }, sort_keys=True)]
     for record in telemetry.spans:
         lines.append(json.dumps(record.to_dict(), sort_keys=True, default=str))
     for snap in telemetry.metrics.snapshot():
         lines.append(json.dumps(snap, sort_keys=True))
+    for record in extra_records:
+        lines.append(json.dumps(record, sort_keys=True, default=str))
     path.write_text("\n".join(lines) + "\n")
     return path
 
 
 def read_jsonl(path) -> dict:
-    """Parse a :func:`write_jsonl` file into
-    ``{"meta": dict, "spans": [dict], "metrics": [dict]}``."""
-    out: dict = {"meta": None, "spans": [], "metrics": []}
+    """Parse a :func:`write_jsonl` file into ``{"meta": dict, "spans":
+    [dict], "metrics": [dict], "conformance": [dict]}``."""
+    out: dict = {"meta": None, "spans": [], "metrics": [], "conformance": []}
     for line_no, line in enumerate(Path(path).read_text().splitlines(), 1):
         if not line.strip():
             continue
@@ -56,6 +66,8 @@ def read_jsonl(path) -> dict:
             out["spans"].append(obj)
         elif kind in ("counter", "gauge", "histogram"):
             out["metrics"].append(obj)
+        elif kind == "conformance":
+            out["conformance"].append(obj)
         else:
             raise ValueError(f"{path}:{line_no}: unknown record type {kind!r}")
     return out

@@ -1,0 +1,172 @@
+"""Structured conformance results: checks, reports, and JSON round-trips.
+
+Every predicate in :mod:`repro.verify` — theorem conformance, the
+differential cross-solver checker, golden-fixture comparisons — emits
+:class:`ConformanceCheck` records grouped per instance into a
+:class:`ConformanceReport`.  Reports serialise to plain JSON objects
+(``to_dict`` / ``from_dict`` round-trip exactly) so the ``repro verify``
+battery can stream them through the telemetry JSONL sink and CI can diff
+them across runs.
+
+The shape deliberately mirrors
+:class:`repro.resilience.certificate.CertificateCheck` — a name, a
+verdict, a human-readable detail — but adds the *quantitative* fields a
+conformance failure needs for triage: the measured value, the bound it
+was held to, and free-form context (offending solver pair, instance
+seed, utilities).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["ConformanceCheck", "ConformanceReport"]
+
+#: Format version stamped into serialised reports; bump on breaking
+#: changes to the dict layout.
+REPORT_VERSION = 1
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays into plain JSON types."""
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if hasattr(value, "item"):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class ConformanceCheck:
+    """One verified conformance claim.
+
+    Attributes
+    ----------
+    name:
+        Stable dotted identifier, e.g. ``"theorem.beta_elimination"`` or
+        ``"differential.milp-highs-vs-dp"``.
+    passed:
+        The verdict.
+    detail:
+        One human-readable sentence (shown in summaries and CI logs).
+    measured, bound:
+        The quantitative core of the check, when it has one: the measured
+        quantity and the bound it was compared against (``measured <=
+        bound`` for passing checks).  ``None`` for purely structural
+        checks.
+    context:
+        JSON-able extras for triage — solver pair, instance seed,
+        per-path utilities.  See docs/VERIFICATION.md.
+    """
+
+    name: str
+    passed: bool
+    detail: str
+    measured: float | None = None
+    bound: float | None = None
+    context: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (numpy values coerced)."""
+        return {
+            "name": self.name,
+            "passed": bool(self.passed),
+            "detail": self.detail,
+            "measured": None if self.measured is None else float(self.measured),
+            "bound": None if self.bound is None else float(self.bound),
+            "context": _jsonable(self.context),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConformanceCheck":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            passed=bool(data["passed"]),
+            detail=data["detail"],
+            measured=data.get("measured"),
+            bound=data.get("bound"),
+            context=dict(data.get("context", {})),
+        )
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """All conformance checks run against one instance.
+
+    Attributes
+    ----------
+    instance:
+        Stable instance label (``"table1"``, ``"random-T5-seed3"``,
+        ``"golden:table1"``).
+    checks:
+        The verdicts, in execution order.
+    seed:
+        The instance seed when the instance was randomly generated.
+    metadata:
+        JSON-able instance facts (targets, segments, epsilon, slack) so a
+        serialised report is self-describing.
+    """
+
+    instance: str
+    checks: tuple[ConformanceCheck, ...]
+    seed: int | None = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        """Whether every check passed."""
+        return all(check.passed for check in self.checks)
+
+    def failures(self) -> tuple[ConformanceCheck, ...]:
+        """The failing checks, in order."""
+        return tuple(check for check in self.checks if not check.passed)
+
+    def summary(self) -> str:
+        """Multi-line ``PASS``/``FAIL`` rendering (used by ``repro verify``)."""
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [f"{self.instance}: {verdict} "
+                 f"({len(self.checks) - len(self.failures())}/{len(self.checks)} checks)"]
+        for check in self.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            line = f"  [{mark}] {check.name}: {check.detail}"
+            if check.measured is not None and check.bound is not None:
+                line += f" (measured {check.measured:.6g} vs bound {check.bound:.6g})"
+            lines.append(line)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation, tagged ``type: "conformance"`` so the
+        telemetry JSONL sink can carry it alongside spans and metrics."""
+        return {
+            "type": "conformance",
+            "version": REPORT_VERSION,
+            "instance": self.instance,
+            "seed": None if self.seed is None else int(self.seed),
+            "passed": self.passed,
+            "metadata": _jsonable(self.metadata),
+            "checks": [check.to_dict() for check in self.checks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConformanceReport":
+        """Inverse of :meth:`to_dict` (the ``type`` tag is ignored)."""
+        return cls(
+            instance=data["instance"],
+            checks=tuple(
+                ConformanceCheck.from_dict(c) for c in data.get("checks", ())
+            ),
+            seed=data.get("seed"),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+    def round_trips(self) -> bool:
+        """True iff ``from_dict(to_dict())`` reproduces this report exactly
+        after one JSON encode/decode (the property the test suite pins)."""
+        clone = ConformanceReport.from_dict(json.loads(json.dumps(self.to_dict())))
+        return clone == self

@@ -36,9 +36,9 @@ settings.load_profile(
         "HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "dev"
     )
 )
-from repro.game.generator import random_interval_game, table1_game
-from repro.game.payoffs import IntervalPayoffs, PayoffMatrix
+from repro.game.payoffs import PayoffMatrix
 from repro.game.ssg import IntervalSecurityGame, SecurityGame
+from tests import fixtures_games
 
 
 @pytest.fixture
@@ -49,12 +49,7 @@ def rng():
 @pytest.fixture
 def simple_payoffs() -> PayoffMatrix:
     """A small 3-target point game with distinct stakes."""
-    return PayoffMatrix(
-        defender_reward=np.array([4.0, 6.0, 2.0]),
-        defender_penalty=np.array([-5.0, -8.0, -1.0]),
-        attacker_reward=np.array([5.0, 8.0, 1.5]),
-        attacker_penalty=np.array([-4.0, -7.0, -1.0]),
-    )
+    return fixtures_games.simple_point_payoffs()
 
 
 @pytest.fixture
@@ -64,40 +59,26 @@ def simple_game(simple_payoffs) -> SecurityGame:
 
 @pytest.fixture
 def table1() -> IntervalSecurityGame:
-    return table1_game()
+    return fixtures_games.canonical_table1()
 
 
 @pytest.fixture
 def table1_uncertainty(table1) -> IntervalSUQR:
     """The Section III weight boxes on the Table I game."""
-    return IntervalSUQR(
-        table1.payoffs, w1=(-6.0, -2.0), w2=(0.5, 1.0), w3=(0.4, 0.9)
-    )
+    return fixtures_games.table1_suqr(table1)
 
 
 @pytest.fixture
 def small_interval_game() -> IntervalSecurityGame:
     """A fixed 4-target interval game used across solver tests."""
-    payoffs = IntervalPayoffs.zero_sum_midpoint(
-        attacker_reward_lo=np.array([2.0, 4.0, 6.0, 1.0]),
-        attacker_reward_hi=np.array([4.0, 6.0, 8.0, 3.0]),
-        attacker_penalty_lo=np.array([-6.0, -8.0, -4.0, -2.0]),
-        attacker_penalty_hi=np.array([-4.0, -6.0, -2.0, -1.0]),
-    )
-    return IntervalSecurityGame(payoffs, num_resources=1.5)
+    return fixtures_games.small_interval_game()
 
 
 @pytest.fixture
 def small_uncertainty(small_interval_game) -> IntervalSUQR:
-    return IntervalSUQR(
-        small_interval_game.payoffs,
-        w1=(-4.0, -1.0),
-        w2=(0.6, 0.9),
-        w3=(0.3, 0.6),
-        convention="tight",
-    )
+    return fixtures_games.small_suqr(small_interval_game)
 
 
 @pytest.fixture
 def random_small_game() -> IntervalSecurityGame:
-    return random_interval_game(6, payoff_halfwidth=0.75, seed=77)
+    return fixtures_games.random_small_game()

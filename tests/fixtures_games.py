@@ -1,0 +1,84 @@
+"""Canonical game constructors shared by tests, benchmarks, and fixtures.
+
+One importable home for the instance definitions that used to be
+duplicated between ``tests/conftest.py`` and the benchmark modules, so
+golden fixtures, property tests, and benchmarks all agree on what
+"the Table I game", "the small 4-target interval game", etc. mean.
+
+These are plain functions (not pytest fixtures) so non-pytest callers —
+``benchmarks/``, notebooks, the verify battery's tests — can use them
+directly; ``tests/conftest.py`` wraps them as fixtures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.behavior.interval import IntervalSUQR
+from repro.experiments.table1 import TABLE1_WEIGHT_BOXES
+from repro.game.generator import random_interval_game, table1_game
+from repro.game.payoffs import IntervalPayoffs, PayoffMatrix
+from repro.game.ssg import IntervalSecurityGame, SecurityGame
+
+__all__ = [
+    "canonical_table1",
+    "table1_suqr",
+    "simple_point_payoffs",
+    "simple_point_game",
+    "small_interval_game",
+    "small_suqr",
+    "random_small_game",
+]
+
+
+def canonical_table1() -> IntervalSecurityGame:
+    """The paper's Table I worked example (2 targets, 1 resource)."""
+    return table1_game()
+
+
+def table1_suqr(game: IntervalSecurityGame | None = None) -> IntervalSUQR:
+    """The Section III weight boxes on the Table I game."""
+    game = game if game is not None else canonical_table1()
+    return IntervalSUQR(game.payoffs, **TABLE1_WEIGHT_BOXES)
+
+
+def simple_point_payoffs() -> PayoffMatrix:
+    """A small 3-target point game with distinct stakes."""
+    return PayoffMatrix(
+        defender_reward=np.array([4.0, 6.0, 2.0]),
+        defender_penalty=np.array([-5.0, -8.0, -1.0]),
+        attacker_reward=np.array([5.0, 8.0, 1.5]),
+        attacker_penalty=np.array([-4.0, -7.0, -1.0]),
+    )
+
+
+def simple_point_game() -> SecurityGame:
+    return SecurityGame(simple_point_payoffs(), num_resources=1)
+
+
+def small_interval_game() -> IntervalSecurityGame:
+    """A fixed 4-target interval game used across solver tests."""
+    payoffs = IntervalPayoffs.zero_sum_midpoint(
+        attacker_reward_lo=np.array([2.0, 4.0, 6.0, 1.0]),
+        attacker_reward_hi=np.array([4.0, 6.0, 8.0, 3.0]),
+        attacker_penalty_lo=np.array([-6.0, -8.0, -4.0, -2.0]),
+        attacker_penalty_hi=np.array([-4.0, -6.0, -2.0, -1.0]),
+    )
+    return IntervalSecurityGame(payoffs, num_resources=1.5)
+
+
+def small_suqr(game: IntervalSecurityGame | None = None) -> IntervalSUQR:
+    """Tight-convention weight boxes matched to :func:`small_interval_game`."""
+    game = game if game is not None else small_interval_game()
+    return IntervalSUQR(
+        game.payoffs,
+        w1=(-4.0, -1.0),
+        w2=(0.6, 0.9),
+        w3=(0.3, 0.6),
+        convention="tight",
+    )
+
+
+def random_small_game(seed: int = 77) -> IntervalSecurityGame:
+    """The seeded 6-target random instance the solver tests share."""
+    return random_interval_game(6, payoff_halfwidth=0.75, seed=seed)

@@ -1,7 +1,10 @@
 """Unit tests for repro.solvers.binary_search."""
 
+import warnings
+
 import pytest
 
+from repro import telemetry
 from repro.solvers.binary_search import binary_search_max
 
 
@@ -129,6 +132,84 @@ class TestNothingFeasibleContract:
         )
         assert 0.0 not in probed  # lo genuinely never tested
         assert res.lower == -float("inf")
+
+
+class TestOracleFailurePaths:
+    """A crashing oracle must surface, never be absorbed into a verdict."""
+
+    def failing_at(self, bad_candidate, threshold=0.5, exc=RuntimeError):
+        def oracle(c):
+            if c == pytest.approx(bad_candidate, abs=1e-12):
+                raise exc(f"oracle crashed at {c}")
+            return c <= threshold, "ok" if c <= threshold else None
+
+        return oracle
+
+    def test_midpoint_crash_propagates(self):
+        # First bisection midpoint of [0, 1] after endpoint checks is 0.5.
+        with pytest.raises(RuntimeError, match="oracle crashed at 0.5"):
+            binary_search_max(self.failing_at(0.5), 0.0, 1.0, tolerance=1e-3)
+
+    def test_endpoint_crash_propagates(self):
+        with pytest.raises(RuntimeError, match="oracle crashed at 1"):
+            binary_search_max(self.failing_at(1.0), 0.0, 1.0)
+
+    def test_guess_crash_propagates(self):
+        with pytest.raises(RuntimeError, match="oracle crashed at 0.3"):
+            binary_search_max(
+                self.failing_at(0.3), 0.0, 1.0,
+                tolerance=1e-3, initial_guesses=(0.3,),
+            )
+
+    def test_crash_marks_step_span_error(self):
+        tele = telemetry.Telemetry()
+        with telemetry.use(tele):
+            with pytest.raises(RuntimeError):
+                binary_search_max(self.failing_at(0.5), 0.0, 1.0, tolerance=1e-3)
+        steps = [s for s in tele.spans if s.name == "binary_search.step"]
+        assert steps, "oracle calls must be traced"
+        failed = steps[-1]
+        assert failed.status == "error"
+        assert failed.attributes["c"] == pytest.approx(0.5)
+        assert "RuntimeError" in failed.error
+
+    def test_payload_bound_crash_propagates(self):
+        def oracle(c):
+            return (c <= 0.5, "witness") if c <= 0.5 else (False, None)
+
+        def bad_bound(payload):
+            raise ValueError("certificate evaluation failed")
+
+        with pytest.raises(ValueError, match="certificate evaluation failed"):
+            binary_search_max(
+                oracle, 0.0, 1.0, tolerance=1e-3, payload_bound=bad_bound
+            )
+
+    def test_partial_trace_survives_in_successful_rerun(self):
+        """A crash loses no monotone information: re-running with the
+        fixed oracle from the same bracket reproduces the clean answer."""
+        clean = binary_search_max(
+            self.failing_at(-99.0), 0.0, 1.0, tolerance=1e-4
+        )
+        assert clean.lower == pytest.approx(0.5, abs=1e-3)
+
+    def test_nothing_feasible_exhaustion_no_spurious_warning(self):
+        """The nothing-feasible return path (check_endpoints=False) must
+        not also emit the max_iterations warning — it reports
+        ``lower=-inf, converged=False`` directly."""
+
+        def never_feasible(c):
+            return False, None
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            res = binary_search_max(
+                never_feasible, 0.0, 1.0,
+                tolerance=1e-12, max_iterations=3, check_endpoints=False,
+            )
+        assert res.lower == -float("inf")
+        assert res.payload is None
+        assert not res.converged
 
 
 class TestWarmStartHooks:

@@ -56,6 +56,29 @@ class TestJsonl:
         with pytest.raises(ValueError, match="unknown record type"):
             read_jsonl(path)
 
+    def test_extra_records_carry_conformance_reports(self, tmp_path):
+        tele = _traced_context()
+        extras = [
+            {"type": "conformance", "instance": "table1", "passed": True,
+             "checks": []},
+            {"type": "conformance", "instance": "random-T5-seed0",
+             "passed": False, "checks": []},
+        ]
+        path = write_jsonl(tele, tmp_path / "t.jsonl", extra_records=extras)
+        data = read_jsonl(path)
+        assert data["meta"]["extra_records"] == 2
+        assert [r["instance"] for r in data["conformance"]] == [
+            "table1", "random-T5-seed0",
+        ]
+        # spans and metrics are unaffected by the extra records
+        assert data["meta"]["spans"] == 3
+        assert len(data["metrics"]) == 2
+
+    def test_extra_records_default_empty(self, tmp_path):
+        data = read_jsonl(write_jsonl(_traced_context(), tmp_path / "t.jsonl"))
+        assert data["conformance"] == []
+        assert data["meta"]["extra_records"] == 0
+
     def test_error_span_round_trips(self, tmp_path):
         tele = Telemetry()
         with pytest.raises(ValueError):
