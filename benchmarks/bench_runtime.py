@@ -18,7 +18,12 @@ import pytest
 
 from repro.core.cubis import solve_cubis
 from repro.core.exact import solve_exact
-from repro.experiments.perf import format_bench, run_bench_runtime, write_bench_json
+from repro.experiments.perf import (
+    compare_bench,
+    format_bench,
+    run_bench_runtime,
+    write_bench_json,
+)
 from repro.experiments.quality import default_uncertainty
 from repro.experiments.runtime import format_runtime, run_runtime
 from repro.game.generator import random_interval_game
@@ -52,10 +57,16 @@ def test_f2_memoisation(benchmark, memoise):
 
 def test_f2_bench_runtime_json(benchmark, report):
     """Emit BENCH_runtime.json (repo root) and assert the deterministic
-    wins: fewer full MILP solves on the warm path, parallel == serial."""
+    wins: fewer full MILP solves on the warm path, the incremental
+    session actually patching, parallel == serial.
+
+    The configuration matches the ``repro bench`` CLI defaults so the
+    emitted file is byte-compatible with the committed reference the CI
+    regression gate compares against.
+    """
     payload = run_bench_runtime(
         num_targets=50, num_segments=10, epsilon=1e-2,
-        num_games=4, seed=2016, workers=2,
+        num_games=6, seed=2016, workers=2, speculation=3,
     )
     write_bench_json(payload, REPO_ROOT / "BENCH_runtime.json")
 
@@ -70,6 +81,18 @@ def test_f2_bench_runtime_json(benchmark, report):
     assert payload["warm"]["milp_solves"] < payload["cold"]["milp_solves"]
     assert payload["cold"]["milp_solves"] == payload["cold"]["oracle_calls"]
     assert payload["parallel"]["identical_to_serial"]
+    # Session pass: every game ran incrementally, live models were
+    # patched (not rebuilt) between steps, and no full MILP solve beyond
+    # the cold count was needed.
+    session = payload["session"]
+    assert all(g["session_mode"] == "incremental" for g in session["per_game"])
+    assert all(g["session_mode"] == "fresh" for g in payload["cold"]["per_game"])
+    assert all(g["backend"] == "highs" for g in session["per_game"])
+    assert session["session_patches"] > 0
+    assert session["speculative_probes"] > 0
+    assert session["milp_solves"] <= payload["cold"]["milp_solves"]
+    # A payload can never regress against itself.
+    assert compare_bench(payload, payload, max_regression=1.25) == []
 
 
 @pytest.mark.parametrize("num_targets", [5, 10, 20])

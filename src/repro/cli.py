@@ -20,7 +20,11 @@ Each command prints the same table its benchmark counterpart produces.
 ``--resilience`` routes every oracle step through the highs -> bnb -> dp
 fallback ladder, ``--certify`` validates the machine-checkable solution
 certificate, and ``--inject-faults RATE`` exercises the ladder with
-seeded solver failures (see docs/RESILIENCE.md).
+seeded solver failures (see docs/RESILIENCE.md).  ``--session`` and
+``--speculation`` select the incremental MILP session mode and the k of
+speculative bisection (docs/PERFORMANCE.md); ``bench --compare REF
+--max-regression F`` gates a run against a saved payload on
+hardware-independent metrics.
 
 Every invocation runs under a telemetry context (docs/OBSERVABILITY.md):
 ``solve --telemetry out.jsonl`` dumps the span tree and metrics as
@@ -142,8 +146,22 @@ def build_parser() -> argparse.ArgumentParser:
                    default=True,
                    help="chain warm starts across games in the warm pass "
                         "(--no-warm-start isolates memoisation alone)")
+    b.add_argument("--backend", type=str, default="highs",
+                   choices=["highs", "bnb"],
+                   help="MILP backend for every pass")
+    b.add_argument("--speculation", type=int, default=3, metavar="K",
+                   help="speculative probes per bisection round in the "
+                        "session pass (1 = classic bisection)")
     b.add_argument("--out", type=str, default="BENCH_runtime.json",
                    help="output JSON path")
+    b.add_argument("--compare", type=str, default=None, metavar="REF",
+                   help="compare against a saved reference payload and "
+                        "exit nonzero on regression (hardware-independent "
+                        "metrics only, see docs/PERFORMANCE.md)")
+    b.add_argument("--max-regression", type=float, default=1.25,
+                   metavar="FACTOR",
+                   help="tolerated factor for --compare: counts may grow "
+                        "to ref*FACTOR, speedups may fall to ref/FACTOR")
 
     c = sub.add_parser(
         "calibrate",
@@ -167,6 +185,13 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--epsilon", type=float, default=1e-3,
                    help="binary-search tolerance")
     s.add_argument("--seed", type=int, default=2016, help="game seed")
+    s.add_argument("--session", type=str, default="auto",
+                   choices=["auto", "incremental", "fresh"],
+                   help="incremental MILP session mode (auto picks "
+                        "incremental when eligible, see docs/PERFORMANCE.md)")
+    s.add_argument("--speculation", type=int, default=1, metavar="K",
+                   help="speculative probes per bisection round "
+                        "(1 = classic bisection)")
     s.add_argument("--resilience", action="store_true",
                    help="use the highs -> bnb -> dp fallback ladder")
     s.add_argument("--certify", action="store_true",
@@ -201,7 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--paths", type=str, nargs="+", default=None,
                    metavar="PATH",
                    help="solver paths to cross-check "
-                        "(default: milp-highs milp-bnb dp exact)")
+                        "(default: milp-highs milp-bnb milp-session dp exact)")
     v.add_argument("--inject-faults", type=float, default=0.0, metavar="RATE",
                    help="corrupt the MILP path with seeded faults at this "
                         "rate (the battery must then FAIL — self-test)")
@@ -297,7 +322,15 @@ def _run_landscape(args) -> str:
 
 
 def _run_bench(args) -> str:
-    from repro.experiments.perf import format_bench, run_bench_runtime, write_bench_json
+    import json
+    import pathlib
+
+    from repro.experiments.perf import (
+        compare_bench,
+        format_bench,
+        run_bench_runtime,
+        write_bench_json,
+    )
 
     payload = run_bench_runtime(
         num_targets=args.targets,
@@ -307,12 +340,28 @@ def _run_bench(args) -> str:
         seed=args.seed,
         workers=args.workers,
         warm_start=args.warm_start,
+        backend=args.backend,
+        speculation=args.speculation,
     )
     path = write_bench_json(payload, args.out)
     text = format_bench(payload) + f"\nwritten to {path}"
     if not payload["parallel"]["identical_to_serial"]:
         # Determinism is a hard guarantee; fail the process so CI catches it.
         raise SystemExit(text)
+    if args.compare:
+        reference = json.loads(pathlib.Path(args.compare).read_text())
+        problems = compare_bench(
+            payload, reference, max_regression=args.max_regression
+        )
+        if problems:
+            raise SystemExit(
+                text + f"\nregression vs {args.compare} "
+                f"(max {args.max_regression:g}x):\n  " + "\n  ".join(problems)
+            )
+        text += (
+            f"\ncompare vs {args.compare}: within {args.max_regression:g}x "
+            "on all hardware-independent metrics"
+        )
     return text
 
 
@@ -375,6 +424,8 @@ def _run_solve(args) -> str:
         num_segments=args.segments,
         epsilon=args.epsilon,
         resilience=policy,
+        session=args.session,
+        speculation=args.speculation,
     )
 
     with np.printoptions(precision=4, suppress=True):
@@ -386,7 +437,16 @@ def _run_solve(args) -> str:
             f"iterations        {result.iterations}"
             f"  ({result.solve_seconds:.3f}s)",
             f"converged         {result.converged}",
+            f"session           {result.session_mode}"
+            f"  patches={result.session_patches}"
+            f"  fallbacks={result.session_fallbacks}",
         ]
+        if result.speculation > 1:
+            lines.append(
+                f"speculation       k={result.speculation}"
+                f"  probes={result.speculative_probes}"
+                f"  wasted={result.wasted_probes}"
+            )
     if result.resilience is not None:
         rep = result.resilience
         used = ", ".join(

@@ -33,7 +33,8 @@ from repro.game.ssg import IntervalSecurityGame
 from repro.solvers.binary_search import binary_search_max
 from repro.solvers.milp_backend import relax_integrality, solve_milp
 from repro.solvers.piecewise import SegmentGrid
-from repro.resilience.events import SolveEventLog
+from repro.solvers.session import MilpSession, SessionPool
+from repro.resilience.events import SolveEventLog, StepEvent
 from repro.resilience.policy import (
     LadderExhaustedError,
     OracleLadder,
@@ -128,6 +129,26 @@ class CubisResult:
     cache_hits:
         Oracle steps answered by a cached strategy certificate with no
         solver call at all (always 0 with ``memoise=False``).
+    session_mode:
+        ``"incremental"`` when the MILP steps ran through a persistent
+        :class:`~repro.solvers.session.MilpSession` (in-place coefficient
+        patches on one live model), ``"fresh"`` when every step rebuilt
+        its model.
+    speculation:
+        The ``k`` of the k-ary binary search this solve ran with (1 =
+        classic bisection).
+    session_patches:
+        In-place sparse coefficient patches applied across all sessions
+        (excludes the initial full builds).
+    session_fallbacks:
+        Steps whose session solve failed and was answered by a one-shot
+        fresh-build fallback (each also emits a ``resilience.attempt``
+        telemetry event).
+    speculative_probes:
+        Oracle calls issued by speculative k-ary rounds.
+    wasted_probes:
+        Speculative probes whose verdict was implied by the round's
+        bracket-defining pair.
     degraded:
         True iff a fallback rung other than the first answered at least
         one step (always False without a resilience policy).
@@ -152,6 +173,12 @@ class CubisResult:
     milp_solves: int = 0
     lp_solves: int = 0
     cache_hits: int = 0
+    session_mode: str = "fresh"
+    speculation: int = 1
+    session_patches: int = 0
+    session_fallbacks: int = 0
+    speculative_probes: int = 0
+    wasted_probes: int = 0
 
     @property
     def oracle_calls(self) -> int:
@@ -182,6 +209,8 @@ def solve_cubis(
     resilience: ResiliencePolicy | None = None,
     memoise: bool = True,
     warm_start: WarmStart | None = None,
+    session: str = "auto",
+    speculation: int = 1,
 ) -> CubisResult:
     """Run CUBIS on an interval security game.
 
@@ -253,6 +282,29 @@ def solve_cubis(
         The carried bracket is probed — not trusted — and the carried
         strategies join the certificate pool, so a stale warm start
         degrades gracefully to at most two extra oracle calls.
+    session:
+        Incremental MILP session mode: ``"incremental"`` keeps one live
+        model per session and applies each step's ``c``-update as an
+        in-place sparse coefficient patch (bit-identical to a fresh
+        build — see :class:`~repro.solvers.session.MilpSession`), with
+        the previous optimum carried as a MIP start; ``"fresh"`` rebuilds
+        per step; ``"auto"`` (default) picks ``"incremental"`` whenever
+        it applies (``memoise=True``, ``"milp"`` oracle with a named
+        backend, no resilience policy).  ``"incremental"`` additionally
+        accepts callable backends and ``memoise=False`` (the skeleton is
+        still assembled — sessions require it); it raises for the
+        ``"dp"`` oracle or a resilience policy.  A session solve that
+        errors falls back to one fresh-build solve for that step and
+        invalidates the live model.
+    speculation:
+        ``k`` of the k-ary binary search (default 1 = classic
+        bisection).  With ``k > 1`` each round probes ``k`` interior
+        candidates; on the ``"highs"`` session path the probes run
+        concurrently on a :class:`~repro.solvers.session.SessionPool`
+        of independent sessions (deterministic — the bracket depends
+        only on verdicts), while ``"bnb"``/``"dp"``/ladder paths probe
+        the same candidates sequentially.  See docs/PERFORMANCE.md for
+        when ``k > 1`` pays.
     """
     if uncertainty.num_targets != game.num_targets:
         raise ValueError(
@@ -266,6 +318,11 @@ def solve_cubis(
         raise ValueError(f"execution_alpha must be >= 0, got {execution_alpha}")
     num_segments = check_int_at_least(num_segments, 1, "num_segments")
     max_iterations = check_int_at_least(max_iterations, 1, "max_iterations")
+    speculation = check_int_at_least(speculation, 1, "speculation")
+    if session not in ("auto", "incremental", "fresh"):
+        raise ValueError(
+            f"session must be 'auto', 'incremental' or 'fresh', got {session!r}"
+        )
     solve_span = telemetry.span(
         "cubis.solve",
         targets=game.num_targets,
@@ -276,6 +333,8 @@ def solve_cubis(
         else getattr(backend, "__name__", type(backend).__name__),
         memoise=bool(memoise),
         resilient=resilience is not None,
+        session=session,
+        speculation=int(speculation),
     )
     with solve_span:
         grid = SegmentGrid(num_segments)
@@ -351,6 +410,23 @@ def solve_cubis(
             if resilience is not None
             else oracle == "milp"
         )
+        # Session resolution: "incremental" keeps one live MILP model and
+        # patches it in place per step.  It needs the plain MILP oracle
+        # (the dp oracle has no model; the resilience ladder owns its own
+        # failure semantics); "auto" additionally requires memoise and a
+        # named backend, so the default path for callable backends (fault
+        # injectors, custom solvers) and the memoise=False cold baseline
+        # stay exactly as they were.
+        can_session = oracle == "milp" and resilience is None
+        if session == "incremental" and not can_session:
+            raise ValueError(
+                "session='incremental' requires oracle='milp' and no "
+                "resilience policy"
+            )
+        use_session = session == "incremental" or (
+            session == "auto" and can_session and memoise
+            and isinstance(backend, str)
+        )
         skeleton = (
             CubisMilpSkeleton(
                 ud_grid,
@@ -361,9 +437,22 @@ def solve_cubis(
                 equality_resources=equality_resources,
                 coverage_constraints=coverage_constraints,
             )
-            if memoise and needs_milp
+            if (memoise or use_session) and needs_milp
             else None
         )
+        # Speculative probes run concurrently only on the HiGHS session
+        # path — one independent session per in-flight candidate.  Other
+        # oracles still honour speculation > 1, probing the same k-ary
+        # candidates sequentially.
+        session_pool: SessionPool | None = None
+        milp_session: MilpSession | None = None
+        if use_session:
+            if speculation > 1 and backend == "highs":
+                session_pool = SessionPool(skeleton, speculation, backend=backend)
+                milp_session = session_pool.sessions[0]
+            else:
+                milp_session = MilpSession(skeleton, backend=backend)
+        session_log = SolveEventLog() if use_session else None
         pool: list = []  # StrategyCertificate entries, oldest first
         # Run-level telemetry counters (docs/OBSERVABILITY.md).  They
         # accumulate across every solve sharing the active context (a sweep,
@@ -374,31 +463,42 @@ def solve_cubis(
         lp_counter = meter.counter("repro_cubis_lp_screens_total")
         hit_counter = meter.counter("repro_cubis_cache_hits_total")
         miss_counter = meter.counter("repro_cubis_cache_misses_total")
+        fallback_counter = meter.counter("repro_session_fallbacks_total")
         counts_at_entry = (milp_counter.value, lp_counter.value, hit_counter.value)
+        totals = {"session_fallbacks": 0}
 
-        def make_milp_oracle(milp_backend, *, validate: bool = True):
+        def certificate_answer(c: float):
+            # A cached strategy that certifies c answers the oracle for
+            # free: the MILP maximum can only be higher, so the verdict is
+            # the one the solver would have returned.  Returns None when
+            # the pool cannot answer.
+            if not (use_certificates and pool):
+                return None
+            best, best_g = None, -float("inf")
+            for cert in pool:
+                g = cert.g_bar(c)
+                if g > best_g:
+                    best, best_g = cert, g
+            if best_g >= -feasibility_tolerance:
+                return True, best.strategy
+            return None
+
+        def add_to_pool(cert) -> None:
+            if cert is None:
+                return
+            pool.append(cert)
+            if len(pool) > _CERTIFICATE_POOL_LIMIT:
+                del pool[0]
+
+        def make_milp_oracle(milp_backend, *, validate: bool = True,
+                             step_session: MilpSession | None = None):
             label = milp_backend if isinstance(milp_backend, str) else getattr(
                 milp_backend, "__name__", type(milp_backend).__name__
             )
+            lp_screen = use_certificates and isinstance(milp_backend, str)
 
-            def milp_oracle(c: float):
-                if use_certificates and pool:
-                    best, best_g = None, -float("inf")
-                    for cert in pool:
-                        g = cert.g_bar(c)
-                        if g > best_g:
-                            best, best_g = cert, g
-                    if best_g >= -feasibility_tolerance:
-                        # A cached strategy certifies c: the MILP maximum can
-                        # only be higher, so the verdict is the one the solver
-                        # would have returned.
-                        hit_counter.inc()
-                        return True, best.strategy
-                if use_certificates:
-                    # The pool was consulted (possibly empty) and could not
-                    # answer; everything below pays for a solver call.
-                    miss_counter.inc()
-                model = (
+            def build_fresh(c: float):
+                return (
                     skeleton.patch(c)
                     if skeleton is not None
                     else build_cubis_milp(
@@ -412,7 +512,36 @@ def solve_cubis(
                         coverage_constraints=coverage_constraints,
                     )
                 )
-                if use_certificates and isinstance(milp_backend, str):
+
+            def note_session_fallback(c, exc, wall_seconds: float) -> None:
+                # Mirror the resilience ladder's per-attempt event so a
+                # degraded session surfaces in the same telemetry stream
+                # (resilience.attempt + outcome counter) operators already
+                # watch; session fallbacks additionally tick their own
+                # counter.
+                session_log.record(StepEvent(
+                    step=state["step"],
+                    c=float(c),
+                    rung=0,
+                    oracle="milp",
+                    backend=label if isinstance(label, str) else str(label),
+                    attempt=1,
+                    outcome="error",
+                    feasible=None,
+                    wall_seconds=wall_seconds,
+                    message=f"session solve failed, retrying fresh build: {exc}",
+                ))
+
+            def solve_candidate(c: float, sess: MilpSession | None, stats: dict):
+                """One candidate's full solver path (no pool side effects).
+
+                Returns ``(feasible, strategy, certificate_or_None)``;
+                mutates ``stats`` *before* each solver action so callers
+                can flush exact counter increments even when this raises.
+                Thread-safe when each concurrent call owns its ``sess``.
+                """
+                model = sess.prepare(c) if sess is not None else build_fresh(c)
+                if lp_screen:
                     # LP-relaxation screen.  The relaxation's optimum bounds
                     # the integer optimum from above, so a value below the
                     # tolerance proves infeasibility; conversely the relaxed
@@ -421,14 +550,14 @@ def solve_cubis(
                     # feasibility.  Either way the verdict matches what the
                     # full MILP would have said; only the gap between the two
                     # bounds pays for branch and cut.
-                    lp_counter.inc()
+                    stats["lp"] += 1
                     relaxed = solve_milp(
                         relax_integrality(model.problem), backend=milp_backend
                     )
                     if relaxed.optimal:
                         g_upper = model.g_bar_from_objective(relaxed.objective)
                         if g_upper < -feasibility_tolerance:
-                            return False, None
+                            return False, None, None
                         candidate = np.clip(
                             model.strategy_from_solution(relaxed.x), 0.0, 1.0
                         )
@@ -441,20 +570,42 @@ def solve_cubis(
                                 except OracleStepError:
                                     screened = False  # fall through to the MILP
                             if screened:
-                                pool.append(cert)
-                                if len(pool) > _CERTIFICATE_POOL_LIMIT:
-                                    del pool[0]
-                                return True, candidate
-                milp_counter.inc()
-                result = solve_milp(model.problem, backend=milp_backend)
-                if not result.optimal:
-                    # The MILP is always feasible in (x, v, q, h) — x = anything
-                    # feasible, q = 1, v at its forced value — so a non-optimal
-                    # status signals a solver failure, not (P1) infeasibility.
-                    raise OracleStepError(
-                        f"CUBIS MILP solve failed at c={c:.6g} with backend "
-                        f"{label!r}: {result.status} {result.message}"
+                                return True, candidate, cert
+                stats["milp"] += 1
+                t0 = time.perf_counter()
+                try:
+                    result = (
+                        sess.solve() if sess is not None
+                        else solve_milp(model.problem, backend=milp_backend)
                     )
+                    if not result.optimal:
+                        # The MILP is always feasible in (x, v, q, h) — x =
+                        # anything feasible, q = 1, v at its forced value — so
+                        # a non-optimal status signals a solver failure, not
+                        # (P1) infeasibility.
+                        raise OracleStepError(
+                            f"CUBIS MILP solve failed at c={c:.6g} with backend "
+                            f"{label!r}: {result.status} {result.message}"
+                        )
+                except Exception as exc:
+                    if sess is None:
+                        raise
+                    # Session failure semantics: invalidate the live model
+                    # (in-place state may be implicated) and answer this
+                    # step with exactly one fresh-build solve; a second
+                    # failure propagates like the non-session path.
+                    stats["fallback"] += 1
+                    sess.invalidate()
+                    note_session_fallback(c, exc, time.perf_counter() - t0)
+                    model = build_fresh(c)
+                    stats["milp"] += 1
+                    result = solve_milp(model.problem, backend=milp_backend)
+                    if not result.optimal:
+                        raise OracleStepError(
+                            f"CUBIS MILP fresh-build fallback failed at "
+                            f"c={c:.6g} with backend {label!r}: "
+                            f"{result.status} {result.message}"
+                        ) from exc
                 g_bar = model.g_bar_from_objective(result.objective)
                 strategy = model.strategy_from_solution(result.x)
                 if validate:
@@ -465,12 +616,36 @@ def solve_cubis(
                         )
                     validate_step_solution(strategy, f"backend {label!r}")
                 feasible = g_bar >= -feasibility_tolerance
-                if use_certificates and feasible:
-                    pool.append(skeleton.certificate(strategy))
-                    if len(pool) > _CERTIFICATE_POOL_LIMIT:
-                        del pool[0]
+                cert = (
+                    skeleton.certificate(strategy)
+                    if use_certificates and feasible
+                    else None
+                )
+                return feasible, strategy, cert
+
+            def milp_oracle(c: float):
+                hit = certificate_answer(c)
+                if hit is not None:
+                    hit_counter.inc()
+                    return hit
+                if use_certificates:
+                    # The pool was consulted (possibly empty) and could not
+                    # answer; everything below pays for a solver call.
+                    miss_counter.inc()
+                stats = {"lp": 0, "milp": 0, "fallback": 0}
+                try:
+                    feasible, strategy, cert = solve_candidate(
+                        c, step_session, stats
+                    )
+                finally:
+                    lp_counter.inc(stats["lp"])
+                    milp_counter.inc(stats["milp"])
+                    fallback_counter.inc(stats["fallback"])
+                    totals["session_fallbacks"] += stats["fallback"]
+                add_to_pool(cert)
                 return feasible, strategy
 
+            milp_oracle.solve_candidate = solve_candidate
             return milp_oracle
 
         budget_units = int(np.floor(game.num_resources * num_segments + 1e-9))
@@ -538,7 +713,11 @@ def solve_cubis(
             ladder = OracleLadder(resilience, rung_oracles, SolveEventLog())
             base_oracle = ladder
         else:
-            base_oracle = make_milp_oracle(backend) if oracle == "milp" else dp_oracle
+            base_oracle = (
+                make_milp_oracle(backend, step_session=milp_session)
+                if oracle == "milp"
+                else dp_oracle
+            )
 
         # Bookkeeping wrapper: tracks the step index and the live bracket so
         # a hard failure surfaces with enough context for production triage.
@@ -559,6 +738,65 @@ def solve_cubis(
                 state["hi"] = min(state["hi"], c)
             return feasible, payload
 
+        probe_batch = None
+        if session_pool is not None:
+            solve_candidate = base_oracle.solve_candidate
+
+            def probe_batch(candidates):
+                # One speculative round.  Certificate answers are decided
+                # up front (against the pool as of round start) on the main
+                # thread; the remaining candidates fan out one-per-session.
+                # Everything order-sensitive — counters, certificate-pool
+                # appends, error propagation, bracket bookkeeping — happens
+                # back on this thread in ascending-candidate order, so the
+                # outcome is independent of worker completion order.
+                results: list = [None] * len(candidates)
+                pending: list[tuple[int, float]] = []
+                for i, c in enumerate(candidates):
+                    hit = certificate_answer(c)
+                    if hit is not None:
+                        hit_counter.inc()
+                        results[i] = hit
+                    else:
+                        if use_certificates:
+                            miss_counter.inc()
+                        pending.append((i, c))
+                if pending:
+                    stats_list = [
+                        {"lp": 0, "milp": 0, "fallback": 0} for _ in pending
+                    ]
+
+                    def work(sess, job):
+                        (_, c), stats = job
+                        try:
+                            return solve_candidate(c, sess, stats)
+                        except Exception as exc:  # re-raised in order below
+                            return exc
+                    outs = session_pool.map(work, list(zip(pending, stats_list)))
+                    for stats in stats_list:
+                        lp_counter.inc(stats["lp"])
+                        milp_counter.inc(stats["milp"])
+                        fallback_counter.inc(stats["fallback"])
+                        totals["session_fallbacks"] += stats["fallback"]
+                    for (i, c), out in zip(pending, outs):
+                        if isinstance(out, BaseException):
+                            if isinstance(out, (OracleStepError, LadderExhaustedError)):
+                                raise type(out)(
+                                    f"{out} (speculative probe, bracket "
+                                    f"[{state['lo']:.6g}, {state['hi']:.6g}])"
+                                ) from out
+                            raise out
+                        feasible, strategy, cert = out
+                        add_to_pool(cert)
+                        results[i] = (feasible, strategy)
+                for c, (feasible, _) in zip(candidates, results):
+                    state["step"] += 1
+                    if feasible:
+                        state["lo"] = max(state["lo"], c)
+                    else:
+                        state["hi"] = min(state["hi"], c)
+                return results
+
         def certified_level(strategy) -> float:
             # The exact utility level a feasible step's strategy certifies —
             # lets the binary search jump its lower bound past intermediate
@@ -566,42 +804,77 @@ def solve_cubis(
             return skeleton.certificate(strategy).guaranteed_level(lo, hi)
 
         timer = Timer()
-        with timer:
-            search = binary_search_max(
-                step_oracle,
-                lo,
-                hi,
-                tolerance=epsilon,
-                max_iterations=max_iterations,
-                initial_guesses=tuple(guesses),
-                payload_bound=certified_level if use_certificates else None,
-            )
-            if search.payload is None:
-                raise RuntimeError(
-                    "CUBIS binary search found no feasible utility level; the bottom "
-                    "of the utility range should always be feasible — this indicates "
-                    "an inconsistent game or uncertainty model"
+        try:
+            with timer:
+                search = binary_search_max(
+                    step_oracle,
+                    lo,
+                    hi,
+                    tolerance=epsilon,
+                    max_iterations=max_iterations,
+                    initial_guesses=tuple(guesses),
+                    payload_bound=certified_level if use_certificates else None,
+                    speculation=speculation,
+                    probe_batch=probe_batch,
                 )
-            if coverage_constraints is None:
-                strategy = game.strategy_space.project(np.asarray(search.payload))
-            else:
-                # Projection onto sum(x) = R could violate the side constraints;
-                # keep the MILP's (feasible) strategy, clipped to the box.
-                strategy = np.clip(np.asarray(search.payload), 0.0, 1.0)
-            with telemetry.span("cubis.evaluate_worst_case"):
-                worst = evaluate_worst_case(
-                    game, uncertainty, strategy, execution_alpha=execution_alpha
-                )
+                if search.payload is None:
+                    raise RuntimeError(
+                        "CUBIS binary search found no feasible utility level; "
+                        "the bottom of the utility range should always be "
+                        "feasible — this indicates an inconsistent game or "
+                        "uncertainty model"
+                    )
+                if coverage_constraints is None:
+                    strategy = game.strategy_space.project(
+                        np.asarray(search.payload)
+                    )
+                else:
+                    # Projection onto sum(x) = R could violate the side
+                    # constraints; keep the MILP's (feasible) strategy,
+                    # clipped to the box.
+                    strategy = np.clip(np.asarray(search.payload), 0.0, 1.0)
+                with telemetry.span("cubis.evaluate_worst_case"):
+                    worst = evaluate_worst_case(
+                        game, uncertainty, strategy,
+                        execution_alpha=execution_alpha,
+                    )
+        finally:
+            if session_pool is not None:
+                session_pool.close()
 
         milp_solves = int(milp_counter.value - counts_at_entry[0])
         lp_solves = int(lp_counter.value - counts_at_entry[1])
         cache_hits = int(hit_counter.value - counts_at_entry[2])
+        # Session + speculation accounting.  Counters are incremented once
+        # here with the solve's totals (worker threads never touch the
+        # caller's registry), so metric streams stay deterministic.
+        sessions = (
+            session_pool.sessions if session_pool is not None
+            else [milp_session] if milp_session is not None
+            else []
+        )
+        session_patches = sum(s.patches_applied for s in sessions)
+        session_fallbacks = int(totals["session_fallbacks"])
+        if use_session:
+            meter.counter("repro_session_patches").inc(session_patches)
+        if search.speculative_probes:
+            meter.counter("repro_speculative_probes").inc(
+                search.speculative_probes
+            )
+            meter.gauge("repro_speculative_wasted_probes").set(
+                search.wasted_probes
+            )
+        session_mode = "incremental" if use_session else "fresh"
         solve_span.set(
             iterations=search.iterations,
             converged=search.converged,
             milp_solves=milp_solves,
             lp_solves=lp_solves,
             cache_hits=cache_hits,
+            session_mode=session_mode,
+            session_patches=session_patches,
+            speculative_probes=search.speculative_probes,
+            wasted_probes=search.wasted_probes,
             worst_case_value=float(worst.value),
         )
         return CubisResult(
@@ -621,4 +894,10 @@ def solve_cubis(
             milp_solves=milp_solves,
             lp_solves=lp_solves,
             cache_hits=cache_hits,
+            session_mode=session_mode,
+            speculation=int(speculation),
+            session_patches=session_patches,
+            session_fallbacks=session_fallbacks,
+            speculative_probes=search.speculative_probes,
+            wasted_probes=search.wasted_probes,
         )

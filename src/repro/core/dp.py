@@ -95,6 +95,60 @@ def maximize_separable_on_grid(phi_grid, budget_units: int) -> GridAllocation:
     # over all budget levels; intermediate states track exact usage.
     choice = np.zeros((num_targets, budget + 1), dtype=np.int64)
 
+    # The per-target transition is a max-plus correlation of `best` with
+    # the target's value column: score[b, a] = best[b - a] + phi[j, a].
+    # Padding `best` with A-1 leading -inf entries makes every shifted
+    # read in-bounds, and a sliding window over the padded vector gives
+    # windows[b, i] = best[b + i - (A - 1)], i.e. column a corresponds to
+    # window position A-1-a — hence the [::-1] below.  argmax's
+    # first-occurrence rule awards ties to the smallest `a`, matching the
+    # strict `cand > new_best` update of the reference loop.
+    num_moves = min(k, budget) + 1
+    padded = np.empty(budget + num_moves)
+    padded[: num_moves - 1] = neg_inf
+    for j in range(num_targets):
+        padded[num_moves - 1 :] = best
+        windows = np.lib.stride_tricks.sliding_window_view(padded, num_moves)
+        scores = windows[:, ::-1] + phi[j, :num_moves]
+        new_choice = np.argmax(scores, axis=1)
+        best = scores[np.arange(budget + 1), new_choice]
+        choice[j] = new_choice
+
+    b_star = int(np.argmax(best))
+    value = float(best[b_star])
+    units = np.zeros(num_targets, dtype=np.int64)
+    b = b_star
+    for j in range(num_targets - 1, -1, -1):
+        units[j] = choice[j, b]
+        b -= units[j]
+    assert b == 0, "DP backtrack failed to consume the chosen budget"
+    return GridAllocation(value=value, units=units)
+
+
+def _maximize_separable_on_grid_loop(phi_grid, budget_units: int) -> GridAllocation:
+    """Reference implementation of the DP transition as an explicit loop
+    over per-target allocations.
+
+    Kept (unexported) as the ground truth for the vectorised transition in
+    :func:`maximize_separable_on_grid`: the test suite asserts bit-identical
+    tables (``np.array_equal`` on values and backtracked units) across
+    random instances, including the tie-break rule that ties go to the
+    smallest allocation.
+    """
+    phi = np.asarray(phi_grid, dtype=np.float64)
+    if phi.ndim != 2 or phi.shape[1] < 2:
+        raise ValueError(f"phi_grid must have shape (T, K+1) with K >= 1, got {phi.shape}")
+    num_targets, cols = phi.shape
+    k = cols - 1
+    if budget_units < 0:
+        raise ValueError(f"budget_units must be >= 0, got {budget_units}")
+    budget = int(min(budget_units, num_targets * k))
+
+    neg_inf = -np.inf
+    best = np.full(budget + 1, neg_inf)
+    best[0] = 0.0
+    choice = np.zeros((num_targets, budget + 1), dtype=np.int64)
+
     for j in range(num_targets):
         new_best = np.full(budget + 1, neg_inf)
         new_choice = np.zeros(budget + 1, dtype=np.int64)

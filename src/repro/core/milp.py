@@ -25,6 +25,15 @@ game** and :meth:`CubisMilpSkeleton.patch` rewrites just the
 bounds — per step.  :func:`build_cubis_milp` (skeleton + single patch)
 remains the one-shot entry point.
 
+On top of the patch path, :meth:`CubisMilpSkeleton.diff` compares two
+candidates and emits a :class:`SkeletonPatch` — the *sparse* set of
+coefficient updates taking the ``c_old`` model to the ``c_new`` model.
+Both :meth:`~CubisMilpSkeleton.patch` and
+:meth:`~CubisMilpSkeleton.diff` tabulate through the same private
+helper, so an in-place application of the patch set (see
+:class:`~repro.solvers.session.MilpSession`) reproduces a fresh build
+bit for bit.
+
 This module only *builds* the MILP (as a
 :class:`~repro.solvers.milp_backend.MILPProblem` plus index metadata); the
 solve and the feasibility verdict live in :mod:`repro.core.cubis`.
@@ -44,6 +53,7 @@ from repro.solvers.piecewise import SegmentGrid
 __all__ = [
     "CubisMilp",
     "CubisMilpSkeleton",
+    "SkeletonPatch",
     "StrategyCertificate",
     "build_cubis_milp",
 ]
@@ -141,6 +151,65 @@ class StrategyCertificate:
             else:
                 infeasible = mid
         return feasible
+
+
+@dataclass(frozen=True)
+class _CandidateBlocks:
+    """Every ``c``-dependent coefficient block, tabulated for one candidate.
+
+    This is the single source both :meth:`CubisMilpSkeleton.patch` and
+    :meth:`CubisMilpSkeleton.diff` draw from — identical float operations
+    on both paths is what makes in-place patching bit-identical to a
+    fresh build.
+    """
+
+    vals_34: np.ndarray
+    vals_35: np.ndarray
+    vals_36: np.ndarray
+    rhs: np.ndarray
+    cost_x: np.ndarray
+    ub_v: np.ndarray
+    f1_constant: float
+
+
+@dataclass(frozen=True)
+class SkeletonPatch:
+    """Sparse coefficient delta between two binary-search candidates.
+
+    Emitted by :meth:`CubisMilpSkeleton.diff`; applying it in place to
+    the ``c_old`` model's arrays yields exactly the arrays
+    :meth:`CubisMilpSkeleton.patch` would build from scratch for
+    ``c_new`` (property-tested bit identity).
+
+    ``vals_index`` addresses the skeleton's COO *entry order* (the order
+    constraints were assembled in) — translate through
+    :attr:`CubisMilpSkeleton.entry_data_slots` to index a CSR ``data``
+    array.  ``rhs_index`` addresses ``b_ub`` rows; ``cost_index`` /
+    ``ub_index`` address variables in the objective / upper-bound
+    vectors.
+    """
+
+    c_old: float
+    c_new: float
+    vals_index: np.ndarray
+    vals: np.ndarray
+    rhs_index: np.ndarray
+    rhs: np.ndarray
+    cost_index: np.ndarray
+    cost: np.ndarray
+    ub_index: np.ndarray
+    ub: np.ndarray
+    f1_constant: float
+
+    @property
+    def num_updates(self) -> int:
+        """Total scalar writes this patch performs."""
+        return (
+            len(self.vals_index)
+            + len(self.rhs_index)
+            + len(self.cost_index)
+            + len(self.ub_index)
+        )
 
 
 class CubisMilpSkeleton:
@@ -298,6 +367,7 @@ class CubisMilpSkeleton:
                 "the memoised sparsity pattern requires unique coordinates"
             )
         self._csr_order = marker.data.astype(np.int64) - 1
+        self._entry_data_slots: np.ndarray | None = None
         self._csr_indices = marker.indices
         self._csr_indptr = marker.indptr
         self._shape = (num_rows, n)
@@ -317,19 +387,18 @@ class CubisMilpSkeleton:
             integrality[h_idx.ravel()] = 1
         self._integrality = integrality
 
-    def patch(self, c: float) -> CubisMilp:
-        """Assemble the MILP for candidate utility ``c``.
+    def _tabulate(self, c: float) -> _CandidateBlocks:
+        """Tabulate every ``c``-dependent coefficient block for ``c``.
 
-        Only the ``c``-dependent coefficients are recomputed; the
-        structure is shared with every other patch of this skeleton.
+        Breakpoint tabulation of f^1, f^2 and their slopes (Eqs. 31-32),
+        the data-driven big-M constants (|f1 - f2| peaks at a breakpoint
+        of the piecewise approximant), and the objective/bound columns.
+        Both :meth:`patch` and :meth:`diff` go through here, so the two
+        paths perform the same float operations on the same data.
         """
         ud, lo, hi = self._ud, self._lo, self._hi
         grid = self.grid
         t = self.num_targets
-        n = self._shape[1]
-        x_idx, v_idx = self._x_idx, self._v_idx
-
-        # Breakpoint tabulation of f^1, f^2 and their slopes (Eqs. 31-32).
         margin = ud - c  # (T, K+1): U_i^d(t) - c
         f1 = lo * margin
         f2 = hi * margin
@@ -337,19 +406,50 @@ class CubisMilpSkeleton:
         s2 = grid.slopes(f2)
         diff_slopes = s1 - s2  # slopes of f1 - f2 = -(U - L)(U^d - c)
         g0 = f1[:, 0] - f2[:, 0]  # (f1 - f2)(0) per target
-
-        # Data-driven per-target big-M: |f1 - f2| peaks at a breakpoint of
-        # the piecewise approximant.
         big_m = np.abs(f1 - f2).max(axis=1) + _BIG_M_SLACK
+        return _CandidateBlocks(
+            vals_34=np.column_stack([np.ones(t), -big_m]).ravel(),
+            vals_35=np.column_stack([diff_slopes, -np.ones(t)]).ravel(),
+            vals_36=np.column_stack([-diff_slopes, np.ones(t), big_m]).ravel(),
+            rhs=np.concatenate([-g0, g0 + big_m]),
+            cost_x=-s1.ravel(),
+            ub_v=big_m,
+            f1_constant=float(f1[:, 0].sum()),
+        )
+
+    @property
+    def entry_data_slots(self) -> np.ndarray:
+        """Inverse of the entry → CSR permutation.
+
+        ``entry_data_slots[e]`` is the slot of COO entry ``e`` (assembly
+        order, the order :class:`SkeletonPatch.vals_index` uses) in the
+        built CSR ``data`` array.  Computed lazily and cached; sessions
+        use it to write patch values straight into a live matrix.
+        """
+        slots = self._entry_data_slots
+        if slots is None:
+            order = self._csr_order
+            slots = np.empty(len(order), dtype=np.int64)
+            slots[order] = np.arange(len(order), dtype=np.int64)
+            self._entry_data_slots = slots
+        return slots
+
+    def patch(self, c: float) -> CubisMilp:
+        """Assemble the MILP for candidate utility ``c``.
+
+        Only the ``c``-dependent coefficients are recomputed; the
+        structure is shared with every other patch of this skeleton.
+        """
+        n = self._shape[1]
+        x_idx, v_idx = self._x_idx, self._v_idx
+        blocks = self._tabulate(c)
 
         vals = self._vals_template.copy()
-        vals[self._vals_34] = np.column_stack([np.ones(t), -big_m]).ravel()
-        vals[self._vals_35] = np.column_stack([diff_slopes, -np.ones(t)]).ravel()
-        vals[self._vals_36] = np.column_stack(
-            [-diff_slopes, np.ones(t), big_m]
-        ).ravel()
+        vals[self._vals_34] = blocks.vals_34
+        vals[self._vals_35] = blocks.vals_35
+        vals[self._vals_36] = blocks.vals_36
         rhs = self._rhs_template.copy()
-        rhs[self._rhs_patch] = np.concatenate([-g0, g0 + big_m])
+        rhs[self._rhs_patch] = blocks.rhs
         A_ub = sp.csr_matrix(
             (vals[self._csr_order], self._csr_indices, self._csr_indptr),
             shape=self._shape,
@@ -357,11 +457,11 @@ class CubisMilpSkeleton:
 
         # Objective (33), minimisation form: min  -sum s1 x + sum v.
         cost = np.zeros(n)
-        cost[x_idx.ravel()] = -s1.ravel()
+        cost[x_idx.ravel()] = blocks.cost_x
         cost[v_idx] = 1.0
 
         ub = self._ub_template.copy()
-        ub[v_idx] = big_m
+        ub[v_idx] = blocks.ub_v
 
         problem = MILPProblem(
             c=cost,
@@ -376,9 +476,48 @@ class CubisMilpSkeleton:
         return CubisMilp(
             problem=problem,
             layout=self.layout,
-            grid=grid,
-            f1_constant=float(f1[:, 0].sum()),
+            grid=self.grid,
+            f1_constant=blocks.f1_constant,
             c=float(c),
+        )
+
+    def diff(self, c_old: float, c_new: float) -> SkeletonPatch:
+        """The sparse update set taking the ``c_old`` model to ``c_new``.
+
+        Tabulates both candidates through :meth:`_tabulate` and keeps
+        only the entries whose values actually differ (bitwise float
+        comparison, so an applied patch reproduces :meth:`patch`
+        exactly).  Typical binary-search steps change every tabulated
+        entry — the win over :meth:`patch` is skipping the CSR
+        re-assembly and the template copies, not the tabulation.
+        """
+        old = self._tabulate(c_old)
+        new = self._tabulate(c_new)
+        vals_index: list[np.ndarray] = []
+        vals: list[np.ndarray] = []
+        for sl, o, n in (
+            (self._vals_34, old.vals_34, new.vals_34),
+            (self._vals_35, old.vals_35, new.vals_35),
+            (self._vals_36, old.vals_36, new.vals_36),
+        ):
+            changed = np.flatnonzero(o != n)
+            vals_index.append(changed + sl.start)
+            vals.append(n[changed])
+        rhs_changed = np.flatnonzero(old.rhs != new.rhs)
+        cost_changed = np.flatnonzero(old.cost_x != new.cost_x)
+        ub_changed = np.flatnonzero(old.ub_v != new.ub_v)
+        return SkeletonPatch(
+            c_old=float(c_old),
+            c_new=float(c_new),
+            vals_index=np.concatenate(vals_index),
+            vals=np.concatenate(vals),
+            rhs_index=rhs_changed + self._rhs_patch.start,
+            rhs=new.rhs[rhs_changed],
+            cost_index=self._x_idx.ravel()[cost_changed],
+            cost=new.cost_x[cost_changed],
+            ub_index=self._v_idx[ub_changed],
+            ub=new.ub_v[ub_changed],
+            f1_constant=new.f1_constant,
         )
 
     def certificate(self, strategy: np.ndarray) -> StrategyCertificate:

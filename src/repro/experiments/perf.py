@@ -1,17 +1,31 @@
 """Benchmark harness for the performance layer — emits ``BENCH_runtime.json``.
 
-Three measurements, one JSON payload:
+Four measurements, one JSON payload:
 
-* **cold** — every game solved with ``memoise=False`` (rebuild each MILP,
-  no certificates, no LP screen): the baseline the paper-era pipeline ran.
+* **cold** — every game solved with ``memoise=False`` and
+  ``session="fresh"`` (rebuild each MILP, no certificates, no LP screen,
+  no incremental patching): the baseline the paper-era pipeline ran.
 * **warm** — the same games with ``memoise=True`` and each solve
   warm-started from its predecessor (``CubisResult.as_warm_start``): the
   production path.  The headline number is ``speedup = cold / warm``
   wall-clock on the solves themselves.
+* **session** — the same games with ``memoise=True``,
+  ``session="incremental"`` and speculative k-ary bisection
+  (``speculation=3`` by default), *without* cross-game warm-start
+  chaining, isolating the incremental-session contribution
+  (``speedup_session = cold / session``).
 * **parallel** — a small :func:`repro.analysis.sweep.run_grid` executed
   serially and with a process pool, asserting the two tables are
   bit-identical at the same root seed (the determinism guarantee of
   docs/PERFORMANCE.md, checked on every benchmark run).
+
+Each per-game row records the ``backend`` and the ``session_mode`` the
+solve actually ran with, so a saved payload documents its own
+configuration.  :func:`compare_bench` diffs a fresh payload against a
+saved reference over the *hardware-independent* metrics only (solve
+counts and speedup ratios, never raw seconds) — the regression gate run
+by CI's benchmark-smoke job via
+``python -m repro bench --compare BENCH_runtime.json``.
 
 ``python -m repro bench`` drives this module from the command line; the
 CI benchmark-smoke job runs a reduced configuration and uploads the JSON.
@@ -30,22 +44,29 @@ from repro.experiments.quality import default_uncertainty
 from repro.game.generator import random_interval_game
 from repro.utils.rng import spawn_generators
 
-__all__ = ["run_bench_runtime", "write_bench_json", "format_bench"]
+__all__ = ["compare_bench", "run_bench_runtime", "write_bench_json", "format_bench"]
 
 
-def _solve_stats(result, seconds: float) -> dict:
+def _solve_stats(result, seconds: float, *, backend: str) -> dict:
     return {
         "wall_clock_seconds": seconds,
         "oracle_calls": result.oracle_calls,
         "milp_solves": result.milp_solves,
         "lp_solves": result.lp_solves,
         "cache_hits": result.cache_hits,
+        "session_patches": result.session_patches,
+        "speculative_probes": result.speculative_probes,
         "lower_bound": result.lower_bound,
         "worst_case": result.worst_case_value,
+        "backend": backend,
+        "session_mode": result.session_mode,
     }
 
 
-def _bench_trial(rng, trial_index: int, *, num_targets: int, num_segments: int, epsilon: float):
+def _bench_trial(
+    rng, trial_index: int, *, num_targets: int, num_segments: int,
+    epsilon: float, backend: str = "highs",
+):
     """One sweep cell for the parallel-equality check.
 
     Module-level (picklable) so ``run_grid`` can ship it to pool workers;
@@ -55,7 +76,7 @@ def _bench_trial(rng, trial_index: int, *, num_targets: int, num_segments: int, 
     game = random_interval_game(num_targets, seed=rng)
     result = solve_cubis(
         game, default_uncertainty(game.payoffs),
-        num_segments=num_segments, epsilon=epsilon,
+        num_segments=num_segments, epsilon=epsilon, backend=backend,
     )
     yield {
         "lower_bound": result.lower_bound,
@@ -75,27 +96,35 @@ def run_bench_runtime(
     seed: int = 2016,
     workers: int = 4,
     warm_start: bool = True,
+    backend: str = "highs",
+    speculation: int = 3,
 ) -> dict:
-    """Measure cold vs warm+memoised solve time and check parallel determinism.
+    """Measure cold vs warm vs incremental-session solve time and check
+    parallel determinism.
 
     Returns the ``BENCH_runtime.json`` payload as a dict.  ``warm_start=False``
     keeps memoisation on in the warm pass but drops the cross-game
-    warm-start chaining (isolating the two contributions).
+    warm-start chaining (isolating the two contributions).  ``speculation``
+    sets the k of the session pass's speculative bisection (1 disables it).
     """
     games = [
         random_interval_game(num_targets, seed=rng)
         for rng in spawn_generators(seed, num_games)
     ]
     models = [default_uncertainty(g.payoffs) for g in games]
-    common = {"num_segments": num_segments, "epsilon": epsilon}
+    common = {"num_segments": num_segments, "epsilon": epsilon, "backend": backend}
 
     cold_games = []
     t0 = time.perf_counter()
     with telemetry.span("bench.cold_pass", games=num_games):
         for game, uncertainty in zip(games, models):
             t1 = time.perf_counter()
-            result = solve_cubis(game, uncertainty, memoise=False, **common)
-            cold_games.append(_solve_stats(result, time.perf_counter() - t1))
+            result = solve_cubis(
+                game, uncertainty, memoise=False, session="fresh", **common
+            )
+            cold_games.append(
+                _solve_stats(result, time.perf_counter() - t1, backend=backend)
+            )
     cold_total = time.perf_counter() - t0
 
     warm_games = []
@@ -107,10 +136,29 @@ def run_bench_runtime(
             result = solve_cubis(
                 game, uncertainty, memoise=True, warm_start=carry, **common
             )
-            warm_games.append(_solve_stats(result, time.perf_counter() - t1))
+            warm_games.append(
+                _solve_stats(result, time.perf_counter() - t1, backend=backend)
+            )
             if warm_start:
                 carry = result.as_warm_start()
     warm_total = time.perf_counter() - t0
+
+    # Session pass: incremental MILP sessions + speculative bisection, no
+    # cross-game chaining, so speedup_session isolates the tentpole
+    # optimisation against the same cold baseline.
+    session_games = []
+    t0 = time.perf_counter()
+    with telemetry.span("bench.session_pass", games=num_games, speculation=speculation):
+        for game, uncertainty in zip(games, models):
+            t1 = time.perf_counter()
+            result = solve_cubis(
+                game, uncertainty, memoise=True, session="incremental",
+                speculation=speculation, **common,
+            )
+            session_games.append(
+                _solve_stats(result, time.perf_counter() - t1, backend=backend)
+            )
+    session_total = time.perf_counter() - t0
 
     # Parallel determinism check: a reduced grid (the full T would make the
     # smoke run slow) solved serially and through the pool must agree on
@@ -124,14 +172,21 @@ def run_bench_runtime(
     identical = serial.rows == pooled.rows
 
     def totals(per_game: list[dict]) -> dict:
-        keys = ("wall_clock_seconds", "oracle_calls", "milp_solves", "lp_solves", "cache_hits")
+        keys = (
+            "wall_clock_seconds", "oracle_calls", "milp_solves", "lp_solves",
+            "cache_hits", "session_patches", "speculative_probes",
+        )
         out = {k: sum(g[k] for g in per_game) for k in keys}
         calls = out["oracle_calls"]
-        out["cache_hit_rate"] = out["cache_hits"] / calls if calls else 0.0
+        # No oracle calls means a hit rate is undefined, not zero — report
+        # an explicit null instead of the misleading 0.0 a bare division
+        # guard would produce.
+        out["cache_hit_rate"] = out["cache_hits"] / calls if calls else None
         return out
 
     cold = totals(cold_games)
     warm = totals(warm_games)
+    session = totals(session_games)
     # Where the time went, from the active telemetry context: a per-name
     # rollup plus the slowest individual spans (None under
     # ``--no-telemetry``).  Completed spans only — the surrounding
@@ -148,16 +203,25 @@ def run_bench_runtime(
             "seed": seed,
             "workers": workers,
             "warm_start": warm_start,
+            "backend": backend,
+            "speculation": speculation,
         },
         "cold": {**cold, "per_game": cold_games},
         "warm": {**warm, "per_game": warm_games},
+        "session": {**session, "per_game": session_games},
         "speedup": (
             cold["wall_clock_seconds"] / warm["wall_clock_seconds"]
             if warm["wall_clock_seconds"] > 0
             else float("inf")
         ),
+        "speedup_session": (
+            cold["wall_clock_seconds"] / session["wall_clock_seconds"]
+            if session["wall_clock_seconds"] > 0
+            else float("inf")
+        ),
         "cold_wall_clock_seconds": cold_total,
         "warm_wall_clock_seconds": warm_total,
+        "session_wall_clock_seconds": session_total,
         "parallel": {
             "workers": workers,
             "cells": len(serial.rows),
@@ -174,10 +238,60 @@ def write_bench_json(payload: dict, path) -> Path:
     return path
 
 
+_COMPARE_COUNT_KEYS = ("oracle_calls", "milp_solves", "lp_solves")
+_COMPARE_SPEEDUP_KEYS = ("speedup", "speedup_session")
+
+
+def compare_bench(payload: dict, reference: dict, *, max_regression: float = 1.25) -> list[str]:
+    """Diff a fresh benchmark payload against a saved reference payload.
+
+    Only hardware-independent metrics enter the comparison — solve
+    *counts* per pass (which must not grow beyond
+    ``reference * max_regression``) and the speedup *ratios* (which must
+    not fall below ``reference / max_regression``); raw wall-clock
+    seconds are never compared, so the gate is stable across machines.
+    Sections or keys absent from either payload are skipped, which lets
+    an old reference file gate a newer payload (and vice versa) without
+    erroring.
+
+    Returns a list of human-readable regression descriptions; an empty
+    list means the payload is within tolerance.
+    """
+    if max_regression < 1.0:
+        raise ValueError(f"max_regression must be >= 1.0, got {max_regression}")
+    problems: list[str] = []
+    for section in ("cold", "warm", "session"):
+        cur, ref = payload.get(section), reference.get(section)
+        if not isinstance(cur, dict) or not isinstance(ref, dict):
+            continue
+        for key in _COMPARE_COUNT_KEYS:
+            if key not in cur or key not in ref:
+                continue
+            limit = ref[key] * max_regression
+            if cur[key] > limit:
+                problems.append(
+                    f"{section}.{key}: {cur[key]} exceeds reference "
+                    f"{ref[key]} x {max_regression:g} = {limit:g}"
+                )
+    for key in _COMPARE_SPEEDUP_KEYS:
+        cur, ref = payload.get(key), reference.get(key)
+        if cur is None or ref is None:
+            continue
+        floor = ref / max_regression
+        if cur < floor:
+            problems.append(
+                f"{key}: {cur:.2f}x below reference {ref:.2f}x / "
+                f"{max_regression:g} = {floor:.2f}x"
+            )
+    return problems
+
+
 def format_bench(payload: dict) -> str:
     """Human-readable one-screen summary of a benchmark payload."""
     cold, warm, par = payload["cold"], payload["warm"], payload["parallel"]
     cfg = payload["config"]
+    hit_rate = warm["cache_hit_rate"]
+    hit_pct = f"({100 * hit_rate:.0f}%)" if hit_rate is not None else "(n/a)"
     lines = [
         f"bench_runtime: T={cfg['num_targets']} K={cfg['num_segments']} "
         f"eps={cfg['epsilon']} games={cfg['num_games']} seed={cfg['seed']}",
@@ -186,11 +300,24 @@ def format_bench(payload: dict) -> str:
         f"  warm : {warm['wall_clock_seconds']:.2f}s  "
         f"oracle={warm['oracle_calls']}  milp={warm['milp_solves']}  "
         f"lp={warm['lp_solves']}  hits={warm['cache_hits']} "
-        f"({100 * warm['cache_hit_rate']:.0f}%)",
+        f"{hit_pct}",
         f"  speedup: {payload['speedup']:.2f}x",
+    ]
+    session = payload.get("session")
+    if session is not None:
+        lines.insert(
+            3,
+            f"  sess : {session['wall_clock_seconds']:.2f}s  "
+            f"oracle={session['oracle_calls']}  milp={session['milp_solves']}  "
+            f"patches={session['session_patches']}  "
+            f"probes={session['speculative_probes']} "
+            f"(k={cfg.get('speculation', 1)})",
+        )
+        lines.append(f"  speedup_session: {payload['speedup_session']:.2f}x")
+    lines.append(
         f"  parallel (workers={par['workers']}, {par['cells']} cells): "
         + ("identical to serial" if par["identical_to_serial"] else "MISMATCH"),
-    ]
+    )
     if payload.get("spans"):
         top = payload["spans"]["by_name"][:3]
         lines.append(

@@ -40,6 +40,7 @@ def solve_bnb(
     *,
     max_nodes: int = 100_000,
     gap_tol: float = 1e-9,
+    incumbent: np.ndarray | None = None,
 ) -> MILPResult:
     """Solve a :class:`~repro.solvers.milp_backend.MILPProblem` by branch
     and bound.
@@ -53,6 +54,14 @@ def solve_bnb(
         ``"error"`` with a message rather than silently truncating.
     gap_tol:
         Absolute bound-vs-incumbent gap below which a node is pruned.
+    incumbent:
+        Optional MIP start — a candidate solution from a related solve
+        (e.g. the previous binary-search step of an incremental
+        session).  It is *probed, never trusted*: integer values are
+        rounded, feasibility is re-checked against this problem's
+        constraints, and an infeasible start is silently ignored, so a
+        stale incumbent can only tighten the initial pruning bound,
+        never corrupt the optimum.
     """
     int_idx = np.flatnonzero(problem.integrality > 0)
     if np.any(~np.isfinite(problem.lb[int_idx])) or np.any(~np.isfinite(problem.ub[int_idx])):
@@ -63,6 +72,10 @@ def solve_bnb(
     heap = [root]
     incumbent_x: np.ndarray | None = None
     incumbent_obj = np.inf
+    start = _validated_start(problem, incumbent)
+    if start is not None:
+        incumbent_x = start
+        incumbent_obj = float(problem.c @ start)
     nodes = 0
 
     while heap:
@@ -116,3 +129,36 @@ def solve_bnb(
     if incumbent_x is None:
         return MILPResult("infeasible", None, None, nodes=nodes)
     return MILPResult("optimal", incumbent_x, incumbent_obj, nodes=nodes)
+
+
+def _validated_start(
+    problem: MILPProblem, incumbent: np.ndarray | None
+) -> np.ndarray | None:
+    """Round and feasibility-check a MIP start; ``None`` if unusable.
+
+    The tolerance mirrors the node integrality tolerance: a start only
+    seeds the pruning bound when it satisfies bounds and constraints to
+    ``_INT_TOL`` after rounding its integer coordinates, which keeps the
+    exactness guarantee — an accepted start is a genuinely feasible
+    point, so pruning against its objective never cuts the optimum.
+    """
+    if incumbent is None:
+        return None
+    x = np.asarray(incumbent, dtype=np.float64)
+    if x.shape != (problem.num_variables,) or not np.all(np.isfinite(x)):
+        return None
+    x = x.copy()
+    int_idx = np.flatnonzero(problem.integrality > 0)
+    x[int_idx] = np.round(x[int_idx])
+    if np.any(x < problem.lb - _INT_TOL) or np.any(x > problem.ub + _INT_TOL):
+        return None
+    x = np.clip(x, problem.lb, problem.ub)
+    if problem.A_ub is not None and np.any(
+        problem.A_ub @ x > problem.b_ub + _INT_TOL
+    ):
+        return None
+    if problem.A_eq is not None and np.any(
+        np.abs(problem.A_eq @ x - problem.b_eq) > _INT_TOL
+    ):
+        return None
+    return x

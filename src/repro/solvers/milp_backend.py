@@ -132,12 +132,27 @@ def relax_integrality(problem: MILPProblem) -> MILPProblem:
     )
 
 
-def solve_milp(problem: MILPProblem, *, backend="highs", **backend_options) -> MILPResult:
+def solve_milp(
+    problem: MILPProblem,
+    *,
+    backend="highs",
+    warm_start: np.ndarray | None = None,
+    **backend_options,
+) -> MILPResult:
     """Solve a :class:`MILPProblem` with the selected backend.
 
     ``backend`` is a name (``"highs"`` / ``"bnb"``) or any callable
     ``(problem, **options) -> MILPResult`` — the hook used by the
     resilience layer to interpose fault injectors and custom solvers.
+
+    ``warm_start`` is a candidate solution (a MIP start) from a related
+    solve, typically the previous binary-search step's optimum carried
+    by a :class:`~repro.solvers.session.MilpSession`.  It is advisory:
+    only backends with a MIP-start hook receive it — ``"bnb"`` seeds its
+    incumbent after re-validating feasibility; ``scipy.optimize.milp``
+    exposes no warm-start parameter, so the ``"highs"`` path (and any
+    callable backend) silently drops it.  The optimum is identical
+    either way.
 
     Every call is traced as a ``milp.solve`` span and observed into the
     ``repro_oracle_seconds`` histogram under an oracle-kind label:
@@ -148,6 +163,8 @@ def solve_milp(problem: MILPProblem, *, backend="highs", **backend_options) -> M
         label = getattr(backend, "__name__", type(backend).__name__)
     else:
         label = str(backend)
+    if warm_start is not None and backend == "bnb":
+        backend_options["incumbent"] = warm_start
     kind = ("lp:" if problem.num_integer == 0 else "milp:") + label
     t0 = time.perf_counter()
     with telemetry.span(

@@ -1,0 +1,272 @@
+"""Persistent incremental MILP sessions for the CUBIS oracle.
+
+A cold CUBIS run pays ``O(log(1/eps))`` MILP solves per game, and every
+solve used to re-assemble the model — template copies plus a CSR
+construction — even though only the ``c``-dependent coefficients change
+between binary-search steps.  :class:`MilpSession` keeps **one live
+model** for the whole search: the first candidate builds it via
+:meth:`~repro.core.milp.CubisMilpSkeleton.patch`, every later candidate
+applies the sparse :class:`~repro.core.milp.SkeletonPatch` from
+:meth:`~repro.core.milp.CubisMilpSkeleton.diff` *in place* — writing
+straight into the live CSR ``data`` array through the skeleton's
+``entry_data_slots`` permutation.  Patched and freshly built models are
+bit-identical (property-tested), so the session changes nothing about
+the answers, only what they cost.
+
+The previous step's optimal solution is carried as an incumbent and
+forwarded to backends that accept a MIP start (the pure-Python ``bnb``
+backend; ``scipy.optimize.milp`` exposes no warm-start hook, so the
+HiGHS path ignores it — see :func:`~repro.solvers.milp_backend.solve_milp`).
+
+Failure semantics: a session never owns correctness.  When a backend
+errors mid-sequence the caller calls :meth:`MilpSession.invalidate` and
+re-solves that step from a fresh build; the next :meth:`prepare`
+rebuilds the live model from the skeleton templates (which in-place
+patching never touches), so one corrupted solve cannot poison the rest
+of the search.  :mod:`repro.core.cubis` wires this into a
+``resilience.attempt`` telemetry event per fallback.
+
+:class:`SessionPool` drives ``k`` independent sessions from a thread
+pool for the speculative k-ary bisection mode
+(``binary_search_max(speculation=k)``): each batch assigns at most one
+task per session, results are collected in submission order, and worker
+threads run with telemetry *disabled* (the tracer's span stack is not
+thread-safe and contextvars do not propagate to pool threads) — the
+orchestrating thread re-emits aggregate counters afterwards, keeping
+metric streams deterministic.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+from repro import telemetry
+from repro.solvers.milp_backend import MILPResult, solve_milp
+
+__all__ = ["MilpSession", "SessionPool"]
+
+
+class MilpSession:
+    """One live CUBIS MILP, re-coefficiented in place per candidate.
+
+    Parameters
+    ----------
+    skeleton:
+        The :class:`~repro.core.milp.CubisMilpSkeleton` of the game.
+    backend:
+        MILP backend name or callable, forwarded to
+        :func:`~repro.solvers.milp_backend.solve_milp`.
+    warm_start:
+        Carry each optimal solution to the next solve as an incumbent
+        (only backends that support MIP starts use it).
+
+    Attributes
+    ----------
+    fresh_builds, patches_applied, solves:
+        Lifetime counters: full template builds, in-place sparse
+        patches, and backend solves performed through this session.
+    fallbacks:
+        Times the owning caller reported a failed solve via
+        :meth:`invalidate` after at least one successful prepare.
+    """
+
+    def __init__(self, skeleton, *, backend="highs", warm_start: bool = True) -> None:
+        self.skeleton = skeleton
+        self.backend = backend
+        self.use_warm_start = bool(warm_start)
+        self._model = None
+        self._c: float | None = None
+        self._incumbent = None
+        self.fresh_builds = 0
+        self.patches_applied = 0
+        self.solves = 0
+        self.fallbacks = 0
+        self.last_patch_updates: int | None = None
+
+    @property
+    def live(self) -> bool:
+        """Whether a model is currently held (next prepare patches it)."""
+        return self._model is not None
+
+    @property
+    def model(self):
+        """The currently prepared :class:`~repro.core.milp.CubisMilp`."""
+        return self._model
+
+    def invalidate(self) -> None:
+        """Drop the live model (and incumbent); the next
+        :meth:`prepare` rebuilds from the skeleton templates.  Callers
+        invoke this after a backend failure so a possibly-corrupted
+        in-place state cannot carry into later steps."""
+        if self._model is not None:
+            self.fallbacks += 1
+        self._model = None
+        self._c = None
+        self._incumbent = None
+
+    def prepare(self, c: float):
+        """Point the live model at candidate ``c`` and return it.
+
+        First call (or first after :meth:`invalidate`): a full
+        :meth:`~repro.core.milp.CubisMilpSkeleton.patch` build.  Later
+        calls apply the sparse diff in place — the CSR structure, bound
+        and integrality arrays are reused, only changed values are
+        written.  Each call is traced as a ``milp.patch`` span carrying
+        the candidate and the write count (no-op span off the telemetry
+        thread).
+        """
+        c = float(c)
+        with telemetry.span("milp.patch", c=c, live=self.live) as span:
+            if self._model is None:
+                model = self.skeleton.patch(c)
+                self.fresh_builds += 1
+                self.last_patch_updates = None
+                span.set(mode="fresh-build")
+            elif c == self._c:
+                model = self._model
+                self.last_patch_updates = 0
+                span.set(mode="noop", updates=0)
+            else:
+                patch = self.skeleton.diff(self._c, c)
+                problem = self._model.problem
+                slots = self.skeleton.entry_data_slots
+                problem.A_ub.data[slots[patch.vals_index]] = patch.vals
+                problem.b_ub[patch.rhs_index] = patch.rhs
+                problem.c[patch.cost_index] = patch.cost
+                problem.ub[patch.ub_index] = patch.ub
+                model = type(self._model)(
+                    problem=problem,
+                    layout=self._model.layout,
+                    grid=self._model.grid,
+                    f1_constant=patch.f1_constant,
+                    c=c,
+                )
+                self.patches_applied += 1
+                self.last_patch_updates = patch.num_updates
+                span.set(mode="patch", updates=patch.num_updates)
+        self._model = model
+        self._c = c
+        return model
+
+    def solve(self, **backend_options) -> MILPResult:
+        """Solve the currently prepared model with the session backend.
+
+        The previous step's optimum rides along as ``warm_start`` (the
+        backend decides whether it can use it); an optimal result
+        becomes the next incumbent.
+        """
+        if self._model is None:
+            raise RuntimeError("MilpSession.solve() requires a prepared model; "
+                               "call prepare(c) first")
+        if self.use_warm_start and self._incumbent is not None:
+            backend_options.setdefault("warm_start", self._incumbent)
+        result = solve_milp(
+            self._model.problem, backend=self.backend, **backend_options
+        )
+        self.solves += 1
+        if result.optimal:
+            self._incumbent = result.x
+        return result
+
+    def stats(self) -> dict:
+        """JSON-ready lifetime counters for manifests and benchmarks."""
+        return {
+            "fresh_builds": int(self.fresh_builds),
+            "patches_applied": int(self.patches_applied),
+            "solves": int(self.solves),
+            "fallbacks": int(self.fallbacks),
+        }
+
+
+class SessionPool:
+    """``k`` independent :class:`MilpSession`\\ s behind a thread pool.
+
+    Drives the speculative probes of ``binary_search_max``: one session
+    per concurrent candidate, so no live model is ever shared between
+    threads.  :meth:`map` preserves submission order in its result list
+    — completion order never influences the caller, which is what keeps
+    speculative bisection deterministic.
+    """
+
+    def __init__(
+        self, skeleton, size: int, *, backend="highs", warm_start: bool = True
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"session pool size must be >= 1, got {size}")
+        self.sessions = [
+            MilpSession(skeleton, backend=backend, warm_start=warm_start)
+            for _ in range(size)
+        ]
+        self._executor: ThreadPoolExecutor | None = None
+
+    @property
+    def size(self) -> int:
+        return len(self.sessions)
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=len(self.sessions),
+                thread_name_prefix="repro-speculate",
+            )
+        return self._executor
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """Run ``fn(session, item)`` for each item; results in item order.
+
+        Items are processed in chunks of at most ``size`` so each chunk
+        assigns every task a *distinct* session (sessions are not
+        thread-safe).  Worker threads run under the disabled telemetry
+        context: spans become no-ops and metric writes land in a
+        discarded registry, so nothing racy touches the caller's
+        telemetry — callers re-emit aggregate counters afterwards.
+        A worker exception propagates after its chunk has drained.
+        """
+        items = list(items)
+        executor = self._ensure_executor()
+
+        def run(session, item):
+            with telemetry.use(telemetry.DISABLED):
+                return fn(session, item)
+
+        results: list = []
+        for start in range(0, len(items), len(self.sessions)):
+            chunk = items[start:start + len(self.sessions)]
+            futures = [
+                executor.submit(run, session, item)
+                for session, item in zip(self.sessions, chunk)
+            ]
+            # Collect in submission order; re-raise the first failure
+            # only after every future in the chunk has finished.
+            errors = []
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except BaseException as exc:  # noqa: BLE001 — re-raised below
+                    errors.append(exc)
+            if errors:
+                raise errors[0]
+        return results
+
+    def stats(self) -> dict:
+        """Element-wise sum of every session's lifetime counters."""
+        totals = {"fresh_builds": 0, "patches_applied": 0, "solves": 0,
+                  "fallbacks": 0}
+        for session in self.sessions:
+            for key, value in session.stats().items():
+                totals[key] += value
+        return totals
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent); sessions stay usable
+        sequentially."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

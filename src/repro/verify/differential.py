@@ -2,8 +2,9 @@
 
 Runs one :class:`~repro.game.ssg.IntervalSecurityGame` instance through
 every independent solver path — the HiGHS MILP ladder, the pure-Python
-branch-and-bound MILP, the grid-restricted DP oracle, and the SLSQP
-multi-start comparator — and checks that they tell one consistent story:
+branch-and-bound MILP, the incremental-session MILP with speculative
+bisection, the grid-restricted DP oracle, and the SLSQP multi-start
+comparator — and checks that they tell one consistent story:
 
 1. **Per path**: the path completes, returns a feasible strategy, and
    its reported value matches a solver-independent re-evaluation (exact
@@ -45,7 +46,12 @@ from repro.verify.report import ConformanceCheck
 __all__ = ["PathOutcome", "DEFAULT_PATHS", "run_paths", "differential_check"]
 
 #: The solver paths the differential checker knows, in execution order.
-DEFAULT_PATHS = ("milp-highs", "milp-bnb", "dp", "exact")
+#: ``milp-session`` is the incremental-session + speculative-bisection
+#: pipeline (docs/PERFORMANCE.md) run as its own differential arm: it must
+#: agree with the fresh-build ``milp-highs`` path within the Theorem 1
+#: tolerance, which pins the patch/speculation machinery to the reference
+#: semantics on every battery run.
+DEFAULT_PATHS = ("milp-highs", "milp-bnb", "milp-session", "dp", "exact")
 
 #: DP suboptimality multiplier on the ``span/K`` term.  The DP snaps the
 #: *argument* to the grid (the MILP only snaps function values), so its
@@ -159,6 +165,10 @@ def run_paths(
     runners = {
         "milp-highs": (lambda: cubis(backend="highs"), slack),
         "milp-bnb": (lambda: cubis(backend="bnb"), slack),
+        "milp-session": (
+            lambda: cubis(backend="highs", session="incremental", speculation=3),
+            slack,
+        ),
         "dp": (lambda: cubis(oracle="dp"), epsilon + dp_slack_factor * span),
         "exact": (exact, slack),
         "milp-injected": (injected, slack),

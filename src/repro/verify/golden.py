@@ -26,13 +26,20 @@ Fixture layout (``schema_version`` 1)::
       "instance": {"kind": "table1"} | {"kind": "random", "num_targets": 5, "seed": 3, ...},
       "uncertainty": {"kind": "suqr", "w1": [-6, -2], "w2": [0.5, 1], "w3": [0.4, 0.9],
                        "convention": "endpoint"},
-      "solve": {"num_segments": 25, "epsilon": 1e-4},
+      "solve": {"num_segments": 25, "epsilon": 1e-4,
+                 "session": "incremental", "speculation": 3},
       "expected": {"robust_strategy": {"value": [...], "atol": 0.02}, ...},
       "provenance": {"git_sha": "...", "regenerate_reason": null}
     }
 
 Known expected keys: ``robust_strategy``, ``robust_worst_case``,
 ``midpoint_strategy``, ``midpoint_worst_case``.
+
+The ``solve`` object accepts the optional keys ``session`` and
+``speculation`` (forwarded to :func:`~repro.core.cubis.solve_cubis` for
+the robust quantities), so a fixture can pin the incremental-session
+pipeline's answer specifically; the session mode the solve actually ran
+with is recorded into provenance on regeneration.
 """
 
 from __future__ import annotations
@@ -176,6 +183,21 @@ def validate_fixture(data: dict, *, where: str = "fixture") -> GoldenFixture:
     solve = _require(data, "solve", dict, where)
     _require(solve, "num_segments", int, f"{where}.solve")
     _require(solve, "epsilon", float, f"{where}.solve")
+    if "session" in solve:
+        session = solve["session"]
+        if session not in ("auto", "incremental", "fresh"):
+            raise GoldenSchemaError(
+                f"{where}.solve: 'session' must be 'auto', 'incremental' or "
+                f"'fresh', got {session!r}"
+            )
+    if "speculation" in solve:
+        speculation = solve["speculation"]
+        if not isinstance(speculation, int) or isinstance(speculation, bool) \
+                or speculation < 1:
+            raise GoldenSchemaError(
+                f"{where}.solve: 'speculation' must be an integer >= 1, "
+                f"got {speculation!r}"
+            )
 
     expected = _require(data, "expected", dict, where)
     if not expected:
@@ -259,21 +281,36 @@ def measure_fixture(fixture: GoldenFixture) -> dict:
     game, uncertainty = build_instance(fixture)
     num_segments = int(fixture.solve["num_segments"])
     epsilon = float(fixture.solve["epsilon"])
+    # Optional session keys select the incremental pipeline for the robust
+    # solve (the midpoint baseline has no session machinery).
+    session_kwargs = {
+        key: fixture.solve[key]
+        for key in ("session", "speculation")
+        if key in fixture.solve
+    }
     measured: dict = {}
     keys = set(fixture.expected)
     if keys & {"robust_strategy", "robust_worst_case"}:
         robust = solve_cubis(
-            game, uncertainty, num_segments=num_segments, epsilon=epsilon
+            game, uncertainty, num_segments=num_segments, epsilon=epsilon,
+            **session_kwargs,
         )
         measured["robust_strategy"] = robust.strategy.tolist()
         measured["robust_worst_case"] = float(robust.worst_case_value)
+        measured["_session_mode"] = robust.session_mode
     if keys & {"midpoint_strategy", "midpoint_worst_case"}:
         midpoint = solve_midpoint(
             game, uncertainty, num_segments=num_segments, epsilon=epsilon
         )
         measured["midpoint_strategy"] = midpoint.strategy.tolist()
         measured["midpoint_worst_case"] = float(midpoint.worst_case_value)
-    return {key: measured[key] for key in fixture.expected}
+    out = {key: measured[key] for key in fixture.expected}
+    # Side-channel (underscore-prefixed, never an expected key): the mode
+    # the robust solve actually ran with, recorded into provenance by
+    # regenerate_fixture.
+    if "_session_mode" in measured:
+        out["_session_mode"] = measured["_session_mode"]
+    return out
 
 
 def _drift(expected_value, measured_value) -> float:
@@ -329,6 +366,7 @@ def regenerate_fixture(
     recorded in the fixture's provenance.
     """
     measured = measure_fixture(fixture)
+    session_mode = measured.pop("_session_mode", None)
     drifted = {
         key: _drift(entry["value"], measured[key])
         for key, entry in fixture.expected.items()
@@ -352,6 +390,8 @@ def regenerate_fixture(
         "regenerate_reason": reason,
         "drifted_keys": sorted(drifted),
     }
+    if session_mode is not None:
+        provenance["session_mode"] = session_mode
     return GoldenFixture(
         name=fixture.name,
         description=fixture.description,

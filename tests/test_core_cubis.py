@@ -270,3 +270,154 @@ class TestPerformanceLayer:
             warm_start=carried.as_warm_start(),
         )
         assert warm.lower_bound == pytest.approx(cold.lower_bound, abs=cold.epsilon)
+
+
+class TestSessionLayer:
+    """The incremental-session oracle and speculative bisection may only
+    change cost, never answers — and a mid-sequence backend failure must
+    degrade to exactly one fresh-build retry per failing step."""
+
+    def solve(self, game, unc, **kw):
+        kw.setdefault("num_segments", 8)
+        kw.setdefault("epsilon", 0.01)
+        return solve_cubis(game, unc, **kw)
+
+    def test_incremental_matches_fresh_bit_for_bit(
+        self, small_interval_game, small_uncertainty
+    ):
+        fresh = self.solve(small_interval_game, small_uncertainty, session="fresh")
+        inc = self.solve(small_interval_game, small_uncertainty, session="incremental")
+        # Patched models are bit-identical to fresh builds and HiGHS gets
+        # no warm start, so the whole search replays identically.
+        np.testing.assert_array_equal(inc.strategy, fresh.strategy)
+        assert inc.lower_bound == fresh.lower_bound
+        assert inc.upper_bound == fresh.upper_bound
+        assert inc.session_mode == "incremental"
+        assert fresh.session_mode == "fresh"
+        assert inc.session_patches > 0
+        assert inc.session_fallbacks == 0
+
+    def test_auto_mode_resolution(self, small_interval_game, small_uncertainty):
+        memo = self.solve(small_interval_game, small_uncertainty, memoise=True)
+        cold = self.solve(small_interval_game, small_uncertainty, memoise=False)
+        assert memo.session_mode == "incremental"
+        assert cold.session_mode == "fresh"
+        assert cold.session_patches == 0
+
+    def test_incremental_requires_milp_without_resilience(
+        self, small_interval_game, small_uncertainty
+    ):
+        from repro.resilience import ResiliencePolicy
+
+        with pytest.raises(ValueError, match="session='incremental'"):
+            self.solve(small_interval_game, small_uncertainty,
+                       session="incremental", oracle="dp")
+        with pytest.raises(ValueError, match="session='incremental'"):
+            self.solve(small_interval_game, small_uncertainty,
+                       session="incremental", resilience=ResiliencePolicy())
+
+    def test_invalid_session_and_speculation_rejected(
+        self, small_interval_game, small_uncertainty
+    ):
+        with pytest.raises(ValueError, match="session"):
+            self.solve(small_interval_game, small_uncertainty, session="sticky")
+        for bad in (0, -3):
+            with pytest.raises(ValueError, match="speculation"):
+                self.solve(small_interval_game, small_uncertainty, speculation=bad)
+
+    def test_bnb_session_matches_highs_session(
+        self, small_interval_game, small_uncertainty
+    ):
+        highs = self.solve(small_interval_game, small_uncertainty,
+                           session="incremental", backend="highs")
+        bnb = self.solve(small_interval_game, small_uncertainty,
+                         session="incremental", backend="bnb")
+        assert bnb.lower_bound == pytest.approx(highs.lower_bound, abs=1e-6)
+        assert bnb.session_mode == "incremental"
+
+    def test_speculative_session_matches_classic(
+        self, small_interval_game, small_uncertainty
+    ):
+        classic = self.solve(small_interval_game, small_uncertainty,
+                             session="incremental", speculation=1)
+        spec = self.solve(small_interval_game, small_uncertainty,
+                          session="incremental", speculation=3)
+        assert spec.lower_bound == pytest.approx(classic.lower_bound,
+                                                 abs=classic.epsilon)
+        assert spec.upper_bound - spec.lower_bound <= spec.epsilon + 1e-12
+        assert spec.speculation == 3
+        assert spec.speculative_probes > 0
+        assert classic.speculative_probes == 0
+
+    def test_speculation_with_dp_oracle_is_sequential_but_equal(
+        self, small_interval_game, small_uncertainty
+    ):
+        plain = self.solve(small_interval_game, small_uncertainty, oracle="dp")
+        spec = self.solve(small_interval_game, small_uncertainty,
+                          oracle="dp", speculation=3)
+        assert spec.lower_bound == pytest.approx(plain.lower_bound,
+                                                 abs=plain.epsilon)
+        assert spec.session_mode == "fresh"
+        assert spec.speculative_probes > 0
+
+
+class TestSessionFailureSemantics:
+    """A backend error mid-sequence must trigger a fresh-build fallback
+    exactly once for that step, surface as a ``resilience.attempt``
+    event, and leave the answer identical to the non-session path."""
+
+    def _flaky_backend(self, fail_on_call):
+        from repro.solvers.milp_backend import solve_milp
+
+        calls = {"n": 0}
+
+        def flaky(problem, **options):
+            calls["n"] += 1
+            if calls["n"] == fail_on_call:
+                raise RuntimeError("injected backend failure")
+            return solve_milp(problem, backend="highs", **options)
+
+        return flaky, calls
+
+    def test_fallback_exactly_once_and_answer_unchanged(
+        self, small_interval_game, small_uncertainty
+    ):
+        from repro import telemetry
+
+        ref = solve_cubis(small_interval_game, small_uncertainty,
+                          num_segments=8, epsilon=0.01,
+                          memoise=False, session="fresh")
+        flaky, calls = self._flaky_backend(fail_on_call=4)
+        tele = telemetry.Telemetry()
+        with telemetry.use(tele):
+            result = solve_cubis(small_interval_game, small_uncertainty,
+                                 num_segments=8, epsilon=0.01,
+                                 memoise=False, session="incremental",
+                                 backend=flaky)
+
+        # Exactly one fallback: the failing step was re-solved from a
+        # fresh build once, every other step stayed incremental.
+        assert result.session_fallbacks == 1
+        assert calls["n"] == result.oracle_calls + 1
+        np.testing.assert_array_equal(result.strategy, ref.strategy)
+        assert result.lower_bound == ref.lower_bound
+        assert result.upper_bound == ref.upper_bound
+
+        attempts = [r for r in tele.spans if r.name == "resilience.attempt"]
+        errors = [r for r in attempts if r.attributes["outcome"] == "error"]
+        assert len(errors) == 1
+        assert "injected backend failure" in errors[0].attributes["message"]
+        fallback_counters = [m for m in tele.metrics
+                             if m.name == "repro_session_fallbacks_total"]
+        assert sum(m.value for m in fallback_counters) == 1
+
+    def test_persistent_failure_propagates_like_non_session_path(
+        self, small_interval_game, small_uncertainty
+    ):
+        def broken(problem, **options):
+            raise RuntimeError("backend is down")
+
+        with pytest.raises(RuntimeError, match="backend is down"):
+            solve_cubis(small_interval_game, small_uncertainty,
+                        num_segments=8, epsilon=0.01,
+                        memoise=False, session="incremental", backend=broken)

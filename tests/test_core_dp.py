@@ -9,7 +9,10 @@ from hypothesis import strategies as st
 
 from repro.behavior.interval import IntervalSUQR
 from repro.core.cubis import solve_cubis
-from repro.core.dp import maximize_separable_on_grid
+from repro.core.dp import (
+    _maximize_separable_on_grid_loop,
+    maximize_separable_on_grid,
+)
 from repro.game.generator import random_interval_game, table1_game
 
 
@@ -138,3 +141,42 @@ class TestCubisDPOracle:
     def test_invalid_oracle(self, small_interval_game, small_uncertainty):
         with pytest.raises(ValueError, match="oracle"):
             solve_cubis(small_interval_game, small_uncertainty, oracle="magic")
+
+
+class TestVectorisedTransitionMatchesLoop:
+    """The sliding-window max-plus transition must replay the reference
+    loop bit for bit — same value, same units, same tie-breaks."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_instances_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        t = int(rng.integers(1, 9))
+        k = int(rng.integers(1, 13))
+        budget = int(rng.integers(0, t * k + 3))
+        phi = rng.normal(size=(t, k + 1)).cumsum(axis=1)
+        fast = maximize_separable_on_grid(phi, budget)
+        slow = _maximize_separable_on_grid_loop(phi, budget)
+        assert fast.value == slow.value
+        np.testing.assert_array_equal(fast.units, slow.units)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_tie_heavy_instances_bit_identical(self, seed):
+        # Rounding phi to one decimal forces many exact DP ties; argmax's
+        # first-occurrence rule must award them to the smallest
+        # allocation exactly like the loop's strict `>` update.
+        rng = np.random.default_rng(1000 + seed)
+        t = int(rng.integers(2, 7))
+        k = int(rng.integers(2, 9))
+        budget = int(rng.integers(1, t * k + 1))
+        phi = np.round(rng.normal(size=(t, k + 1)), 1)
+        fast = maximize_separable_on_grid(phi, budget)
+        slow = _maximize_separable_on_grid_loop(phi, budget)
+        assert fast.value == slow.value
+        np.testing.assert_array_equal(fast.units, slow.units)
+
+    def test_all_zero_phi_prefers_empty_allocation(self):
+        phi = np.zeros((3, 5))
+        fast = maximize_separable_on_grid(phi, 6)
+        slow = _maximize_separable_on_grid_loop(phi, 6)
+        np.testing.assert_array_equal(fast.units, slow.units)
+        np.testing.assert_array_equal(fast.units, np.zeros(3, dtype=np.int64))

@@ -8,6 +8,7 @@ satisfy all the structural invariants (fill order, v semantics, budget).
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.dual import beta_star
 from repro.core.milp import CubisMilpSkeleton, build_cubis_milp
@@ -216,6 +217,94 @@ class TestCubisMilpSkeleton:
         res_fresh = solve_milp(build_cubis_milp(ud, lo, hi, 1.0, c, grid).problem)
         assert res_patched.optimal and res_fresh.optimal
         assert res_patched.objective == res_fresh.objective
+
+
+def apply_patch(skeleton, model, patch):
+    """Apply a SkeletonPatch in place, exactly as MilpSession does."""
+    problem = model.problem
+    slots = skeleton.entry_data_slots
+    problem.A_ub.data[slots[patch.vals_index]] = patch.vals
+    problem.b_ub[patch.rhs_index] = patch.rhs
+    problem.c[patch.cost_index] = patch.cost
+    problem.ub[patch.ub_index] = patch.ub
+    return type(model)(
+        problem=problem,
+        layout=model.layout,
+        grid=model.grid,
+        f1_constant=patch.f1_constant,
+        c=patch.c_new,
+    )
+
+
+class TestSkeletonDiff:
+    """diff(c_old, c_new) applied in place must equal a fresh build bit
+    for bit — the invariant the incremental MilpSession rests on."""
+
+    @pytest.mark.parametrize("c_old,c_new", [
+        (-3.0, 2.5), (0.0, 1e-9), (1.0, -1.0), (2.5, 2.5 + 1e-12),
+    ])
+    def test_in_place_patch_matches_fresh_build(self, c_old, c_new):
+        ud, lo, hi, grid, *_ = small_data()
+        skeleton = CubisMilpSkeleton(ud, lo, hi, 1.0, grid)
+        model = skeleton.patch(c_old)
+        patched = apply_patch(skeleton, model, skeleton.diff(c_old, c_new))
+        assert_models_identical(patched, build_cubis_milp(ud, lo, hi, 1.0, c_new, grid))
+
+    def test_identity_diff_is_empty(self):
+        ud, lo, hi, grid, *_ = small_data()
+        skeleton = CubisMilpSkeleton(ud, lo, hi, 1.0, grid)
+        patch = skeleton.diff(0.75, 0.75)
+        assert patch.num_updates == 0
+        for arr in (patch.vals_index, patch.rhs_index, patch.cost_index, patch.ub_index):
+            assert len(arr) == 0
+
+    def test_diff_is_sparse(self):
+        """The patch set is confined to the c-dependent entries — a
+        strict subset of the model's coefficients."""
+        ud, lo, hi, grid, *_ = small_data(k=8)
+        skeleton = CubisMilpSkeleton(ud, lo, hi, 1.0, grid)
+        patch = skeleton.diff(-5.0, 5.0)
+        problem = skeleton.patch(0.0).problem
+        total = (
+            len(problem.A_ub.data) + len(problem.b_ub)
+            + len(problem.c) + len(problem.ub)
+        )
+        assert 0 < patch.num_updates < total
+
+    def test_chained_diffs_leave_no_residue(self):
+        """A walk c0 -> c1 -> ... -> cn of in-place patches lands on the
+        same bits as jumping straight to cn."""
+        ud, lo, hi, grid, *_ = small_data()
+        skeleton = CubisMilpSkeleton(ud, lo, hi, 1.0, grid)
+        walk = [-2.0, 3.0, 0.75, -0.1, 0.75, 2.25]
+        model = skeleton.patch(walk[0])
+        for c_old, c_new in zip(walk, walk[1:]):
+            model = apply_patch(skeleton, model, skeleton.diff(c_old, c_new))
+        assert_models_identical(
+            model, build_cubis_milp(ud, lo, hi, 1.0, walk[-1], grid)
+        )
+
+    @given(
+        st.floats(-6.0, 6.0, allow_nan=False),
+        st.floats(-6.0, 6.0, allow_nan=False),
+        st.integers(1, 7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_patch_property_bit_identity(self, c_old, c_new, k):
+        ud, lo, hi, grid, *_ = small_data(k)
+        skeleton = CubisMilpSkeleton(ud, lo, hi, 1.0, grid)
+        model = skeleton.patch(c_old)
+        patched = apply_patch(skeleton, model, skeleton.diff(c_old, c_new))
+        assert_models_identical(
+            patched, build_cubis_milp(ud, lo, hi, 1.0, c_new, grid)
+        )
+
+    def test_entry_data_slots_is_inverse_permutation(self):
+        ud, lo, hi, grid, *_ = small_data()
+        skeleton = CubisMilpSkeleton(ud, lo, hi, 1.0, grid)
+        slots = skeleton.entry_data_slots
+        order = np.sort(slots)
+        np.testing.assert_array_equal(order, np.arange(len(slots)))
 
 
 class TestStrategyCertificate:

@@ -196,3 +196,42 @@ class TestInterpolate:
         g = SegmentGrid(2)
         values = np.array([[1.0, -5.0, 2.0]])
         assert g.max_abs_on_grid(values)[0] == 5.0
+
+
+class TestDecomposeMatchesLoopReference:
+    """The vectorised telescoping decomposition must agree bit for bit
+    with the definitional per-entry loop x_{i,k} = min(x_i, k/K) -
+    min(x_i, (k-1)/K)."""
+
+    @staticmethod
+    def _loop_reference(grid, x):
+        x = np.asarray(x, dtype=np.float64)
+        k = grid.num_segments
+        out = np.zeros((x.shape[0], k))
+        for i in range(x.shape[0]):
+            for seg in range(1, k + 1):
+                out[i, seg - 1] = (
+                    min(x[i], grid.breakpoints[seg])
+                    - min(x[i], grid.breakpoints[seg - 1])
+                )
+        return out
+
+    @pytest.mark.parametrize("k", [1, 2, 5, 8])
+    def test_random_coverage_vectors(self, k):
+        grid = SegmentGrid(k)
+        rng = np.random.default_rng(k)
+        x = rng.uniform(0.0, 1.0, size=12)
+        np.testing.assert_array_equal(
+            grid.decompose(x), self._loop_reference(grid, x)
+        )
+
+    def test_breakpoint_coverage_is_exact(self):
+        # At grid breakpoints both forms must land exactly on 0/K-sized
+        # segments, with no float residue.
+        grid = SegmentGrid(5)
+        x = grid.breakpoints.copy()
+        got = grid.decompose(x)
+        np.testing.assert_array_equal(got, self._loop_reference(grid, x))
+        # Row for x = j/K fills exactly j segments of size 1/K each.
+        for j, row in enumerate(got):
+            assert np.count_nonzero(row) == j

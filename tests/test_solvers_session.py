@@ -1,0 +1,219 @@
+"""Unit tests for repro.solvers.session (MilpSession / SessionPool)."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core.milp import CubisMilpSkeleton, build_cubis_milp
+from repro.solvers.milp_backend import solve_milp
+from repro.solvers.session import MilpSession, SessionPool
+from tests.test_core_milp import assert_models_identical, small_data
+
+
+def make_skeleton(k=5):
+    ud, lo, hi, grid, *_ = small_data(k)
+    return CubisMilpSkeleton(ud, lo, hi, 1.0, grid), (ud, lo, hi, grid)
+
+
+class TestMilpSession:
+    def test_first_prepare_is_fresh_build(self):
+        skeleton, _ = make_skeleton()
+        session = MilpSession(skeleton)
+        assert not session.live
+        model = session.prepare(0.5)
+        assert session.live
+        assert session.fresh_builds == 1
+        assert session.patches_applied == 0
+        assert model.c == 0.5
+
+    def test_patched_model_is_bit_identical_to_fresh(self):
+        skeleton, (ud, lo, hi, grid) = make_skeleton()
+        session = MilpSession(skeleton)
+        session.prepare(-2.0)
+        patched = session.prepare(1.25)
+        assert session.patches_applied == 1
+        assert_models_identical(
+            patched, build_cubis_milp(ud, lo, hi, 1.0, 1.25, grid)
+        )
+
+    def test_long_walk_stays_bit_identical(self):
+        skeleton, (ud, lo, hi, grid) = make_skeleton()
+        session = MilpSession(skeleton)
+        for c in [-3.0, 2.0, -0.5, 0.0, 0.7, -1.1, 2.9]:
+            model = session.prepare(c)
+            assert_models_identical(
+                model, build_cubis_milp(ud, lo, hi, 1.0, c, grid)
+            )
+        assert session.fresh_builds == 1
+        assert session.patches_applied == 6
+
+    def test_same_candidate_is_noop(self):
+        skeleton, _ = make_skeleton()
+        session = MilpSession(skeleton)
+        first = session.prepare(0.5)
+        second = session.prepare(0.5)
+        assert second is first
+        assert session.patches_applied == 0
+        assert session.last_patch_updates == 0
+
+    def test_solve_requires_prepare(self):
+        skeleton, _ = make_skeleton()
+        with pytest.raises(RuntimeError, match="prepare"):
+            MilpSession(skeleton).solve()
+
+    @pytest.mark.parametrize("backend", ["highs", "bnb"])
+    def test_session_solves_match_fresh_solves(self, backend):
+        skeleton, (ud, lo, hi, grid) = make_skeleton()
+        session = MilpSession(skeleton, backend=backend)
+        for c in [-1.0, 0.5, 1.5]:
+            session.prepare(c)
+            got = session.solve()
+            want = solve_milp(
+                build_cubis_milp(ud, lo, hi, 1.0, c, grid).problem,
+                backend=backend,
+            )
+            assert got.optimal and want.optimal
+            assert got.objective == pytest.approx(want.objective, abs=1e-9)
+        assert session.solves == 3
+
+    def test_incumbent_carried_between_solves(self):
+        skeleton, _ = make_skeleton()
+        session = MilpSession(skeleton, backend="bnb")
+        session.prepare(0.0)
+        first = session.solve()
+        assert first.optimal
+        assert session._incumbent is not None
+        np.testing.assert_array_equal(session._incumbent, first.x)
+
+    def test_invalidate_drops_model_and_counts_fallback(self):
+        skeleton, _ = make_skeleton()
+        session = MilpSession(skeleton)
+        session.invalidate()  # nothing live yet: not a fallback
+        assert session.fallbacks == 0
+        session.prepare(0.5)
+        session.invalidate()
+        assert session.fallbacks == 1
+        assert not session.live
+        # Next prepare is a fresh build again, and correct.
+        model = session.prepare(1.0)
+        assert session.fresh_builds == 2
+        assert model.c == 1.0
+
+    def test_invalidate_drops_incumbent(self):
+        skeleton, _ = make_skeleton()
+        session = MilpSession(skeleton, backend="bnb")
+        session.prepare(0.0)
+        session.solve()
+        session.invalidate()
+        assert session._incumbent is None
+
+    def test_prepare_emits_patch_spans(self):
+        skeleton, _ = make_skeleton()
+        session = MilpSession(skeleton)
+        tele = telemetry.Telemetry()
+        with telemetry.use(tele):
+            session.prepare(0.0)
+            session.prepare(1.0)
+            session.prepare(1.0)
+        spans = [s for s in tele.spans if s.name == "milp.patch"]
+        assert [s.attributes["mode"] for s in spans] == [
+            "fresh-build", "patch", "noop",
+        ]
+        assert spans[1].attributes["updates"] > 0
+
+    def test_stats_roundtrip(self):
+        skeleton, _ = make_skeleton()
+        session = MilpSession(skeleton)
+        session.prepare(0.0)
+        session.prepare(1.0)
+        session.solve()
+        stats = session.stats()
+        assert stats == {
+            "fresh_builds": 1, "patches_applied": 1, "solves": 1, "fallbacks": 0,
+        }
+
+
+class TestSessionPool:
+    def test_size_validation(self):
+        skeleton, _ = make_skeleton()
+        with pytest.raises(ValueError, match="size"):
+            SessionPool(skeleton, 0)
+
+    def test_map_preserves_item_order(self):
+        skeleton, _ = make_skeleton()
+        with SessionPool(skeleton, 3) as pool:
+            out = pool.map(lambda session, item: item * 10, [3, 1, 2, 5, 4])
+        assert out == [30, 10, 20, 50, 40]
+
+    def test_map_assigns_distinct_sessions_per_chunk(self):
+        skeleton, _ = make_skeleton()
+        with SessionPool(skeleton, 3) as pool:
+            seen = pool.map(lambda session, item: id(session), [0, 1, 2])
+        assert len(set(seen)) == 3
+
+    def test_chunking_reuses_sessions_beyond_size(self):
+        skeleton, _ = make_skeleton()
+        with SessionPool(skeleton, 2) as pool:
+            out = pool.map(lambda session, item: item + 1, list(range(7)))
+        assert out == list(range(1, 8))
+
+    def test_concurrent_session_solves_match_sequential(self):
+        skeleton, (ud, lo, hi, grid) = make_skeleton()
+        cs = [-1.5, 0.0, 1.0]
+
+        def solve_at(session, c):
+            session.prepare(c)
+            return session.solve().objective
+
+        with SessionPool(skeleton, 3) as pool:
+            concurrent = pool.map(solve_at, cs)
+        sequential = [
+            solve_milp(build_cubis_milp(ud, lo, hi, 1.0, c, grid).problem).objective
+            for c in cs
+        ]
+        assert concurrent == pytest.approx(sequential, abs=1e-9)
+
+    def test_worker_telemetry_is_disabled(self):
+        skeleton, _ = make_skeleton()
+        tele = telemetry.Telemetry()
+        with telemetry.use(tele):
+            with SessionPool(skeleton, 2) as pool:
+                enabled = pool.map(
+                    lambda session, item: telemetry.current().enabled, [0, 1]
+                )
+        assert enabled == [False, False]
+        assert not [s for s in tele.spans if s.name == "milp.patch"]
+
+    def test_error_propagates_after_chunk_drains(self):
+        skeleton, _ = make_skeleton()
+        done = []
+
+        def work(session, item):
+            if item == 1:
+                raise RuntimeError("boom on item 1")
+            done.append(item)
+            return item
+
+        with SessionPool(skeleton, 3) as pool:
+            with pytest.raises(RuntimeError, match="boom on item 1"):
+                pool.map(work, [0, 1, 2])
+        # The chunk's other tasks were allowed to finish.
+        assert set(done) == {0, 2}
+
+    def test_close_is_idempotent_and_sessions_stay_usable(self):
+        skeleton, _ = make_skeleton()
+        pool = SessionPool(skeleton, 2)
+        pool.map(lambda session, item: item, [1, 2])
+        pool.close()
+        pool.close()
+        session = pool.sessions[0]
+        model = session.prepare(0.5)
+        assert model.c == 0.5
+
+    def test_stats_sums_sessions(self):
+        skeleton, _ = make_skeleton()
+        with SessionPool(skeleton, 2) as pool:
+            pool.map(lambda session, item: session.prepare(item) and None, [0.1, 0.2])
+        stats = pool.stats()
+        assert stats["fresh_builds"] == 2
+        assert stats["solves"] == 0

@@ -74,7 +74,7 @@ def random_strategies(draw, game):
 
 class TestDifferentialProperty:
     @given(random_games())
-    @settings(max_examples=10, deadline=None)  # cost-bound: 3 solves/example
+    @settings(max_examples=10, deadline=None)  # cost-bound: 4 solves/example
     def test_solver_paths_agree_on_well_conditioned_games(self, instance):
         game, uncertainty = instance
         checks = differential_check(
@@ -82,7 +82,7 @@ class TestDifferentialProperty:
             uncertainty,
             num_segments=6,
             epsilon=1e-2,
-            paths=("milp-highs", "milp-bnb", "dp"),
+            paths=("milp-highs", "milp-bnb", "milp-session", "dp"),
         )
         failures = [c for c in checks if not c.passed]
         assert not failures, "\n".join(
