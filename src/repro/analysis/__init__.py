@@ -32,19 +32,31 @@ from repro.analysis.sensitivity import (
     binding_targets,
     uncertainty_contributions,
 )
-from repro.analysis.sweep import ResultTable, run_grid
+from repro.analysis.sweep import (
+    CellFailure,
+    DuplicateKeyError,
+    ResultTable,
+    SweepCellError,
+    collect_store,
+    run_grid,
+    sweep_identity,
+)
 
 __all__ = [
+    "CellFailure",
     "DeploymentHistory",
     "DeploymentRound",
+    "DuplicateKeyError",
     "FrontierPoint",
     "OutcomeDistribution",
     "PlannerComparison",
     "ResultTable",
+    "SweepCellError",
     "RobustnessFrontier",
     "StrategyEvaluation",
     "SupportStructure",
     "binding_targets",
+    "collect_store",
     "compare_planners",
     "evaluate_strategy",
     "format_kv",
@@ -60,6 +72,7 @@ __all__ = [
     "save_json",
     "simulate_deployment",
     "simulate_outcomes",
+    "sweep_identity",
     "uncertainty_contributions",
     "uncertainty_from_dict",
     "uncertainty_to_dict",

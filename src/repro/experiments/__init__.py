@@ -16,6 +16,7 @@ from repro.experiments.perf import format_bench, run_bench_runtime, write_bench_
 from repro.experiments.quality import format_quality, run_quality
 from repro.experiments.report import FULL, QUICK, ReportSettings, generate_report
 from repro.experiments.runtime import format_runtime, run_runtime
+from repro.experiments.smoke import format_smoke, run_smoke
 from repro.experiments.table1 import (
     PAPER_REFERENCE,
     Table1Result,
@@ -37,6 +38,7 @@ __all__ = [
     "format_landscape",
     "format_quality",
     "format_runtime",
+    "format_smoke",
     "format_table1",
     "generate_report",
     "run_ablation_epsilon",
@@ -46,6 +48,7 @@ __all__ = [
     "run_landscape",
     "run_quality",
     "run_runtime",
+    "run_smoke",
     "run_table1",
     "score_candidate",
     "write_bench_json",

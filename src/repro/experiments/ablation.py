@@ -81,13 +81,19 @@ def run_ablation_k(
     num_trials: int = 3,
     seed: int = 2016,
     workers: int | None = None,
+    **sweep_options,
 ) -> ResultTable:
-    """Sweep the segment count ``K`` at a fixed tight ``epsilon``."""
+    """Sweep the segment count ``K`` at a fixed tight ``epsilon``.
+
+    Extra keyword arguments pass through to
+    :func:`repro.analysis.sweep.run_grid` (``store=``, ``shard=``, …).
+    """
     grid = [
         {"num_segments": k, "num_targets": num_targets, "epsilon": epsilon}
         for k in segment_counts
     ]
-    return run_grid(_trial_k, grid, num_trials=num_trials, seed=seed, workers=workers)
+    return run_grid(_trial_k, grid, num_trials=num_trials, seed=seed,
+                    workers=workers, **sweep_options)
 
 
 def run_ablation_epsilon(
@@ -98,13 +104,19 @@ def run_ablation_epsilon(
     num_trials: int = 3,
     seed: int = 2016,
     workers: int | None = None,
+    **sweep_options,
 ) -> ResultTable:
-    """Sweep the binary-search tolerance at a fixed large ``K``."""
+    """Sweep the binary-search tolerance at a fixed large ``K``.
+
+    Extra keyword arguments pass through to
+    :func:`repro.analysis.sweep.run_grid` (``store=``, ``shard=``, …).
+    """
     grid = [
         {"epsilon": e, "num_targets": num_targets, "num_segments": num_segments}
         for e in epsilons
     ]
-    return run_grid(_trial_epsilon, grid, num_trials=num_trials, seed=seed, workers=workers)
+    return run_grid(_trial_epsilon, grid, num_trials=num_trials, seed=seed,
+                    workers=workers, **sweep_options)
 
 
 def format_ablation(table: ResultTable, axis: str) -> str:

@@ -72,8 +72,12 @@ def run_intervals(
     epsilon: float = 1e-2,
     seed: int = 2016,
     workers: int | None = None,
+    **sweep_options,
 ) -> ResultTable:
     """Run the F3 sweep over uncertainty scales.
+
+    Extra keyword arguments (``store=``, ``resume=``, ``shard=``, …)
+    pass through to :func:`repro.analysis.sweep.run_grid`.
 
     ``scale=0`` collapses the weight boxes to their midpoints (payoff
     intervals remain — set ``payoff_halfwidth`` via the trial body if a
@@ -89,7 +93,8 @@ def run_intervals(
         }
         for s in scales
     ]
-    return run_grid(_trial, grid, num_trials=num_trials, seed=seed, workers=workers)
+    return run_grid(_trial, grid, num_trials=num_trials, seed=seed,
+                    workers=workers, **sweep_options)
 
 
 def format_intervals(table: ResultTable) -> str:

@@ -111,8 +111,13 @@ def run_landscape(
     num_types: int = 6,
     seed: int = 2016,
     workers: int | None = None,
+    **sweep_options,
 ) -> ResultTable:
-    """Run the landscape comparison; one record per (trial, algorithm)."""
+    """Run the landscape comparison; one record per (trial, algorithm).
+
+    Extra keyword arguments pass through to
+    :func:`repro.analysis.sweep.run_grid` (``store=``, ``shard=``, …).
+    """
     grid = [
         {
             "num_targets": num_targets,
@@ -121,7 +126,8 @@ def run_landscape(
             "num_types": num_types,
         }
     ]
-    return run_grid(_trial, grid, num_trials=num_trials, seed=seed, workers=workers)
+    return run_grid(_trial, grid, num_trials=num_trials, seed=seed,
+                    workers=workers, **sweep_options)
 
 
 def format_landscape(table: ResultTable) -> str:

@@ -98,8 +98,14 @@ def run_quality(
     num_types: int = 8,
     seed: int = 2016,
     workers: int | None = None,
+    **sweep_options,
 ) -> ResultTable:
-    """Run the F1 sweep; returns one record per (size, trial, algorithm)."""
+    """Run the F1 sweep; returns one record per (size, trial, algorithm).
+
+    Extra keyword arguments (``store=``, ``resume=``, ``shard=``,
+    ``on_error=``, ``retry=``, …) pass through to
+    :func:`repro.analysis.sweep.run_grid` for crash-safe, sharded runs.
+    """
     grid = [
         {
             "num_targets": t,
@@ -110,7 +116,8 @@ def run_quality(
         }
         for t in target_counts
     ]
-    return run_grid(_trial, grid, num_trials=num_trials, seed=seed, workers=workers)
+    return run_grid(_trial, grid, num_trials=num_trials, seed=seed,
+                    workers=workers, **sweep_options)
 
 
 def format_quality(table: ResultTable) -> str:

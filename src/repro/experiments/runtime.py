@@ -65,11 +65,14 @@ def run_runtime(
     num_starts: int = 10,
     seed: int = 2016,
     workers: int | None = None,
+    **sweep_options,
 ) -> ResultTable:
     """Run the F2 sweep; one record per (size, trial, algorithm).
 
     ``workers > 1`` fans the (size, trial) cells out over a process pool;
-    results are bit-identical to the serial run at the same seed.
+    results are bit-identical to the serial run at the same seed.  Extra
+    keyword arguments (``store=``, ``resume=``, ``shard=``, …) pass
+    through to :func:`repro.analysis.sweep.run_grid`.
     """
     grid = [
         {
@@ -80,7 +83,8 @@ def run_runtime(
         }
         for t in target_counts
     ]
-    return run_grid(_trial, grid, num_trials=num_trials, seed=seed, workers=workers)
+    return run_grid(_trial, grid, num_trials=num_trials, seed=seed,
+                    workers=workers, **sweep_options)
 
 
 def format_runtime(table: ResultTable) -> str:

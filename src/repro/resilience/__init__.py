@@ -30,7 +30,14 @@ from repro.resilience.policy import (
     ResilienceReport,
     Rung,
 )
-from repro.resilience.faults import FAULT_MODES, FaultInjector, injected_policy
+from repro.resilience.faults import (
+    FAULT_MODES,
+    FaultInjector,
+    InjectedTrialCrash,
+    SimulatedKill,
+    SweepFaultInjector,
+    injected_policy,
+)
 from repro.resilience.certificate import (
     CertificateCheck,
     SolutionCertificate,
@@ -43,15 +50,18 @@ __all__ = [
     "DEFAULT_RUNGS",
     "FAULT_MODES",
     "FaultInjector",
+    "InjectedTrialCrash",
     "LadderExhaustedError",
     "OracleLadder",
     "OracleStepError",
     "ResiliencePolicy",
     "ResilienceReport",
     "Rung",
+    "SimulatedKill",
     "SolutionCertificate",
     "SolveEventLog",
     "StepEvent",
+    "SweepFaultInjector",
     "certify_result",
     "injected_policy",
     "logger",

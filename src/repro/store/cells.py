@@ -1,0 +1,220 @@
+"""Cell records: the unit of persistence in a sweep store.
+
+One record captures everything a single ``(configuration, trial)`` cell
+produced: the trial's output records (or its structured failure), the
+params that keyed it, and the cell's captured telemetry export.  Records
+are self-verifying — the encoded JSON carries a SHA-256 over its own
+canonical payload — so a half-written file left behind by a ``kill -9``
+(a *torn* cell) is detected on read and discarded instead of being
+silently merged into a resumed sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "CellKey",
+    "CellRecord",
+    "TornCellError",
+    "encode_cell",
+    "decode_cell",
+    "plain_data",
+]
+
+CELL_FORMAT_VERSION = 1
+
+
+class TornCellError(ValueError):
+    """A cell file failed integrity verification (truncated JSON, a
+    checksum mismatch, or a missing field) — the signature of a write
+    interrupted mid-flight."""
+
+
+def plain_data(obj: Any) -> Any:
+    """Normalise a value into plain JSON-typed Python data.
+
+    Numpy scalars become Python scalars, arrays become nested lists, and
+    tuples become lists — so a value written to the store compares equal
+    (``==``) to its round-tripped self, which is what makes resumed
+    sweeps bit-identical to uninterrupted ones.
+    """
+    if isinstance(obj, dict):
+        return {str(k): plain_data(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [plain_data(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return plain_data(obj.tolist())
+    if isinstance(obj, (bool, np.bool_)):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    return obj
+
+
+@dataclass(frozen=True)
+class CellKey:
+    """Identity of one sweep cell: the content hash of its grid params
+    plus its position (cell index within the grid, trial index).
+
+    Position is part of the identity because seeding is positional — two
+    grid entries with identical params at different positions receive
+    different spawned streams, so their results are *not* interchangeable.
+    """
+
+    config_hash: str
+    cell_index: int
+    trial_index: int
+
+    def __post_init__(self) -> None:
+        if self.cell_index < 0 or self.trial_index < 0:
+            raise ValueError(
+                f"cell/trial indices must be >= 0, got "
+                f"({self.cell_index}, {self.trial_index})"
+            )
+
+    @property
+    def stem(self) -> str:
+        """Deterministic file-name stem, sortable by cell index."""
+        return (
+            f"cell-{self.cell_index:06d}-{self.config_hash[:12]}"
+            f"-t{self.trial_index:04d}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "config_hash": self.config_hash,
+            "cell_index": self.cell_index,
+            "trial_index": self.trial_index,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellKey":
+        return cls(
+            config_hash=str(data["config_hash"]),
+            cell_index=int(data["cell_index"]),
+            trial_index=int(data["trial_index"]),
+        )
+
+
+@dataclass
+class CellRecord:
+    """One persisted cell: output records or a structured failure.
+
+    Attributes
+    ----------
+    key:
+        The cell's :class:`CellKey`.
+    params:
+        The grid params that produced the cell (JSON-typed).
+    status:
+        ``"ok"`` or ``"failed"``.
+    records:
+        The trial's output record dicts (empty for failures).
+    failure:
+        For failed cells: ``{"error_type", "error_message", "traceback",
+        "attempts", "spawn_key", "quarantined"}``.
+    telemetry:
+        The cell's :meth:`~repro.telemetry.TelemetryExport.to_dict`
+        snapshot (``None`` when the trial ran uncaptured).
+    """
+
+    key: CellKey
+    params: dict
+    status: str
+    records: list = field(default_factory=list)
+    failure: dict | None = None
+    telemetry: dict | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in ("ok", "failed"):
+            raise ValueError(f"status must be 'ok' or 'failed', got {self.status!r}")
+        if self.status == "failed" and self.failure is None:
+            raise ValueError("failed cells must carry a failure dict")
+
+    @property
+    def quarantined(self) -> bool:
+        """Whether this (failed) cell has been quarantined."""
+        return bool(self.failure and self.failure.get("quarantined"))
+
+
+def _payload(record: CellRecord) -> dict:
+    return {
+        "format": CELL_FORMAT_VERSION,
+        "key": record.key.to_dict(),
+        "params": plain_data(record.params),
+        "status": record.status,
+        "records": plain_data(record.records),
+        "failure": plain_data(record.failure),
+        "telemetry": plain_data(record.telemetry),
+    }
+
+
+def _canonical_bytes(payload: dict) -> bytes:
+    # sort_keys + fixed separators: the checksum must re-verify after a
+    # JSON round trip, so the serialisation has to be bit-stable.
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def encode_cell(record: CellRecord) -> bytes:
+    """Serialise a record as self-verifying JSON bytes.
+
+    Raises ``TypeError`` if the records/params carry values that do not
+    survive JSON — the store's bit-identity contract requires JSON-typed
+    results, and failing loudly here beats silently corrupting a resume.
+    """
+    payload = _payload(record)
+    body = _canonical_bytes(payload)
+    sha = hashlib.sha256(body).hexdigest()
+    return json.dumps(
+        {"payload": payload, "sha256": sha}, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def decode_cell(data: bytes) -> CellRecord:
+    """Parse and verify bytes written by :func:`encode_cell`.
+
+    Raises :class:`TornCellError` on any integrity failure.
+    """
+    try:
+        obj = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TornCellError(f"unparseable cell file: {exc}") from exc
+    if not isinstance(obj, dict) or "payload" not in obj or "sha256" not in obj:
+        raise TornCellError("cell file lacks payload/sha256 envelope")
+    payload = obj["payload"]
+    try:
+        body = _canonical_bytes(payload)
+    except TypeError as exc:  # pragma: no cover - payload came from JSON
+        raise TornCellError(f"unserialisable cell payload: {exc}") from exc
+    sha = hashlib.sha256(body).hexdigest()
+    if sha != obj["sha256"]:
+        raise TornCellError(
+            f"cell checksum mismatch: stored {obj['sha256'][:12]}…, "
+            f"recomputed {sha[:12]}…"
+        )
+    try:
+        if payload["format"] != CELL_FORMAT_VERSION:
+            raise TornCellError(
+                f"unsupported cell format {payload['format']!r} "
+                f"(this build reads {CELL_FORMAT_VERSION})"
+            )
+        return CellRecord(
+            key=CellKey.from_dict(payload["key"]),
+            params=payload["params"],
+            status=payload["status"],
+            records=payload["records"],
+            failure=payload["failure"],
+            telemetry=payload["telemetry"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, TornCellError):
+            raise
+        raise TornCellError(f"malformed cell payload: {exc}") from exc

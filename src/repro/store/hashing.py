@@ -1,0 +1,141 @@
+"""Canonical hashing: one stable identity per game, config, and cell.
+
+The result store (:mod:`repro.store.store`), the resumable sweep runner
+(:func:`repro.analysis.sweep.run_grid`), and the future solve-service's
+request coalescing all need the same primitive: a hash that is a pure
+function of a value's *content* — independent of dict insertion order,
+of whether a number arrived as ``2``, ``np.int64(2)`` or inside an
+``ndarray``, and of float printing vagaries.  ``repr``-based schemes are
+fragile (``-0.0`` vs ``0.0``, platform ``repr`` history) and pickling is
+version-dependent, so this module defines its own tiny canonical text
+form:
+
+* every scalar is tagged with its type (``i:``/``f:``/``b:``/``s:``/…)
+  so ``1``, ``1.0``, ``True`` and ``"1"`` never collide;
+* floats are serialised with :meth:`float.hex`, which is exact and
+  stable across platforms (``nan``/``inf`` round-trip through ``hex``
+  too, and ``-0.0`` keeps its sign);
+* numpy scalars and arrays are normalised to the Python values they
+  hold, so ``np.float64(1.5)`` hashes like ``1.5`` and an array hashes
+  like the nested list of its values;
+* mappings are serialised in sorted-key order (keys must be strings);
+* lists and tuples are interchangeable (both are "sequences" — a config
+  that round-trips through JSON must keep its hash).
+
+:func:`stable_hash` is the raw primitive; :func:`hash_config` and
+:func:`hash_game` are the two domain entry points (the latter is the
+coalescing key the solve-as-a-service daemon will use — ROADMAP item 1).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = [
+    "canonical_text",
+    "stable_hash",
+    "hash_config",
+    "hash_game",
+    "hash_trial_callable",
+]
+
+
+def _fragments(obj: Any, out: list) -> None:
+    if obj is None:
+        out.append("n")
+    elif isinstance(obj, (bool, np.bool_)):
+        out.append("b:1" if obj else "b:0")
+    elif isinstance(obj, (int, np.integer)):
+        out.append(f"i:{int(obj)}")
+    elif isinstance(obj, (float, np.floating)):
+        # float.hex is exact (unlike decimal repr round-trips of old) and
+        # distinguishes -0.0 from 0.0; nan/inf serialise as 'nan'/'inf'.
+        out.append(f"f:{float(obj).hex()}")
+    elif isinstance(obj, str):
+        out.append("s:" + json.dumps(obj, ensure_ascii=True))
+    elif isinstance(obj, bytes):
+        out.append("y:" + obj.hex())
+    elif isinstance(obj, np.ndarray):
+        _fragments(obj.tolist(), out)
+    elif isinstance(obj, (list, tuple)):
+        out.append("[")
+        for item in obj:
+            _fragments(item, out)
+            out.append(",")
+        out.append("]")
+    elif isinstance(obj, Mapping):
+        keys = list(obj)
+        if any(not isinstance(k, str) for k in keys):
+            raise TypeError(
+                "canonical hashing requires string mapping keys, got "
+                f"{sorted(type(k).__name__ for k in keys if not isinstance(k, str))}"
+            )
+        out.append("{")
+        for key in sorted(keys):
+            out.append(json.dumps(key, ensure_ascii=True))
+            out.append(":")
+            _fragments(obj[key], out)
+            out.append(",")
+        out.append("}")
+    else:
+        raise TypeError(
+            f"cannot canonically hash a value of type {type(obj).__name__}: {obj!r}"
+        )
+
+
+def canonical_text(obj: Any) -> str:
+    """The canonical text form of ``obj`` (exposed mainly for tests)."""
+    out: list = []
+    _fragments(obj, out)
+    return "".join(out)
+
+
+def stable_hash(obj: Any, *, length: int | None = None) -> str:
+    """SHA-256 of the canonical text form, as a hex digest.
+
+    ``length`` truncates the digest (e.g. for file-name prefixes); the
+    full 64-hex digest is returned by default.
+    """
+    digest = hashlib.sha256(canonical_text(obj).encode("ascii")).hexdigest()
+    return digest if length is None else digest[:length]
+
+
+def hash_config(config: Mapping) -> str:
+    """The canonical hash of a configuration mapping (a sweep grid cell's
+    params, a solver config, …).  Insensitive to key order and to numpy
+    scalar wrappers; sensitive to actual value and type differences."""
+    if not isinstance(config, Mapping):
+        raise TypeError(f"hash_config expects a mapping, got {type(config).__name__}")
+    return stable_hash(config)
+
+
+def hash_game(game, uncertainty=None) -> str:
+    """The canonical hash of a game (plus, optionally, its uncertainty
+    model) — the coalescing key for identical solve requests.
+
+    Serialises through :func:`repro.analysis.io.game_to_dict` /
+    ``uncertainty_to_dict`` (round-trip-exact), then hashes canonically,
+    so a game loaded from JSON hashes identically to the original.
+    """
+    # Imported lazily: repro.analysis imports repro.store (for the sweep
+    # runner), so a module-level import here would be circular.
+    from repro.analysis.io import game_to_dict, uncertainty_to_dict
+
+    payload: dict = {"game": game_to_dict(game)}
+    if uncertainty is not None:
+        payload["uncertainty"] = uncertainty_to_dict(uncertainty)
+    return stable_hash(payload)
+
+
+def hash_trial_callable(trial) -> str:
+    """Identity hash of a sweep trial callable (module + qualname).
+
+    The *code* of the trial is deliberately not hashed — re-running a
+    sweep after an innocuous refactor should still resume; a trial whose
+    semantics changed needs a fresh store (or a new seed).
+    """
+    return stable_hash(f"{trial.__module__}:{trial.__qualname__}")

@@ -1,0 +1,267 @@
+"""The sweep store: a content-addressed, append-only result directory.
+
+Layout (everything is plain JSON, nothing is ever rewritten in place)::
+
+    <root>/
+        store.json                  # {"format": 1, "sweep": <sweep hash>}
+        cells/
+            cell-000003-ab12cd34ef56-t0000.json
+            ...
+        shards/
+            shard-0000of0002.json   # one manifest per finished shard run
+
+**Durability contract.**  Every cell is written with *write-then-rename*:
+the bytes go to a hidden temp file in the same directory, are flushed
+and ``fsync``'d, and only then renamed over the final name (the
+directory is fsync'd after the rename).  A ``kill -9`` therefore leaves
+either no file or a complete, checksummed file — and because each file
+also embeds a SHA-256 over its own payload (:mod:`repro.store.cells`),
+even a torn write through a non-atomic channel (NFS, a crashed fsync) is
+*detected* on read and discarded rather than trusted.
+
+**Sharding contract.**  Cells are ordered by ``(cell_index,
+trial_index)`` — grid-major, trial-minor, exactly the submission order
+of a serial :func:`~repro.analysis.sweep.run_grid`.  Shard ``i`` of
+``n`` owns the cells whose ordinal position in that ordering is
+congruent to ``i`` mod ``n``.  The assignment is a pure function of the
+grid, so independent hosts pointed at the same (or separate, later
+merged) store roots split a sweep with zero coordination; overlapping
+shards are harmless because any two writers produce byte-identical cell
+records (the sweep is deterministic) and renames are atomic.
+
+A store is bound to one *sweep identity* (hash of the trial callable's
+name and the root seed); pointing a differently-seeded sweep at an
+existing store raises instead of silently mixing incompatible cells.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.store.cells import (
+    CellKey,
+    CellRecord,
+    TornCellError,
+    decode_cell,
+    encode_cell,
+)
+
+__all__ = ["SweepStore", "SweepStoreError", "parse_shard"]
+
+STORE_FORMAT_VERSION = 1
+
+
+class SweepStoreError(RuntimeError):
+    """The store's invariants were violated (sweep identity mismatch,
+    unreadable metadata, conflicting shard manifests)."""
+
+
+def parse_shard(shard) -> tuple[int, int]:
+    """Normalise a shard spec into ``(shard_index, num_shards)``.
+
+    Accepts ``None`` (the whole grid), an ``"i/n"`` string (the CLI
+    form), or an ``(i, n)`` pair.  Indices are 0-based.
+    """
+    if shard is None:
+        return 0, 1
+    if isinstance(shard, str):
+        try:
+            index_text, num_text = shard.split("/")
+            index, num = int(index_text), int(num_text)
+        except ValueError:
+            raise ValueError(
+                f"shard must look like 'i/n' (e.g. '0/4'), got {shard!r}"
+            ) from None
+    else:
+        try:
+            index, num = shard
+            index, num = int(index), int(num)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"shard must be None, 'i/n', or an (index, num) pair, got {shard!r}"
+            ) from None
+    if num < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num}")
+    if not 0 <= index < num:
+        raise ValueError(f"shard index must be in [0, {num}), got {index}")
+    return index, num
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` durably: temp file + fsync + rename +
+    directory fsync.  Readers never observe a partial file."""
+    tmp = path.parent / f".tmp-{os.getpid()}-{path.name}"
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    dir_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+class SweepStore:
+    """Append-only cell store rooted at a directory.
+
+    Parameters
+    ----------
+    root:
+        Directory path; created (with ``cells/`` and ``shards/``) if
+        missing.
+
+    Attributes
+    ----------
+    torn_discarded:
+        Number of torn cell files detected and discarded by this
+        instance (resume diagnostics).
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.cells_dir = self.root / "cells"
+        self.shards_dir = self.root / "shards"
+        for directory in (self.root, self.cells_dir, self.shards_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        self.torn_discarded = 0
+
+    # -- sweep identity ----------------------------------------------- #
+
+    @property
+    def meta_path(self) -> Path:
+        return self.root / "store.json"
+
+    def bind(self, sweep_hash: str) -> None:
+        """Bind the store to a sweep identity (first writer pins it).
+
+        Raises :class:`SweepStoreError` if the store already belongs to
+        a different sweep — a resumed run must never mix cells from a
+        differently-seeded (or different-trial) grid.
+        """
+        existing = self.sweep_hash()
+        if existing is None:
+            _atomic_write(
+                self.meta_path,
+                json.dumps(
+                    {"format": STORE_FORMAT_VERSION, "sweep": sweep_hash},
+                    sort_keys=True,
+                ).encode("utf-8"),
+            )
+            return
+        if existing != sweep_hash:
+            raise SweepStoreError(
+                f"store at {self.root} belongs to sweep {existing[:12]}…, "
+                f"refusing to write cells for sweep {sweep_hash[:12]}… "
+                "(different seed or trial function — use a fresh store)"
+            )
+
+    def sweep_hash(self) -> str | None:
+        """The bound sweep identity, or ``None`` for a fresh store."""
+        if not self.meta_path.exists():
+            return None
+        try:
+            meta = json.loads(self.meta_path.read_text())
+            return str(meta["sweep"])
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise SweepStoreError(
+                f"unreadable store metadata at {self.meta_path}: {exc}"
+            ) from exc
+
+    # -- cells --------------------------------------------------------- #
+
+    def cell_path(self, key: CellKey) -> Path:
+        return self.cells_dir / f"{key.stem}.json"
+
+    def put(self, record: CellRecord) -> Path:
+        """Persist one cell record atomically; returns its path."""
+        path = self.cell_path(record.key)
+        _atomic_write(path, encode_cell(record))
+        return path
+
+    def put_torn(self, record: CellRecord, *, fraction: float = 0.5) -> Path:
+        """Write a deliberately truncated cell file **directly** to the
+        final path (no temp file, no rename) — the fault injector's
+        simulation of a torn write; exists only so the torn-write
+        recovery path is provable under test."""
+        data = encode_cell(record)
+        path = self.cell_path(record.key)
+        path.write_bytes(data[: max(1, int(len(data) * fraction))])
+        return path
+
+    def load(self, key: CellKey) -> CellRecord | None:
+        """The stored record for ``key``, or ``None``.
+
+        Torn files are unlinked (counted in :attr:`torn_discarded`) and
+        reported as missing, so a resume simply re-runs the cell.  A
+        readable record whose full config hash does not match ``key``
+        (a truncated-prefix collision, or a grid edited in place) is
+        also treated as missing.
+        """
+        path = self.cell_path(key)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        try:
+            record = decode_cell(data)
+        except TornCellError:
+            self.torn_discarded += 1
+            path.unlink(missing_ok=True)
+            return None
+        if record.key != key:
+            return None
+        return record
+
+    def iter_cells(self) -> list[CellRecord]:
+        """Every readable cell record, sorted by ``(cell, trial)`` —
+        the serial submission order.  Torn files are discarded (and
+        counted) exactly as in :meth:`load`."""
+        records: list[CellRecord] = []
+        for path in sorted(self.cells_dir.glob("cell-*.json")):
+            try:
+                records.append(decode_cell(path.read_bytes()))
+            except TornCellError:
+                self.torn_discarded += 1
+                path.unlink(missing_ok=True)
+        records.sort(key=lambda r: (r.key.cell_index, r.key.trial_index))
+        return records
+
+    # -- shard manifests ----------------------------------------------- #
+
+    def shard_manifest_path(self, shard_index: int, num_shards: int) -> Path:
+        return self.shards_dir / f"shard-{shard_index:04d}of{num_shards:04d}.json"
+
+    def write_shard_manifest(self, manifest: dict) -> Path:
+        """Persist one shard's run manifest atomically (fsync'd).
+
+        ``manifest`` must carry ``shard`` and ``num_shards``; a
+        ``created_unix`` stamp is added.
+        """
+        shard_index = int(manifest["shard"])
+        num_shards = int(manifest["num_shards"])
+        path = self.shard_manifest_path(shard_index, num_shards)
+        payload = dict(manifest)
+        payload.setdefault("created_unix", time.time())
+        _atomic_write(
+            path,
+            (json.dumps(payload, sort_keys=True, indent=2) + "\n").encode("utf-8"),
+        )
+        return path
+
+    def load_shard_manifests(self) -> list[dict]:
+        """All shard manifests, sorted by ``(num_shards, shard)``."""
+        manifests = []
+        for path in sorted(self.shards_dir.glob("shard-*.json")):
+            try:
+                manifests.append(json.loads(path.read_text()))
+            except json.JSONDecodeError as exc:
+                raise SweepStoreError(
+                    f"unreadable shard manifest {path}: {exc}"
+                ) from exc
+        manifests.sort(key=lambda m: (m.get("num_shards", 0), m.get("shard", 0)))
+        return manifests

@@ -47,7 +47,7 @@ from repro.telemetry.runtime import (
     use,
 )
 from repro.telemetry.sinks import prometheus_text, read_jsonl, write_jsonl
-from repro.telemetry.spans import NULL_SPAN, SpanRecord, Tracer
+from repro.telemetry.spans import NULL_SPAN, SpanRecord, Tracer, span_signature
 
 __all__ = [
     "Counter",
@@ -72,6 +72,7 @@ __all__ = [
     "prometheus_text",
     "read_jsonl",
     "span",
+    "span_signature",
     "summarize_spans",
     "use",
     "write_jsonl",

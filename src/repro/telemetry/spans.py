@@ -29,7 +29,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["SpanRecord", "Tracer", "NULL_SPAN"]
+__all__ = ["SpanRecord", "Tracer", "NULL_SPAN", "span_signature"]
 
 
 @dataclass(frozen=True)
@@ -86,6 +86,55 @@ class SpanRecord:
         if self.error:
             out["error"] = self.error
         return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpanRecord":
+        """Rebuild a record from :meth:`to_dict` output (the JSONL sink's
+        line format and the sweep store's cell telemetry)."""
+        return cls(
+            span_id=int(data["span_id"]),
+            parent_id=None if data["parent_id"] is None else int(data["parent_id"]),
+            name=str(data["name"]),
+            start=float(data["start"]),
+            duration=float(data["duration"]),
+            depth=int(data["depth"]),
+            status=str(data.get("status", "ok")),
+            attributes=dict(data.get("attributes", {})),
+            error=str(data.get("error", "")),
+        )
+
+
+def span_signature(spans) -> tuple:
+    """The *structural* signature of a span collection: everything about
+    the tree except ids and wall-clock timings.
+
+    Two runs of the same deterministic computation produce equal
+    signatures even though their span ids (absolute values) and
+    durations differ — which is exactly the "same span tree" contract a
+    resumed sweep must honour against an uninterrupted one.  Each entry
+    is ``(position-of-parent, name, depth, status, sorted non-float
+    attributes, error)``; parents are referenced by their *position* in
+    the start-ordered sequence, so the signature is invariant under id
+    remapping (``Tracer.adopt``).  Float attributes are excluded because
+    a few carry wall-clock readings (``wall_seconds`` on resilience
+    events); everything structural is integer/string/bool and kept.
+    """
+    ordered = sorted(spans, key=lambda r: r.span_id)
+    position = {r.span_id: i for i, r in enumerate(ordered)}
+    return tuple(
+        (
+            position.get(r.parent_id),
+            r.name,
+            r.depth,
+            r.status,
+            tuple(sorted(
+                (k, v) for k, v in r.attributes.items()
+                if not isinstance(v, float)
+            )),
+            r.error,
+        )
+        for r in ordered
+    )
 
 
 class _NullSpan:

@@ -3,12 +3,24 @@
 import numpy as np
 import pytest
 
-from repro.analysis.sweep import ResultTable, run_grid
+from repro.analysis.sweep import (
+    DuplicateKeyError,
+    ResultTable,
+    SweepCellError,
+    run_grid,
+)
 
 
 def _pickleable_trial(rng, trial_index, *, size):
     """Module-level trial so the process-pool tests can pickle it."""
     yield {"value": float(rng.uniform()), "draws": rng.integers(0, 10**9, size=2).tolist()}
+
+
+def _brittle_trial(rng, trial_index, *, size):
+    """Fails deterministically for one grid configuration."""
+    if size == 3:
+        raise ValueError(f"injected failure for size={size}")
+    yield {"value": float(rng.uniform())}
 
 
 class TestResultTable:
@@ -146,6 +158,105 @@ class TestHierarchicalSeeding:
     def test_configs_get_distinct_streams(self):
         table = run_grid(_pickleable_trial, self.GRID, num_trials=1, seed=7)
         assert table.rows[0]["value"] != table.rows[1]["value"]
+
+
+class TestConcat:
+    @staticmethod
+    def _table(rows):
+        t = ResultTable()
+        for row in rows:
+            t.append(**row)
+        return t
+
+    def test_plain_concat_preserves_order(self):
+        a = self._table([{"k": 1, "v": 10.0}])
+        b = self._table([{"k": 2, "v": 20.0}])
+        merged = ResultTable.concat([a, b])
+        assert [row["k"] for row in merged.rows] == [1, 2]
+
+    def test_schema_mismatch_raises(self):
+        a = self._table([{"k": 1, "v": 10.0}])
+        b = self._table([{"k": 2, "w": 20.0}])
+        with pytest.raises(ValueError, match="schema"):
+            ResultTable.concat([a, b])
+
+    def test_unknown_key_columns_raise(self):
+        """Mirrors the where() contract: a typo'd key column fails loudly."""
+        a = self._table([{"k": 1, "v": 10.0}])
+        with pytest.raises(KeyError, match="unknown key"):
+            ResultTable.concat([a], keys=("key",))
+
+    def test_duplicate_keys_raise(self):
+        a = self._table([{"k": 1, "v": 10.0}])
+        b = self._table([{"k": 1, "v": 99.0}])
+        with pytest.raises(DuplicateKeyError, match="duplicate"):
+            ResultTable.concat([a, b], keys=("k",))
+
+    def test_keyed_merge_sorts_deterministically(self):
+        """The merged order is a function of the data, not of which
+        shard finished first."""
+        a = self._table([{"cell": 2, "trial": 0, "v": 1.0}])
+        b = self._table([{"cell": 0, "trial": 1, "v": 2.0},
+                         {"cell": 0, "trial": 0, "v": 3.0}])
+        forward = ResultTable.concat([a, b], keys=("cell", "trial"))
+        backward = ResultTable.concat([b, a], keys=("cell", "trial"))
+        assert forward.rows == backward.rows
+        assert [(r["cell"], r["trial"]) for r in forward.rows] == \
+            [(0, 0), (0, 1), (2, 0)]
+
+    def test_failures_concatenated(self):
+        table = run_grid(_brittle_trial, [{"size": 3}], on_error="record")
+        merged = ResultTable.concat([table, ResultTable()])
+        assert len(merged.failures) == 1
+
+    def test_empty_concat(self):
+        assert len(ResultTable.concat([])) == 0
+
+    def test_dict_roundtrip(self):
+        a = self._table([{"k": 1, "v": 10.0}])
+        assert ResultTable.from_dict(a.to_dict()).rows == a.rows
+
+
+class TestOnError:
+    GRID = [{"size": 2}, {"size": 3}, {"size": 4}]
+
+    def test_default_raises_with_cell_context(self):
+        with pytest.raises(SweepCellError, match="size.*3"):
+            run_grid(_brittle_trial, self.GRID, num_trials=1, seed=0)
+
+    def test_failure_carries_seed_path(self):
+        with pytest.raises(SweepCellError) as excinfo:
+            run_grid(_brittle_trial, self.GRID, num_trials=1, seed=0)
+        failure = excinfo.value.failure
+        assert failure.params == {"size": 3}
+        assert failure.error_type == "ValueError"
+        assert isinstance(failure.spawn_key, tuple) and failure.spawn_key
+
+    def test_record_mode_isolates_the_failure(self):
+        table = run_grid(_brittle_trial, self.GRID, num_trials=2, seed=0,
+                         on_error="record")
+        assert len(table) == 4, "both trials of sizes 2 and 4 survive"
+        assert len(table.failures) == 2
+        assert all(f.params == {"size": 3} for f in table.failures)
+
+    def test_record_mode_rows_match_healthy_subgrid(self):
+        """Failing cells must not perturb their siblings' streams."""
+        healthy = run_grid(
+            _pickleable_trial, self.GRID, num_trials=1, seed=0,
+        )
+        recorded = run_grid(_brittle_trial, self.GRID, num_trials=1, seed=0,
+                            on_error="record")
+        kept = [row["value"] for row in healthy.rows if row["size"] != 3]
+        assert [row["value"] for row in recorded.rows] == kept
+
+    def test_pool_mode_records_failures_too(self):
+        table = run_grid(_brittle_trial, self.GRID, num_trials=2, seed=0,
+                         on_error="record", workers=2)
+        assert len(table) == 4 and len(table.failures) == 2
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            run_grid(_brittle_trial, self.GRID, on_error="panic")
 
 
 class TestParallelRunGrid:

@@ -1,0 +1,181 @@
+"""Tests for repro.store.cells — self-verifying cell records.
+
+The encode/decode pair is the store's durability primitive: a decoded
+record must equal what was encoded, and *any* corruption — truncation,
+bit flips, a stripped envelope — must raise :class:`TornCellError`
+rather than return plausible-looking data.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.store.cells import (
+    CellKey,
+    CellRecord,
+    TornCellError,
+    decode_cell,
+    encode_cell,
+    plain_data,
+)
+
+
+class TestPlainData:
+    def test_numpy_scalars_become_python(self):
+        out = plain_data({"i": np.int64(3), "f": np.float64(1.5),
+                          "b": np.bool_(True)})
+        assert out == {"i": 3, "f": 1.5, "b": True}
+        assert type(out["i"]) is int
+        assert type(out["f"]) is float
+        assert type(out["b"]) is bool
+
+    def test_arrays_become_nested_lists(self):
+        out = plain_data(np.array([[1, 2], [3, 4]]))
+        assert out == [[1, 2], [3, 4]]
+        assert type(out[0][1]) is int
+
+    def test_tuples_become_lists(self):
+        assert plain_data({"k": (1, 2)}) == {"k": [1, 2]}
+
+    def test_roundtrip_through_json_is_identity(self):
+        """The property resume bit-identity rests on: plain data compares
+        equal to its JSON round trip."""
+        value = plain_data({"a": np.float64(0.25), "b": (1, np.int32(2)),
+                            "c": [True, None, "s"]})
+        assert json.loads(json.dumps(value)) == value
+
+    def test_plain_values_pass_through(self):
+        assert plain_data("text") == "text"
+        assert plain_data(None) is None
+
+
+class TestCellKey:
+    def test_stem_is_sortable_and_deterministic(self):
+        key = CellKey("abcdef0123456789" * 4, 3, 1)
+        assert key.stem == "cell-000003-abcdef012345-t0001"
+
+    def test_negative_indices_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            CellKey("a" * 64, -1, 0)
+        with pytest.raises(ValueError, match=">= 0"):
+            CellKey("a" * 64, 0, -1)
+
+    def test_dict_roundtrip(self):
+        key = CellKey("f" * 64, 2, 5)
+        assert CellKey.from_dict(key.to_dict()) == key
+
+
+class TestCellRecord:
+    def test_status_validated(self):
+        key = CellKey("a" * 64, 0, 0)
+        with pytest.raises(ValueError, match="status"):
+            CellRecord(key=key, params={}, status="done")
+
+    def test_failed_requires_failure_dict(self):
+        key = CellKey("a" * 64, 0, 0)
+        with pytest.raises(ValueError, match="failure"):
+            CellRecord(key=key, params={}, status="failed")
+
+    def test_quarantined_property(self):
+        key = CellKey("a" * 64, 0, 0)
+        ok = CellRecord(key=key, params={}, status="ok")
+        assert not ok.quarantined
+        failed = CellRecord(
+            key=key, params={}, status="failed",
+            failure={"error_type": "E", "quarantined": True},
+        )
+        assert failed.quarantined
+
+
+def _record(**overrides):
+    defaults = dict(
+        key=CellKey("c" * 64, 1, 2),
+        params={"size": 4, "eps": 0.1},
+        status="ok",
+        records=[{"value": 0.5, "draws": [1, 2], "flag": True}],
+        telemetry={"spans": [], "metrics": []},
+    )
+    defaults.update(overrides)
+    return CellRecord(**defaults)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_is_exact(self):
+        record = _record()
+        decoded = decode_cell(encode_cell(record))
+        assert decoded.key == record.key
+        assert decoded.params == record.params
+        assert decoded.status == record.status
+        assert decoded.records == record.records
+        assert decoded.telemetry == record.telemetry
+        assert decoded.failure is None
+
+    def test_roundtrip_normalises_numpy(self):
+        record = _record(records=[{"v": np.float64(0.25), "n": np.int64(7)}])
+        decoded = decode_cell(encode_cell(record))
+        assert decoded.records == [{"v": 0.25, "n": 7}]
+
+    def test_failed_record_roundtrip(self):
+        failure = {"error_type": "ValueError", "error_message": "boom",
+                   "attempts": 2, "quarantined": False,
+                   "spawn_key": [0, 1], "traceback": "tb"}
+        record = _record(status="failed", records=[], failure=failure,
+                         telemetry=None)
+        decoded = decode_cell(encode_cell(record))
+        assert decoded.status == "failed"
+        assert decoded.failure == failure
+
+    def test_encoding_is_deterministic(self):
+        assert encode_cell(_record()) == encode_cell(_record())
+
+    def test_unserialisable_records_raise_typeerror(self):
+        """Failing loudly at write time beats corrupting a resume."""
+        with pytest.raises(TypeError):
+            encode_cell(_record(records=[{"bad": object()}]))
+
+
+class TestTornDetection:
+    def test_truncation_detected_at_any_cut(self):
+        data = encode_cell(_record())
+        for fraction in (0.1, 0.5, 0.9):
+            cut = data[: int(len(data) * fraction)]
+            with pytest.raises(TornCellError):
+                decode_cell(cut)
+
+    def test_single_byte_corruption_detected(self):
+        data = bytearray(encode_cell(_record()))
+        # Flip a digit inside the payload (not the checksum hex itself):
+        # locate the params value '4' and change it to '5'.
+        index = bytes(data).index(b'"size":4') + len(b'"size":')
+        data[index] = ord("5")
+        with pytest.raises(TornCellError, match="checksum"):
+            decode_cell(bytes(data))
+
+    def test_missing_envelope_detected(self):
+        bare = json.dumps({"payload": {"status": "ok"}}).encode()
+        with pytest.raises(TornCellError, match="envelope"):
+            decode_cell(bare)
+
+    def test_non_json_detected(self):
+        with pytest.raises(TornCellError, match="unparseable"):
+            decode_cell(b"\x00\xff not json")
+
+    def test_empty_file_detected(self):
+        with pytest.raises(TornCellError):
+            decode_cell(b"")
+
+    def test_future_format_version_rejected(self):
+        import hashlib
+
+        payload = json.loads(encode_cell(_record()))["payload"]
+        payload["format"] = 999
+        body = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ).encode()
+        envelope = json.dumps(
+            {"payload": payload, "sha256": hashlib.sha256(body).hexdigest()},
+            sort_keys=True, separators=(",", ":"),
+        ).encode()
+        with pytest.raises(TornCellError, match="format"):
+            decode_cell(envelope)

@@ -1,0 +1,209 @@
+"""Tests for repro.store.store — the append-only sweep store.
+
+Covers the durability contract (atomic put, torn-file discard), the
+sweep-identity binding, cell ordering, shard-spec parsing, and shard
+manifests.
+"""
+
+import json
+
+import pytest
+
+from repro.store import (
+    CellKey,
+    CellRecord,
+    SweepStore,
+    SweepStoreError,
+    parse_shard,
+)
+
+
+def _record(cell=0, trial=0, value=1.0, config_hash=None):
+    return CellRecord(
+        key=CellKey(config_hash or ("a" * 64), cell, trial),
+        params={"size": 4},
+        status="ok",
+        records=[{"value": value}],
+    )
+
+
+class TestParseShard:
+    def test_none_is_whole_grid(self):
+        assert parse_shard(None) == (0, 1)
+
+    def test_string_form(self):
+        assert parse_shard("0/4") == (0, 4)
+        assert parse_shard("3/4") == (3, 4)
+
+    def test_pair_form(self):
+        assert parse_shard((1, 2)) == (1, 2)
+        assert parse_shard([1, 2]) == (1, 2)
+
+    def test_bad_string(self):
+        with pytest.raises(ValueError, match="i/n"):
+            parse_shard("0:4")
+        with pytest.raises(ValueError, match="i/n"):
+            parse_shard("half")
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValueError, match="in \\[0, 2\\)"):
+            parse_shard("2/2")
+        with pytest.raises(ValueError, match="in \\[0"):
+            parse_shard((-1, 2))
+
+    def test_num_shards_must_be_positive(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            parse_shard("0/0")
+
+    def test_garbage_pair(self):
+        with pytest.raises(ValueError, match="pair"):
+            parse_shard(3)
+
+
+class TestLayout:
+    def test_directories_created(self, tmp_path):
+        store = SweepStore(tmp_path / "fresh")
+        assert store.cells_dir.is_dir()
+        assert store.shards_dir.is_dir()
+
+    def test_reopening_is_idempotent(self, tmp_path):
+        SweepStore(tmp_path)
+        SweepStore(tmp_path)
+
+
+class TestBinding:
+    def test_first_writer_pins_identity(self, tmp_path):
+        store = SweepStore(tmp_path)
+        assert store.sweep_hash() is None
+        store.bind("f" * 64)
+        assert store.sweep_hash() == "f" * 64
+
+    def test_rebinding_same_hash_is_fine(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.bind("f" * 64)
+        store.bind("f" * 64)
+
+    def test_mismatched_sweep_refused(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.bind("f" * 64)
+        with pytest.raises(SweepStoreError, match="belongs to sweep"):
+            store.bind("0" * 64)
+
+    def test_binding_survives_reopen(self, tmp_path):
+        SweepStore(tmp_path).bind("f" * 64)
+        assert SweepStore(tmp_path).sweep_hash() == "f" * 64
+
+    def test_corrupt_metadata_raises(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.meta_path.write_text("{not json")
+        with pytest.raises(SweepStoreError, match="unreadable"):
+            store.sweep_hash()
+
+
+class TestPutLoad:
+    def test_roundtrip(self, tmp_path):
+        store = SweepStore(tmp_path)
+        record = _record(cell=2, trial=1, value=0.75)
+        path = store.put(record)
+        assert path.exists()
+        loaded = store.load(record.key)
+        assert loaded.records == [{"value": 0.75}]
+        assert loaded.key == record.key
+
+    def test_missing_cell_is_none(self, tmp_path):
+        assert SweepStore(tmp_path).load(CellKey("a" * 64, 0, 0)) is None
+
+    def test_put_overwrites_atomically(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.put(_record(value=1.0))
+        store.put(_record(value=2.0))
+        assert store.load(_record().key).records == [{"value": 2.0}]
+        assert not list(store.cells_dir.glob(".tmp-*"))
+
+    def test_hash_prefix_collision_treated_as_missing(self, tmp_path):
+        """Two keys sharing a 12-char file-name prefix but differing in
+        the full hash must not satisfy each other's lookups."""
+        store = SweepStore(tmp_path)
+        prefix = "a" * 12
+        store.put(_record(config_hash=prefix + "b" * 52))
+        other = CellKey(prefix + "c" * 52, 0, 0)
+        assert store.load(other) is None
+
+
+class TestTornDiscard:
+    def test_torn_file_discarded_and_counted(self, tmp_path):
+        store = SweepStore(tmp_path)
+        record = _record()
+        path = store.put_torn(record)
+        assert path.exists()
+        assert store.load(record.key) is None
+        assert store.torn_discarded == 1
+        assert not path.exists(), "torn file must be unlinked"
+
+    def test_rerun_after_discard_succeeds(self, tmp_path):
+        store = SweepStore(tmp_path)
+        record = _record()
+        store.put_torn(record)
+        store.load(record.key)
+        store.put(record)
+        assert store.load(record.key).records == record.records
+
+    def test_iter_cells_discards_torn(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.put(_record(cell=0))
+        store.put_torn(_record(cell=1))
+        records = store.iter_cells()
+        assert [r.key.cell_index for r in records] == [0]
+        assert store.torn_discarded == 1
+
+    def test_garbage_file_discarded(self, tmp_path):
+        store = SweepStore(tmp_path)
+        (store.cells_dir / "cell-000000-garbage-t0000.json").write_text("junk")
+        assert store.iter_cells() == []
+        assert store.torn_discarded == 1
+
+
+class TestIterOrdering:
+    def test_sorted_by_cell_then_trial(self, tmp_path):
+        store = SweepStore(tmp_path)
+        for cell, trial in [(2, 0), (0, 1), (1, 0), (0, 0), (1, 1)]:
+            store.put(_record(cell=cell, trial=trial))
+        order = [(r.key.cell_index, r.key.trial_index)
+                 for r in store.iter_cells()]
+        assert order == [(0, 0), (0, 1), (1, 0), (1, 1), (2, 0)]
+
+
+class TestShardManifests:
+    MANIFEST = {"shard": 0, "num_shards": 2, "jobs": 4, "rows": 4}
+
+    def test_write_and_load(self, tmp_path):
+        store = SweepStore(tmp_path)
+        path = store.write_shard_manifest(dict(self.MANIFEST))
+        assert path.name == "shard-0000of0002.json"
+        loaded = store.load_shard_manifests()
+        assert len(loaded) == 1
+        assert loaded[0]["jobs"] == 4
+        assert "created_unix" in loaded[0]
+
+    def test_requires_shard_fields(self, tmp_path):
+        with pytest.raises(KeyError):
+            SweepStore(tmp_path).write_shard_manifest({"rows": 4})
+
+    def test_sorted_by_shard(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.write_shard_manifest({"shard": 1, "num_shards": 2})
+        store.write_shard_manifest({"shard": 0, "num_shards": 2})
+        assert [m["shard"] for m in store.load_shard_manifests()] == [0, 1]
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        store = SweepStore(tmp_path)
+        (store.shards_dir / "shard-0000of0001.json").write_text("{oops")
+        with pytest.raises(SweepStoreError, match="unreadable shard"):
+            store.load_shard_manifests()
+
+    def test_rewrite_replaces_in_place(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.write_shard_manifest({"shard": 0, "num_shards": 1, "rows": 1})
+        store.write_shard_manifest({"shard": 0, "num_shards": 1, "rows": 9})
+        manifests = store.load_shard_manifests()
+        assert len(manifests) == 1 and manifests[0]["rows"] == 9
