@@ -36,6 +36,7 @@ See ``docs/SWEEPS.md`` for the store layout and the multi-host recipe.
 
 from __future__ import annotations
 
+import contextlib
 import traceback as traceback_module
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
@@ -43,6 +44,7 @@ from typing import Any, Callable, Iterable, Sequence
 import numpy as np
 
 from repro import telemetry
+from repro.solvers.fleet import process_shape_cache, use_shape_cache
 from repro.store import CellKey, CellRecord, SweepStore, hash_config, plain_data, stable_hash
 from repro.store.store import parse_shard
 from repro.telemetry import Telemetry, TelemetryExport
@@ -66,7 +68,33 @@ _MAX_POOL_RESTARTS = 3
 
 class DuplicateKeyError(KeyError):
     """Two rows in a :meth:`ResultTable.concat` merge carried the same
-    key tuple — the signature of overlapping shard outputs."""
+    key tuple — the signature of overlapping shard outputs.
+
+    Structured attributes for programmatic triage: :attr:`key` is the
+    offending ``{column: value}`` mapping, :attr:`sources` names the two
+    input tables that contributed the colliding rows (when the caller
+    labelled them — ``merge-shards`` passes the store paths), and
+    :attr:`row_indices` are the rows' positions in the concatenated
+    table.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        key: dict | None = None,
+        sources: tuple = (),
+        row_indices: tuple = (),
+    ) -> None:
+        super().__init__(message)
+        self.key = dict(key) if key else {}
+        self.sources = tuple(sources)
+        self.row_indices = tuple(row_indices)
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr-quotes its argument; show the message
+        # verbatim instead (it embeds the key and source labels).
+        return str(self.args[0]) if self.args else ""
 
 
 @dataclass(frozen=True)
@@ -202,7 +230,8 @@ class ResultTable:
 
     @classmethod
     def concat(cls, tables: Iterable["ResultTable"], *,
-               keys: Sequence[str] | None = None) -> "ResultTable":
+               keys: Sequence[str] | None = None,
+               sources: Sequence[str] | None = None) -> "ResultTable":
         """Concatenate tables with schema checking and (optionally) a
         checked, deterministic merge.
 
@@ -214,16 +243,32 @@ class ResultTable:
           raise :class:`KeyError`, mirroring :meth:`where`);
         * raises :class:`DuplicateKeyError` if two rows share a key
           tuple (overlapping shard outputs must be resolved upstream,
-          not silently double-counted);
+          not silently double-counted) — the exception names the key
+          tuple and, when ``sources`` labels are given, the two input
+          tables involved;
         * sorts rows by key tuple, so the merged order is a pure
           function of the data, not of the order shards finished.
 
+        ``sources`` optionally labels each input table (same length and
+        order as ``tables``; ``merge-shards`` passes the store paths) —
+        used only to attribute duplicate keys in the error.
         ``failures`` lists are concatenated in table order.
         """
         out = cls()
-        for table in tables:
+        row_source: list[str | None] = []
+        labels = list(sources) if sources is not None else None
+        for t, table in enumerate(tables):
+            label = None
+            if labels is not None:
+                if t >= len(labels):
+                    raise ValueError(
+                        f"sources has {len(labels)} labels but there are "
+                        f"more than {len(labels)} tables"
+                    )
+                label = labels[t]
             for row in table.rows:
                 out.append(**row)
+                row_source.append(label)
             out.failures.extend(table.failures)
         if keys is None:
             return out
@@ -239,9 +284,24 @@ class ResultTable:
         for i, row in enumerate(out.rows):
             key_tuple = tuple(row[k] for k in keys)
             if key_tuple in seen:
+                first = seen[key_tuple]
+                key = dict(zip(keys, key_tuple))
+                involved = tuple(
+                    label
+                    for label in (row_source[first], row_source[i])
+                    if label is not None
+                )
+                where = (
+                    f" (from {row_source[first]!r} and {row_source[i]!r})"
+                    if involved
+                    else ""
+                )
                 raise DuplicateKeyError(
-                    f"duplicate rows for key {dict(zip(keys, key_tuple))} "
-                    f"(rows {seen[key_tuple]} and {i})"
+                    f"duplicate rows for key {key}{where} "
+                    f"(rows {first} and {i})",
+                    key=key,
+                    sources=involved,
+                    row_indices=(first, i),
                 )
             seen[key_tuple] = i
         out.rows.sort(key=lambda row: tuple(row[k] for k in keys))
@@ -290,6 +350,7 @@ def _run_trial_records(
     params: dict,
     cell_index: int = 0,
     capture: bool = False,
+    fleet: bool = False,
 ) -> tuple[list[dict], TelemetryExport | None]:
     """Materialise one trial's records (plus its telemetry, if captured).
 
@@ -303,21 +364,33 @@ def _run_trial_records(
     context variable, so this per-trial context is what carries spans and
     metrics back across the process boundary; the serial path uses the
     *same* mechanism so serial and parallel sweeps merge identically.
+
+    With ``fleet=True`` the trial runs under the process-wide
+    :class:`~repro.solvers.fleet.SkeletonShapeCache`, so every
+    ``solve_cubis`` call inside it leases its MILP skeleton structure
+    from one per-shape prototype instead of re-assembling it.  Rebound
+    skeleton views are bit-identical to fresh builds, so the sweep's
+    records do not depend on the flag — only its throughput does.
     """
-    if not capture:
-        records = [
-            dict(record)
-            for record in trial(rng=rng, trial_index=trial_index, **params)
-        ]
-        return records, None
-    tele = Telemetry()
-    with telemetry.use(tele):
-        with tele.span("sweep.trial", cell=cell_index, trial=trial_index):
+    cache_cm = (
+        use_shape_cache(process_shape_cache()) if fleet
+        else contextlib.nullcontext()
+    )
+    with cache_cm:
+        if not capture:
             records = [
                 dict(record)
                 for record in trial(rng=rng, trial_index=trial_index, **params)
             ]
-    return records, tele.export()
+            return records, None
+        tele = Telemetry()
+        with telemetry.use(tele):
+            with tele.span("sweep.trial", cell=cell_index, trial=trial_index):
+                records = [
+                    dict(record)
+                    for record in trial(rng=rng, trial_index=trial_index, **params)
+                ]
+        return records, tele.export()
 
 
 def _execute_cell(
@@ -330,6 +403,7 @@ def _execute_cell(
     attempts: int,
     generation: int | None,
     faults,
+    fleet: bool = False,
 ) -> dict:
     """Run one cell attempt, catching trial exceptions into a structured
     failure dict (module-level so the pool can pickle it).
@@ -348,7 +422,7 @@ def _execute_cell(
             )
         rng = np.random.default_rng(seq)
         records, export = _run_trial_records(
-            trial, rng, trial_index, params, cell_index, capture
+            trial, rng, trial_index, params, cell_index, capture, fleet
         )
         return {"status": "ok", "records": records, "export": export}
     except Exception as exc:
@@ -471,6 +545,7 @@ def run_grid(
     resume: bool = False,
     shard=None,
     faults=None,
+    fleet: bool = False,
 ) -> ResultTable:
     """Run ``trial`` over a parameter grid with seeded repetitions.
 
@@ -531,6 +606,18 @@ def run_grid(
     faults:
         A :class:`~repro.resilience.SweepFaultInjector` scheduling
         deterministic sweep-layer faults (tests only).
+    fleet:
+        Run every trial under the process-wide skeleton shape cache
+        (:func:`~repro.solvers.fleet.process_shape_cache`): the first
+        trial to need a MILP skeleton of a given ``(T, K, R)`` shape
+        assembles it once, and every later ``solve_cubis`` call in any
+        cell of this sweep — same process or same pool worker — leases
+        a rebound view of that structure instead of re-assembling it.
+        Results are bit-identical to ``fleet=False`` (rebound views
+        tabulate to the same models); only throughput changes.  Cache
+        hit/miss counters surface as
+        ``repro_skeleton_shape_{hits,misses}_total`` in each trial's
+        telemetry.
 
     When a telemetry context is active (``repro.telemetry.use``), every
     trial — serial, pooled, or replayed from the store — runs under (or
@@ -585,6 +672,8 @@ def run_grid(
     span_attributes = {
         "cells": len(grid), "trials": num_trials, "workers": workers or 1,
     }
+    if fleet:
+        span_attributes["fleet"] = True
     if num_shards > 1:
         span_attributes["shard"] = shard_index
         span_attributes["num_shards"] = num_shards
@@ -704,6 +793,7 @@ def run_grid(
                             _execute_cell, trial, job.seq, job.trial,
                             job.params, job.cell, capture,
                             attempts_done[job.pos], generation, faults,
+                            fleet,
                         ))
                         for job in current
                     ]
@@ -745,6 +835,7 @@ def run_grid(
                     outcome = _execute_cell(
                         trial, job.seq, job.trial, job.params, job.cell,
                         capture, attempts_done[job.pos], None, faults,
+                        fleet,
                     )
                     attempts_done[job.pos] += 1
                     if (outcome["status"] == "failed"

@@ -181,6 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--out", type=str, default=None, metavar="FILE",
                     help="write the result table as canonical JSON "
                          "(byte-comparable across resumed/merged runs)")
+    sw.add_argument("--fleet", action="store_true",
+                    help="share one MILP skeleton structure per (T, K, R) "
+                         "shape across all cells (bit-identical results, "
+                         "docs/PERFORMANCE.md)")
 
     ms = sub.add_parser(
         "merge-shards",
@@ -192,6 +196,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="one or more store roots (shards of one sweep)")
     ms.add_argument("--out", type=str, default=None, metavar="FILE",
                     help="write the merged table as canonical JSON")
+    ms.add_argument("--into", type=str, default=None, metavar="DIR",
+                    help="also fold every cell record into this store "
+                         "directory, making the merge itself resumable — "
+                         "failed and quarantined cells are carried over, "
+                         "so a resume against DIR honours quarantine "
+                         "decisions taken on any shard")
 
     b = sub.add_parser(
         "bench",
@@ -288,7 +298,8 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--paths", type=str, nargs="+", default=None,
                    metavar="PATH",
                    help="solver paths to cross-check "
-                        "(default: milp-highs milp-bnb milp-session dp exact)")
+                        "(default: milp-highs milp-bnb milp-session "
+                        "milp-fleet dp exact)")
     v.add_argument("--inject-faults", type=float, default=0.0, metavar="RATE",
                    help="corrupt the MILP path with seeded faults at this "
                         "rate (the battery must then FAIL — self-test)")
@@ -422,6 +433,7 @@ def _run_sweep(args) -> str:
         on_error=args.on_error,
         retry=args.retries,
         quarantine_after=args.quarantine_after,
+        fleet=args.fleet,
         **kwargs,
     )
     lines = [
@@ -448,7 +460,7 @@ def _run_merge_shards(args) -> str:
     import pathlib
 
     from repro import telemetry
-    from repro.analysis.sweep import ResultTable, collect_store
+    from repro.analysis.sweep import DuplicateKeyError, ResultTable, collect_store
     from repro.store import SweepStore
     from repro.telemetry import TelemetryExport
 
@@ -464,7 +476,13 @@ def _run_merge_shards(args) -> str:
     # duplicates, ordered by key — then the helper column is dropped so
     # the merged table matches a serial run's schema exactly.
     tables = [collect_store(s, cell_column="_cell") for s in stores]
-    merged = ResultTable.concat(tables, keys=("_cell", "trial"))
+    try:
+        merged = ResultTable.concat(
+            tables, keys=("_cell", "trial"),
+            sources=[str(s.root) for s in stores],
+        )
+    except DuplicateKeyError as exc:
+        raise SystemExit(f"merge-shards: {exc}") from exc
     final = ResultTable()
     for row in merged.rows:
         final.append(**{k: v for k, v in row.items() if k != "_cell"})
@@ -486,6 +504,16 @@ def _run_merge_shards(args) -> str:
                 tele.absorb(TelemetryExport.from_dict(rec.telemetry))
                 absorbed += 1
 
+    into_summary = None
+    if args.into:
+        target = SweepStore(args.into)
+        into_summary = {"copied": 0, "kept": 0, "quarantined": 0}
+        for s in stores:
+            summary = target.absorb_cells(s)
+            into_summary["copied"] += summary["copied"]
+            into_summary["kept"] += summary["kept"]
+            into_summary["quarantined"] = summary["quarantined"]
+
     manifests = [m for s in stores for m in s.load_shard_manifests()]
     torn = sum(s.torn_discarded for s in stores)
     lines = [
@@ -499,6 +527,12 @@ def _run_merge_shards(args) -> str:
             f"  shard {manifest.get('shard')}/{manifest.get('num_shards')}: "
             f"{manifest.get('jobs')} jobs, {manifest.get('executed')} executed, "
             f"{manifest.get('resumed')} resumed, {manifest.get('failed')} failed"
+        )
+    if into_summary is not None:
+        lines.append(
+            f"cells folded into {args.into}: {into_summary['copied']} copied, "
+            f"{into_summary['kept']} kept, "
+            f"{into_summary['quarantined']} quarantined preserved"
         )
     if args.out:
         pathlib.Path(args.out).write_text(_table_json(final))

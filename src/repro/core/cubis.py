@@ -31,6 +31,7 @@ from repro.core.milp import CubisMilpSkeleton, build_cubis_milp
 from repro.core.worst_case import WorstCaseSolution, evaluate_worst_case
 from repro.game.ssg import IntervalSecurityGame
 from repro.solvers.binary_search import binary_search_max
+from repro.solvers.fleet import active_shape_cache
 from repro.solvers.milp_backend import relax_integrality, solve_milp
 from repro.solvers.piecewise import SegmentGrid
 from repro.solvers.session import MilpSession, SessionPool
@@ -209,8 +210,9 @@ def solve_cubis(
     resilience: ResiliencePolicy | None = None,
     memoise: bool = True,
     warm_start: WarmStart | None = None,
-    session: str = "auto",
+    session: str | MilpSession = "auto",
     speculation: int = 1,
+    dp_kernel=None,
 ) -> CubisResult:
     """Run CUBIS on an interval security game.
 
@@ -295,7 +297,15 @@ def solve_cubis(
         still assembled — sessions require it); it raises for the
         ``"dp"`` oracle or a resilience policy.  A session solve that
         errors falls back to one fresh-build solve for that step and
-        invalidates the live model.
+        invalidates the live model.  A live
+        :class:`~repro.solvers.session.MilpSession` instance may be
+        passed instead of a mode string: the solve *leases* it —
+        retargets it at this game's skeleton and drives every step
+        through it — which is how the fleet solver
+        (:mod:`repro.solvers.fleet`) carries one live model and its
+        incumbent across a whole fleet of games.  A leased session
+        implies incremental mode (same requirements) and disables the
+        speculative session pool (probes run sequentially).
     speculation:
         ``k`` of the k-ary binary search (default 1 = classic
         bisection).  With ``k > 1`` each round probes ``k`` interior
@@ -305,6 +315,13 @@ def solve_cubis(
         only on verdicts), while ``"bnb"``/``"dp"``/ladder paths probe
         the same candidates sequentially.  See docs/PERFORMANCE.md for
         when ``k > 1`` pays.
+    dp_kernel:
+        Override for the ``"dp"`` oracle's grid kernel (defaults to
+        :func:`~repro.core.dp.maximize_separable_on_grid`).  The fleet
+        driver passes a :class:`~repro.solvers.fleet.DpBatcher`
+        participant here so a whole fleet's knapsack steps run as one
+        stacked batched kernel; any replacement must be bit-identical
+        to the default on its inputs.
     """
     if uncertainty.num_targets != game.num_targets:
         raise ValueError(
@@ -319,9 +336,14 @@ def solve_cubis(
     num_segments = check_int_at_least(num_segments, 1, "num_segments")
     max_iterations = check_int_at_least(max_iterations, 1, "max_iterations")
     speculation = check_int_at_least(speculation, 1, "speculation")
-    if session not in ("auto", "incremental", "fresh"):
+    leased_session: MilpSession | None = None
+    if isinstance(session, MilpSession):
+        leased_session = session
+        session = "incremental"
+    elif session not in ("auto", "incremental", "fresh"):
         raise ValueError(
-            f"session must be 'auto', 'incremental' or 'fresh', got {session!r}"
+            "session must be 'auto', 'incremental', 'fresh' or a "
+            f"MilpSession instance, got {session!r}"
         )
     solve_span = telemetry.span(
         "cubis.solve",
@@ -427,27 +449,52 @@ def solve_cubis(
             session == "auto" and can_session and memoise
             and isinstance(backend, str)
         )
-        skeleton = (
-            CubisMilpSkeleton(
-                ud_grid,
-                lower_grid,
-                upper_grid,
-                game.num_resources,
-                grid,
-                equality_resources=equality_resources,
-                coverage_constraints=coverage_constraints,
-            )
-            if (memoise or use_session) and needs_milp
-            else None
-        )
+        skeleton = None
+        if (memoise or use_session) and needs_milp:
+            # An active shape cache (run_grid(fleet=True), solve_fleet)
+            # leases a structure-sharing skeleton instead of assembling
+            # one; rebinding is bit-identical to a fresh build, so this
+            # only changes cost.  Side constraints embed their matrix in
+            # the structure, so constrained games always build fresh.
+            shape_cache = active_shape_cache()
+            if shape_cache is not None and coverage_constraints is None:
+                skeleton = shape_cache.lease(
+                    ud_grid,
+                    lower_grid,
+                    upper_grid,
+                    game.num_resources,
+                    grid,
+                    equality_resources=equality_resources,
+                )
+            else:
+                skeleton = CubisMilpSkeleton(
+                    ud_grid,
+                    lower_grid,
+                    upper_grid,
+                    game.num_resources,
+                    grid,
+                    equality_resources=equality_resources,
+                    coverage_constraints=coverage_constraints,
+                )
         # Speculative probes run concurrently only on the HiGHS session
         # path — one independent session per in-flight candidate.  Other
         # oracles still honour speculation > 1, probing the same k-ary
-        # candidates sequentially.
+        # candidates sequentially.  A leased session is retargeted at
+        # this game's skeleton and drives every step alone (no pool):
+        # its live model and — with carry_incumbent — its MIP start
+        # carry over from whatever it solved last.
         session_pool: SessionPool | None = None
         milp_session: MilpSession | None = None
+        session_counts_at_entry = (0, 0)
         if use_session:
-            if speculation > 1 and backend == "highs":
+            if leased_session is not None:
+                leased_session.retarget(skeleton)
+                milp_session = leased_session
+                session_counts_at_entry = (
+                    milp_session.patches_applied,
+                    milp_session.fresh_builds,
+                )
+            elif speculation > 1 and backend == "highs":
                 session_pool = SessionPool(skeleton, speculation, backend=backend)
                 milp_session = session_pool.sessions[0]
             else:
@@ -649,6 +696,9 @@ def solve_cubis(
             return milp_oracle
 
         budget_units = int(np.floor(game.num_resources * num_segments + 1e-9))
+        grid_kernel = (
+            dp_kernel if dp_kernel is not None else maximize_separable_on_grid
+        )
 
         def dp_oracle(c: float):
             # G(x, beta*) = sum_i min(f1_i, f2_i)(x_i) — separable, so the
@@ -659,7 +709,7 @@ def solve_cubis(
             ) as sp:
                 margin = ud_grid - c
                 phi = np.minimum(lower_grid * margin, upper_grid * margin)
-                allocation = maximize_separable_on_grid(phi, budget_units)
+                allocation = grid_kernel(phi, budget_units)
                 feasible = allocation.value >= -feasibility_tolerance
                 sp.set(feasible=bool(feasible))
             telemetry.histogram("repro_oracle_seconds", kind="dp").observe(
@@ -853,7 +903,12 @@ def solve_cubis(
             else [milp_session] if milp_session is not None
             else []
         )
-        session_patches = sum(s.patches_applied for s in sessions)
+        # A leased session carries lifetime counters from earlier games;
+        # report only this solve's delta.
+        session_patches = (
+            sum(s.patches_applied for s in sessions)
+            - session_counts_at_entry[0]
+        )
         session_fallbacks = int(totals["session_fallbacks"])
         if use_session:
             meter.counter("repro_session_patches").inc(session_patches)

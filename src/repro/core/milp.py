@@ -34,6 +34,15 @@ helper, so an in-place application of the patch set (see
 :class:`~repro.solvers.session.MilpSession`) reproduces a fresh build
 bit for bit.
 
+Structure sharing also extends *across games*: every structural array
+depends only on the shape ``(T, K, R, constraint set)``, never on the
+payoff grids, so :meth:`CubisMilpSkeleton.rebind` produces a skeleton
+for a different game of the same shape by sharing the assembly and
+swapping only the bound grids, and :meth:`CubisMilpSkeleton.diff_from`
+emits the sparse patch that carries a *live model* from one game's
+candidate to a sibling game's — the mechanism behind the fleet solver's
+shape cache (:mod:`repro.solvers.fleet`).
+
 This module only *builds* the MILP (as a
 :class:`~repro.solvers.milp_backend.MILPProblem` plus index metadata); the
 solve and the feasibility verdict live in :mod:`repro.core.cubis`.
@@ -41,6 +50,7 @@ solve and the feasibility verdict live in :mod:`repro.core.cubis`.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 import numpy as np
@@ -491,8 +501,96 @@ class CubisMilpSkeleton:
         entry — the win over :meth:`patch` is skipping the CSR
         re-assembly and the template copies, not the tabulation.
         """
-        old = self._tabulate(c_old)
-        new = self._tabulate(c_new)
+        return self._emit_patch(
+            self._tabulate(c_old), self._tabulate(c_new), c_old, c_new
+        )
+
+    def rebind(
+        self,
+        defender_utility_grid: np.ndarray,
+        lower_grid: np.ndarray,
+        upper_grid: np.ndarray,
+    ) -> "CubisMilpSkeleton":
+        """A structure-sharing view of this skeleton bound to another game.
+
+        The view shares every structural array with ``self`` — sparsity
+        pattern, coefficient/RHS/bound templates, integrality marks,
+        variable layout, and the lazy ``entry_data_slots`` table — and
+        carries only the new payoff grids, so "building" it costs three
+        shape checks instead of a full assembly.  Because
+        :meth:`_tabulate` reads nothing but the bound grids,
+        ``view.patch(c)`` is bit-identical to building a fresh skeleton
+        for the new game and patching it.
+
+        The resource budget and constraint set are inherited: rebinding
+        is only valid across games of identical shape (same ``T``, ``K``,
+        ``R``, and equality/coverage structure) — exactly the grouping
+        the fleet shape cache keys on.
+        """
+        ud = np.asarray(defender_utility_grid, dtype=np.float64)
+        lo = np.asarray(lower_grid, dtype=np.float64)
+        hi = np.asarray(upper_grid, dtype=np.float64)
+        if ud.shape != self._ud.shape:
+            raise ValueError(
+                f"rebind grids must have shape {self._ud.shape}, got {ud.shape}"
+            )
+        if lo.shape != ud.shape or hi.shape != ud.shape:
+            raise ValueError(
+                "lower_grid and upper_grid must match defender_utility_grid"
+            )
+        # Materialise the lazy slot table first so every sibling view
+        # shares one copy instead of each computing its own.
+        _ = self.entry_data_slots
+        view = copy.copy(self)
+        view._ud, view._lo, view._hi = ud, lo, hi
+        return view
+
+    def shares_structure(self, other: "CubisMilpSkeleton") -> bool:
+        """Whether ``other`` shares this skeleton's assembly.
+
+        True for the skeleton itself and for any :meth:`rebind` sibling
+        (identity of the structural arrays, not value equality — two
+        independently assembled skeletons are never considered sharing,
+        which keeps cross-game patching an explicit opt-in through the
+        shape cache).
+        """
+        return isinstance(other, CubisMilpSkeleton) and (
+            other is self
+            or (
+                other._csr_order is self._csr_order
+                and other._vals_template is self._vals_template
+            )
+        )
+
+    def diff_from(
+        self, base: "CubisMilpSkeleton", c_old: float, c_new: float
+    ) -> SkeletonPatch:
+        """Cross-game patch: the sparse update set taking ``base``'s model
+        at ``c_old`` to *this* skeleton's model at ``c_new``.
+
+        ``base`` must be a structure-sharing sibling (see
+        :meth:`rebind`): entries outside the candidate-dependent blocks
+        are then bitwise identical between the two games, so patching
+        only the tabulated differences reproduces ``self.patch(c_new)``
+        exactly — even though the live model being patched was built for
+        a different game.
+        """
+        if not self.shares_structure(base):
+            raise ValueError(
+                "diff_from requires a structure-sharing sibling skeleton "
+                "(a rebind() view of the same assembly)"
+            )
+        return self._emit_patch(
+            base._tabulate(c_old), self._tabulate(c_new), c_old, c_new
+        )
+
+    def _emit_patch(
+        self,
+        old: _CandidateBlocks,
+        new: _CandidateBlocks,
+        c_old: float,
+        c_new: float,
+    ) -> SkeletonPatch:
         vals_index: list[np.ndarray] = []
         vals: list[np.ndarray] = []
         for sl, o, n in (

@@ -1,6 +1,6 @@
 """Benchmark harness for the performance layer — emits ``BENCH_runtime.json``.
 
-Four measurements, one JSON payload:
+Five measurements, one JSON payload:
 
 * **cold** — every game solved with ``memoise=False`` and
   ``session="fresh"`` (rebuild each MILP, no certificates, no LP screen,
@@ -14,6 +14,14 @@ Four measurements, one JSON payload:
   (``speculation=3`` by default), *without* cross-game warm-start
   chaining, isolating the incremental-session contribution
   (``speedup_session = cold / session``).
+* **fleet** — the same games solved through
+  :func:`repro.solvers.fleet.solve_fleet`: one MILP skeleton structure
+  assembled per shape and leased to every game, one incremental session
+  retargeted across the fleet, and δ-continuation warm starts chaining
+  the binary-search brackets (``speedup_fleet = cold / fleet``).  This
+  is the batched production path; its per-game rows report ``0.0``
+  wall-clock because the shared substrate makes per-game attribution
+  meaningless — the section total carries the measured time.
 * **parallel** — a small :func:`repro.analysis.sweep.run_grid` executed
   serially and with a process pool, asserting the two tables are
   bit-identical at the same root seed (the determinism guarantee of
@@ -42,6 +50,7 @@ from repro.analysis.sweep import run_grid
 from repro.core.cubis import solve_cubis
 from repro.experiments.quality import default_uncertainty
 from repro.game.generator import random_interval_game
+from repro.solvers.fleet import solve_fleet
 from repro.utils.rng import spawn_generators
 
 __all__ = ["compare_bench", "run_bench_runtime", "write_bench_json", "format_bench"]
@@ -160,6 +169,21 @@ def run_bench_runtime(
             )
     session_total = time.perf_counter() - t0
 
+    # Fleet pass: the whole chain through solve_fleet — shared skeleton
+    # structure, one leased session, δ-continuation — the batched path
+    # the fleet=True sweeps run on.
+    t0 = time.perf_counter()
+    with telemetry.span("bench.fleet_pass", games=num_games):
+        fleet_result = solve_fleet(
+            games, models, oracle="milp", backend=backend,
+            continuation=True, share=True,
+            num_segments=num_segments, epsilon=epsilon,
+        )
+    fleet_total = time.perf_counter() - t0
+    fleet_games = [
+        _solve_stats(result, 0.0, backend=backend) for result in fleet_result
+    ]
+
     # Parallel determinism check: a reduced grid (the full T would make the
     # smoke run slow) solved serially and through the pool must agree on
     # every deterministic column, byte for byte.
@@ -187,6 +211,10 @@ def run_bench_runtime(
     cold = totals(cold_games)
     warm = totals(warm_games)
     session = totals(session_games)
+    fleet = totals(fleet_games)
+    # Per-game seconds are not attributable in a fleet; the section's
+    # wall clock is the one solve_fleet measured around the whole chain.
+    fleet["wall_clock_seconds"] = fleet_result.solve_seconds
     # Where the time went, from the active telemetry context: a per-name
     # rollup plus the slowest individual spans (None under
     # ``--no-telemetry``).  Completed spans only — the surrounding
@@ -209,6 +237,12 @@ def run_bench_runtime(
         "cold": {**cold, "per_game": cold_games},
         "warm": {**warm, "per_game": warm_games},
         "session": {**session, "per_game": session_games},
+        "fleet": {
+            **fleet,
+            "per_game": fleet_games,
+            "shape_stats": fleet_result.shape_stats,
+            "session_stats": fleet_result.session_stats,
+        },
         "speedup": (
             cold["wall_clock_seconds"] / warm["wall_clock_seconds"]
             if warm["wall_clock_seconds"] > 0
@@ -219,9 +253,15 @@ def run_bench_runtime(
             if session["wall_clock_seconds"] > 0
             else float("inf")
         ),
+        "speedup_fleet": (
+            cold["wall_clock_seconds"] / fleet["wall_clock_seconds"]
+            if fleet["wall_clock_seconds"] > 0
+            else float("inf")
+        ),
         "cold_wall_clock_seconds": cold_total,
         "warm_wall_clock_seconds": warm_total,
         "session_wall_clock_seconds": session_total,
+        "fleet_wall_clock_seconds": fleet_total,
         "parallel": {
             "workers": workers,
             "cells": len(serial.rows),
@@ -239,7 +279,7 @@ def write_bench_json(payload: dict, path) -> Path:
 
 
 _COMPARE_COUNT_KEYS = ("oracle_calls", "milp_solves", "lp_solves")
-_COMPARE_SPEEDUP_KEYS = ("speedup", "speedup_session")
+_COMPARE_SPEEDUP_KEYS = ("speedup", "speedup_session", "speedup_fleet")
 
 
 def compare_bench(payload: dict, reference: dict, *, max_regression: float = 1.25) -> list[str]:
@@ -260,7 +300,7 @@ def compare_bench(payload: dict, reference: dict, *, max_regression: float = 1.2
     if max_regression < 1.0:
         raise ValueError(f"max_regression must be >= 1.0, got {max_regression}")
     problems: list[str] = []
-    for section in ("cold", "warm", "session"):
+    for section in ("cold", "warm", "session", "fleet"):
         cur, ref = payload.get(section), reference.get(section)
         if not isinstance(cur, dict) or not isinstance(ref, dict):
             continue
@@ -314,6 +354,18 @@ def format_bench(payload: dict) -> str:
             f"(k={cfg.get('speculation', 1)})",
         )
         lines.append(f"  speedup_session: {payload['speedup_session']:.2f}x")
+    fleet = payload.get("fleet")
+    if fleet is not None:
+        shape = fleet.get("shape_stats", {})
+        lines.insert(
+            4 if session is not None else 3,
+            f"  fleet: {fleet['wall_clock_seconds']:.2f}s  "
+            f"oracle={fleet['oracle_calls']}  milp={fleet['milp_solves']}  "
+            f"patches={fleet['session_patches']}  "
+            f"shape hits={shape.get('hits', 0)}/"
+            f"misses={shape.get('misses', 0)}",
+        )
+        lines.append(f"  speedup_fleet: {payload['speedup_fleet']:.2f}x")
     lines.append(
         f"  parallel (workers={par['workers']}, {par['cells']} cells): "
         + ("identical to serial" if par["identical_to_serial"] else "MISMATCH"),

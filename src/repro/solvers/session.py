@@ -26,14 +26,26 @@ patching never touches), so one corrupted solve cannot poison the rest
 of the search.  :mod:`repro.core.cubis` wires this into a
 ``resilience.attempt`` telemetry event per fallback.
 
+A session is not married to one game: :meth:`MilpSession.retarget`
+points it at a structure-sharing sibling skeleton (see
+:meth:`~repro.core.milp.CubisMilpSkeleton.rebind`), and the next
+:meth:`~MilpSession.prepare` carries the live model *across the game
+boundary* with one cross-skeleton sparse patch
+(:meth:`~repro.core.milp.CubisMilpSkeleton.diff_from`) instead of a
+rebuild — the mechanism the fleet solver (:mod:`repro.solvers.fleet`)
+leases sessions through.
+
 :class:`SessionPool` drives ``k`` independent sessions from a thread
 pool for the speculative k-ary bisection mode
 (``binary_search_max(speculation=k)``): each batch assigns at most one
-task per session, results are collected in submission order, and worker
-threads run with telemetry *disabled* (the tracer's span stack is not
-thread-safe and contextvars do not propagate to pool threads) — the
-orchestrating thread re-emits aggregate counters afterwards, keeping
-metric streams deterministic.
+task per session and results are collected in submission order.  Worker
+threads run with *tracing* disabled (the tracer's span stack is not
+thread-safe and contextvars do not propagate to pool threads), but each
+task records metrics — notably the ``repro_oracle_seconds`` histogram
+samples of its probe solves — into a private registry that is folded
+into the caller's registry in submission order once the chunk drains,
+so traced speculative solves report the same oracle-time totals as
+sequential ones and the metric stream stays deterministic.
 """
 
 from __future__ import annotations
@@ -60,6 +72,12 @@ class MilpSession:
     warm_start:
         Carry each optimal solution to the next solve as an incumbent
         (only backends that support MIP starts use it).
+    carry_incumbent:
+        Keep the incumbent across :meth:`retarget` boundaries, seeding
+        the *next game's* first solve with the previous game's optimum —
+        the fleet solver's δ-continuation MIP start.  Off by default
+        (an incumbent from another game is only advisory; backends
+        re-validate it, so correctness never depends on this flag).
 
     Attributes
     ----------
@@ -69,19 +87,31 @@ class MilpSession:
     fallbacks:
         Times the owning caller reported a failed solve via
         :meth:`invalidate` after at least one successful prepare.
+    retargets:
+        Times the session was pointed at a different skeleton.
     """
 
-    def __init__(self, skeleton, *, backend="highs", warm_start: bool = True) -> None:
+    def __init__(
+        self,
+        skeleton,
+        *,
+        backend="highs",
+        warm_start: bool = True,
+        carry_incumbent: bool = False,
+    ) -> None:
         self.skeleton = skeleton
         self.backend = backend
         self.use_warm_start = bool(warm_start)
+        self.carry_incumbent = bool(carry_incumbent)
         self._model = None
         self._c: float | None = None
         self._incumbent = None
+        self._base_skeleton = None
         self.fresh_builds = 0
         self.patches_applied = 0
         self.solves = 0
         self.fallbacks = 0
+        self.retargets = 0
         self.last_patch_updates: int | None = None
 
     @property
@@ -104,6 +134,39 @@ class MilpSession:
         self._model = None
         self._c = None
         self._incumbent = None
+        self._base_skeleton = None
+
+    def retarget(self, skeleton) -> None:
+        """Point the session at ``skeleton`` — typically another game's.
+
+        When the new skeleton shares the live model's structure (a
+        :meth:`~repro.core.milp.CubisMilpSkeleton.rebind` sibling), the
+        model is *kept*: the next :meth:`prepare` applies one sparse
+        cross-skeleton patch
+        (:meth:`~repro.core.milp.CubisMilpSkeleton.diff_from`) that
+        carries it to the new game, bit-identical to a fresh build.  A
+        structurally different skeleton (or no live model) simply makes
+        the next prepare a fresh build.  The incumbent is dropped unless
+        the session was created with ``carry_incumbent=True``.
+        """
+        if skeleton is self.skeleton:
+            return
+        if self._model is not None:
+            # diff_from must tabulate the old blocks from the skeleton the
+            # live model was last prepared with; across chained retargets
+            # without an intervening prepare that stays the original base.
+            base = self._base_skeleton if self._base_skeleton is not None \
+                else self.skeleton
+            if base is not None and skeleton.shares_structure(base):
+                self._base_skeleton = base
+            else:
+                self._model = None
+                self._c = None
+                self._base_skeleton = None
+        if not self.carry_incumbent:
+            self._incumbent = None
+        self.skeleton = skeleton
+        self.retargets += 1
 
     def prepare(self, c: float):
         """Point the live model at candidate ``c`` and return it.
@@ -112,10 +175,17 @@ class MilpSession:
         :meth:`~repro.core.milp.CubisMilpSkeleton.patch` build.  Later
         calls apply the sparse diff in place — the CSR structure, bound
         and integrality arrays are reused, only changed values are
-        written.  Each call is traced as a ``milp.patch`` span carrying
-        the candidate and the write count (no-op span off the telemetry
-        thread).
+        written.  The first prepare after a structure-sharing
+        :meth:`retarget` diffs *across the game boundary* instead
+        (``diff_from`` against the previous game's skeleton), still in
+        place and still bit-identical to a fresh build.  Each call is
+        traced as a ``milp.patch`` span carrying the candidate and the
+        write count (no-op span off the telemetry thread).
         """
+        if self.skeleton is None:
+            raise RuntimeError(
+                "MilpSession has no skeleton; retarget() one before prepare()"
+            )
         c = float(c)
         with telemetry.span("milp.patch", c=c, live=self.live) as span:
             if self._model is None:
@@ -123,12 +193,17 @@ class MilpSession:
                 self.fresh_builds += 1
                 self.last_patch_updates = None
                 span.set(mode="fresh-build")
-            elif c == self._c:
+            elif c == self._c and self._base_skeleton is None:
                 model = self._model
                 self.last_patch_updates = 0
                 span.set(mode="noop", updates=0)
             else:
-                patch = self.skeleton.diff(self._c, c)
+                base = self._base_skeleton
+                patch = (
+                    self.skeleton.diff_from(base, self._c, c)
+                    if base is not None
+                    else self.skeleton.diff(self._c, c)
+                )
                 problem = self._model.problem
                 slots = self.skeleton.entry_data_slots
                 problem.A_ub.data[slots[patch.vals_index]] = patch.vals
@@ -144,9 +219,13 @@ class MilpSession:
                 )
                 self.patches_applied += 1
                 self.last_patch_updates = patch.num_updates
-                span.set(mode="patch", updates=patch.num_updates)
+                span.set(
+                    mode="retarget-patch" if base is not None else "patch",
+                    updates=patch.num_updates,
+                )
         self._model = model
         self._c = c
+        self._base_skeleton = None
         return model
 
     def solve(self, **backend_options) -> MILPResult:
@@ -176,6 +255,7 @@ class MilpSession:
             "patches_applied": int(self.patches_applied),
             "solves": int(self.solves),
             "fallbacks": int(self.fallbacks),
+            "retargets": int(self.retargets),
         }
 
 
@@ -217,18 +297,32 @@ class SessionPool:
 
         Items are processed in chunks of at most ``size`` so each chunk
         assigns every task a *distinct* session (sessions are not
-        thread-safe).  Worker threads run under the disabled telemetry
-        context: spans become no-ops and metric writes land in a
-        discarded registry, so nothing racy touches the caller's
-        telemetry — callers re-emit aggregate counters afterwards.
-        A worker exception propagates after its chunk has drained.
+        thread-safe).  Each task runs under its own fresh
+        ``Telemetry(enabled=False)`` context: spans stay no-ops (the
+        tracer's span stack is not thread-safe and never sees worker
+        threads), but metric writes — the ``repro_oracle_seconds``
+        histogram samples of speculative probe solves — land in the
+        task's private registry, and those registries are folded into
+        the caller's registry in submission order once the chunk has
+        drained.  Dropping them (the old behaviour) under-reported
+        oracle time on traced speculative solves versus
+        ``speculation=1``; merging in submission order keeps the metric
+        stream deterministic.  A task that raises still contributes the
+        metrics it recorded before failing; the first exception
+        propagates after its chunk has drained and merged.
         """
         items = list(items)
         executor = self._ensure_executor()
+        parent = telemetry.current()
 
         def run(session, item):
-            with telemetry.use(telemetry.DISABLED):
-                return fn(session, item)
+            worker = telemetry.Telemetry(enabled=False)
+            with telemetry.use(worker):
+                try:
+                    result = fn(session, item)
+                except BaseException as exc:  # noqa: BLE001 — re-raised below
+                    return worker.metrics, None, exc
+            return worker.metrics, result, None
 
         results: list = []
         for start in range(0, len(items), len(self.sessions)):
@@ -238,13 +332,20 @@ class SessionPool:
                 for session, item in zip(self.sessions, chunk)
             ]
             # Collect in submission order; re-raise the first failure
-            # only after every future in the chunk has finished.
+            # only after every future in the chunk has finished and its
+            # metrics have been merged.
             errors = []
             for future in futures:
                 try:
-                    results.append(future.result())
-                except BaseException as exc:  # noqa: BLE001 — re-raised below
+                    metrics, result, exc = future.result()
+                except BaseException as raised:  # noqa: BLE001 — re-raised below
+                    errors.append(raised)
+                    continue
+                parent.metrics.merge(metrics)
+                if exc is not None:
                     errors.append(exc)
+                else:
+                    results.append(result)
             if errors:
                 raise errors[0]
         return results
@@ -252,7 +353,7 @@ class SessionPool:
     def stats(self) -> dict:
         """Element-wise sum of every session's lifetime counters."""
         totals = {"fresh_builds": 0, "patches_applied": 0, "solves": 0,
-                  "fallbacks": 0}
+                  "fallbacks": 0, "retargets": 0}
         for session in self.sessions:
             for key, value in session.stats().items():
                 totals[key] += value

@@ -231,6 +231,63 @@ class SweepStore:
         records.sort(key=lambda r: (r.key.cell_index, r.key.trial_index))
         return records
 
+    def absorb_cells(self, source: "SweepStore") -> dict:
+        """Fold every readable cell of ``source`` into this store.
+
+        This is the *store-level* half of a shard merge: where
+        ``repro merge-shards`` assembles a result table, ``absorb_cells``
+        makes the merged store itself resumable — in particular, failed
+        and **quarantined** cell records are carried over, so a later
+        ``run_grid(..., store=<merged>, resume=True)`` honours a
+        quarantine decision taken on any shard instead of silently
+        retrying the cell.
+
+        Conflict policy when both stores hold the same cell key:
+
+        * an ``"ok"`` record always wins over a failure (shards of a
+          deterministic sweep can only disagree when one of them got
+          further through the retry budget);
+        * between two failures, the one with ``(quarantined, attempts)``
+          lexicographically greater wins — the merged store never
+          *forgets* attempts or un-quarantines a cell;
+        * byte-identical outcomes are left in place (no rewrite).
+
+        Sweep identities must agree: absorbing from a store bound to a
+        different sweep raises :class:`SweepStoreError`; an unbound
+        destination adopts the source's identity.
+
+        Returns a summary dict with ``copied`` / ``kept`` counts and the
+        number of quarantined records now present.
+        """
+        source_hash = source.sweep_hash()
+        if source_hash is not None:
+            self.bind(source_hash)
+
+        def _failure_rank(record: CellRecord) -> tuple[bool, int]:
+            failure = record.failure or {}
+            return (
+                bool(failure.get("quarantined", False)),
+                int(failure.get("attempts", 0)),
+            )
+
+        copied = 0
+        kept = 0
+        for record in source.iter_cells():
+            mine = self.load(record.key)
+            if mine is not None:
+                if mine.status == "ok":
+                    kept += 1
+                    continue
+                if record.status != "ok" and (
+                    _failure_rank(record) <= _failure_rank(mine)
+                ):
+                    kept += 1
+                    continue
+            self.put(record)
+            copied += 1
+        quarantined = sum(1 for rec in self.iter_cells() if rec.quarantined)
+        return {"copied": copied, "kept": kept, "quarantined": quarantined}
+
     # -- shard manifests ----------------------------------------------- #
 
     def shard_manifest_path(self, shard_index: int, num_shards: int) -> Path:

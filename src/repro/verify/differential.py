@@ -51,7 +51,12 @@ __all__ = ["PathOutcome", "DEFAULT_PATHS", "run_paths", "differential_check"]
 #: agree with the fresh-build ``milp-highs`` path within the Theorem 1
 #: tolerance, which pins the patch/speculation machinery to the reference
 #: semantics on every battery run.
-DEFAULT_PATHS = ("milp-highs", "milp-bnb", "milp-session", "dp", "exact")
+#: ``milp-fleet`` routes the instance through a single-game
+#: :func:`repro.solvers.fleet.solve_fleet` (shared-structure skeleton
+#: lease + retargeted session), which must land inside the same theorem
+#: slack as the plain MILP paths — the differential arm for the batched
+#: substrate.
+DEFAULT_PATHS = ("milp-highs", "milp-bnb", "milp-session", "milp-fleet", "dp", "exact")
 
 #: DP suboptimality multiplier on the ``span/K`` term.  The DP snaps the
 #: *argument* to the grid (the MILP only snaps function values), so its
@@ -140,6 +145,23 @@ def run_paths(
             "upper_bound": float(result.upper_bound),
         }
 
+    def fleet():
+        from repro.solvers.fleet import solve_fleet
+
+        fleet_result = solve_fleet(
+            [game], [uncertainty], backend="highs",
+            num_segments=num_segments, epsilon=epsilon,
+        )
+        result = fleet_result.results[0]
+        return result.strategy, float(result.worst_case_value), {
+            "iterations": result.iterations,
+            "converged": result.converged,
+            "lower_bound": float(result.lower_bound),
+            "upper_bound": float(result.upper_bound),
+            "shape_misses": fleet_result.shape_stats["misses"],
+            "session_patches": result.session_patches,
+        }
+
     def exact():
         result = solve_exact(
             game, uncertainty, num_starts=exact_starts, seed=exact_seed
@@ -169,6 +191,7 @@ def run_paths(
             lambda: cubis(backend="highs", session="incremental", speculation=3),
             slack,
         ),
+        "milp-fleet": (fleet, slack),
         "dp": (lambda: cubis(oracle="dp"), epsilon + dp_slack_factor * span),
         "exact": (exact, slack),
         "milp-injected": (injected, slack),

@@ -307,6 +307,95 @@ class TestSkeletonDiff:
         np.testing.assert_array_equal(order, np.arange(len(slots)))
 
 
+class TestRebind:
+    """rebind() views share one assembled structure across games; every
+    tabulation and cross-game patch must still equal a fresh build bit
+    for bit — the invariant the fleet's shape cache rests on."""
+
+    def _sibling_data(self, k=5):
+        ud, lo, hi, grid, *_ = small_data(k)
+        rng = np.random.default_rng(7)
+        ud2 = ud * rng.uniform(0.5, 1.5, size=ud.shape)
+        lo2 = lo * rng.uniform(0.9, 1.1, size=lo.shape)
+        hi2 = hi * rng.uniform(1.0, 1.2, size=hi.shape)
+        return ud, lo, hi, ud2, lo2, hi2, grid
+
+    def test_rebound_patch_matches_fresh_build(self):
+        ud, lo, hi, ud2, lo2, hi2, grid = self._sibling_data()
+        proto = CubisMilpSkeleton(ud, lo, hi, 1.0, grid)
+        view = proto.rebind(ud2, lo2, hi2)
+        for c in (-2.0, 0.0, 1.25):
+            assert_models_identical(
+                view.patch(c), build_cubis_milp(ud2, lo2, hi2, 1.0, c, grid)
+            )
+
+    def test_rebind_shares_structure_both_ways(self):
+        ud, lo, hi, ud2, lo2, hi2, grid = self._sibling_data()
+        proto = CubisMilpSkeleton(ud, lo, hi, 1.0, grid)
+        view = proto.rebind(ud2, lo2, hi2)
+        assert view.shares_structure(proto)
+        assert proto.shares_structure(view)
+        assert view.shares_structure(view)
+
+    def test_independent_builds_do_not_share_structure(self):
+        ud, lo, hi, grid, *_ = small_data()
+        a = CubisMilpSkeleton(ud, lo, hi, 1.0, grid)
+        b = CubisMilpSkeleton(ud, lo, hi, 1.0, grid)
+        assert not a.shares_structure(b)
+
+    def test_rebind_rejects_shape_mismatch(self):
+        ud, lo, hi, grid, *_ = small_data()
+        proto = CubisMilpSkeleton(ud, lo, hi, 1.0, grid)
+        with pytest.raises(ValueError):
+            proto.rebind(ud[:, :-1], lo[:, :-1], hi[:, :-1])
+
+    def test_diff_from_requires_shared_structure(self):
+        ud, lo, hi, grid, *_ = small_data()
+        a = CubisMilpSkeleton(ud, lo, hi, 1.0, grid)
+        b = CubisMilpSkeleton(ud, lo, hi, 1.0, grid)
+        with pytest.raises(ValueError, match="structure-sharing"):
+            b.diff_from(a, 0.0, 1.0)
+
+    def test_cross_game_diff_matches_fresh_build(self):
+        # Patch a model built from game A's tabulation at c_old into
+        # game B's tabulation at c_new — the retarget fast path.
+        ud, lo, hi, ud2, lo2, hi2, grid = self._sibling_data()
+        proto = CubisMilpSkeleton(ud, lo, hi, 1.0, grid)
+        view = proto.rebind(ud2, lo2, hi2)
+        model = proto.patch(-1.0)
+        patched = apply_patch(proto, model, view.diff_from(proto, -1.0, 0.5))
+        assert_models_identical(
+            patched, build_cubis_milp(ud2, lo2, hi2, 1.0, 0.5, grid)
+        )
+
+    @given(
+        st.floats(-4.0, 4.0, allow_nan=False),
+        st.floats(-4.0, 4.0, allow_nan=False),
+        st.integers(1, 6),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cross_game_patch_property_bit_identity(self, c_old, c_new, k, seed):
+        ud, lo, hi, grid, *_ = small_data(k)
+        rng = np.random.default_rng(seed)
+        ud2 = ud * rng.uniform(0.5, 1.5, size=ud.shape)
+        lo2 = lo * rng.uniform(0.8, 1.2, size=lo.shape)
+        hi2 = hi * rng.uniform(1.0, 1.3, size=hi.shape)
+        proto = CubisMilpSkeleton(ud, lo, hi, 1.0, grid)
+        view = proto.rebind(ud2, lo2, hi2)
+        model = proto.patch(c_old)
+        patched = apply_patch(proto, model, view.diff_from(proto, c_old, c_new))
+        assert_models_identical(
+            patched, build_cubis_milp(ud2, lo2, hi2, 1.0, c_new, grid)
+        )
+
+    def test_sibling_views_share_entry_data_slots(self):
+        ud, lo, hi, ud2, lo2, hi2, grid = self._sibling_data()
+        proto = CubisMilpSkeleton(ud, lo, hi, 1.0, grid)
+        view = proto.rebind(ud2, lo2, hi2)
+        assert view.entry_data_slots is proto.entry_data_slots
+
+
 class TestStrategyCertificate:
     def certificate_for(self, x, k=5):
         ud, lo, hi, grid, rd, pd = small_data(k)

@@ -1,0 +1,390 @@
+"""Tests for repro.solvers.fleet — shape cache, DP batcher, solve_fleet."""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import telemetry
+from repro.core.cubis import solve_cubis
+from repro.experiments.quality import default_uncertainty
+from repro.game.generator import random_interval_game
+from repro.solvers.fleet import (
+    DpBatcher,
+    SkeletonShapeCache,
+    active_shape_cache,
+    process_shape_cache,
+    solve_fleet,
+    use_shape_cache,
+)
+from tests.test_core_milp import assert_models_identical, small_data
+
+
+def make_fleet(num_games=4, num_targets=5, seed=2016):
+    games = [
+        random_interval_game(num_targets, seed=seed + i)
+        for i in range(num_games)
+    ]
+    models = [default_uncertainty(g.payoffs) for g in games]
+    return games, models
+
+
+SOLVE = {"num_segments": 5, "epsilon": 0.05}
+
+
+def assert_results_identical(a, b):
+    """Bit-identical comparison of two CubisResults."""
+    np.testing.assert_array_equal(a.strategy, b.strategy)
+    assert a.worst_case_value == b.worst_case_value
+    assert a.lower_bound == b.lower_bound
+    assert a.upper_bound == b.upper_bound
+    assert a.iterations == b.iterations
+    assert a.oracle_calls == b.oracle_calls
+    assert a.converged == b.converged
+
+
+class TestSkeletonShapeCache:
+    def test_miss_then_hit(self):
+        ud, lo, hi, grid, *_ = small_data()
+        cache = SkeletonShapeCache()
+        proto = cache.lease(ud, lo, hi, 1.0, grid)
+        view = cache.lease(ud * 2, lo, hi, 1.0, grid)
+        assert cache.stats() == {
+            "shapes": 1, "capacity": 8, "hits": 1, "misses": 1, "evictions": 0,
+        }
+        assert view.shares_structure(proto)
+
+    def test_leased_view_tabulates_like_fresh_build(self):
+        ud, lo, hi, grid, *_ = small_data()
+        cache = SkeletonShapeCache()
+        cache.lease(ud, lo, hi, 1.0, grid)
+        view = cache.lease(ud * 1.5, lo * 1.1, hi * 1.2, 1.0, grid)
+        from repro.core.milp import build_cubis_milp
+
+        assert_models_identical(
+            view.patch(0.5),
+            build_cubis_milp(ud * 1.5, lo * 1.1, hi * 1.2, 1.0, 0.5, grid),
+        )
+
+    def test_distinct_shapes_get_distinct_prototypes(self):
+        ud, lo, hi, grid, *_ = small_data(k=5)
+        ud7, lo7, hi7, grid7, *_ = small_data(k=7)
+        cache = SkeletonShapeCache()
+        a = cache.lease(ud, lo, hi, 1.0, grid)
+        b = cache.lease(ud7, lo7, hi7, 1.0, grid7)
+        assert not b.shares_structure(a)
+        assert cache.stats()["misses"] == 2
+        assert len(cache) == 2
+
+    def test_resources_and_equality_key_the_shape(self):
+        ud, lo, hi, grid, *_ = small_data()
+        cache = SkeletonShapeCache()
+        cache.lease(ud, lo, hi, 1.0, grid)
+        cache.lease(ud, lo, hi, 2.0, grid)
+        cache.lease(ud, lo, hi, 1.0, grid, equality_resources=True)
+        assert cache.stats()["misses"] == 3
+
+    def test_lru_eviction(self):
+        ud, lo, hi, grid, *_ = small_data()
+        cache = SkeletonShapeCache(capacity=2)
+        cache.lease(ud, lo, hi, 1.0, grid)
+        cache.lease(ud, lo, hi, 2.0, grid)
+        cache.lease(ud, lo, hi, 3.0, grid)  # evicts R=1.0
+        assert cache.stats()["evictions"] == 1
+        cache.lease(ud, lo, hi, 1.0, grid)  # miss again
+        assert cache.stats()["misses"] == 4
+        assert cache.stats()["hits"] == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SkeletonShapeCache(capacity=0)
+
+    def test_telemetry_counters_ticked(self):
+        ud, lo, hi, grid, *_ = small_data()
+        tele = telemetry.Telemetry()
+        cache = SkeletonShapeCache()
+        with telemetry.use(tele):
+            cache.lease(ud, lo, hi, 1.0, grid)
+            cache.lease(ud * 2, lo, hi, 1.0, grid)
+            cache.lease(ud * 3, lo, hi, 1.0, grid)
+        hits = tele.metrics.counter("repro_skeleton_shape_hits_total")
+        misses = tele.metrics.counter("repro_skeleton_shape_misses_total")
+        assert hits.value == 2
+        assert misses.value == 1
+
+
+class TestUseShapeCache:
+    def test_context_activation_and_reset(self):
+        assert active_shape_cache() is None
+        with use_shape_cache() as cache:
+            assert active_shape_cache() is cache
+            inner = SkeletonShapeCache(capacity=2)
+            with use_shape_cache(inner):
+                assert active_shape_cache() is inner
+            assert active_shape_cache() is cache
+        assert active_shape_cache() is None
+
+    def test_threads_do_not_inherit_the_cache(self):
+        seen = []
+        with use_shape_cache():
+            thread = threading.Thread(
+                target=lambda: seen.append(active_shape_cache())
+            )
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+    def test_process_cache_is_a_singleton(self):
+        assert process_shape_cache() is process_shape_cache()
+
+    def test_solve_cubis_leases_from_active_cache(self):
+        games, models = make_fleet(3)
+        cache = SkeletonShapeCache()
+        with use_shape_cache(cache):
+            results = [
+                solve_cubis(g, m, **SOLVE) for g, m in zip(games, models)
+            ]
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2
+        # Cached-structure solves equal fresh-structure solves bit for bit.
+        for game, model, shared in zip(games, models, results):
+            assert_results_identical(
+                shared, solve_cubis(game, model, **SOLVE)
+            )
+
+
+class TestDpBatcher:
+    def test_single_participant_passthrough(self):
+        from repro.core.dp import maximize_separable_on_grid
+
+        batcher = DpBatcher(1)
+        phi = np.array([[0.0, 1.0, 3.0]])
+        alloc = batcher.participant(0)(phi, 2)
+        ref = maximize_separable_on_grid(phi, 2)
+        assert alloc.value == ref.value
+        np.testing.assert_array_equal(alloc.units, ref.units)
+        assert batcher.rounds == 1
+
+    def test_round_fires_only_when_quorum_is_full(self):
+        batcher = DpBatcher(2)
+        phi = np.array([[0.0, 2.0]])
+        out = {}
+
+        def submit(pid):
+            out[pid] = batcher.participant(pid)(phi * (pid + 1), 1)
+
+        t0 = threading.Thread(target=submit, args=(0,), daemon=True)
+        t0.start()
+        t0.join(timeout=0.2)
+        assert t0.is_alive()  # waiting for participant 1
+        submit(1)
+        t0.join(timeout=5)
+        assert not t0.is_alive()
+        assert batcher.rounds == 1
+        assert out[0].value == 2.0 and out[1].value == 4.0
+
+    def test_retire_shrinks_the_quorum(self):
+        batcher = DpBatcher(2)
+        batcher.retire(1)
+        alloc = batcher.participant(0)(np.array([[0.0, 5.0]]), 1)
+        assert alloc.value == 5.0
+
+    def test_mixed_shapes_batch_in_one_round(self):
+        batcher = DpBatcher(2)
+        out = {}
+
+        def submit(pid, phi):
+            out[pid] = batcher.participant(pid)(phi, 1)
+
+        threads = [
+            threading.Thread(
+                target=submit, args=(0, np.array([[0.0, 1.0]])), daemon=True
+            ),
+            threading.Thread(
+                target=submit, args=(1, np.array([[0.0, 2.0], [0.0, 3.0]])),
+                daemon=True,
+            ),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert batcher.rounds == 1
+        assert batcher.batched_calls == 2  # one per shape group
+        assert out[0].value == 1.0 and out[1].value == 3.0
+
+    def test_failure_propagates_to_waiters(self):
+        batcher = DpBatcher(2)
+        errors = {}
+
+        def submit(pid, budget):
+            try:
+                batcher.participant(pid)(np.array([[0.0, 1.0]]), budget)
+            except Exception as exc:
+                errors[pid] = exc
+
+        # Participant 1 waits with a valid submission; participant 0's
+        # poisoned budget completes the round and its group (sorted
+        # first) raises before participant 1's group runs — so 1 must
+        # be woken and told, not left waiting forever.
+        t1 = threading.Thread(target=submit, args=(1, 1), daemon=True)
+        t1.start()
+        while True:  # wait until participant 1 is parked in the round
+            with batcher._cond:
+                if 1 in batcher._pending:
+                    break
+        submit(0, -1)
+        t1.join(timeout=5)
+        assert not t1.is_alive()
+        assert isinstance(errors[0], ValueError)
+        assert isinstance(errors[1], RuntimeError)
+
+    def test_retired_participant_rejected(self):
+        batcher = DpBatcher(1)
+        batcher.retire(0)
+        with pytest.raises(RuntimeError, match="retired"):
+            batcher.participant(0)(np.array([[0.0, 1.0]]), 1)
+
+    def test_participant_count_validation(self):
+        with pytest.raises(ValueError, match="num_participants"):
+            DpBatcher(0)
+
+
+class TestSolveFleetMilp:
+    def test_without_continuation_matches_independent_solves(self):
+        games, models = make_fleet(4)
+        fleet = solve_fleet(games, models, continuation=False, **SOLVE)
+        for game, model, got in zip(games, models, fleet):
+            want = solve_cubis(game, model, session="incremental", **SOLVE)
+            assert_results_identical(got, want)
+
+    def test_share_axis_is_bit_identical(self):
+        games, models = make_fleet(4)
+        shared = solve_fleet(games, models, share=True, **SOLVE)
+        unshared = solve_fleet(games, models, share=False, **SOLVE)
+        for a, b in zip(shared, unshared):
+            assert_results_identical(a, b)
+        assert shared.shape_stats["hits"] == 3
+        assert unshared.shape_stats["hits"] == 0
+
+    def test_structure_is_assembled_once_per_shape(self):
+        games, models = make_fleet(5)
+        fleet = solve_fleet(games, models, **SOLVE)
+        assert fleet.shape_stats["misses"] == 1
+        assert fleet.shape_stats["hits"] == 4
+        # One live model carried across all five games: a single fresh
+        # build, every game (including the first, which retargets the
+        # empty leased session) entered through retargets.
+        assert fleet.session_stats["fresh_builds"] == 1
+        assert fleet.session_stats["retargets"] == 5
+
+    def test_mixed_shapes_in_one_fleet(self):
+        games4, models4 = make_fleet(2, num_targets=4)
+        games6, models6 = make_fleet(2, num_targets=6, seed=77)
+        fleet = solve_fleet(
+            games4 + games6, models4 + models6, **SOLVE
+        )
+        assert fleet.shape_stats["misses"] == 2
+        assert fleet.shape_stats["hits"] == 2
+        assert len(fleet) == 4
+
+    def test_length_mismatch_rejected(self):
+        games, models = make_fleet(2)
+        with pytest.raises(ValueError, match="uncertainty models"):
+            solve_fleet(games, models[:1], **SOLVE)
+
+    def test_unknown_oracle_rejected(self):
+        games, models = make_fleet(1)
+        with pytest.raises(ValueError, match="oracle"):
+            solve_fleet(games, models, oracle="cplex", **SOLVE)
+
+    @pytest.mark.parametrize(
+        "owned", ["session", "warm_start", "dp_kernel"]
+    )
+    def test_owned_kwargs_rejected(self, owned):
+        games, models = make_fleet(1)
+        with pytest.raises(TypeError, match=owned):
+            solve_fleet(games, models, **{owned: None}, **SOLVE)
+
+    def test_fleet_span_and_counters(self):
+        games, models = make_fleet(3)
+        tele = telemetry.Telemetry()
+        with telemetry.use(tele):
+            solve_fleet(games, models, **SOLVE)
+        span = next(s for s in tele.spans if s.name == "fleet.solve")
+        assert span.attributes["games"] == 3
+        assert span.attributes["oracle"] == "milp"
+        assert span.attributes["share"] is True
+        assert span.attributes["shape_hits"] == 2
+        assert span.attributes["shape_misses"] == 1
+        assert tele.metrics.counter(
+            "repro_skeleton_shape_hits_total"
+        ).value == 2
+
+    def test_totals_sums_per_game_counters(self):
+        games, models = make_fleet(2)
+        fleet = solve_fleet(games, models, **SOLVE)
+        totals = fleet.totals()
+        assert totals["oracle_calls"] == sum(
+            r.oracle_calls for r in fleet.results
+        )
+        assert totals["milp_solves"] == sum(
+            r.milp_solves for r in fleet.results
+        )
+        assert totals["oracle_calls"] >= 1
+
+    def test_continuation_converges_to_theorem_bound(self):
+        # Continuation changes the probe schedule, not the guarantee:
+        # every game's robust value still lands within Theorem 1 slack
+        # of its independent solve.
+        games, models = make_fleet(4)
+        fleet = solve_fleet(games, models, continuation=True, **SOLVE)
+        for game, model, got in zip(games, models, fleet):
+            want = solve_cubis(game, model, **SOLVE)
+            assert got.converged
+            assert got.worst_case_value == pytest.approx(
+                want.worst_case_value, abs=2 * SOLVE["epsilon"] + 1.0
+            )
+
+
+class TestSolveFleetDp:
+    def test_matches_independent_dp_solves(self):
+        games, models = make_fleet(3)
+        fleet = solve_fleet(games, models, oracle="dp", **SOLVE)
+        assert fleet.dp_rounds > 0
+        assert fleet.session_stats is None
+        for game, model, got in zip(games, models, fleet):
+            want = solve_cubis(game, model, oracle="dp", **SOLVE)
+            assert_results_identical(got, want)
+
+    def test_dp_metrics_absorbed_in_game_order(self):
+        games, models = make_fleet(2)
+        tele = telemetry.Telemetry()
+        with telemetry.use(tele):
+            fleet = solve_fleet(games, models, oracle="dp", **SOLVE)
+        hist = tele.metrics.histogram("repro_oracle_seconds", kind="dp")
+        assert hist.count == sum(r.oracle_calls for r in fleet.results)
+
+    def test_dp_failure_propagates(self):
+        games, models = make_fleet(2)
+        with pytest.raises(ValueError):
+            solve_fleet(
+                games, models, oracle="dp", num_segments=5, epsilon=-1.0
+            )
+
+
+class TestFleetPropertyBitIdentity:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=5, deadline=None)
+    def test_share_and_session_lease_never_change_answers(self, seed):
+        game = random_interval_game(4, seed=seed)
+        model = default_uncertainty(game.payoffs)
+        fleet = solve_fleet(
+            [game, game], [model, model], continuation=False, **SOLVE
+        )
+        want = solve_cubis(game, model, session="incremental", **SOLVE)
+        for got in fleet:
+            assert_results_identical(got, want)

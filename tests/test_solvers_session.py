@@ -130,7 +130,94 @@ class TestMilpSession:
         stats = session.stats()
         assert stats == {
             "fresh_builds": 1, "patches_applied": 1, "solves": 1, "fallbacks": 0,
+            "retargets": 0,
         }
+
+
+class TestRetarget:
+    def test_retarget_sibling_patches_instead_of_rebuilding(self):
+        skeleton, (ud, lo, hi, grid) = make_skeleton()
+        sibling = skeleton.rebind(ud * 1.5, lo, hi)
+        session = MilpSession(skeleton)
+        session.prepare(0.5)
+        session.retarget(sibling)
+        model = session.prepare(1.0)
+        assert session.retargets == 1
+        assert session.fresh_builds == 1  # the live model survived
+        assert session.patches_applied == 1
+        assert_models_identical(
+            model, build_cubis_milp(ud * 1.5, lo, hi, 1.0, 1.0, grid)
+        )
+
+    def test_retarget_chain_stays_bit_identical(self):
+        skeleton, (ud, lo, hi, grid) = make_skeleton()
+        session = MilpSession(skeleton)
+        session.prepare(-1.0)
+        for scale, c in [(1.5, 0.0), (0.5, 0.7), (2.0, -0.3)]:
+            sibling = skeleton.rebind(ud * scale, lo, hi)
+            session.retarget(sibling)
+            model = session.prepare(c)
+            assert_models_identical(
+                model, build_cubis_milp(ud * scale, lo, hi, 1.0, c, grid)
+            )
+        assert session.fresh_builds == 1
+        assert session.retargets == 3
+
+    def test_retarget_same_skeleton_is_noop(self):
+        skeleton, _ = make_skeleton()
+        session = MilpSession(skeleton)
+        session.prepare(0.5)
+        session.retarget(skeleton)
+        assert session.retargets == 0
+        assert session.prepare(0.5) is session._model
+
+    def test_retarget_structurally_different_drops_model(self):
+        skeleton, _ = make_skeleton(k=5)
+        other, _ = make_skeleton(k=7)
+        session = MilpSession(skeleton)
+        session.prepare(0.5)
+        session.retarget(other)
+        assert not session.live
+        session.prepare(1.0)
+        assert session.fresh_builds == 2
+
+    def test_retarget_drops_incumbent_by_default(self):
+        skeleton, (ud, lo, hi, _) = make_skeleton()
+        sibling = skeleton.rebind(ud * 1.1, lo, hi)
+        session = MilpSession(skeleton, backend="bnb")
+        session.prepare(0.0)
+        session.solve()
+        assert session._incumbent is not None
+        session.retarget(sibling)
+        assert session._incumbent is None
+
+    def test_carry_incumbent_keeps_warm_start_across_retargets(self):
+        skeleton, (ud, lo, hi, _) = make_skeleton()
+        sibling = skeleton.rebind(ud * 1.1, lo, hi)
+        session = MilpSession(skeleton, backend="bnb", carry_incumbent=True)
+        session.prepare(0.0)
+        first = session.solve()
+        session.retarget(sibling)
+        np.testing.assert_array_equal(session._incumbent, first.x)
+
+    def test_retarget_patch_span_mode(self):
+        skeleton, (ud, lo, hi, _) = make_skeleton()
+        sibling = skeleton.rebind(ud * 2.0, lo, hi)
+        session = MilpSession(skeleton)
+        tele = telemetry.Telemetry()
+        with telemetry.use(tele):
+            session.prepare(0.0)
+            session.retarget(sibling)
+            session.prepare(0.0)
+        spans = [s for s in tele.spans if s.name == "milp.patch"]
+        assert [s.attributes["mode"] for s in spans] == [
+            "fresh-build", "retarget-patch",
+        ]
+
+    def test_unretargeted_empty_session_refuses_prepare(self):
+        session = MilpSession(None)
+        with pytest.raises(RuntimeError, match="retarget"):
+            session.prepare(0.5)
 
 
 class TestSessionPool:
@@ -217,3 +304,39 @@ class TestSessionPool:
         stats = pool.stats()
         assert stats["fresh_builds"] == 2
         assert stats["solves"] == 0
+
+    def test_worker_metrics_merge_into_parent_registry(self):
+        # Regression: map() used to run each task under a throwaway
+        # disabled context whose MetricsRegistry was discarded with it,
+        # so the workers' repro_oracle_seconds observations (one per
+        # speculative probe solve) never reached the caller's registry.
+        skeleton, _ = make_skeleton()
+        tele = telemetry.Telemetry()
+
+        def solve_at(session, c):
+            session.prepare(c)
+            return session.solve().objective
+
+        with telemetry.use(tele):
+            with SessionPool(skeleton, 3) as pool:
+                pool.map(solve_at, [-1.0, 0.0, 1.0])
+        hist = tele.metrics.histogram("repro_oracle_seconds", kind="milp:highs")
+        assert hist.count == 3
+
+    def test_failing_task_still_contributes_metrics(self):
+        skeleton, _ = make_skeleton()
+        tele = telemetry.Telemetry()
+
+        def work(session, c):
+            session.prepare(c)
+            session.solve()
+            if c == 0.0:
+                raise RuntimeError("boom after solving")
+            return c
+
+        with telemetry.use(tele):
+            with SessionPool(skeleton, 2) as pool:
+                with pytest.raises(RuntimeError, match="boom"):
+                    pool.map(work, [-1.0, 0.0])
+        hist = tele.metrics.histogram("repro_oracle_seconds", kind="milp:highs")
+        assert hist.count == 2

@@ -29,7 +29,8 @@ class TestRunPaths:
         game, uncertainty = table1_pair
         outcomes = run_paths(game, uncertainty, num_segments=8)
         assert [o.name for o in outcomes] == [
-            "milp-highs", "milp-bnb", "milp-session", "dp", "exact",
+            "milp-highs", "milp-bnb", "milp-session", "milp-fleet",
+            "dp", "exact",
         ]
         for o in outcomes:
             assert o.error is None
