@@ -44,6 +44,7 @@ from typing import Any, Callable, Iterable, Sequence
 import numpy as np
 
 from repro import telemetry
+from repro.obs import progress
 from repro.solvers.fleet import process_shape_cache, use_shape_cache
 from repro.store import CellKey, CellRecord, SweepStore, hash_config, plain_data, stable_hash
 from repro.store.store import parse_shard
@@ -682,6 +683,36 @@ def run_grid(
     attempts_done: dict[int, int] = {}
     puts_completed = 0
     resumed_count = 0
+    ok_count = 0
+    failed_count = 0
+    quarantined_count = 0
+
+    # Heartbeats for the live ops plane (no-ops without an active board).
+    # ``done`` counts *terminal* cells (ok + failed), so counts are
+    # monotone, ``remaining`` reaches 0, and the final snapshot equals
+    # the store's cell census exactly.
+    progress.publish(
+        "sweep",
+        total=len(my_jobs), done=0, ok=0, failed=0, quarantined=0,
+        resumed=0, cells=len(grid), trials=num_trials, workers=workers or 1,
+        shard=f"{shard_index}/{num_shards}", fleet=fleet,
+    )
+
+    def _progress_ok(resumed: bool = False) -> None:
+        nonlocal ok_count
+        ok_count += 1
+        progress.bump("sweep", 1, ok=ok_count, resumed=resumed_count)
+
+    def _progress_failure(quarantined: bool) -> None:
+        nonlocal failed_count, quarantined_count
+        failed_count += 1
+        if quarantined:
+            quarantined_count += 1
+        progress.bump(
+            "sweep", 1,
+            failed=failed_count, quarantined=quarantined_count,
+            resumed=resumed_count,
+        )
 
     def _attempt_limit(job: _Job) -> int:
         limit = attempts_start[job.pos] + 1 + retries
@@ -719,6 +750,7 @@ def run_grid(
                         f"kill injected after {puts_completed} cell writes"
                     )
             outcomes[job.pos] = outcome
+            _progress_ok()
             return
         quarantined = store is not None and total_attempts >= quarantine_after
         failure = CellFailure(
@@ -742,6 +774,7 @@ def run_grid(
                 failure=failure.to_dict(),
             ))
         outcomes[job.pos] = {"status": "failed", "failure": failure}
+        _progress_failure(quarantined)
         if on_error == "raise":
             raise SweepCellError(failure)
 
@@ -763,6 +796,7 @@ def run_grid(
                             "export": export,
                         }
                         resumed_count += 1
+                        _progress_ok(resumed=True)
                         continue
                     prior_failure = stored.failure or {}
                     attempts_prior = int(prior_failure.get("attempts", 0))
@@ -772,6 +806,7 @@ def run_grid(
                             "failure": _failure_from_record(stored),
                         }
                         resumed_count += 1
+                        _progress_failure(quarantined=True)
                         continue
             attempts_done[job.pos] = attempts_prior
             to_run.append(job)

@@ -38,18 +38,31 @@ speculative bisection (docs/PERFORMANCE.md); ``bench --compare REF
 hardware-independent metrics.
 
 Every invocation runs under a telemetry context (docs/OBSERVABILITY.md):
-``solve --telemetry out.jsonl`` dumps the span tree and metrics as
-JSONL, ``bench`` folds a ``spans`` summary into BENCH_runtime.json, and
-a run manifest (git SHA, seed, config, aggregate metrics, slowest
-spans) is written at the end of every run — ``--manifest PATH`` moves
-it, ``--no-manifest`` suppresses it, ``--no-telemetry`` disables span
-recording entirely (both are top-level flags: ``repro --no-manifest
-table1``).
+``--telemetry out.jsonl`` (on ``solve``, ``sweep``, and ``bench``)
+dumps the span tree and metrics as JSONL, ``bench`` folds a ``spans``
+summary into BENCH_runtime.json and appends a one-line summary to
+BENCH_history.jsonl, and a run manifest (git SHA, seed, config,
+aggregate metrics, slowest spans) is written at the end of every run —
+``--manifest PATH`` moves it, ``--no-manifest`` suppresses it,
+``--no-telemetry`` disables span recording entirely (both are top-level
+flags: ``repro --no-manifest table1``).
+
+``--serve [PORT]`` (on ``sweep``, ``bench``, ``solve``, ``verify``)
+serves live ``/healthz``, ``/metrics``, and ``/progress`` over HTTP
+while the command runs, and ``trace`` analyses any ``--telemetry``
+JSONL after the fact::
+
+    python -m repro sweep smoke --serve 8765 --telemetry sweep.jsonl
+    python -m repro trace report sweep.jsonl
+    python -m repro trace critical-path sweep.jsonl
+    python -m repro trace flamegraph sweep.jsonl --out flame.txt
+    python -m repro trace diff before.jsonl after.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 
@@ -78,6 +91,16 @@ def _add_workers(p: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=None, metavar="N",
         help="fan trials out over N worker processes (results are "
              "bit-identical to a serial run at the same seed)",
+    )
+
+
+def _add_serve(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--serve", type=int, nargs="?", const=0, default=None,
+        metavar="PORT",
+        help="serve live /healthz, /metrics, and /progress over HTTP "
+             "while the command runs (bare --serve binds an ephemeral "
+             "port, printed to stderr; docs/OBSERVABILITY.md)",
     )
 
 
@@ -185,6 +208,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="share one MILP skeleton structure per (T, K, R) "
                          "shape across all cells (bit-identical results, "
                          "docs/PERFORMANCE.md)")
+    sw.add_argument("--telemetry", type=str, default=None, metavar="PATH",
+                    help="write the sweep's merged span tree and metrics "
+                         "as JSONL (feeds `repro trace`)")
+    _add_serve(sw)
 
     ms = sub.add_parser(
         "merge-shards",
@@ -234,6 +261,15 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="FACTOR",
                    help="tolerated factor for --compare: counts may grow "
                         "to ref*FACTOR, speedups may fall to ref/FACTOR")
+    b.add_argument("--telemetry", type=str, default=None, metavar="PATH",
+                   help="write the bench's span tree and metrics as JSONL "
+                        "(feeds `repro trace`)")
+    b.add_argument("--history", type=str, default="BENCH_history.jsonl",
+                   metavar="PATH",
+                   help="append a compact summary record (git SHA, date, "
+                        "speedups, key span self-times) to this JSONL "
+                        "perf trajectory ('none' to skip)")
+    _add_serve(b)
 
     c = sub.add_parser(
         "calibrate",
@@ -279,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the per-attempt event summary")
     s.add_argument("--telemetry", type=str, default=None, metavar="PATH",
                    help="write the solve's span tree and metrics as JSONL")
+    _add_serve(s)
 
     v = sub.add_parser(
         "verify",
@@ -318,6 +355,31 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--reason", type=str, default=None,
                    help="why regenerated values are allowed to drift "
                         "(recorded in fixture provenance)")
+    _add_serve(v)
+
+    tr = sub.add_parser(
+        "trace",
+        help="analyse a telemetry JSONL trace: per-name self-time report, "
+             "critical path, collapsed-stack flamegraph, or a diff of two "
+             "traces (docs/OBSERVABILITY.md)",
+    )
+    tr.add_argument(
+        "action",
+        choices=["report", "critical-path", "flamegraph", "diff"],
+        help="report: totals + top span names by self-time; "
+             "critical-path: the root-to-leaf chain accounting for the "
+             "run's wall time; flamegraph: collapsed-stack lines "
+             "(flamegraph.pl / speedscope); diff: top span-level deltas "
+             "between two traces",
+    )
+    tr.add_argument("paths", type=str, nargs="+", metavar="TRACE",
+                    help="telemetry JSONL file(s) — one for "
+                         "report/critical-path/flamegraph, two "
+                         "(before after) for diff")
+    tr.add_argument("--top", type=int, default=15, metavar="N",
+                    help="rows to show in report/diff output")
+    tr.add_argument("--out", type=str, default=None, metavar="FILE",
+                    help="write flamegraph lines to FILE instead of stdout")
 
     sub.add_parser("all", help="run every experiment at quick settings")
     return parser
@@ -564,6 +626,11 @@ def _run_bench(args) -> str:
     )
     path = write_bench_json(payload, args.out)
     text = format_bench(payload) + f"\nwritten to {path}"
+    if args.history and args.history != "none":
+        from repro.experiments.perf import append_bench_history
+
+        history_path = append_bench_history(payload, args.history)
+        text += f"\nhistory appended to {history_path}"
     if not payload["parallel"]["identical_to_serial"]:
         # Determinism is a hard guarantee; fail the process so CI catches it.
         raise SystemExit(text)
@@ -760,6 +827,41 @@ def _run_verify(args) -> str:
     return output
 
 
+def _run_trace(args) -> str:
+    import pathlib
+
+    from repro.obs import traces
+
+    if args.action == "diff":
+        if len(args.paths) != 2:
+            raise SystemExit(
+                "trace diff takes exactly two trace files (before after), "
+                f"got {len(args.paths)}"
+            )
+        before = traces.load_trace(args.paths[0])
+        after = traces.load_trace(args.paths[1])
+        return (
+            f"diff: {args.paths[0]} -> {args.paths[1]}\n"
+            + traces.format_diff(traces.diff_traces(before, after),
+                                 top=args.top)
+        )
+    if len(args.paths) != 1:
+        raise SystemExit(
+            f"trace {args.action} takes exactly one trace file, "
+            f"got {len(args.paths)}"
+        )
+    trace = traces.load_trace(args.paths[0])
+    if args.action == "report":
+        return traces.format_report(trace, top=args.top)
+    if args.action == "critical-path":
+        return traces.format_critical_path(traces.critical_path(trace))
+    lines = traces.flamegraph_lines(trace)
+    if args.out:
+        pathlib.Path(args.out).write_text("\n".join(lines) + "\n")
+        return f"flamegraph ({len(lines)} stacks) written to {args.out}"
+    return "\n".join(lines)
+
+
 def _run_all() -> str:
     parser = build_parser()
     sections = []
@@ -801,11 +903,24 @@ def main(argv=None) -> int:
         "solve": _run_solve,
         "bench": _run_bench,
         "verify": _run_verify,
+        "trace": _run_trace,
     }
     tele = telemetry.DISABLED if args.no_telemetry else telemetry.Telemetry()
     t0 = time.perf_counter()
     status = "ok"
-    with telemetry.use(tele):
+    with telemetry.use(tele), contextlib.ExitStack() as stack:
+        if getattr(args, "serve", None) is not None:
+            # Live ops plane: /healthz, /metrics (this run's registry),
+            # /progress (heartbeats from run_grid/solve_fleet/solve_cubis).
+            from repro.obs import ObsServer, ProgressBoard, use_board
+
+            board = ProgressBoard()
+            server = stack.enter_context(
+                ObsServer(registry=tele.metrics, board=board, port=args.serve)
+            )
+            stack.enter_context(use_board(board))
+            print(f"obs server listening on {server.url}",
+                  file=sys.stderr, flush=True)
         try:
             with tele.span(f"cli.{args.experiment}"):
                 if args.experiment == "all":

@@ -30,6 +30,7 @@ from repro.core.dp import maximize_separable_on_grid
 from repro.core.milp import CubisMilpSkeleton, build_cubis_milp
 from repro.core.worst_case import WorstCaseSolution, evaluate_worst_case
 from repro.game.ssg import IntervalSecurityGame
+from repro.obs import progress
 from repro.solvers.binary_search import binary_search_max
 from repro.solvers.fleet import active_shape_cache
 from repro.solvers.milp_backend import relax_integrality, solve_milp
@@ -786,6 +787,12 @@ def solve_cubis(
                 state["lo"] = max(state["lo"], c)
             else:
                 state["hi"] = min(state["hi"], c)
+            progress.publish(
+                "solve",
+                step=state["step"],
+                bracket_lo=state["lo"], bracket_hi=state["hi"],
+                bracket_width=state["hi"] - state["lo"],
+            )
             return feasible, payload
 
         probe_batch = None
@@ -845,6 +852,13 @@ def solve_cubis(
                         state["lo"] = max(state["lo"], c)
                     else:
                         state["hi"] = min(state["hi"], c)
+                state["round"] = state.get("round", 0) + 1
+                progress.publish(
+                    "solve",
+                    step=state["step"], round=state["round"],
+                    bracket_lo=state["lo"], bracket_hi=state["hi"],
+                    bracket_width=state["hi"] - state["lo"],
+                )
                 return results
 
         def certified_level(strategy) -> float:

@@ -53,7 +53,13 @@ from repro.game.generator import random_interval_game
 from repro.solvers.fleet import solve_fleet
 from repro.utils.rng import spawn_generators
 
-__all__ = ["compare_bench", "run_bench_runtime", "write_bench_json", "format_bench"]
+__all__ = [
+    "append_bench_history",
+    "compare_bench",
+    "run_bench_runtime",
+    "write_bench_json",
+    "format_bench",
+]
 
 
 def _solve_stats(result, seconds: float, *, backend: str) -> dict:
@@ -275,6 +281,57 @@ def write_bench_json(payload: dict, path) -> Path:
     """Write the benchmark payload as pretty-printed JSON; returns the path."""
     path = Path(path)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def append_bench_history(payload: dict, path) -> Path:
+    """Append one compact summary line to the perf-trajectory JSONL.
+
+    Where ``BENCH_runtime.json`` holds the full payload of *one* run,
+    the history file accumulates a single line per run — git SHA, date,
+    the speedup ratios, the hardware-independent counts, and the top
+    span names by wall *self*-time from the live telemetry context — so
+    a regression is visible as a trend across commits, not just against
+    one committed reference.  Returns the path.
+    """
+    from repro.obs.traces import Trace, self_time_by_name
+    from repro.telemetry.manifest import git_sha
+
+    tele = telemetry.current()
+    top_spans = []
+    if tele.enabled and len(tele.spans):
+        trace = Trace(path="", spans=tele.spans)
+        top_spans = [
+            {
+                "name": stat.name,
+                "count": stat.count,
+                "wall_self_seconds": round(stat.wall_self, 6),
+                "cpu_self_seconds": round(stat.cpu_self, 6),
+            }
+            for stat in self_time_by_name(trace)[:5]
+        ]
+    record = {
+        "git_sha": git_sha(),
+        "created_unix": time.time(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "config": dict(payload.get("config", {})),
+        "speedup": payload.get("speedup"),
+        "speedup_session": payload.get("speedup_session"),
+        "speedup_fleet": payload.get("speedup_fleet"),
+        "counts": {
+            section: {
+                key: payload[section][key]
+                for key in ("oracle_calls", "milp_solves", "lp_solves")
+                if key in payload.get(section, {})
+            }
+            for section in ("cold", "warm", "session", "fleet")
+            if section in payload
+        },
+        "top_spans_by_self_time": top_spans,
+    }
+    path = Path(path)
+    with path.open("a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
     return path
 
 

@@ -1,0 +1,25 @@
+"""Live observability plane: progress heartbeats, an embeddable HTTP ops
+server, and offline trace analysis.
+
+The package has two halves (docs/OBSERVABILITY.md):
+
+* **Live ops** — long-running workloads (``run_grid``, ``solve_fleet``,
+  ``solve_cubis``) publish heartbeats through a thread-safe
+  :class:`ProgressBoard`; an :class:`ObsServer` (stdlib ``http.server``
+  on a daemon thread) serves ``GET /healthz``, ``GET /metrics``
+  (Prometheus text against the live registry), and ``GET /progress``
+  (a JSON snapshot of the board).  Every long-running CLI subcommand
+  grows ``--serve [PORT]``.
+* **Trace analysis** — :mod:`repro.obs.traces` reads the telemetry
+  JSONL emitted by ``--telemetry``, rebuilds the span tree, computes
+  the critical path and per-name self-time, renders collapsed-stack
+  flamegraph lines, and diffs two traces.  Exposed as ``repro trace``.
+
+Everything is dependency-free stdlib; importing this package never pulls
+in the solvers.
+"""
+
+from repro.obs.progress import ProgressBoard, active_board, use_board
+from repro.obs.server import ObsServer
+
+__all__ = ["ProgressBoard", "ObsServer", "active_board", "use_board"]

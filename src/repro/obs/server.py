@@ -1,0 +1,163 @@
+"""Embeddable HTTP ops server: ``/healthz``, ``/metrics``, ``/progress``.
+
+:class:`ObsServer` wraps a stdlib :class:`~http.server.ThreadingHTTPServer`
+on a daemon thread so any workload can expose its live state::
+
+    board = ProgressBoard()
+    server = ObsServer(registry=telemetry.metrics, board=board, port=0)
+    server.start()          # port 0 -> ephemeral, see server.port
+    ...
+    server.stop()
+
+Endpoints:
+
+* ``GET /healthz`` — ``{"status": "ok", "uptime_seconds": ...}``; a
+  liveness probe that never touches workload state.
+* ``GET /metrics`` — the live :class:`MetricsRegistry` rendered by the
+  existing Prometheus text exporter.  Reads are safe without locking:
+  the registry iterates a list copy and counter/gauge reads are single
+  attribute loads under the GIL (a scrape may observe a value mid-batch,
+  which Prometheus semantics permit).
+* ``GET /progress`` — JSON snapshot of the attached
+  :class:`~repro.obs.progress.ProgressBoard` (or the process-wide active
+  board when none was attached explicitly).
+
+Everything else is 404.  Request logging is silenced — heartbeat scrapes
+must not spam a long sweep's console.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.progress import ProgressBoard, active_board
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.sinks import prometheus_text
+
+__all__ = ["ObsServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # The owning ObsServer sets these on the *server* object.
+    protocol_version = "HTTP/1.1"
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        obs: "ObsServer" = self.server.obs  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            body = json.dumps({
+                "status": "ok",
+                "uptime_seconds": round(obs.uptime(), 3),
+            }).encode()
+            self._send(200, body, "application/json")
+        elif path == "/metrics":
+            registry = obs.registry
+            if registry is None:
+                self._send(503, b"no metrics registry attached\n",
+                           "text/plain; charset=utf-8")
+                return
+            text = prometheus_text(registry)
+            self._send(200, text.encode(),
+                       "text/plain; version=0.0.4; charset=utf-8")
+        elif path == "/progress":
+            board = obs.board or active_board()
+            snap = board.snapshot() if board is not None else {"sections": {}}
+            body = json.dumps(snap, sort_keys=True).encode()
+            self._send(200, body, "application/json")
+        else:
+            self._send(404, b"not found\n", "text/plain; charset=utf-8")
+
+    def log_message(self, format: str, *args) -> None:
+        pass  # scrapes are high-frequency; stay silent
+
+
+class ObsServer:
+    """Ops HTTP server on a background daemon thread.
+
+    Parameters
+    ----------
+    registry:
+        The live :class:`MetricsRegistry` to expose at ``/metrics``
+        (typically ``telemetry.current().metrics``).  ``None`` makes
+        ``/metrics`` answer 503.
+    board:
+        The :class:`ProgressBoard` behind ``/progress``.  When ``None``
+        the handler falls back to the process-wide active board at
+        request time, so a server started before ``use_board`` still
+        sees the workload.
+    port:
+        TCP port; ``0`` binds an ephemeral port (read :attr:`port` after
+        :meth:`start`).
+    host:
+        Bind address, default loopback only.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 board: ProgressBoard | None = None,
+                 port: int = 0, host: str = "127.0.0.1") -> None:
+        self.registry = registry
+        self.board = board
+        self._requested = (host, int(port))
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._t0: float | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._httpd is None:
+            raise RuntimeError("ObsServer not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        host = self._requested[0]
+        return f"http://{host}:{self.port}"
+
+    def uptime(self) -> float:
+        return time.time() - self._t0 if self._t0 is not None else 0.0
+
+    def start(self) -> "ObsServer":
+        """Bind and serve on a daemon thread; returns ``self``."""
+        if self._httpd is not None:
+            raise RuntimeError("ObsServer already started")
+        httpd = ThreadingHTTPServer(self._requested, _Handler)
+        httpd.daemon_threads = True
+        httpd.obs = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._t0 = time.time()
+        thread = threading.Thread(
+            target=httpd.serve_forever, name="repro-obs-server", daemon=True,
+            kwargs={"poll_interval": 0.1},
+        )
+        thread.start()
+        self._thread = thread
+        return self
+
+    def stop(self) -> None:
+        """Shut down and join the server thread (idempotent)."""
+        httpd, self._httpd = self._httpd, None
+        thread, self._thread = self._thread, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False

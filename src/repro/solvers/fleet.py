@@ -49,6 +49,7 @@ shared across the whole fleet.  This module provides the three pieces:
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -58,6 +59,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.core.dp import maximize_separable_on_grid_batch
+from repro.obs import progress
 from repro.core.milp import CubisMilpSkeleton
 from repro.solvers.session import MilpSession
 from repro.utils.timing import Timer
@@ -245,6 +247,13 @@ class DpBatcher:
         self._failure: BaseException | None = None
         self.rounds = 0
         self.batched_calls = 0
+        #: Per-round stats (items, groups, wall/cpu seconds), appended as
+        #: each round fires.  Rounds run on whichever participant thread
+        #: completed the quorum — where tracing is off — so the caller
+        #: re-emits these as ``fleet.dp_round`` events after the join
+        #: (deterministically: round composition depends only on each
+        #: game's step count, never on thread scheduling).
+        self.round_log: list[dict] = []
 
     def participant(self, pid: int):
         """The kernel callable for participant ``pid`` (pass as
@@ -289,6 +298,9 @@ class DpBatcher:
         if not self._active or len(self._pending) != len(self._active):
             return
         try:
+            wall0 = time.perf_counter()
+            cpu0 = time.process_time_ns()
+            items = len(self._pending)
             groups: dict[tuple, list[int]] = {}
             for pid in sorted(self._pending):
                 phi, budget = self._pending[pid]
@@ -301,6 +313,14 @@ class DpBatcher:
                     self._results[p] = allocation
             self._pending.clear()
             self.rounds += 1
+            self.round_log.append({
+                "round": self.rounds,
+                "items": items,
+                "groups": len(groups),
+                "wall": time.perf_counter() - wall0,
+                "cpu": (time.process_time_ns() - cpu0) / 1e9,
+            })
+            progress.publish("fleet", dp_rounds=self.rounds)
         except BaseException as exc:  # propagate to every waiter
             self._failure = exc
             # Wake the blocked participants *before* re-raising: the
@@ -424,6 +444,12 @@ def solve_fleet(
         continuation=bool(continuation),
         share=bool(share),
     ) as span, timer:
+        progress.publish(
+            "fleet",
+            total=len(games), done=0, oracle=oracle,
+            continuation=bool(continuation), share=bool(share),
+            shape_hits=0, shape_misses=0, shape_hit_rate=None,
+        )
         if oracle == "dp":
             results, dp_rounds = _solve_fleet_dp(
                 solve_cubis, games, uncertainties, solve_options
@@ -454,6 +480,20 @@ def solve_fleet(
                 results.append(result)
                 if continuation:
                     carry = result.as_warm_start()
+                stats = cache.stats()
+                leases = stats["hits"] + stats["misses"]
+                progress.bump(
+                    "fleet", 1,
+                    shape_hits=stats["hits"],
+                    shape_misses=stats["misses"],
+                    shape_hit_rate=(
+                        round(stats["hits"] / leases, 4) if leases else None
+                    ),
+                    continuation_carried=(
+                        max(0, len(results) - 1) if continuation else 0
+                    ),
+                    oracle_calls=sum(r.oracle_calls for r in results),
+                )
         span.set(
             shape_hits=cache.stats()["hits"],
             shape_misses=cache.stats()["misses"],
@@ -506,6 +546,7 @@ def _solve_fleet_dp(solve_cubis, games, uncertainties, solve_options):
             errors[i] = exc
         finally:
             batcher.retire(i)
+            progress.bump("fleet", 1)
 
     threads = [
         threading.Thread(
@@ -520,6 +561,17 @@ def _solve_fleet_dp(solve_cubis, games, uncertainties, solve_options):
     parent = telemetry.current()
     for context in contexts:
         parent.absorb(context.export())
+    # Re-emit the batcher's round log as events *here*, on the caller
+    # thread where tracing is live.  Round composition (items, groups)
+    # is a pure function of each game's step count, so these events are
+    # identical across thread schedules and worker counts; wall/cpu are
+    # float attributes, excluded from span signatures by construction.
+    for entry in batcher.round_log:
+        parent.event(
+            "fleet.dp_round",
+            round=entry["round"], items=entry["items"],
+            groups=entry["groups"], wall=entry["wall"], cpu=entry["cpu"],
+        )
     for error in errors:
         if error is not None:
             raise error

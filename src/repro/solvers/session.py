@@ -327,27 +327,34 @@ class SessionPool:
         results: list = []
         for start in range(0, len(items), len(self.sessions)):
             chunk = items[start:start + len(self.sessions)]
-            futures = [
-                executor.submit(run, session, item)
-                for session, item in zip(self.sessions, chunk)
-            ]
-            # Collect in submission order; re-raise the first failure
-            # only after every future in the chunk has finished and its
-            # metrics have been merged.
-            errors = []
-            for future in futures:
-                try:
-                    metrics, result, exc = future.result()
-                except BaseException as raised:  # noqa: BLE001 — re-raised below
-                    errors.append(raised)
-                    continue
-                parent.metrics.merge(metrics)
-                if exc is not None:
-                    errors.append(exc)
-                else:
-                    results.append(result)
-            if errors:
-                raise errors[0]
+            # The chunk span lives on the *caller* thread: its wall time
+            # covers the submit-and-drain, while its cpu_time is only
+            # what this thread computed — the gap is queue/lock waiting
+            # on the worker sessions, which `repro trace report`
+            # surfaces as wall >> cpu on `session.pool_chunk`.
+            with parent.span("session.pool_chunk", items=len(chunk),
+                             sessions=len(self.sessions)):
+                futures = [
+                    executor.submit(run, session, item)
+                    for session, item in zip(self.sessions, chunk)
+                ]
+                # Collect in submission order; re-raise the first failure
+                # only after every future in the chunk has finished and
+                # its metrics have been merged.
+                errors = []
+                for future in futures:
+                    try:
+                        metrics, result, exc = future.result()
+                    except BaseException as raised:  # noqa: BLE001 — re-raised below
+                        errors.append(raised)
+                        continue
+                    parent.metrics.merge(metrics)
+                    if exc is not None:
+                        errors.append(exc)
+                    else:
+                        results.append(result)
+                if errors:
+                    raise errors[0]
         return results
 
     def stats(self) -> dict:

@@ -230,7 +230,9 @@ class MetricsRegistry:
             mine.merge(metric)
 
     def __iter__(self):
-        return iter(self._metrics.values())
+        # Iterate a list copy: the obs server scrapes a *live* registry
+        # from its own thread while the workload registers new series.
+        return iter(list(self._metrics.values()))
 
     def __len__(self) -> int:
         return len(self._metrics)

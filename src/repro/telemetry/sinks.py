@@ -78,7 +78,14 @@ def _label_text(labels: tuple) -> str:
         return ""
     parts = []
     for key, value in labels:
-        value = str(value).replace("\\", r"\\").replace('"', r"\"")
+        # Prometheus text format: label values escape backslash (first!),
+        # double-quote, and newline.
+        value = (
+            str(value)
+            .replace("\\", r"\\")
+            .replace('"', r"\"")
+            .replace("\n", r"\n")
+        )
         parts.append(f'{key}="{value}"')
     return "{" + ",".join(parts) + "}"
 

@@ -26,6 +26,7 @@ paths essentially free when nothing is recording.
 from __future__ import annotations
 
 import time
+import tracemalloc
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -58,6 +59,18 @@ class SpanRecord:
         ``set`` before the span closed.
     error:
         ``"ExcType: message"`` when ``status == "error"``.
+    cpu_time:
+        Process CPU seconds consumed while the span was open
+        (``time.process_time_ns`` delta; all threads of the process).
+        ``wall >> cpu`` marks a span that *waited* — on a lock, a queue,
+        or a subprocess — rather than computed; `repro trace report`
+        surfaces exactly that split.  ``0.0`` for instantaneous events.
+    mem_peak:
+        Peak ``tracemalloc`` traced memory over the span, in bytes,
+        relative to the allocation level at entry.  ``None`` unless
+        ``tracemalloc`` was tracing while the span ran (the process-wide
+        peak makes this approximate under nesting: a child's spike is
+        also counted against every open ancestor).
     """
 
     span_id: int
@@ -69,6 +82,8 @@ class SpanRecord:
     status: str = "ok"
     attributes: dict = field(default_factory=dict)
     error: str = ""
+    cpu_time: float = 0.0
+    mem_peak: int | None = None
 
     def to_dict(self) -> dict:
         """JSON-ready dict (used by the JSONL sink)."""
@@ -82,15 +97,21 @@ class SpanRecord:
             "depth": self.depth,
             "status": self.status,
             "attributes": dict(self.attributes),
+            "cpu_time": self.cpu_time,
         }
         if self.error:
             out["error"] = self.error
+        if self.mem_peak is not None:
+            out["mem_peak"] = self.mem_peak
         return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "SpanRecord":
         """Rebuild a record from :meth:`to_dict` output (the JSONL sink's
-        line format and the sweep store's cell telemetry)."""
+        line format and the sweep store's cell telemetry).  Records
+        written before the resource fields existed load with
+        ``cpu_time=0.0`` / ``mem_peak=None``."""
+        mem_peak = data.get("mem_peak")
         return cls(
             span_id=int(data["span_id"]),
             parent_id=None if data["parent_id"] is None else int(data["parent_id"]),
@@ -101,6 +122,8 @@ class SpanRecord:
             status=str(data.get("status", "ok")),
             attributes=dict(data.get("attributes", {})),
             error=str(data.get("error", "")),
+            cpu_time=float(data.get("cpu_time", 0.0)),
+            mem_peak=None if mem_peak is None else int(mem_peak),
         )
 
 
@@ -162,7 +185,7 @@ class _SpanHandle:
     exit.  Created by :meth:`Tracer.span`; not instantiated directly."""
 
     __slots__ = ("_tracer", "_name", "_attributes", "_span_id", "_parent_id",
-                 "_depth", "_t0")
+                 "_depth", "_t0", "_cpu0", "_mem0")
 
     def __init__(self, tracer: "Tracer", name: str, attributes: dict) -> None:
         self._tracer = tracer
@@ -172,6 +195,8 @@ class _SpanHandle:
         self._parent_id: int | None = None
         self._depth = 0
         self._t0 = 0.0
+        self._cpu0 = 0
+        self._mem0: int | None = None
 
     def set(self, **attributes) -> "_SpanHandle":
         """Attach attributes discovered mid-span (e.g. a verdict)."""
@@ -188,11 +213,18 @@ class _SpanHandle:
             self._parent_id = top._span_id
             self._depth = top._depth + 1
         stack.append(self)
+        if tracemalloc.is_tracing():
+            self._mem0 = tracemalloc.get_traced_memory()[0]
+        self._cpu0 = time.process_time_ns()
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         duration = time.perf_counter() - self._t0
+        cpu_time = (time.process_time_ns() - self._cpu0) / 1e9
+        mem_peak: int | None = None
+        if self._mem0 is not None and tracemalloc.is_tracing():
+            mem_peak = max(0, tracemalloc.get_traced_memory()[1] - self._mem0)
         tracer = self._tracer
         # Pop *this* handle even if an inner span leaked (an inner block
         # that never exited); spans are strictly stack-disciplined.
@@ -210,6 +242,8 @@ class _SpanHandle:
             status="error" if exc_type is not None else "ok",
             attributes=self._attributes,
             error=f"{exc_type.__name__}: {exc}" if exc_type is not None else "",
+            cpu_time=cpu_time,
+            mem_peak=mem_peak,
         ))
         return False
 
@@ -299,4 +333,6 @@ class Tracer:
                 status=record.status,
                 attributes=dict(record.attributes),
                 error=record.error,
+                cpu_time=record.cpu_time,
+                mem_peak=record.mem_peak,
             ))

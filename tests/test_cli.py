@@ -368,3 +368,106 @@ class TestMergeShardsSubcommand:
         with pytest.raises(SystemExit, match="different sweeps"):
             main(["--no-manifest", "merge-shards",
                   "--store", str(tmp_path / "a"), str(tmp_path / "b")])
+
+
+class TestTraceSubcommand:
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("trace") / "solve.jsonl"
+        code = main(["--no-manifest", "solve", "--targets", "5",
+                     "--segments", "6", "--epsilon", "0.05",
+                     "--telemetry", str(path)])
+        assert code == 0
+        return str(path)
+
+    def test_parser_accepts_actions(self):
+        for action in ("report", "critical-path", "flamegraph", "diff"):
+            args = build_parser().parse_args(["trace", action, "t.jsonl"])
+            assert args.action == action
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "bogus", "t.jsonl"])
+
+    def test_report(self, capsys, trace_path):
+        assert main(["--no-manifest", "trace", "report", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "cli.solve" in out
+        assert "wall self" in out
+
+    def test_critical_path_accounts_for_root(self, capsys, trace_path):
+        assert main(
+            ["--no-manifest", "trace", "critical-path", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "cli.solve" in out
+        assert "= path total" in out
+
+    def test_flamegraph_to_file(self, capsys, tmp_path, trace_path):
+        out_file = tmp_path / "flame.txt"
+        assert main(["--no-manifest", "trace", "flamegraph", trace_path,
+                     "--out", str(out_file)]) == 0
+        lines = out_file.read_text().splitlines()
+        assert lines
+        for line in lines:
+            stack, value = line.rsplit(" ", 1)
+            assert int(value) > 0
+            assert stack.split(";")[0] == "cli.solve"
+
+    def test_diff_requires_two_paths(self, trace_path):
+        with pytest.raises(SystemExit, match="exactly two"):
+            main(["--no-manifest", "trace", "diff", trace_path])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["--no-manifest", "trace", "report", trace_path, trace_path])
+
+    def test_diff_two_runs(self, capsys, tmp_path, trace_path):
+        other = tmp_path / "other.jsonl"
+        assert main(["--no-manifest", "solve", "--targets", "5",
+                     "--segments", "6", "--epsilon", "0.05", "--seed", "5",
+                     "--telemetry", str(other)]) == 0
+        assert main(["--no-manifest", "trace", "diff", trace_path,
+                     str(other)]) == 0
+        out = capsys.readouterr().out
+        assert "diff:" in out and "delta" in out
+
+
+class TestServeFlag:
+    def test_parser_semantics(self):
+        for cmd in (["sweep", "smoke"], ["bench"], ["solve"], ["verify"]):
+            assert build_parser().parse_args(cmd).serve is None, cmd
+            assert build_parser().parse_args(cmd + ["--serve"]).serve == 0
+            assert build_parser().parse_args(
+                cmd + ["--serve", "8123"]).serve == 8123
+
+    def test_solve_with_serve_announces_url(self, capsys):
+        code = main(["--no-manifest", "solve", "--targets", "4",
+                     "--segments", "6", "--epsilon", "0.1", "--serve"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "obs server listening on http://127.0.0.1:" in err
+
+
+class TestBenchHistory:
+    BENCH = ["--no-manifest", "bench", "--targets", "8", "--segments", "6",
+             "--games", "2", "--epsilon", "0.05", "--workers", "1"]
+
+    def test_history_appended(self, capsys, tmp_path):
+        out_path, history = tmp_path / "bench.json", tmp_path / "hist.jsonl"
+        for _ in range(2):
+            assert main([*self.BENCH, "--out", str(out_path),
+                         "--history", str(history)]) == 0
+        assert "history appended to" in capsys.readouterr().out
+        lines = history.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            record = json.loads(line)
+            assert record["git_sha"]
+            assert record["created"]
+            assert record["speedup"] > 0
+            assert record["counts"]["cold"]["oracle_calls"] > 0
+            top = record["top_spans_by_self_time"]
+            assert top and all("wall_self_seconds" in s for s in top)
+
+    def test_history_none_skips(self, capsys, tmp_path):
+        out_path = tmp_path / "bench.json"
+        assert main([*self.BENCH, "--out", str(out_path),
+                     "--history", "none"]) == 0
+        assert "history appended" not in capsys.readouterr().out
+        assert not (tmp_path / "BENCH_history.jsonl").exists()

@@ -77,6 +77,69 @@ class TestFleetRunGridBitIdentity:
         assert _rows_json(fleet) == _rows_json(plain)
 
 
+def _fleet_dp_trial(rng, trial_index, *, num_targets, **params):
+    """A trial that solves a small DP-oracle fleet, so each cell's trace
+    carries ``fleet.solve`` spans and ``fleet.dp_round`` events."""
+    from repro.experiments.quality import default_uncertainty
+    from repro.game.generator import random_interval_game
+    from repro.solvers.fleet import solve_fleet
+
+    games = [random_interval_game(num_targets, seed=100 * trial_index + i)
+             for i in range(3)]
+    uncertainties = [default_uncertainty(g.payoffs) for g in games]
+    fleet = solve_fleet(games, uncertainties, num_segments=4, epsilon=0.1,
+                        oracle="dp")
+    return [{"value": fleet.results[0].lower_bound,
+             "oracle_calls": sum(r.oracle_calls for r in fleet.results)}]
+
+
+class TestFleetTraceAdoption:
+    """Worker-process traces adopt into the same tree the serial run
+    records — including the lockstep batcher's round events, which are
+    re-emitted on the caller thread after the join."""
+
+    GRID = [{"num_targets": 3}, {"num_targets": 4}]
+
+    def _traced(self, **kwargs):
+        from repro import telemetry
+        from repro.telemetry import Telemetry, span_signature
+
+        ctx = Telemetry()
+        with telemetry.use(ctx):
+            table = run_grid(_fleet_dp_trial, self.GRID, num_trials=2,
+                             seed=3, fleet=True, **kwargs)
+        # The root span honestly records its ``workers`` count — the one
+        # attribute that *should* differ.  Everything else must match.
+        sig = tuple(
+            (pos, name, depth, status,
+             tuple((k, v) for k, v in attrs if k != "workers"), err)
+            for (pos, name, depth, status, attrs, err)
+            in span_signature(ctx.spans)
+        )
+        # Timing histograms keep a deterministic observation *count* but
+        # a wall-clock-dependent bucket spread; compare the former only.
+        metrics = []
+        for snap in ctx.metrics.snapshot():
+            snap = dict(snap)
+            if snap["type"] == "histogram":
+                snap.pop("counts")
+                snap.pop("sum")
+            metrics.append(snap)
+        return table, sig, metrics
+
+    def test_workers4_span_tree_matches_serial(self):
+        ref_table, ref_sig, ref_metrics = self._traced(workers=1)
+        table, sig, metrics = self._traced(workers=4)
+        assert _rows_json(table) == _rows_json(ref_table)
+        assert sig == ref_sig, "adopted span tree must match serial run"
+        assert metrics == ref_metrics
+
+    def test_dp_round_events_present(self):
+        _, sig, _ = self._traced(workers=1)
+        round_names = [entry for entry in sig if entry[1] == "fleet.dp_round"]
+        assert round_names, "lockstep rounds must appear in the span tree"
+
+
 def _quarantine_run(store, *, shard=None, resume=False, quarantine_after=1):
     """A sharded run whose cell (0, 0) always crashes."""
     return run_grid(

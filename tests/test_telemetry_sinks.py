@@ -2,6 +2,7 @@
 span summaries, and the run manifest."""
 
 import json
+import re
 
 import pytest
 
@@ -119,10 +120,92 @@ class TestPrometheusText:
         text = prometheus_text(reg)
         assert r'c_total{kind="odd\"name\\x"} 1' in text
 
+    def test_newline_in_label_value_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", msg="line1\nline2").inc()
+        text = prometheus_text(reg)
+        assert r'c_total{msg="line1\nline2"} 1' in text
+        # The raw newline must not leak into the exposition stream —
+        # that would split one sample across two (invalid) lines.
+        for line in text.splitlines():
+            assert line.startswith(("#", "c_total"))
+
     def test_ends_with_newline(self):
         reg = MetricsRegistry()
         reg.counter("c").inc()
         assert prometheus_text(reg).endswith("\n")
+
+
+# One sample line: metric name, optional {labels}, a value.  Label
+# values may contain any escaped char but never a raw quote/newline.
+_SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?P<labels>\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*")*\})?'
+    r' (?P<value>[0-9.eE+-]+|\+Inf|-Inf|NaN)$'
+)
+_TYPE_RE = re.compile(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]*"
+                      r" (counter|gauge|histogram)$")
+
+
+def _rich_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_cells_total", status="ok").inc(5)
+    reg.counter("repro_cells_total", status="failed").inc(1)
+    reg.counter("repro_notes_total", note='quo"te\\slash\nline').inc()
+    reg.gauge("repro_pool_size").set(3)
+    h = reg.histogram("repro_solve_seconds", oracle="milp:highs",
+                      buckets=(0.01, 0.1, 1.0))
+    for v in (0.005, 0.05, 0.5, 5.0):
+        h.observe(v)
+    return reg
+
+
+class TestPrometheusConformance:
+    """Every line of the exposition must be structurally valid
+    Prometheus text format — the obs server serves this verbatim."""
+
+    def test_every_line_valid(self):
+        text = prometheus_text(_rich_registry())
+        for line in text.splitlines():
+            assert _TYPE_RE.match(line) or _SAMPLE_RE.match(line), line
+
+    def test_type_line_precedes_each_family(self):
+        lines = prometheus_text(_rich_registry()).splitlines()
+        typed: set[str] = set()
+        for line in lines:
+            if line.startswith("# TYPE "):
+                typed.add(line.split()[2])
+            else:
+                name = _SAMPLE_RE.match(line)["name"]
+                base = re.sub(r"_(bucket|sum|count)$", "", name)
+                assert name in typed or base in typed, line
+
+    def test_histogram_terminates_with_inf_and_count_matches(self):
+        text = prometheus_text(_rich_registry())
+        buckets = [
+            _SAMPLE_RE.match(line)
+            for line in text.splitlines()
+            if line.startswith("repro_solve_seconds_bucket")
+        ]
+        assert 'le="+Inf"' in buckets[-1]["labels"]
+        inf_count = float(buckets[-1]["value"])
+        counts = [float(m["value"]) for m in buckets]
+        assert counts == sorted(counts)  # cumulative
+        (count_line,) = [l for l in text.splitlines()
+                         if l.startswith("repro_solve_seconds_count")]
+        assert float(count_line.rsplit(" ", 1)[1]) == inf_count == 4
+        (sum_line,) = [l for l in text.splitlines()
+                       if l.startswith("repro_solve_seconds_sum")]
+        assert float(sum_line.rsplit(" ", 1)[1]) == pytest.approx(5.555)
+
+    def test_escaped_labels_survive_validation(self):
+        text = prometheus_text(_rich_registry())
+        (note_line,) = [l for l in text.splitlines()
+                        if l.startswith("repro_notes_total")]
+        match = _SAMPLE_RE.match(note_line)
+        assert match is not None
+        assert match["labels"] == r'{note="quo\"te\\slash\nline"}'
 
 
 class TestSummarizeSpans:

@@ -246,3 +246,65 @@ class TestSerialisation:
                          duration=0.0, depth=0, status="error",
                          error="ValueError: x")
         assert rec.to_dict()["error"] == "ValueError: x"
+
+
+class TestResourceAttribution:
+    """Spans carry CPU time alongside wall time, and — when tracemalloc
+    is tracing — the peak allocation delta observed inside the span."""
+
+    def test_cpu_time_recorded(self):
+        tr = Tracer()
+        with tr.span("busy"):
+            sum(i * i for i in range(200_000))
+        (rec,) = tr.spans
+        assert rec.cpu_time > 0
+        # CPU can't exceed wall by more than scheduler jitter on one thread.
+        assert rec.cpu_time <= rec.duration * 1.5 + 0.01
+
+    def test_mem_peak_none_without_tracemalloc(self):
+        import tracemalloc
+        assert not tracemalloc.is_tracing()
+        tr = Tracer()
+        with tr.span("s"):
+            pass
+        assert tr.spans[0].mem_peak is None
+        assert "mem_peak" not in tr.spans[0].to_dict()
+
+    def test_mem_peak_with_tracemalloc(self):
+        import tracemalloc
+        tracemalloc.start()
+        try:
+            tr = Tracer()
+            with tr.span("alloc"):
+                blob = [bytes(1024) for _ in range(512)]  # ~512 KiB
+                del blob
+            (rec,) = tr.spans
+            assert rec.mem_peak is not None
+            assert rec.mem_peak >= 256 * 1024
+        finally:
+            tracemalloc.stop()
+
+    def test_round_trip_preserves_resources(self):
+        rec = SpanRecord(span_id=1, parent_id=None, name="n", start=0.0,
+                         duration=0.5, depth=0, cpu_time=0.25,
+                         mem_peak=4096)
+        again = SpanRecord.from_dict(rec.to_dict())
+        assert again.cpu_time == 0.25
+        assert again.mem_peak == 4096
+
+    def test_from_dict_defaults_for_old_traces(self):
+        # Traces written before these fields existed must still load.
+        old = {"type": "span", "span_id": 1, "parent_id": None, "name": "n",
+               "start": 0.0, "duration": 0.5, "depth": 0}
+        rec = SpanRecord.from_dict(old)
+        assert rec.cpu_time == 0.0
+        assert rec.mem_peak is None
+
+    def test_adopt_preserves_resources(self):
+        worker = Tracer()
+        with worker.span("w"):
+            sum(range(50_000))
+        main = Tracer()
+        main.adopt(worker.spans)
+        assert main.spans[0].cpu_time == worker.spans[0].cpu_time
+        assert main.spans[0].mem_peak == worker.spans[0].mem_peak
