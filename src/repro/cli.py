@@ -381,6 +381,44 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--out", type=str, default=None, metavar="FILE",
                     help="write flamegraph lines to FILE instead of stdout")
 
+    srv = sub.add_parser(
+        "serve",
+        help="run the solve-as-a-service daemon: POST /v1/solve with "
+             "request coalescing, per-tenant quotas, and a bounded queue "
+             "(docs/SERVICE.md)",
+    )
+    srv.add_argument("--host", type=str, default="127.0.0.1",
+                     help="bind address (default: loopback only)")
+    srv.add_argument("--port", type=int, default=0, metavar="PORT",
+                     help="TCP port; 0 binds an ephemeral port, printed "
+                          "on stdout at startup")
+    srv.add_argument("--workers", type=int, default=2, metavar="N",
+                     help="solver worker threads draining the queue")
+    srv.add_argument("--queue-depth", type=int, default=16, metavar="N",
+                     help="bounded request-queue depth; a full queue "
+                          "answers 429 + Retry-After")
+    srv.add_argument("--quota-rate", type=float, default=None, metavar="R",
+                     help="per-tenant token-bucket refill rate in "
+                          "requests/second (default: quotas disabled)")
+    srv.add_argument("--quota-burst", type=int, default=8, metavar="N",
+                     help="per-tenant token-bucket burst capacity")
+    srv.add_argument("--cache-size", type=int, default=64, metavar="N",
+                     help="response-cache entries (also bounds the "
+                          "warm-start bank)")
+    srv.add_argument("--request-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="soft per-request wall-clock budget; overruns "
+                          "answer 503 and are not cached")
+    srv.add_argument("--inject-faults", type=float, default=0.0,
+                     metavar="RATE",
+                     help="chaos switch: wrap every MILP rung with the "
+                          "fault injector at this failure rate (testing)")
+    srv.add_argument("--fault-seed", type=int, default=0, metavar="SEED",
+                     help="fault-injector RNG seed")
+    srv.add_argument("--telemetry", type=str, default=None, metavar="PATH",
+                     help="write the service's telemetry JSONL here on "
+                          "shutdown")
+
     sub.add_parser("all", help="run every experiment at quick settings")
     return parser
 
@@ -862,6 +900,83 @@ def _run_trace(args) -> str:
     return "\n".join(lines)
 
 
+def _run_serve(args) -> str:
+    """Run the solve daemon until SIGTERM/SIGINT, then drain and report.
+
+    The engine shares the CLI's telemetry context, so ``--telemetry``
+    captures ``service.request`` events and worker solve spans, and the
+    run manifest summarises the service counters; under
+    ``--no-telemetry`` the ``/metrics`` endpoint answers 503 (no
+    registry attached) while internal counters keep working.
+    """
+    import signal
+    import threading
+
+    from repro import telemetry
+    from repro.obs import ProgressBoard, use_board
+    from repro.service import ServiceDaemon, SolveEngine
+
+    tele = telemetry.current()
+    injector = None
+    if args.inject_faults > 0:
+        from repro.resilience.faults import FaultInjector
+
+        injector = FaultInjector(args.inject_faults, seed=args.fault_seed)
+    engine = SolveEngine(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        cache_size=args.cache_size,
+        request_timeout=args.request_timeout,
+        fault_injector=injector,
+        telemetry=tele,
+    )
+    registry = None if args.no_telemetry else tele.metrics
+    board = ProgressBoard()
+    stop = threading.Event()
+
+    def _on_signal(signum, frame) -> None:
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _on_signal)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        with use_board(board), ServiceDaemon(
+            engine, port=args.port, host=args.host,
+            registry=registry, board=board,
+        ) as daemon:
+            print(f"solve service listening on {daemon.url}", flush=True)
+            while not stop.wait(0.5):
+                pass
+            print("shutdown signal received, draining...",
+                  file=sys.stderr, flush=True)
+        # the context exit ran daemon.stop(): listener closed, queue
+        # drained, workers joined — safe to report final counters.
+        metrics = tele.metrics
+        summary = {
+            "requests": sum(
+                c.value for c in metrics
+                if c.name == "repro_service_requests_total"),
+            "solves": metrics.counter("repro_service_solves_total").value,
+            "coalesced": metrics.counter(
+                "repro_service_coalesced_total").value,
+            "cache_hits": metrics.counter(
+                "repro_service_cache_hits_total").value,
+            "rejected": sum(
+                c.value for c in metrics
+                if c.name == "repro_service_rejected_total"),
+            "errors": metrics.counter("repro_service_errors_total").value,
+        }
+        return "service stopped: " + ", ".join(
+            f"{name}={int(value)}" for name, value in summary.items())
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+
+
 def _run_all() -> str:
     parser = build_parser()
     sections = []
@@ -904,6 +1019,7 @@ def main(argv=None) -> int:
         "bench": _run_bench,
         "verify": _run_verify,
         "trace": _run_trace,
+        "serve": _run_serve,
     }
     tele = telemetry.DISABLED if args.no_telemetry else telemetry.Telemetry()
     t0 = time.perf_counter()
@@ -915,8 +1031,12 @@ def main(argv=None) -> int:
             from repro.obs import ObsServer, ProgressBoard, use_board
 
             board = ProgressBoard()
+            # Under --no-telemetry there is no meaningful registry to
+            # scrape; /metrics answers 503 (the documented behaviour,
+            # shared with the solve daemon via ObsRoutes).
+            registry = None if args.no_telemetry else tele.metrics
             server = stack.enter_context(
-                ObsServer(registry=tele.metrics, board=board, port=args.serve)
+                ObsServer(registry=registry, board=board, port=args.serve)
             )
             stack.enter_context(use_board(board))
             print(f"obs server listening on {server.url}",

@@ -20,6 +20,7 @@ in the solvers.
 """
 
 from repro.obs.progress import ProgressBoard, active_board, use_board
+from repro.obs.routes import ObsRoutes
 from repro.obs.server import ObsServer
 
-__all__ = ["ProgressBoard", "ObsServer", "active_board", "use_board"]
+__all__ = ["ProgressBoard", "ObsServer", "ObsRoutes", "active_board", "use_board"]

@@ -1,0 +1,85 @@
+"""Shared ops-route implementation: ``/healthz``, ``/metrics``, ``/progress``.
+
+Two HTTP hosts expose the same three observability endpoints — the
+threaded :class:`~repro.obs.server.ObsServer` that rides along any CLI
+run (``--serve``) and the asyncio solve daemon
+(:mod:`repro.service.daemon`).  Their transport layers differ (stdlib
+``http.server`` vs a hand-rolled asyncio HTTP/1.1 reader), but the
+*routes* must not: one implementation, two mounts, so behaviours like
+"``/metrics`` answers 503 when no registry is attached (``--no-telemetry``)"
+cannot drift between hosts.
+
+:class:`ObsRoutes` reads its host's live state at request time through a
+small provider protocol — any object with ``registry``, ``board``, and
+``uptime()`` — so attaching a board or registry after the server started
+still takes effect, exactly as the pre-refactor handler behaved.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.progress import active_board
+from repro.telemetry.sinks import prometheus_text
+
+__all__ = ["ObsRoutes", "OBS_PATHS"]
+
+#: The route set shared by every host (paths are matched exactly,
+#: query strings stripped by the callers).
+OBS_PATHS: tuple[str, ...] = ("/healthz", "/metrics", "/progress")
+
+
+class ObsRoutes:
+    """The three observability routes, host-agnostic.
+
+    Parameters
+    ----------
+    host:
+        Provider of live state, read at *request* time:
+
+        * ``host.registry`` — the :class:`~repro.telemetry.metrics.MetricsRegistry`
+          behind ``/metrics``, or ``None`` (→ 503, the documented
+          ``--no-telemetry`` behaviour);
+        * ``host.board`` — the :class:`~repro.obs.progress.ProgressBoard`
+          behind ``/progress``, or ``None`` (→ fall back to the
+          process-wide active board);
+        * ``host.uptime()`` — seconds since the host started.
+    health_extra:
+        Optional callable returning a dict merged into the ``/healthz``
+        body (the solve daemon adds queue/worker gauges there).
+    """
+
+    def __init__(self, host, health_extra=None) -> None:
+        self._host = host
+        self._health_extra = health_extra
+
+    def handle(self, path: str) -> tuple[int, str, bytes] | None:
+        """Dispatch ``path`` (no query string) to an obs route.
+
+        Returns ``(status, content_type, body)`` or ``None`` when the
+        path is not an obs route (the host then applies its own routing
+        and 404 handling).
+        """
+        if path == "/healthz":
+            body = {
+                "status": "ok",
+                "uptime_seconds": round(self._host.uptime(), 3),
+            }
+            if self._health_extra is not None:
+                body.update(self._health_extra())
+            return (200, "application/json",
+                    json.dumps(body, sort_keys=True).encode())
+        if path == "/metrics":
+            registry = self._host.registry
+            if registry is None:
+                return (503, "text/plain; charset=utf-8",
+                        b"no metrics registry attached\n")
+            text = prometheus_text(registry)
+            return (200, "text/plain; version=0.0.4; charset=utf-8",
+                    text.encode())
+        if path == "/progress":
+            board = self._host.board or active_board()
+            snap = board.snapshot() if board is not None else {"sections": {}}
+            return (200, "application/json",
+                    json.dumps(snap, sort_keys=True).encode())
+        return None

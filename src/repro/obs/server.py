@@ -24,18 +24,22 @@ Endpoints:
 
 Everything else is 404.  Request logging is silenced — heartbeat scrapes
 must not spam a long sweep's console.
+
+The route *implementations* live in :class:`~repro.obs.routes.ObsRoutes`
+and are shared with the asyncio solve daemon
+(:mod:`repro.service.daemon`); this module only supplies the threaded
+``http.server`` transport.
 """
 
 from __future__ import annotations
 
-import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.obs.progress import ProgressBoard, active_board
+from repro.obs.progress import ProgressBoard
+from repro.obs.routes import ObsRoutes
 from repro.telemetry.metrics import MetricsRegistry
-from repro.telemetry.sinks import prometheus_text
 
 __all__ = ["ObsServer"]
 
@@ -54,28 +58,12 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         obs: "ObsServer" = self.server.obs  # type: ignore[attr-defined]
         path = self.path.split("?", 1)[0]
-        if path == "/healthz":
-            body = json.dumps({
-                "status": "ok",
-                "uptime_seconds": round(obs.uptime(), 3),
-            }).encode()
-            self._send(200, body, "application/json")
-        elif path == "/metrics":
-            registry = obs.registry
-            if registry is None:
-                self._send(503, b"no metrics registry attached\n",
-                           "text/plain; charset=utf-8")
-                return
-            text = prometheus_text(registry)
-            self._send(200, text.encode(),
-                       "text/plain; version=0.0.4; charset=utf-8")
-        elif path == "/progress":
-            board = obs.board or active_board()
-            snap = board.snapshot() if board is not None else {"sections": {}}
-            body = json.dumps(snap, sort_keys=True).encode()
-            self._send(200, body, "application/json")
-        else:
+        handled = obs.routes.handle(path)
+        if handled is None:
             self._send(404, b"not found\n", "text/plain; charset=utf-8")
+            return
+        status, content_type, body = handled
+        self._send(status, body, content_type)
 
     def log_message(self, format: str, *args) -> None:
         pass  # scrapes are high-frequency; stay silent
@@ -107,6 +95,7 @@ class ObsServer:
                  port: int = 0, host: str = "127.0.0.1") -> None:
         self.registry = registry
         self.board = board
+        self.routes = ObsRoutes(self)
         self._requested = (host, int(port))
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None

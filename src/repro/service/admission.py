@@ -1,0 +1,181 @@
+"""Admission control for the solve daemon: quotas and the bounded queue.
+
+Load shedding happens *here*, before a request costs anything:
+
+* :class:`TokenBucket` / :class:`QuotaRegistry` — per-tenant token
+  buckets.  A tenant that outruns its refill rate is told exactly how
+  long to wait (the 429 ``Retry-After``) instead of being queued into
+  oblivion.
+* :class:`BoundedQueue` — the single fixed-depth work queue between the
+  HTTP front end and the :class:`~repro.service.engine.SolveEngine`
+  workers.  ``try_put`` never blocks and never grows the queue past its
+  bound; a full queue is an immediate, deterministic 429.
+
+Both are plain ``threading`` primitives (the engine's workers are
+threads; only the HTTP transport is asyncio) with injectable clocks so
+the tests never sleep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+__all__ = [
+    "RejectedError",
+    "QueueClosedError",
+    "TokenBucket",
+    "QuotaRegistry",
+    "BoundedQueue",
+]
+
+
+class RejectedError(Exception):
+    """Request refused by admission control (HTTP 429).
+
+    ``reason`` is the ``repro_service_rejected_total`` label
+    (``"quota"`` or ``"queue_full"``); ``retry_after`` is the
+    client-facing backoff hint in seconds.
+    """
+
+    def __init__(self, reason: str, retry_after: float) -> None:
+        self.reason = reason
+        self.retry_after = float(retry_after)
+        super().__init__(f"rejected ({reason}); retry after {retry_after:.3f}s")
+
+
+class QueueClosedError(Exception):
+    """Submission after shutdown began (HTTP 503)."""
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, capacity ``burst``.
+
+    ``rate=None`` (or ``<= 0``) disables the bucket — every acquire
+    succeeds.  The clock is injectable so quota maths can be tested
+    without wall-time sleeps.
+    """
+
+    def __init__(self, rate: float | None, burst: int = 1,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.rate = None if rate is None or rate <= 0 else float(rate)
+        self.burst = max(1, int(burst))
+        self._clock = clock
+        self._tokens = float(self.burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        assert self.rate is not None
+        self._tokens = min(
+            float(self.burst), self._tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+
+    def try_acquire(self) -> float:
+        """Take one token if available.
+
+        Returns ``0.0`` on success, else the seconds until a token will
+        be available (the ``Retry-After`` value).  Never blocks.
+        """
+        if self.rate is None:
+            return 0.0
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+class QuotaRegistry:
+    """Per-tenant token buckets, created lazily, one shared config.
+
+    Thread-safe: the HTTP loop and tests may probe quotas concurrently
+    with worker-side metric merges.
+    """
+
+    def __init__(self, rate: float | None, burst: int = 1,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._rate = rate
+        self._burst = burst
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tenant: str) -> float:
+        """Charge one request to ``tenant``; see :meth:`TokenBucket.try_acquire`."""
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(self._rate, self._burst, self._clock)
+                self._buckets[tenant] = bucket
+            return bucket.try_acquire()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buckets)
+
+
+class BoundedQueue:
+    """Fixed-depth FIFO with non-blocking puts and drain-on-close.
+
+    The contract the daemon's memory bound rests on:
+
+    * :meth:`try_put` appends iff ``len < depth`` — it never blocks and
+      never exceeds the bound; a ``False`` return is the caller's 429.
+    * :meth:`get` blocks until an item, timeout (→ ``None``), or close;
+      after :meth:`close`, getters drain the remaining items and *then*
+      receive ``None`` — shutdown never drops accepted work.
+    * :meth:`try_put` after :meth:`close` raises
+      :class:`QueueClosedError` (the caller's 503).
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {depth}")
+        self.depth = int(depth)
+        self._items: deque = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def try_put(self, item) -> bool:
+        with self._cond:
+            if self._closed:
+                raise QueueClosedError("queue is closed")
+            if len(self._items) >= self.depth:
+                return False
+            self._items.append(item)
+            self._cond.notify()
+            return True
+
+    def get(self, timeout: float | None = None):
+        """Next item, or ``None`` on timeout / closed-and-drained."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not self._items:
+                if self._closed:
+                    return None
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                self._cond.wait(remaining)
+            return self._items.popleft()
+
+    def close(self) -> None:
+        """Stop accepting work; wake all getters (idempotent)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

@@ -245,7 +245,8 @@ class TestBenchSubcommand:
         out_path = tmp_path / "bench.json"
         code = main(
             ["bench", "--targets", "8", "--segments", "6", "--games", "2",
-             "--epsilon", "0.05", "--workers", "1", "--out", str(out_path)]
+             "--epsilon", "0.05", "--workers", "1", "--out", str(out_path),
+             "--history", str(tmp_path / "hist.jsonl")]
         )
         assert code == 0
         out = capsys.readouterr().out
@@ -269,7 +270,8 @@ class TestBenchSubcommand:
         code = main(
             ["--no-telemetry", "--manifest", str(tmp_path / "m.json"),
              "bench", "--targets", "8", "--segments", "6", "--games", "2",
-             "--epsilon", "0.05", "--workers", "1", "--out", str(out_path)]
+             "--epsilon", "0.05", "--workers", "1", "--out", str(out_path),
+             "--history", str(tmp_path / "hist.jsonl")]
         )
         assert code == 0
         payload = json.loads(out_path.read_text())

@@ -1,0 +1,156 @@
+"""Unit tests for the daemon's admission primitives.
+
+Token buckets run against a fake clock (no sleeps), the bounded queue's
+memory bound and close-drain contract are exercised with real threads.
+"""
+
+import threading
+
+import pytest
+
+from repro.service.admission import (
+    BoundedQueue,
+    QueueClosedError,
+    QuotaRegistry,
+    RejectedError,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+        retry = bucket.try_acquire()
+        assert retry == pytest.approx(1.0)
+
+    def test_refill_restores_tokens(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+        clock.advance(0.5)  # 2/s * 0.5s = 1 token
+        assert bucket.try_acquire() == 0.0
+
+    def test_retry_after_is_exact(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=4.0, burst=1, clock=clock)
+        bucket.try_acquire()
+        clock.advance(0.125)  # half a token back
+        assert bucket.try_acquire() == pytest.approx(0.125)
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(60.0)  # would be 6000 tokens uncapped
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+
+    def test_disabled_bucket_never_throttles(self):
+        for rate in (None, 0, -1):
+            bucket = TokenBucket(rate=rate, burst=1, clock=FakeClock())
+            assert all(bucket.try_acquire() == 0.0 for _ in range(100))
+
+
+class TestQuotaRegistry:
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        quotas = QuotaRegistry(rate=1.0, burst=1, clock=clock)
+        assert quotas.try_acquire("alice") == 0.0
+        assert quotas.try_acquire("alice") > 0.0   # alice exhausted
+        assert quotas.try_acquire("bob") == 0.0    # bob unaffected
+        assert len(quotas) == 2
+
+    def test_rejected_error_carries_reason_and_retry(self):
+        err = RejectedError("quota", 2.5)
+        assert err.reason == "quota"
+        assert err.retry_after == 2.5
+        assert "quota" in str(err)
+
+
+class TestBoundedQueue:
+    def test_bound_is_never_exceeded(self):
+        queue = BoundedQueue(3)
+        assert [queue.try_put(i) for i in range(5)] == \
+            [True, True, True, False, False]
+        assert len(queue) == 3
+
+    def test_fifo_order(self):
+        queue = BoundedQueue(4)
+        for i in range(4):
+            queue.try_put(i)
+        assert [queue.get(timeout=0.1) for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_get_timeout_returns_none(self):
+        queue = BoundedQueue(1)
+        assert queue.get(timeout=0.05) is None
+
+    def test_close_drains_then_signals(self):
+        queue = BoundedQueue(4)
+        queue.try_put("a")
+        queue.try_put("b")
+        queue.close()
+        # accepted work survives the close...
+        assert queue.get(timeout=0.1) == "a"
+        assert queue.get(timeout=0.1) == "b"
+        # ...then getters are told to stop, without any timeout wait.
+        assert queue.get(timeout=30.0) is None
+
+    def test_put_after_close_raises(self):
+        queue = BoundedQueue(1)
+        queue.close()
+        with pytest.raises(QueueClosedError):
+            queue.try_put("late")
+
+    def test_close_wakes_blocked_getters(self):
+        queue = BoundedQueue(1)
+        results = []
+
+        def getter() -> None:
+            results.append(queue.get(timeout=30.0))
+
+        threads = [threading.Thread(target=getter) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        queue.close()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert results == [None, None, None]
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(0)
+
+    def test_concurrent_producers_respect_the_bound(self):
+        queue = BoundedQueue(8)
+        barrier = threading.Barrier(16)
+        accepted = []
+        lock = threading.Lock()
+
+        def producer(i: int) -> None:
+            barrier.wait()
+            ok = queue.try_put(i)
+            with lock:
+                accepted.append(ok)
+
+        threads = [threading.Thread(target=producer, args=(i,))
+                   for i in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert sum(accepted) == 8     # exactly the bound
+        assert len(queue) == 8
