@@ -22,7 +22,7 @@ import pathlib
 
 import numpy as np
 
-from repro.behavior.interval import IntervalSUQR, WeightBox
+from repro.behavior.interval import BandScaledModel, IntervalSUQR, WeightBox
 from repro.behavior.interval_qr import IntervalQR
 from repro.game.payoffs import IntervalPayoffs, PayoffMatrix
 from repro.game.ssg import IntervalSecurityGame, SecurityGame
@@ -111,6 +111,12 @@ def uncertainty_to_dict(model) -> dict:
     if isinstance(model, IntervalQR):
         box = model.rationality_box
         return {"kind": "interval_qr", "rationality": [box.lo, box.hi]}
+    if isinstance(model, BandScaledModel):
+        return {
+            "kind": "band_scaled",
+            "factor": model.factor,
+            "base": uncertainty_to_dict(model.base),
+        }
     raise TypeError(f"cannot serialise uncertainty of type {type(model).__name__}")
 
 
@@ -127,6 +133,9 @@ def uncertainty_from_dict(data: dict, payoffs: IntervalPayoffs):
         )
     if kind == "interval_qr":
         return IntervalQR(payoffs, rationality=WeightBox(*data["rationality"]))
+    if kind == "band_scaled":
+        base = uncertainty_from_dict(data["base"], payoffs)
+        return BandScaledModel(base, data["factor"])
     raise ValueError(f"unknown uncertainty kind {kind!r}")
 
 

@@ -3,11 +3,14 @@
 from repro.behavior.base import DiscreteChoiceModel
 from repro.behavior.fitting import (
     AttackLog,
+    IntervalEstimate,
     bootstrap_weight_boxes,
+    estimate_intervals,
     fit_suqr,
     simulate_attacks,
 )
 from repro.behavior.interval import (
+    BandScaledModel,
     FunctionIntervalModel,
     IntervalSUQR,
     UncertaintyModel,
@@ -17,13 +20,21 @@ from repro.behavior.interval_qr import IntervalQR
 from repro.behavior.noise import ObservationNoisyModel, execution_adjusted_coverage
 from repro.behavior.population import PopulationModel
 from repro.behavior.qr import QuantalResponse
-from repro.behavior.sampling import corner_attacker_types, sample_attacker_types
+from repro.behavior.sampling import (
+    corner_attacker_types,
+    estimated_drift_sequence,
+    interval_drift_sequence,
+    sample_attacker_types,
+    shrink_factors,
+)
 from repro.behavior.suqr import SUQR, SUQRWeights
 
 __all__ = [
     "AttackLog",
+    "BandScaledModel",
     "DiscreteChoiceModel",
     "FunctionIntervalModel",
+    "IntervalEstimate",
     "IntervalQR",
     "IntervalSUQR",
     "ObservationNoisyModel",
@@ -35,8 +46,12 @@ __all__ = [
     "WeightBox",
     "bootstrap_weight_boxes",
     "corner_attacker_types",
+    "estimate_intervals",
+    "estimated_drift_sequence",
     "execution_adjusted_coverage",
     "fit_suqr",
+    "interval_drift_sequence",
     "sample_attacker_types",
+    "shrink_factors",
     "simulate_attacks",
 ]

@@ -23,16 +23,18 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import minimize
 
-from repro.behavior.interval import WeightBox
+from repro.behavior.interval import FunctionIntervalModel, WeightBox
 from repro.behavior.suqr import SUQR, SUQRWeights
 from repro.game.payoffs import PayoffMatrix
 from repro.utils.rng import as_generator
 
 __all__ = [
     "AttackLog",
+    "IntervalEstimate",
     "simulate_attacks",
     "fit_suqr",
     "bootstrap_weight_boxes",
+    "estimate_intervals",
 ]
 
 
@@ -187,4 +189,127 @@ def bootstrap_weight_boxes(
         WeightBox(min(lo[0], 0.0), min(hi[0], 0.0)),
         WeightBox(lo[1], hi[1]),
         WeightBox(lo[2], hi[2]),
+    )
+
+
+@dataclass(frozen=True)
+class IntervalEstimate:
+    """A PAC interval estimate of attacker attractiveness curves.
+
+    Produced by :func:`estimate_intervals`.  ``model`` is the
+    :class:`~repro.behavior.interval.FunctionIntervalModel` CUBIS consumes;
+    the remaining fields expose the estimator's internals so callers (and
+    tests) can reason about the guarantee.
+
+    Attributes
+    ----------
+    model:
+        The interval uncertainty model ``[L_i(x), U_i(x)]``.
+    probabilities:
+        Laplace-smoothed empirical choice frequencies ``p_hat`` of shape
+        ``(T,)``.
+    radius:
+        The Hoeffding half-width ``r = sqrt(ln(2T / delta) / (2N))``.
+    centres:
+        Per-target mean observed coverage ``x_bar`` of shape ``(T,)`` — the
+        point at which the band is anchored to ``p_hat +/- r``.
+    delta:
+        The failure probability of the simultaneous guarantee.
+    num_observations:
+        ``N``, the log size the radius was computed from.
+    slope:
+        The shared (non-positive) exponential decay rate of both bounds.
+    """
+
+    model: FunctionIntervalModel
+    probabilities: np.ndarray
+    radius: float
+    centres: np.ndarray
+    delta: float
+    num_observations: int
+    slope: float
+
+
+def estimate_intervals(
+    attacks: AttackLog,
+    delta: float = 0.05,
+    *,
+    slope: float = -1.0,
+    floor: float = 1e-4,
+) -> IntervalEstimate:
+    """PAC uncertainty intervals for attacker attractiveness from a log.
+
+    This is the quantitative version of the paper's "interval size from
+    available data": with probability at least ``1 - delta`` the empirical
+    choice frequency of every target is within the Hoeffding radius
+    ``r = sqrt(ln(2T / delta) / (2N))`` of its true choice probability
+    (two-sided Hoeffding per target, union bound over the ``T`` targets).
+    The estimator turns that simultaneous band into attractiveness curves
+
+    .. code-block:: text
+
+        L_i(x) = max(p_hat_i - r, floor) * exp(slope * (x - x_bar_i))
+        U_i(x) =     (p_hat_i + r)       * exp(slope * (x - x_bar_i))
+
+    anchored at each target's mean observed coverage ``x_bar_i`` and decaying
+    at a shared rate ``slope <= 0`` (SUQR's coverage response is exponential
+    with rate ``w1``; pass the MLE ``fit_suqr(...).w1`` for a data-driven
+    rate).  Both bounds are positive and non-increasing in coverage, so the
+    result is a valid CUBIS uncertainty model, and the band ratio
+    ``U_i / L_i`` shrinks like ``1 / sqrt(N)`` — feeding the online
+    intervals-shrink loop in :mod:`repro.solvers.resolve`.
+
+    Parameters
+    ----------
+    attacks:
+        The observed :class:`AttackLog`.
+    delta:
+        Failure probability of the simultaneous coverage guarantee.
+    slope:
+        Shared exponential decay rate, must be ``<= 0``.
+    floor:
+        Strictly positive lower clamp keeping ``L_i`` bounded away from zero
+        (required for log-space operations downstream).
+
+    Returns
+    -------
+    IntervalEstimate
+        The estimate; ``estimate.model`` plugs straight into
+        :func:`~repro.core.cubis.solve_cubis`.
+    """
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if slope > 0.0:
+        raise ValueError(f"slope must be <= 0 for non-increasing bounds, got {slope}")
+    if floor <= 0.0:
+        raise ValueError(f"floor must be > 0, got {floor}")
+    t = attacks.num_targets
+    n = attacks.num_observations
+    counts = np.bincount(attacks.targets, minlength=t).astype(np.float64)
+    # Laplace smoothing keeps every lower curve strictly positive even for
+    # never-attacked targets.
+    p_hat = (counts + 1.0) / (n + t)
+    radius = float(np.sqrt(np.log(2.0 * t / delta) / (2.0 * n)))
+    centres = attacks.coverages.mean(axis=0)
+    lo_const = np.maximum(p_hat - radius, floor)
+    hi_const = p_hat + radius
+    s = float(slope)
+
+    def lower_fn(points, _a=lo_const, _c=centres, _s=s):
+        pts = np.asarray(points, dtype=np.float64)
+        return _a[:, None] * np.exp(_s * (pts[None, :] - _c[:, None]))
+
+    def upper_fn(points, _b=hi_const, _c=centres, _s=s):
+        pts = np.asarray(points, dtype=np.float64)
+        return _b[:, None] * np.exp(_s * (pts[None, :] - _c[:, None]))
+
+    model = FunctionIntervalModel(t, lower_fn, upper_fn)
+    return IntervalEstimate(
+        model=model,
+        probabilities=p_hat,
+        radius=radius,
+        centres=centres,
+        delta=float(delta),
+        num_observations=n,
+        slope=s,
     )

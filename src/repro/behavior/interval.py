@@ -47,6 +47,7 @@ __all__ = [
     "UncertaintyModel",
     "IntervalSUQR",
     "FunctionIntervalModel",
+    "BandScaledModel",
 ]
 
 
@@ -310,6 +311,102 @@ class IntervalSUQR(UncertaintyModel):
             self._w3.scaled(factor),
             convention=self._convention,
         )
+
+
+class BandScaledModel(UncertaintyModel):
+    """A base model's bands, geometrically scaled towards their centre.
+
+    The drift re-solve engine (:mod:`repro.solvers.resolve`) and the
+    online bench need drift sequences with a *guaranteed* direction:
+    every grid value of ``L`` must rise and every value of ``U`` must
+    fall for a shrink (and vice versa for a widening).  Re-fitting the
+    base model's parameters cannot promise that — e.g. narrowing an
+    :class:`IntervalSUQR` weight box with negative penalties moves the
+    two bound curves in data-dependent directions.  This wrapper scales
+    the *band itself*, pointwise in log-space around the geometric
+    centre ``G(x) = sqrt(L(x) U(x))``:
+
+    .. math::
+
+        L_f(x) = L(x)^f \\, G(x)^{1-f}, \\qquad
+        U_f(x) = U(x)^f \\, G(x)^{1-f}
+
+    ``factor = 1`` returns the base bands bitwise; ``factor < 1``
+    shrinks both bounds strictly towards the centre (pointwise, every
+    target, every coverage); ``factor > 1`` widens them symmetrically.
+    Positivity and the ``L <= U`` order are preserved for any
+    ``factor >= 0``, and monotonicity in coverage is preserved because
+    the log-bounds are non-increasing and the map is an affine
+    combination in log-space with non-negative weights (for
+    ``0 <= factor <= 1``; larger factors extrapolate the same affine
+    family and are validated by the constructor).
+
+    ``factor`` composes multiplicatively on the *log half-width*:
+    ``BandScaledModel(m, a).scaled(b)`` equals ``BandScaledModel(m,
+    a*b)`` exactly, which is what lets a drift sequence address any
+    schedule of shrink levels from one base model.
+    """
+
+    def __init__(self, base: UncertaintyModel, factor: float, *,
+                 validate: bool = True) -> None:
+        factor = float(factor)
+        if not (np.isfinite(factor) and factor >= 0.0):
+            raise ValueError(
+                f"band scale factor must be finite and >= 0, got {factor}"
+            )
+        self._base = base
+        self._factor = factor
+        if validate and factor > 1.0:
+            # Extrapolated (widened) bands can in principle lose
+            # monotonicity when the base band's width grows with
+            # coverage; check the assumptions the solvers rely on.
+            self.validate()
+
+    @property
+    def base(self) -> UncertaintyModel:
+        """The wrapped model whose bands are being scaled."""
+        return self._base
+
+    @property
+    def factor(self) -> float:
+        """The log-space band scale (1 = the base bands, bitwise)."""
+        return self._factor
+
+    @property
+    def num_targets(self) -> int:
+        return self._base.num_targets
+
+    def scaled(self, factor: float) -> "BandScaledModel":
+        """Compose another band scaling: the factors multiply."""
+        return BandScaledModel(self._base, self._factor * float(factor))
+
+    def _blend(self, lo: np.ndarray, hi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if self._factor == 1.0:
+            return lo, hi
+        log_lo = np.log(lo)
+        log_hi = np.log(hi)
+        centre = 0.5 * (log_lo + log_hi)
+        f = self._factor
+        return (
+            np.exp(f * log_lo + (1.0 - f) * centre),
+            np.exp(f * log_hi + (1.0 - f) * centre),
+        )
+
+    def lower(self, x) -> np.ndarray:
+        return self._blend(self._base.lower(x), self._base.upper(x))[0]
+
+    def upper(self, x) -> np.ndarray:
+        return self._blend(self._base.lower(x), self._base.upper(x))[1]
+
+    def lower_on_grid(self, points) -> np.ndarray:
+        return self._blend(
+            self._base.lower_on_grid(points), self._base.upper_on_grid(points)
+        )[0]
+
+    def upper_on_grid(self, points) -> np.ndarray:
+        return self._blend(
+            self._base.lower_on_grid(points), self._base.upper_on_grid(points)
+        )[1]
 
 
 class FunctionIntervalModel(UncertaintyModel):

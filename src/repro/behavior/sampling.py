@@ -1,10 +1,18 @@
-"""Sampling attacker types from an uncertainty set.
+"""Sampling attacker types — and drift sequences — from an uncertainty set.
 
 The worst-type robust baseline (Brown et al. GameSec'14, the paper's
 "second method") needs a finite set of attacker types.  These helpers draw
 types from an :class:`~repro.behavior.interval.IntervalSUQR` uncertainty
 set — uniformly, or at the corners of the parameter box (corners are where
 the worst case usually lives for monotone responses).
+
+The drift drivers at the bottom feed the online intervals-shrink loop in
+:mod:`repro.solvers.resolve`: :func:`shrink_factors` builds a geometric
+ladder of band-scale factors, :func:`interval_drift_sequence` turns any
+uncertainty model into the corresponding sequence of
+:class:`~repro.behavior.interval.BandScaledModel` snapshots, and
+:func:`estimated_drift_sequence` produces the data-driven version — PAC
+interval estimates that tighten as the attack log grows.
 """
 
 from __future__ import annotations
@@ -13,12 +21,18 @@ import itertools
 
 import numpy as np
 
-from repro.behavior.interval import IntervalSUQR
+from repro.behavior.interval import BandScaledModel, IntervalSUQR, UncertaintyModel
 from repro.behavior.suqr import SUQR, SUQRWeights
 from repro.game.payoffs import PayoffMatrix
 from repro.utils.rng import as_generator
 
-__all__ = ["sample_attacker_types", "corner_attacker_types"]
+__all__ = [
+    "sample_attacker_types",
+    "corner_attacker_types",
+    "shrink_factors",
+    "interval_drift_sequence",
+    "estimated_drift_sequence",
+]
 
 
 def sample_attacker_types(model: IntervalSUQR, n: int, seed=None) -> list[SUQR]:
@@ -59,3 +73,101 @@ def corner_attacker_types(model: IntervalSUQR, *, include_midpoint: bool = True)
     if include_midpoint:
         types.append(model.midpoint_model())
     return types
+
+
+def shrink_factors(num_steps: int, *, final: float = 0.5) -> np.ndarray:
+    """A geometric ladder of band-scale factors from ``1`` down to ``final``.
+
+    The returned array has ``num_steps`` strictly decreasing entries in
+    ``(final, 1) ∪ {final}``, excluding the starting factor ``1`` itself —
+    step ``k`` is ``final ** ((k + 1) / num_steps)``.  Feeding the ladder to
+    :func:`interval_drift_sequence` yields a pure-shrink drift sequence, the
+    monotone regime where :func:`repro.solvers.resolve.resolve` can reuse
+    the prior bracket.
+    """
+    if num_steps < 1:
+        raise ValueError(f"num_steps must be >= 1, got {num_steps}")
+    if not 0.0 < final < 1.0:
+        raise ValueError(f"final must be in (0, 1), got {final}")
+    return final ** (np.arange(1, num_steps + 1) / num_steps)
+
+
+def interval_drift_sequence(model: UncertaintyModel, factors) -> list[BandScaledModel]:
+    """Band-scaled snapshots of ``model`` at each factor in ``factors``.
+
+    Each snapshot scales the *base* model's band directly (factors do not
+    compound across steps), so the sequence is exactly
+    ``[BandScaledModel(model, f) for f in factors]`` and a decreasing factor
+    ladder gives pointwise-nested uncertainty sets.
+    """
+    factors = np.asarray(factors, dtype=np.float64)
+    if factors.ndim != 1 or len(factors) == 0:
+        raise ValueError(f"factors must be a non-empty 1-D sequence, got shape {factors.shape}")
+    return [BandScaledModel(model, float(f)) for f in factors]
+
+
+def estimated_drift_sequence(
+    truth: SUQR,
+    strategies,
+    sample_sizes,
+    *,
+    delta: float = 0.05,
+    slope: float | None = None,
+    seed=None,
+):
+    """Data-driven drift: PAC interval estimates from a growing attack log.
+
+    Simulates one long attack stream from the ground-truth attacker under
+    the given defender strategies, then cuts it at each ``N`` in
+    ``sample_sizes`` (which must be increasing) and runs
+    :func:`~repro.behavior.fitting.estimate_intervals` on the prefix.  Each
+    prefix extends the previous one, so successive estimates use nested data
+    and their Hoeffding radii shrink like ``1 / sqrt(N)`` — the realistic
+    counterpart of :func:`shrink_factors`.
+
+    Parameters
+    ----------
+    truth:
+        The ground-truth :class:`~repro.behavior.suqr.SUQR` attacker.
+    strategies:
+        Array of shape ``(S, T)``: defender strategies cycled through while
+        collecting observations.
+    sample_sizes:
+        Increasing log sizes at which to re-estimate.
+    delta, slope:
+        Passed to :func:`~repro.behavior.fitting.estimate_intervals`; when
+        ``slope`` is ``None`` the truth's own ``w1`` is used.
+    seed:
+        Seed for the simulated attack stream.
+
+    Returns
+    -------
+    list[IntervalEstimate]
+        One estimate per sample size, in order.
+    """
+    from repro.behavior.fitting import AttackLog, estimate_intervals, simulate_attacks
+
+    sizes = [int(n) for n in sample_sizes]
+    if not sizes:
+        raise ValueError("sample_sizes must be non-empty")
+    if any(n < 1 for n in sizes):
+        raise ValueError(f"sample_sizes must be >= 1, got {sizes}")
+    if any(b <= a for a, b in zip(sizes, sizes[1:])):
+        raise ValueError(f"sample_sizes must be strictly increasing, got {sizes}")
+    strategies = np.asarray(strategies, dtype=np.float64)
+    if strategies.ndim != 2:
+        raise ValueError(f"strategies must be 2-D (S, T), got shape {strategies.shape}")
+    per_strategy = -(-sizes[-1] // len(strategies))  # ceil: enough draws to cover max N
+    stream = simulate_attacks(truth, strategies, attacks_per_strategy=per_strategy, seed=seed)
+    # simulate_attacks groups draws by strategy; interleave so every prefix
+    # sees a balanced mix of coverages.
+    order = np.argsort(np.tile(np.arange(per_strategy), len(strategies)), kind="stable")
+    coverages = stream.coverages[order]
+    targets = stream.targets[order]
+    decay = float(truth.weights.w1) if slope is None else float(slope)
+    return [
+        estimate_intervals(
+            AttackLog(coverages[:n], targets[:n]), delta, slope=min(decay, 0.0)
+        )
+        for n in sizes
+    ]

@@ -336,7 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="PATH",
                    help="solver paths to cross-check "
                         "(default: milp-highs milp-bnb milp-session "
-                        "milp-fleet dp exact)")
+                        "milp-fleet milp-resolve dp exact)")
     v.add_argument("--inject-faults", type=float, default=0.0, metavar="RATE",
                    help="corrupt the MILP path with seeded faults at this "
                         "rate (the battery must then FAIL — self-test)")

@@ -151,6 +151,10 @@ class CubisResult:
     wasted_probes:
         Speculative probes whose verdict was implied by the round's
         bracket-defining pair.
+    guess_probes:
+        Warm-start guesses (certificate level + carried bracket ends)
+        actually probed by the binary search — what a
+        :class:`WarmStart` cost to re-validate on this instance.
     degraded:
         True iff a fallback rung other than the first answered at least
         one step (always False without a resilience policy).
@@ -181,6 +185,7 @@ class CubisResult:
     session_fallbacks: int = 0
     speculative_probes: int = 0
     wasted_probes: int = 0
+    guess_probes: int = 0
 
     @property
     def oracle_calls(self) -> int:
@@ -969,4 +974,5 @@ def solve_cubis(
             session_fallbacks=session_fallbacks,
             speculative_probes=search.speculative_probes,
             wasted_probes=search.wasted_probes,
+            guess_probes=search.guess_probes,
         )

@@ -22,6 +22,14 @@ Five measurements, one JSON payload:
   is the batched production path; its per-game rows report ``0.0``
   wall-clock because the shared substrate makes per-game attribution
   meaningless — the section total carries the measured time.
+* **resolve** — the online drift loop (:mod:`repro.solvers.resolve`):
+  one standing solve on the first game, incremental re-solves after a 1%
+  interval shrink and five chained ~10% shrinks, and a full reset (a
+  fresh standing solve, the cold re-entry cost).  The headline is
+  ``speedup_resolve``: the median over the five 10%-shrunk instances of
+  ``cold solve time / incremental re-solve time`` on the same post-drift
+  intervals — the warm-bracket + sparse-patch payoff, measured with a
+  spike-robust estimator.
 * **parallel** — a small :func:`repro.analysis.sweep.run_grid` executed
   serially and with a process pool, asserting the two tables are
   bit-identical at the same root seed (the determinism guarantee of
@@ -190,6 +198,115 @@ def run_bench_runtime(
         _solve_stats(result, 0.0, backend=backend) for result in fleet_result
     ]
 
+    # Resolve pass: the online drift loop.  A standing solve of the first
+    # game, re-entered after a 1% shrink, then a 10% shrink, then reset
+    # cold.  The cold baseline for the headline ratio solves the *same*
+    # 10%-shrunk instance from scratch (memoise off, fresh session) —
+    # apples to apples on the post-drift intervals.
+    from repro.behavior.interval import BandScaledModel
+    from repro.solvers.resolve import resolve as resolve_step
+    from repro.solvers.resolve import start_resolve
+
+    game0, model0 = games[0], models[0]
+    # One 1% step, then five chained ~10% shrinks (0.9^k of the original
+    # band).  A single incremental re-solve takes milliseconds — far too
+    # small a denominator for a stable cross-machine ratio — so the
+    # headline aggregates: ``speedup_resolve`` is the summed cold solve
+    # time of the five 10%-shrunk instances over the summed incremental
+    # re-solve time of the *same* instances, apples to apples on each
+    # post-drift interval set.
+    drifts = [("shrink_1pct", 0.99)] + [
+        (f"shrink_10pct_{chr(ord('a') + k)}", round(0.9 ** (k + 1), 12))
+        for k in range(5)
+    ]
+    with telemetry.span("bench.resolve_pass", drifts=len(drifts)):
+        t0 = time.perf_counter()
+        handle = start_resolve(
+            game0, model0, num_segments=num_segments, epsilon=epsilon,
+            backend=backend,
+        )
+        resolve_start_seconds = time.perf_counter() - t0
+
+        resolve_steps = []
+        for label, factor in drifts:
+            drifted = BandScaledModel(model0, factor)
+            t1 = time.perf_counter()
+            outcome = resolve_step(handle, drifted)
+            seconds = time.perf_counter() - t1
+            resolve_steps.append({
+                "label": label,
+                "factor": factor,
+                "wall_clock_seconds": seconds,
+                "drift": outcome.drift.kind,
+                "bracket_reused": outcome.bracket_reused,
+                "warm_hit": outcome.warm_hit,
+                "session_patches": outcome.session_patches,
+                "guess_probes": outcome.result.guess_probes,
+                "oracle_calls": outcome.result.oracle_calls,
+                "milp_solves": outcome.result.milp_solves,
+                "lp_solves": outcome.result.lp_solves,
+                "cache_hits": outcome.result.cache_hits,
+                "lower_bound": outcome.result.lower_bound,
+                "worst_case": outcome.result.worst_case_value,
+            })
+
+        # Cold baseline: every 10%-step instance solved from scratch
+        # (memoise off, fresh session); each step keeps its own time so
+        # the headline can take a per-instance ratio.
+        cold_step_seconds = []
+        cold_final = None
+        for label, factor in drifts[1:]:
+            drifted = BandScaledModel(model0, factor)
+            t1 = time.perf_counter()
+            cold_final = solve_cubis(
+                game0, drifted, memoise=False, session="fresh", **common
+            )
+            cold_step_seconds.append(time.perf_counter() - t1)
+        resolve_cold_seconds = sum(cold_step_seconds)
+
+        # Full reset: drop the standing machinery and start over — the
+        # price a drift too large to be worth re-entering would pay.
+        final_drifted = BandScaledModel(model0, drifts[-1][1])
+        t1 = time.perf_counter()
+        start_resolve(
+            game0, final_drifted, num_segments=num_segments,
+            epsilon=epsilon, backend=backend,
+        )
+        resolve_reset_seconds = time.perf_counter() - t1
+
+    ten_pct_steps = [
+        s for s in resolve_steps if s["label"].startswith("shrink_10pct")
+    ]
+    resolve_ten_pct_seconds = sum(
+        s["wall_clock_seconds"] for s in ten_pct_steps
+    )
+    # Median of the per-instance ratios: a single spiky step (GC pause,
+    # noisy-neighbour scheduling) cannot move the headline the way it
+    # moves a ratio of sums, which keeps the CI regression gate stable.
+    step_ratios = sorted(
+        cold / step["wall_clock_seconds"]
+        for cold, step in zip(cold_step_seconds, ten_pct_steps)
+        if step["wall_clock_seconds"] > 0
+    )
+    resolve_speedup = (
+        step_ratios[len(step_ratios) // 2] if step_ratios else float("inf")
+    )
+    resolve_section = {
+        "wall_clock_seconds": sum(s["wall_clock_seconds"] for s in resolve_steps),
+        "oracle_calls": sum(s["oracle_calls"] for s in resolve_steps),
+        "milp_solves": sum(s["milp_solves"] for s in resolve_steps),
+        "lp_solves": sum(s["lp_solves"] for s in resolve_steps),
+        "start_seconds": resolve_start_seconds,
+        "cold_seconds": resolve_cold_seconds,
+        "ten_pct_seconds": resolve_ten_pct_seconds,
+        "reset_seconds": resolve_reset_seconds,
+        "value_gap": abs(
+            resolve_steps[-1]["worst_case"] - cold_final.worst_case_value
+        ),
+        "steps": resolve_steps,
+        "handle_stats": handle.stats(),
+    }
+
     # Parallel determinism check: a reduced grid (the full T would make the
     # smoke run slow) solved serially and through the pool must agree on
     # every deterministic column, byte for byte.
@@ -249,6 +366,7 @@ def run_bench_runtime(
             "shape_stats": fleet_result.shape_stats,
             "session_stats": fleet_result.session_stats,
         },
+        "resolve": resolve_section,
         "speedup": (
             cold["wall_clock_seconds"] / warm["wall_clock_seconds"]
             if warm["wall_clock_seconds"] > 0
@@ -264,6 +382,7 @@ def run_bench_runtime(
             if fleet["wall_clock_seconds"] > 0
             else float("inf")
         ),
+        "speedup_resolve": resolve_speedup,
         "cold_wall_clock_seconds": cold_total,
         "warm_wall_clock_seconds": warm_total,
         "session_wall_clock_seconds": session_total,
@@ -318,13 +437,14 @@ def append_bench_history(payload: dict, path) -> Path:
         "speedup": payload.get("speedup"),
         "speedup_session": payload.get("speedup_session"),
         "speedup_fleet": payload.get("speedup_fleet"),
+        "speedup_resolve": payload.get("speedup_resolve"),
         "counts": {
             section: {
                 key: payload[section][key]
                 for key in ("oracle_calls", "milp_solves", "lp_solves")
                 if key in payload.get(section, {})
             }
-            for section in ("cold", "warm", "session", "fleet")
+            for section in ("cold", "warm", "session", "fleet", "resolve")
             if section in payload
         },
         "top_spans_by_self_time": top_spans,
@@ -336,7 +456,9 @@ def append_bench_history(payload: dict, path) -> Path:
 
 
 _COMPARE_COUNT_KEYS = ("oracle_calls", "milp_solves", "lp_solves")
-_COMPARE_SPEEDUP_KEYS = ("speedup", "speedup_session", "speedup_fleet")
+_COMPARE_SPEEDUP_KEYS = (
+    "speedup", "speedup_session", "speedup_fleet", "speedup_resolve",
+)
 
 
 def compare_bench(payload: dict, reference: dict, *, max_regression: float = 1.25) -> list[str]:
@@ -357,7 +479,7 @@ def compare_bench(payload: dict, reference: dict, *, max_regression: float = 1.2
     if max_regression < 1.0:
         raise ValueError(f"max_regression must be >= 1.0, got {max_regression}")
     problems: list[str] = []
-    for section in ("cold", "warm", "session", "fleet"):
+    for section in ("cold", "warm", "session", "fleet", "resolve"):
         cur, ref = payload.get(section), reference.get(section)
         if not isinstance(cur, dict) or not isinstance(ref, dict):
             continue
@@ -423,6 +545,17 @@ def format_bench(payload: dict) -> str:
             f"misses={shape.get('misses', 0)}",
         )
         lines.append(f"  speedup_fleet: {payload['speedup_fleet']:.2f}x")
+    resolve = payload.get("resolve")
+    if resolve is not None:
+        final = resolve["steps"][-1]
+        lines.append(
+            f"  rsolv: {resolve['wall_clock_seconds']:.3f}s over "
+            f"{len(resolve['steps'])} drifts  "
+            f"(10% shrinks: {resolve['ten_pct_seconds']:.3f}s vs cold "
+            f"{resolve['cold_seconds']:.3f}s, milp={final['milp_solves']}, "
+            f"patches={final['session_patches']})"
+        )
+        lines.append(f"  speedup_resolve: {payload['speedup_resolve']:.2f}x")
     lines.append(
         f"  parallel (workers={par['workers']}, {par['cells']} cells): "
         + ("identical to serial" if par["identical_to_serial"] else "MISMATCH"),

@@ -125,6 +125,30 @@ class ServiceClient:
         _status, decoded = self._json_call("POST", "/v1/solve", body, ok=ok)
         return decoded
 
+    def resolve(self, game: dict, *, uncertainty: dict | None = None,
+                options: dict | None = None, mode: str = "sync",
+                tenant: str | None = None) -> dict:
+        """Submit a standing re-solve (``POST /v1/resolve``).
+
+        Same envelope as :meth:`solve`; the sync response additionally
+        carries a ``"resolve"`` accounting object (drift kind, bracket
+        reuse, warm hit, sparse patches).  Consecutive calls with the
+        same game and options but drifted uncertainty re-enter the
+        tenant's standing session server-side.
+        """
+        body: dict = {"game": game}
+        if uncertainty is not None:
+            body["uncertainty"] = uncertainty
+        if options is not None:
+            body["options"] = options
+        if mode != "sync":
+            body["mode"] = mode
+        if tenant is not None:
+            body["tenant"] = tenant
+        ok = (200,) if mode == "sync" else (200, 202)
+        _status, decoded = self._json_call("POST", "/v1/resolve", body, ok=ok)
+        return decoded
+
     def result(self, request_id: str) -> tuple[str, dict | None]:
         """Poll ``GET /v1/result/<id>``: ``("done", payload)`` or
         ``("pending", None)``; raises :class:`ServiceError` (404) for

@@ -17,6 +17,13 @@ Routes
   ``"mode": "async"`` in the body the daemon answers 202 with the
   request id for later ``GET /v1/result/<id>`` polling.  Tenant comes
   from the ``X-Tenant`` header or the body's ``tenant`` field.
+* ``POST /v1/resolve`` — re-solve against the tenant's *standing*
+  session for the game (see :mod:`repro.solvers.resolve`): the first
+  request on a (tenant, game, options) key cold-starts a
+  :class:`~repro.solvers.resolve.ResolveHandle`; later requests with
+  drifted uncertainty re-enter it via warm-bracket bisection and sparse
+  interval patches.  Same envelope, modes, and error mapping as
+  ``/v1/solve``; the response adds a ``"resolve"`` accounting object.
 * ``POST /v1/verify`` — stateless re-certification of a solve response
   against its game/uncertainty via
   :func:`repro.resilience.certify_result`.
@@ -324,6 +331,12 @@ class ServiceDaemon:
                 raise _HttpError(405, _error_body(
                     "MethodNotAllowed", "/v1/solve only supports POST"))
             return await self._handle_solve(headers, body)
+        if path == "/v1/resolve":
+            if method != "POST":
+                raise _HttpError(405, _error_body(
+                    "MethodNotAllowed", "/v1/resolve only supports POST"))
+            return await self._handle_solve(headers, body,
+                                            submit=self.engine.submit_resolve)
         if path == "/v1/verify":
             if method != "POST":
                 raise _HttpError(405, _error_body(
@@ -349,8 +362,11 @@ class ServiceDaemon:
         raise _HttpError(404, _error_body(
             "NotFound", f"no result for request id {request_id!r}"))
 
-    async def _handle_solve(self, headers: dict[str, str], body: bytes):
+    async def _handle_solve(self, headers: dict[str, str], body: bytes,
+                            *, submit=None):
         payload = self._parse_json(body)
+        if submit is None:
+            submit = self.engine.submit
         tenant = headers.get("x-tenant") or "default"
         mode = "sync"
         if isinstance(payload, dict):
@@ -360,7 +376,7 @@ class ServiceDaemon:
             raise _HttpError(400, _error_body(
                 "BadRequest", f"mode must be 'sync' or 'async', got {mode!r}"))
         try:
-            ticket = self.engine.submit(payload, tenant=tenant)
+            ticket = submit(payload, tenant=tenant)
         except RequestError as exc:
             raise _HttpError(400, _error_body("BadRequest", str(exc)))
         except RejectedError as exc:

@@ -52,12 +52,17 @@ from repro.service.admission import (
     RejectedError,
 )
 from repro.service.requests import (
+    RESOLVE_OPTION_KEYS,
     build_instance,
     canonicalize_request,
+    canonicalize_resolve_request,
     instance_hash,
     request_hash,
+    shape_hash,
     solve_payload,
+    standing_key,
 )
+from repro.store import stable_hash
 from repro.telemetry.runtime import Telemetry, use as use_telemetry
 
 __all__ = ["ServiceResult", "SolveTicket", "SolveEngine"]
@@ -143,14 +148,18 @@ class SolveTicket:
 class _Job:
     """One admitted solve: the canonical request plus its waiters."""
 
-    __slots__ = ("request_id", "canonical", "tickets", "redispatched")
+    __slots__ = ("request_id", "canonical", "tickets", "redispatched",
+                 "kind", "tenant")
 
     def __init__(self, request_id: str, canonical: dict,
-                 ticket: SolveTicket) -> None:
+                 ticket: SolveTicket, *, kind: str = "solve",
+                 tenant: str = "default") -> None:
         self.request_id = request_id
         self.canonical = canonical
         self.tickets = [ticket]
         self.redispatched = False
+        self.kind = kind
+        self.tenant = tenant
 
 
 class _LruBytes:
@@ -270,6 +279,14 @@ class SolveEngine:
         self._inflight: dict[str, _Job] = {}
         self._cache = _LruBytes(cache_size)
         self._warm_bank = _LruBytes(cache_size)
+        # Drift-tolerant secondary warm bank: keyed by the game alone, so
+        # a request whose uncertainty intervals moved (and whose exact
+        # instance hash therefore missed) still finds the nearest prior
+        # solve of the same game as a probed warm start.
+        self._warm_shape_bank = _LruBytes(cache_size)
+        # Standing resolve handles for POST /v1/resolve, keyed by
+        # (tenant, game, pinned options); bounded LRU of live sessions.
+        self._standing = _LruBytes(max(4, workers * 2))
         from repro.solvers.fleet import SkeletonShapeCache
 
         self._shape_cache = SkeletonShapeCache(capacity=max(4, workers * 2))
@@ -358,9 +375,30 @@ class SolveEngine:
         canonical = canonicalize_request(body)
         return self.submit_canonical(canonical, tenant)
 
+    def submit_resolve(self, body, tenant: str = "default") -> SolveTicket:
+        """Admit one standing-resolve request (``POST /v1/resolve``).
+
+        Same admission pipeline as :meth:`submit` — response cache,
+        coalescing, quota, bounded queue — but keyed per tenant (standing
+        sessions hold live solver state and are never shared across
+        tenants) and executed against the tenant's standing
+        :class:`~repro.solvers.resolve.ResolveHandle` for the game: the
+        first request on a (tenant, game, options) key cold-starts the
+        handle, every later one re-enters it through
+        :func:`repro.solvers.resolve.resolve`.
+        """
+        canonical = canonicalize_resolve_request(body)
+        key = stable_hash({"op": "resolve", "tenant": tenant,
+                           "request": canonical})
+        return self._admit(key, canonical, tenant, kind="resolve")
+
     def submit_canonical(self, canonical: dict, tenant: str = "default") -> SolveTicket:
         """Admission for an already-canonical request (see :meth:`submit`)."""
-        key = request_hash(canonical)
+        return self._admit(request_hash(canonical), canonical, tenant,
+                           kind="solve")
+
+    def _admit(self, key: str, canonical: dict, tenant: str,
+               kind: str) -> SolveTicket:
         with self._lock:
             cached = self._cache.get(key)
             if cached is not None:
@@ -384,7 +422,7 @@ class SolveEngine:
                 raise RejectedError("quota", retry_after)
 
             ticket = SolveTicket(key)
-            job = _Job(key, canonical, ticket)
+            job = _Job(key, canonical, ticket, kind=kind, tenant=tenant)
             self._inflight[key] = job
             try:
                 accepted = self._queue.try_put(job)
@@ -443,6 +481,76 @@ class SolveEngine:
             sessions[backend] = session
         return session
 
+    def _lookup_warm(self, canonical: dict):
+        """Warm-start lookup: exact instance first, then the
+        drift-tolerant game-shape key (same game, moved intervals — the
+        nearest prior optimum is still a sound probed hint)."""
+        with self._lock:
+            warm = self._warm_bank.get(instance_hash(canonical))
+            if warm is not None:
+                self._counter("repro_service_warm_hits_total").inc()
+                return warm
+            warm = self._warm_shape_bank.get(shape_hash(canonical))
+            if warm is not None:
+                self._counter("repro_service_warm_drift_hits_total").inc()
+            return warm
+
+    def _store_warm(self, canonical: dict, warm_start) -> None:
+        """Bank a finished solve's warm start under both keys (caller
+        holds the engine lock)."""
+        if warm_start is None:
+            return
+        self._warm_bank.put(instance_hash(canonical), warm_start)
+        self._warm_shape_bank.put(shape_hash(canonical), warm_start)
+
+    def _execute_resolve(self, job: _Job):
+        """Run one resolve job against the tenant's standing handle.
+
+        Returns ``(result, resolve_info)`` — the post-drift
+        :class:`~repro.core.cubis.CubisResult` plus the JSON-ready
+        re-entry accounting for the response body.
+        """
+        from repro.solvers.resolve import resolve, start_resolve
+
+        game, uncertainty, options = build_instance(job.canonical)
+        ropts = {name: options[name] for name in RESOLVE_OPTION_KEYS}
+        skey = standing_key(job.canonical, job.tenant)
+        with self._lock:
+            handle = self._standing.get(skey)
+        if handle is None:
+            warm = self._lookup_warm(job.canonical)
+            handle = start_resolve(game, uncertainty, warm_start=warm, **ropts)
+            with self._lock:
+                winner = self._standing.get(skey)
+                if winner is None:
+                    self._standing.put(skey, handle)
+                    self._counter("repro_service_standing_started_total").inc()
+            if winner is None:
+                info = {
+                    "standing": False,
+                    "drift": None,
+                    "bracket_reused": False,
+                    "warm_hit": bool(handle.result.cache_hits > 0),
+                    "session_patches": 0,
+                    "guess_probes": int(handle.result.guess_probes),
+                }
+                return handle.result, info
+            handle = winner  # lost a creation race: re-enter the winner
+        outcome = resolve(handle, uncertainty)
+        info = {
+            "standing": True,
+            "drift": {
+                "kind": outcome.drift.kind,
+                "changed_targets": int(outcome.drift.changed_targets),
+                "max_rel_change": float(outcome.drift.max_rel_change),
+            },
+            "bracket_reused": bool(outcome.bracket_reused),
+            "warm_hit": bool(outcome.warm_hit),
+            "session_patches": int(outcome.session_patches),
+            "guess_probes": int(outcome.result.guess_probes),
+        }
+        return outcome.result, info
+
     def _run_job(self, job: _Job, sessions: dict) -> None:
         from repro.solvers.fleet import use_shape_cache
 
@@ -450,21 +558,26 @@ class SolveEngine:
         worker_tele = Telemetry()
         error: Exception | None = None
         result = None
+        resolve_info = None
         try:
-            game, uncertainty, options = build_instance(job.canonical)
-            policy = self._policy_factory(options)
-            session = self._lease_session(sessions, options, policy)
-            with self._lock:
-                warm = self._warm_bank.get(instance_hash(job.canonical))
-                if warm is not None:
-                    self._counter("repro_service_warm_hits_total").inc()
-            with use_telemetry(worker_tele), use_shape_cache(self._shape_cache):
-                with worker_tele.span("service.solve", request=job.request_id,
-                                      redispatch=job.redispatched):
-                    result = self._solve_fn(
-                        game, uncertainty, options,
-                        warm_start=warm, session=session, policy=policy,
-                    )
+            if job.kind == "resolve":
+                with use_telemetry(worker_tele):
+                    with worker_tele.span("service.resolve",
+                                          request=job.request_id,
+                                          redispatch=job.redispatched):
+                        result, resolve_info = self._execute_resolve(job)
+            else:
+                game, uncertainty, options = build_instance(job.canonical)
+                policy = self._policy_factory(options)
+                session = self._lease_session(sessions, options, policy)
+                warm = self._lookup_warm(job.canonical)
+                with use_telemetry(worker_tele), use_shape_cache(self._shape_cache):
+                    with worker_tele.span("service.solve", request=job.request_id,
+                                          redispatch=job.redispatched):
+                        result = self._solve_fn(
+                            game, uncertainty, options,
+                            warm_start=warm, session=session, policy=policy,
+                        )
         except Exception as exc:  # noqa: BLE001 — every failure becomes a 503
             error = exc
         elapsed = self._clock() - t0
@@ -475,6 +588,8 @@ class SolveEngine:
             payload = solve_payload(result)
             payload["request_id"] = job.request_id
             payload["coalesced_waiters"] = len(job.tickets) - 1
+            if resolve_info is not None:
+                payload["resolve"] = resolve_info
             body = json.dumps(payload, sort_keys=True).encode()
             outcome = ServiceResult(200, body)
             warm_start = (result.as_warm_start()
@@ -482,8 +597,7 @@ class SolveEngine:
             with self._lock:
                 self.telemetry.metrics.merge(worker_tele.metrics)
                 self._cache.put(job.request_id, outcome)
-                if warm_start is not None:
-                    self._warm_bank.put(instance_hash(job.canonical), warm_start)
+                self._store_warm(job.canonical, warm_start)
                 self._inflight.pop(job.request_id, None)
                 self._counter("repro_service_solves_total").inc()
                 self.telemetry.metrics.histogram(

@@ -43,10 +43,14 @@ from repro.store import stable_hash
 __all__ = [
     "RequestError",
     "SOLVE_OPTION_SPEC",
+    "RESOLVE_OPTION_KEYS",
     "ENVELOPE_FIELDS",
     "canonicalize_request",
+    "canonicalize_resolve_request",
     "request_hash",
     "instance_hash",
+    "shape_hash",
+    "standing_key",
     "build_instance",
     "solve_payload",
     "result_from_payload",
@@ -218,6 +222,48 @@ def canonicalize_request(body: Mapping) -> dict:
     }
 
 
+#: Canonical option names a standing resolve pins into its handle.  The
+#: remaining solve options are either forced (``oracle='milp'``,
+#: ``resilience=false`` — a standing session owns its failure semantics)
+#: or managed by the handle itself (``session``).
+RESOLVE_OPTION_KEYS: tuple[str, ...] = (
+    "num_segments",
+    "epsilon",
+    "backend",
+    "equality_resources",
+    "execution_alpha",
+    "speculation",
+)
+
+
+def canonicalize_resolve_request(body: Mapping) -> dict:
+    """Validate a ``POST /v1/resolve`` body and return its canonical form.
+
+    The body shape matches ``/v1/solve`` — ``{game, uncertainty,
+    options}`` — but the options the standing machinery cannot honour
+    (``oracle``, ``resilience``, ``session``) are rejected up front
+    instead of silently ignored.  The canonical form is a plain
+    :func:`canonicalize_request` dict, so all the solve-side hashing
+    helpers apply.
+    """
+    if not isinstance(body, Mapping):
+        raise RequestError(f"request body must be an object, got {type(body).__name__}")
+    options = body.get("options")
+    if options is not None and isinstance(options, Mapping):
+        unsupported = sorted(set(options) & {"oracle", "resilience", "session"})
+        if unsupported:
+            raise RequestError(
+                f"options {unsupported} are not supported by the resolve "
+                "endpoint: a standing session manages the oracle, failure "
+                f"semantics and session reuse itself; supported: "
+                f"{sorted(RESOLVE_OPTION_KEYS)}"
+            )
+    merged = dict(body)
+    merged["options"] = {**(dict(options) if isinstance(options, Mapping) else {}),
+                         "resilience": False}
+    return canonicalize_request(merged)
+
+
 def request_hash(canonical: Mapping) -> str:
     """The coalescing key: the canonical content hash of the request."""
     return stable_hash(canonical)
@@ -230,6 +276,31 @@ def instance_hash(canonical: Mapping) -> str:
     other's certificate pools."""
     return stable_hash(
         {"game": canonical["game"], "uncertainty": canonical["uncertainty"]}
+    )
+
+
+def shape_hash(canonical: Mapping) -> str:
+    """The hash of the *game* alone — uncertainty excluded.
+
+    This is the warm bank's drift-tolerant secondary key: interval drift
+    changes the uncertainty spec (and hence :func:`instance_hash`) on
+    every step, but the game — and with it the MILP shape and the
+    geometry the prior optimum lives in — is unchanged, so the most
+    recent solve of the same game is still an excellent *probed* warm
+    start."""
+    return stable_hash({"game": canonical["game"]})
+
+
+def standing_key(canonical: Mapping, tenant: str) -> str:
+    """The standing-solve bank key: tenant + game + pinned options.
+
+    Uncertainty is deliberately excluded — drifted intervals must land
+    on the *same* standing handle, that is the whole point — while the
+    tenant is deliberately included: standing sessions hold live solver
+    state and are never shared across tenants."""
+    options = {name: canonical["options"][name] for name in RESOLVE_OPTION_KEYS}
+    return stable_hash(
+        {"tenant": tenant, "game": canonical["game"], "options": options}
     )
 
 

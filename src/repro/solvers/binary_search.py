@@ -89,6 +89,12 @@ class BinarySearchResult:
         Speculative probes whose verdict was implied by the round's
         bracket-defining pair — the price paid for the shorter critical
         path.
+    guess_probes:
+        ``initial_guesses`` entries actually probed (guesses outside the
+        open bracket are skipped and not counted).  Lets warm-start
+        callers — notably the drift re-solve engine
+        (:mod:`repro.solvers.resolve`) — report what a carried bracket
+        cost to re-validate.
     """
 
     lower: float
@@ -100,6 +106,7 @@ class BinarySearchResult:
     speculative_rounds: int = 0
     speculative_probes: int = 0
     wasted_probes: int = 0
+    guess_probes: int = 0
 
     @property
     def gap(self) -> float:
@@ -216,6 +223,7 @@ def binary_search_max(
         proven_feasible = True
         lo = raise_lower(lo, payload_lo)
 
+    guess_probes = 0
     for guess in initial_guesses:
         if iterations >= max_iterations or hi - lo <= tolerance:
             break
@@ -225,6 +233,7 @@ def binary_search_max(
         feasible, guess_payload = probe(guess)
         trace.append((guess, feasible))
         iterations += 1
+        guess_probes += 1
         if feasible:
             payload = guess_payload
             proven_feasible = True
@@ -301,6 +310,7 @@ def binary_search_max(
         return BinarySearchResult(
             -float("inf"), hi, None, iterations, tuple(trace), False,
             speculative_rounds, speculative_probes, wasted_probes,
+            guess_probes,
         )
     converged = hi - lo <= tolerance
     if not converged:
@@ -314,4 +324,5 @@ def binary_search_max(
     return BinarySearchResult(
         lo, hi, payload, iterations, tuple(trace), converged,
         speculative_rounds, speculative_probes, wasted_probes,
+        guess_probes,
     )

@@ -3,8 +3,10 @@
 Runs one :class:`~repro.game.ssg.IntervalSecurityGame` instance through
 every independent solver path — the HiGHS MILP ladder, the pure-Python
 branch-and-bound MILP, the incremental-session MILP with speculative
-bisection, the grid-restricted DP oracle, and the SLSQP multi-start
-comparator — and checks that they tell one consistent story:
+bisection, the structure-sharing fleet solver, the standing-solve drift
+re-entry (``milp-resolve``), the grid-restricted DP oracle, and the
+SLSQP multi-start comparator — and checks that they tell one consistent
+story:
 
 1. **Per path**: the path completes, returns a feasible strategy, and
    its reported value matches a solver-independent re-evaluation (exact
@@ -56,7 +58,17 @@ __all__ = ["PathOutcome", "DEFAULT_PATHS", "run_paths", "differential_check"]
 #: lease + retargeted session), which must land inside the same theorem
 #: slack as the plain MILP paths — the differential arm for the batched
 #: substrate.
-DEFAULT_PATHS = ("milp-highs", "milp-bnb", "milp-session", "milp-fleet", "dp", "exact")
+#: ``milp-resolve`` opens a standing solve on a 25%-widened variant of
+#: the instance's intervals and re-enters it with the actual intervals
+#: via :func:`repro.solvers.resolve.resolve` — the answer it lands on is
+#: a genuine shrink re-solve (warm bracket probed, live model patched
+#: across the drift) and must agree with every cold path within the same
+#: theorem slack, pinning the incremental re-entry machinery to the
+#: reference semantics on every battery run.
+DEFAULT_PATHS = (
+    "milp-highs", "milp-bnb", "milp-session", "milp-fleet", "milp-resolve",
+    "dp", "exact",
+)
 
 #: DP suboptimality multiplier on the ``span/K`` term.  The DP snaps the
 #: *argument* to the grid (the MILP only snaps function values), so its
@@ -162,6 +174,31 @@ def run_paths(
             "session_patches": result.session_patches,
         }
 
+    def resolve_path():
+        from repro.behavior.interval import BandScaledModel
+        from repro.solvers.resolve import resolve as resolve_step
+        from repro.solvers.resolve import start_resolve
+
+        handle = start_resolve(
+            game,
+            BandScaledModel(uncertainty, 1.25),
+            num_segments=num_segments,
+            epsilon=epsilon,
+            backend="highs",
+        )
+        outcome = resolve_step(handle, uncertainty)
+        result = outcome.result
+        return result.strategy, float(result.worst_case_value), {
+            "iterations": result.iterations,
+            "converged": result.converged,
+            "lower_bound": float(result.lower_bound),
+            "upper_bound": float(result.upper_bound),
+            "drift": outcome.drift.kind,
+            "bracket_reused": outcome.bracket_reused,
+            "warm_hit": outcome.warm_hit,
+            "session_patches": outcome.session_patches,
+        }
+
     def exact():
         result = solve_exact(
             game, uncertainty, num_starts=exact_starts, seed=exact_seed
@@ -192,6 +229,7 @@ def run_paths(
             slack,
         ),
         "milp-fleet": (fleet, slack),
+        "milp-resolve": (resolve_path, slack),
         "dp": (lambda: cubis(oracle="dp"), epsilon + dp_slack_factor * span),
         "exact": (exact, slack),
         "milp-injected": (injected, slack),

@@ -33,7 +33,22 @@ Fixture layout (``schema_version`` 1)::
     }
 
 Known expected keys: ``robust_strategy``, ``robust_worst_case``,
-``midpoint_strategy``, ``midpoint_worst_case``.
+``midpoint_strategy``, ``midpoint_worst_case``, ``resolve_strategy``,
+``resolve_worst_case``.
+
+A fixture may additionally carry a ``drift`` object::
+
+    "drift": {"factors": [0.9, 0.81, 0.729]}
+
+which turns it into a *drift-sequence* fixture: the ``resolve_*``
+expected keys pin the answer the standing-solve engine
+(:mod:`repro.solvers.resolve`) lands on after opening a handle on the
+base uncertainty and re-entering it once per factor, each step seeing
+the base intervals band-scaled by that cumulative factor
+(:class:`~repro.behavior.interval.BandScaledModel`).  The engine's
+lifetime counters (re-solves, warm hits, bracket reuses, patches) are
+recorded into provenance on regeneration, so a pinned fixture also
+documents how much of the incremental machinery the sequence exercised.
 
 The ``solve`` object accepts the optional keys ``session`` and
 ``speculation`` (forwarded to :func:`~repro.core.cubis.solve_cubis` for
@@ -78,6 +93,8 @@ KNOWN_EXPECTED = (
     "robust_worst_case",
     "midpoint_strategy",
     "midpoint_worst_case",
+    "resolve_strategy",
+    "resolve_worst_case",
 )
 
 _INSTANCE_KINDS = ("table1", "random")
@@ -102,11 +119,12 @@ class GoldenFixture:
     solve: dict
     expected: dict
     provenance: dict
+    drift: dict | None = None
     path: Path | None = None
 
     def to_dict(self) -> dict:
         """The JSON object form (path omitted)."""
-        return {
+        out = {
             "schema_version": SCHEMA_VERSION,
             "name": self.name,
             "description": self.description,
@@ -116,6 +134,9 @@ class GoldenFixture:
             "expected": self.expected,
             "provenance": self.provenance,
         }
+        if self.drift is not None:
+            out["drift"] = self.drift
+        return out
 
 
 def default_golden_dir() -> Path:
@@ -199,6 +220,20 @@ def validate_fixture(data: dict, *, where: str = "fixture") -> GoldenFixture:
                 f"got {speculation!r}"
             )
 
+    drift = data.get("drift")
+    if drift is not None:
+        if not isinstance(drift, dict):
+            raise GoldenSchemaError(f"{where}.drift: must be an object")
+        factors = _require(drift, "factors", list, f"{where}.drift")
+        if not factors or not all(
+            isinstance(f, (int, float)) and not isinstance(f, bool) and f > 0
+            for f in factors
+        ):
+            raise GoldenSchemaError(
+                f"{where}.drift: 'factors' must be a non-empty list of "
+                f"positive numbers"
+            )
+
     expected = _require(data, "expected", dict, where)
     if not expected:
         raise GoldenSchemaError(f"{where}.expected: must pin at least one value")
@@ -213,6 +248,12 @@ def validate_fixture(data: dict, *, where: str = "fixture") -> GoldenFixture:
         if "value" not in entry:
             raise GoldenSchemaError(f"{where}.expected.{key}: missing 'value'")
 
+    if any(key.startswith("resolve_") for key in expected) and drift is None:
+        raise GoldenSchemaError(
+            f"{where}.expected: 'resolve_*' keys require a 'drift' object "
+            f"describing the factor sequence the standing solve re-enters"
+        )
+
     provenance = data.get("provenance", {})
     if not isinstance(provenance, dict):
         raise GoldenSchemaError(f"{where}.provenance: must be an object")
@@ -225,6 +266,7 @@ def validate_fixture(data: dict, *, where: str = "fixture") -> GoldenFixture:
         solve=dict(solve),
         expected={k: dict(v) for k, v in expected.items()},
         provenance=dict(provenance),
+        drift=dict(drift) if drift is not None else None,
     )
 
 
@@ -304,12 +346,30 @@ def measure_fixture(fixture: GoldenFixture) -> dict:
         )
         measured["midpoint_strategy"] = midpoint.strategy.tolist()
         measured["midpoint_worst_case"] = float(midpoint.worst_case_value)
+    if keys & {"resolve_strategy", "resolve_worst_case"}:
+        from repro.behavior.interval import BandScaledModel
+        from repro.solvers.resolve import resolve, start_resolve
+
+        handle = start_resolve(
+            game, uncertainty, num_segments=num_segments, epsilon=epsilon
+        )
+        outcome = None
+        for factor in fixture.drift["factors"]:
+            outcome = resolve(handle, BandScaledModel(uncertainty, float(factor)))
+        final = outcome.result
+        measured["resolve_strategy"] = final.strategy.tolist()
+        measured["resolve_worst_case"] = float(final.worst_case_value)
+        measured["_resolve_stats"] = {
+            key: handle.stats()[key]
+            for key in ("resolves", "warm_hits", "bracket_reuses", "patches")
+        }
     out = {key: measured[key] for key in fixture.expected}
-    # Side-channel (underscore-prefixed, never an expected key): the mode
-    # the robust solve actually ran with, recorded into provenance by
-    # regenerate_fixture.
-    if "_session_mode" in measured:
-        out["_session_mode"] = measured["_session_mode"]
+    # Side-channels (underscore-prefixed, never expected keys): the mode
+    # the robust solve actually ran with and the standing-solve engine's
+    # lifetime counters, recorded into provenance by regenerate_fixture.
+    for side in ("_session_mode", "_resolve_stats"):
+        if side in measured:
+            out[side] = measured[side]
     return out
 
 
@@ -367,6 +427,7 @@ def regenerate_fixture(
     """
     measured = measure_fixture(fixture)
     session_mode = measured.pop("_session_mode", None)
+    resolve_stats = measured.pop("_resolve_stats", None)
     drifted = {
         key: _drift(entry["value"], measured[key])
         for key, entry in fixture.expected.items()
@@ -392,6 +453,8 @@ def regenerate_fixture(
     }
     if session_mode is not None:
         provenance["session_mode"] = session_mode
+    if resolve_stats is not None:
+        provenance["resolve_stats"] = resolve_stats
     return GoldenFixture(
         name=fixture.name,
         description=fixture.description,
@@ -400,6 +463,7 @@ def regenerate_fixture(
         solve=fixture.solve,
         expected=expected,
         provenance=provenance,
+        drift=fixture.drift,
         path=fixture.path,
     )
 

@@ -128,3 +128,28 @@ class TestResultSerialisation:
     def test_non_dataclass_rejected(self):
         with pytest.raises(TypeError, match="dataclass"):
             result_to_dict({"not": "a dataclass"})
+
+
+class TestBandScaledRoundTrip:
+    def test_band_scaled_wrapping_suqr(self):
+        from repro.behavior.interval import BandScaledModel
+
+        game = random_interval_game(4, seed=6)
+        base = IntervalSUQR(
+            game.payoffs, w1=(-4.0, -2.0), w2=(0.5, 0.9), w3=(0.3, 0.6),
+            convention="tight",
+        )
+        model = BandScaledModel(base, 0.75)
+        data = uncertainty_to_dict(model)
+        assert data["kind"] == "band_scaled"
+        assert data["factor"] == 0.75
+        assert data["base"]["kind"] == "interval_suqr"
+        restored = uncertainty_from_dict(data, game.payoffs)
+        assert isinstance(restored, BandScaledModel)
+        pts = np.linspace(0.0, 1.0, 9)
+        np.testing.assert_array_equal(
+            restored.lower_on_grid(pts), model.lower_on_grid(pts)
+        )
+        np.testing.assert_array_equal(
+            restored.upper_on_grid(pts), model.upper_on_grid(pts)
+        )

@@ -140,3 +140,74 @@ class TestBootstrapWeightBoxes:
         game, _, log = fitting_setup
         b1, _, _ = bootstrap_weight_boxes(game.payoffs, log, num_bootstrap=8, seed=2)
         assert b1.hi <= 0.0
+
+
+class TestEstimateIntervals:
+    def test_validation(self, fitting_setup):
+        from repro.behavior.fitting import estimate_intervals
+
+        _, _, log = fitting_setup
+        with pytest.raises(ValueError, match="delta"):
+            estimate_intervals(log, delta=0.0)
+        with pytest.raises(ValueError, match="slope"):
+            estimate_intervals(log, slope=0.5)
+        with pytest.raises(ValueError, match="floor"):
+            estimate_intervals(log, floor=0.0)
+
+    def test_hoeffding_radius_formula(self, fitting_setup):
+        from repro.behavior.fitting import estimate_intervals
+
+        _, _, log = fitting_setup
+        est = estimate_intervals(log, delta=0.05)
+        t, n = log.num_targets, log.num_observations
+        assert est.radius == pytest.approx(
+            np.sqrt(np.log(2 * t / 0.05) / (2 * n))
+        )
+        assert est.num_observations == n
+
+    def test_radius_halves_as_data_quadruples(self, fitting_setup):
+        """The PAC band shrinks like 1/sqrt(N) — the quantitative driver
+        of the online intervals-shrink loop."""
+        from repro.behavior.fitting import AttackLog, estimate_intervals
+
+        _, _, log = fitting_setup
+        n = log.num_observations // 4
+        small = AttackLog(log.coverages[:n], log.targets[:n])
+        big = AttackLog(log.coverages[: 4 * n], log.targets[: 4 * n])
+        r_small = estimate_intervals(small).radius
+        r_big = estimate_intervals(big).radius
+        assert r_small == pytest.approx(2.0 * r_big)
+
+    def test_band_anchored_at_mean_coverage(self, fitting_setup):
+        from repro.behavior.fitting import estimate_intervals
+
+        _, _, log = fitting_setup
+        est = estimate_intervals(log, delta=0.1)
+        lo_const = np.maximum(est.probabilities - est.radius, 1e-4)
+        np.testing.assert_allclose(est.model.lower(est.centres), lo_const)
+        np.testing.assert_allclose(
+            est.model.upper(est.centres), est.probabilities + est.radius
+        )
+
+    def test_model_is_valid_uncertainty(self, fitting_setup):
+        """Positive, ordered, non-increasing bounds — what CUBIS needs."""
+        from repro.behavior.fitting import estimate_intervals
+
+        _, _, log = fitting_setup
+        est = estimate_intervals(log, slope=-2.0)
+        pts = np.linspace(0.0, 1.0, 9)
+        lo = est.model.lower_on_grid(pts)
+        hi = est.model.upper_on_grid(pts)
+        assert np.all(lo > 0)
+        assert np.all(lo <= hi)
+        assert np.all(np.diff(lo, axis=1) <= 0)
+        assert np.all(np.diff(hi, axis=1) <= 0)
+
+    def test_never_attacked_target_stays_positive(self):
+        from repro.behavior.fitting import estimate_intervals
+
+        # Every observation hits target 0; targets 1 and 2 are unseen.
+        log = AttackLog(np.full((30, 3), 0.2), np.zeros(30, dtype=int))
+        est = estimate_intervals(log)
+        assert np.all(est.probabilities > 0)
+        assert np.all(est.model.lower(np.zeros(3)) > 0)

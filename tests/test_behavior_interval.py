@@ -285,3 +285,88 @@ class TestFunctionIntervalModel:
         # |d/dx e^{-2x}| peaks at x=0 with value 2 (times the constant).
         assert dl[0] == pytest.approx(2.0, rel=0.05)
         assert dl[1] == pytest.approx(4.0, rel=0.05)
+
+
+class TestBandScaledModel:
+    def base_model(self):
+        from repro.behavior.interval import IntervalSUQR
+
+        payoffs = paper_interval_payoffs()
+        return IntervalSUQR(
+            payoffs, w1=(-6.0, -2.0), w2=(0.5, 1.0), w3=(0.4, 0.9),
+            convention="tight",
+        )
+
+    def test_factor_one_is_bitwise_identity(self):
+        from repro.behavior.interval import BandScaledModel
+
+        base = self.base_model()
+        wrapped = BandScaledModel(base, 1.0)
+        pts = np.linspace(0.0, 1.0, 11)
+        np.testing.assert_array_equal(
+            wrapped.lower_on_grid(pts), base.lower_on_grid(pts)
+        )
+        np.testing.assert_array_equal(
+            wrapped.upper_on_grid(pts), base.upper_on_grid(pts)
+        )
+
+    def test_small_factor_shrinks_towards_centre(self):
+        from repro.behavior.interval import BandScaledModel
+
+        base = self.base_model()
+        narrow = BandScaledModel(base, 0.5)
+        pts = np.linspace(0.0, 1.0, 11)
+        assert np.all(narrow.lower_on_grid(pts) > base.lower_on_grid(pts))
+        assert np.all(narrow.upper_on_grid(pts) < base.upper_on_grid(pts))
+        assert np.all(narrow.lower_on_grid(pts) <= narrow.upper_on_grid(pts))
+
+    def test_large_factor_widens(self):
+        from repro.behavior.interval import BandScaledModel
+
+        base = self.base_model()
+        wide = BandScaledModel(base, 1.2)
+        pts = np.linspace(0.0, 1.0, 11)
+        assert np.all(wide.lower_on_grid(pts) < base.lower_on_grid(pts))
+        assert np.all(wide.upper_on_grid(pts) > base.upper_on_grid(pts))
+
+    def test_factor_zero_collapses_to_geometric_centre(self):
+        from repro.behavior.interval import BandScaledModel
+
+        base = self.base_model()
+        point = BandScaledModel(base, 0.0)
+        pts = np.linspace(0.0, 1.0, 5)
+        lo, hi = point.lower_on_grid(pts), point.upper_on_grid(pts)
+        np.testing.assert_allclose(lo, hi)
+        np.testing.assert_allclose(
+            lo, np.sqrt(base.lower_on_grid(pts) * base.upper_on_grid(pts))
+        )
+
+    def test_scaled_composes_multiplicatively(self):
+        from repro.behavior.interval import BandScaledModel
+
+        base = self.base_model()
+        composed = BandScaledModel(base, 0.8).scaled(0.5)
+        direct = BandScaledModel(base, 0.4)
+        assert composed.factor == pytest.approx(0.4)
+        pts = np.linspace(0.0, 1.0, 7)
+        np.testing.assert_allclose(
+            composed.lower_on_grid(pts), direct.lower_on_grid(pts)
+        )
+        np.testing.assert_allclose(
+            composed.upper_on_grid(pts), direct.upper_on_grid(pts)
+        )
+
+    def test_invalid_factor_rejected(self):
+        from repro.behavior.interval import BandScaledModel
+
+        base = self.base_model()
+        with pytest.raises(ValueError, match="factor"):
+            BandScaledModel(base, -0.1)
+        with pytest.raises(ValueError, match="factor"):
+            BandScaledModel(base, float("nan"))
+
+    def test_num_targets_passthrough(self):
+        from repro.behavior.interval import BandScaledModel
+
+        base = self.base_model()
+        assert BandScaledModel(base, 0.7).num_targets == base.num_targets

@@ -77,3 +77,106 @@ class TestCornerAttackerTypes:
         p = small_uncertainty.payoffs
         for m in corner_attacker_types(small_uncertainty):
             np.testing.assert_array_equal(m.payoffs.defender_reward, p.defender_reward)
+
+
+class TestShrinkFactors:
+    def test_ladder_shape_and_endpoints(self):
+        from repro.behavior.sampling import shrink_factors
+
+        factors = shrink_factors(5, final=0.5)
+        assert len(factors) == 5
+        assert np.all(np.diff(factors) < 0)
+        assert np.all(factors < 1.0)
+        assert factors[-1] == pytest.approx(0.5)
+
+    def test_single_step_is_final(self):
+        from repro.behavior.sampling import shrink_factors
+
+        assert shrink_factors(1, final=0.3)[0] == pytest.approx(0.3)
+
+    def test_validation(self):
+        from repro.behavior.sampling import shrink_factors
+
+        with pytest.raises(ValueError, match="num_steps"):
+            shrink_factors(0)
+        with pytest.raises(ValueError, match="final"):
+            shrink_factors(3, final=1.0)
+
+
+class TestIntervalDriftSequence:
+    def base_model(self):
+        from repro.behavior.interval import IntervalSUQR
+        from repro.game.generator import random_interval_game
+
+        game = random_interval_game(4, seed=9)
+        return IntervalSUQR(
+            game.payoffs, w1=(-4.0, -1.0), w2=(0.6, 0.9), w3=(0.3, 0.6),
+            convention="tight",
+        )
+
+    def test_snapshots_carry_factors(self):
+        from repro.behavior.sampling import interval_drift_sequence
+
+        base = self.base_model()
+        seq = interval_drift_sequence(base, [0.9, 0.7, 0.5])
+        assert [m.factor for m in seq] == [0.9, 0.7, 0.5]
+        assert all(m.base is base for m in seq)
+
+    def test_decreasing_ladder_is_pointwise_nested(self):
+        """Successive snapshots nest: L rises and U falls pointwise — the
+        pure-shrink regime the resolve engine's bracket reuse rests on."""
+        from repro.behavior.sampling import interval_drift_sequence, shrink_factors
+
+        base = self.base_model()
+        pts = np.linspace(0.0, 1.0, 7)
+        seq = interval_drift_sequence(base, shrink_factors(4))
+        for narrow, wide in zip(seq[1:], seq[:-1]):
+            assert np.all(narrow.lower_on_grid(pts) >= wide.lower_on_grid(pts))
+            assert np.all(narrow.upper_on_grid(pts) <= wide.upper_on_grid(pts))
+
+    def test_validation(self):
+        from repro.behavior.sampling import interval_drift_sequence
+
+        with pytest.raises(ValueError, match="non-empty"):
+            interval_drift_sequence(self.base_model(), [])
+
+
+class TestEstimatedDriftSequence:
+    def setup_truth(self):
+        from repro.behavior.suqr import SUQR, SUQRWeights
+        from repro.game.generator import random_game
+
+        game = random_game(4, num_resources=1, seed=21)
+        truth = SUQR(game.payoffs, SUQRWeights(-2.5, 0.7, 0.5))
+        strategies = game.strategy_space.random_batch(5, seed=3)
+        return truth, strategies
+
+    def test_radii_shrink_with_sample_size(self):
+        from repro.behavior.sampling import estimated_drift_sequence
+
+        truth, strategies = self.setup_truth()
+        estimates = estimated_drift_sequence(
+            truth, strategies, [50, 200, 800], seed=0
+        )
+        assert [e.num_observations for e in estimates] == [50, 200, 800]
+        radii = [e.radius for e in estimates]
+        assert radii[0] == pytest.approx(2.0 * radii[1])
+        assert radii[1] == pytest.approx(2.0 * radii[2])
+
+    def test_slope_defaults_to_truth_w1(self):
+        from repro.behavior.sampling import estimated_drift_sequence
+
+        truth, strategies = self.setup_truth()
+        (estimate,) = estimated_drift_sequence(truth, strategies, [40], seed=1)
+        assert estimate.slope == pytest.approx(truth.weights.w1)
+
+    def test_validation(self):
+        from repro.behavior.sampling import estimated_drift_sequence
+
+        truth, strategies = self.setup_truth()
+        with pytest.raises(ValueError, match="non-empty"):
+            estimated_drift_sequence(truth, strategies, [])
+        with pytest.raises(ValueError, match="increasing"):
+            estimated_drift_sequence(truth, strategies, [100, 100])
+        with pytest.raises(ValueError, match="2-D"):
+            estimated_drift_sequence(truth, np.zeros(4), [10])

@@ -433,3 +433,100 @@ class TestStrategyCertificate:
         cert, _ = self.certificate_for([0.4, 0.6])
         # Far below the certified range the whole bracket is feasible.
         assert cert.guaranteed_level(-100.0, -50.0) == -50.0
+
+
+class TestDriftPatch:
+    """drift_patch carries a live model across an interval perturbation
+    at a fixed candidate; patch_touched_targets decodes which targets the
+    patch rewrites.  Both must be exact: the patched model bit-identical
+    to a fresh build on the new bands, the touched set confined to the
+    perturbed targets (the resolve engine's sparse re-entry invariant)."""
+
+    def _bands(self, t=4, k=6, seed=3):
+        grid = SegmentGrid(k)
+        bp = grid.breakpoints
+        rng = np.random.default_rng(seed)
+        rd = rng.uniform(1.0, 6.0, size=t)
+        pd = -rng.uniform(1.0, 6.0, size=t)
+        ud = np.outer(rd, bp) + np.outer(pd, 1 - bp)
+        slope = rng.uniform(0.5, 2.0, size=(t, 1))
+        lo = np.exp(-slope * bp + rng.uniform(0.0, 0.5, size=(t, 1)))
+        hi = np.exp(-0.5 * slope * bp + rng.uniform(0.6, 1.0, size=(t, 1)))
+        return ud, lo, hi, grid
+
+    def _shrunk(self, lo, hi, targets, amount=0.02):
+        lo2, hi2 = lo.copy(), hi.copy()
+        lo2[list(targets)] *= 1.0 + amount
+        hi2[list(targets)] *= 1.0 - amount
+        return lo2, hi2
+
+    def test_drift_patch_matches_fresh_build(self):
+        ud, lo, hi, grid = self._bands()
+        proto = CubisMilpSkeleton(ud, lo, hi, 1.5, grid)
+        lo2, hi2 = self._shrunk(lo, hi, range(len(ud)))
+        sibling = proto.rebind(ud, lo2, hi2)
+        for c in (-2.0, 0.0, 1.25):
+            model = proto.patch(c)
+            patched = apply_patch(proto, model, sibling.drift_patch(proto, c))
+            assert_models_identical(
+                patched, build_cubis_milp(ud, lo2, hi2, 1.5, c, grid)
+            )
+
+    def test_no_drift_patch_is_empty(self):
+        ud, lo, hi, grid = self._bands()
+        proto = CubisMilpSkeleton(ud, lo, hi, 1.5, grid)
+        sibling = proto.rebind(ud, lo.copy(), hi.copy())
+        patch = sibling.drift_patch(proto, 0.5)
+        assert patch.num_updates == 0
+        assert sibling.patch_touched_targets(patch).size == 0
+
+    def test_single_target_drift_touches_only_that_target(self):
+        ud, lo, hi, grid = self._bands()
+        proto = CubisMilpSkeleton(ud, lo, hi, 1.5, grid)
+        for target in range(len(ud)):
+            lo2, hi2 = self._shrunk(lo, hi, [target])
+            sibling = proto.rebind(ud, lo2, hi2)
+            patch = sibling.drift_patch(proto, 0.5)
+            assert patch.num_updates > 0
+            np.testing.assert_array_equal(
+                sibling.patch_touched_targets(patch), [target]
+            )
+
+    def test_full_drift_touches_every_target(self):
+        ud, lo, hi, grid = self._bands()
+        proto = CubisMilpSkeleton(ud, lo, hi, 1.5, grid)
+        lo2, hi2 = self._shrunk(lo, hi, range(len(ud)))
+        sibling = proto.rebind(ud, lo2, hi2)
+        patch = sibling.drift_patch(proto, 0.5)
+        np.testing.assert_array_equal(
+            sibling.patch_touched_targets(patch), np.arange(len(ud))
+        )
+
+    @given(
+        st.integers(2, 5),
+        st.integers(1, 6),
+        st.integers(0, 10**6),
+        st.floats(-3.0, 3.0, allow_nan=False),
+        st.floats(0.005, 0.2, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_drift_patch_property(self, t, k, seed, c, amount):
+        """Any perturbed subset: the patch is bit-exact against a fresh
+        build and its touched set is exactly the perturbed targets."""
+        ud, lo, hi, grid = self._bands(t=t, k=k, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        subset = np.flatnonzero(rng.uniform(size=t) < 0.5)
+        if subset.size == 0:
+            subset = np.array([rng.integers(t)])
+        proto = CubisMilpSkeleton(ud, lo, hi, 1.5, grid)
+        lo2, hi2 = self._shrunk(lo, hi, subset, amount=amount)
+        sibling = proto.rebind(ud, lo2, hi2)
+        patch = sibling.drift_patch(proto, c)
+        model = proto.patch(c)
+        patched = apply_patch(proto, model, patch)
+        assert_models_identical(
+            patched, build_cubis_milp(ud, lo2, hi2, 1.5, c, grid)
+        )
+        np.testing.assert_array_equal(
+            sibling.patch_touched_targets(patch), np.sort(subset)
+        )

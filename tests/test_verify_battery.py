@@ -30,7 +30,7 @@ class TestRunPaths:
         outcomes = run_paths(game, uncertainty, num_segments=8)
         assert [o.name for o in outcomes] == [
             "milp-highs", "milp-bnb", "milp-session", "milp-fleet",
-            "dp", "exact",
+            "milp-resolve", "dp", "exact",
         ]
         for o in outcomes:
             assert o.error is None

@@ -193,3 +193,54 @@ class TestSaveLoad:
         fixture = validate_fixture(minimal_fixture_dict())
         with pytest.raises(ValueError, match="no path"):
             save_fixture(fixture)
+
+
+class TestDriftFixtures:
+    """The drift-sequence fixture kind added for the resolve engine."""
+
+    def drift_fixture_dict(self, **overrides):
+        data = minimal_fixture_dict(
+            drift={"factors": [0.9, 0.81]},
+            expected={
+                "resolve_worst_case": {"value": -0.9, "atol": 0.05},
+            },
+        )
+        data.update(overrides)
+        return data
+
+    def test_drift_fixture_validates(self):
+        fixture = validate_fixture(self.drift_fixture_dict())
+        assert fixture.drift == {"factors": [0.9, 0.81]}
+        assert "resolve_worst_case" in fixture.expected
+
+    def test_resolve_keys_require_drift_object(self):
+        data = self.drift_fixture_dict()
+        del data["drift"]
+        with pytest.raises(GoldenSchemaError, match="require a 'drift'"):
+            validate_fixture(data)
+
+    @pytest.mark.parametrize("factors", [[], [0.9, -0.1], [0.9, "x"], "0.9"])
+    def test_bad_factors_rejected(self, factors):
+        data = self.drift_fixture_dict(drift={"factors": factors})
+        with pytest.raises(GoldenSchemaError):
+            validate_fixture(data)
+
+    def test_drift_survives_round_trip(self, tmp_path):
+        import json as _json
+
+        path = tmp_path / "drift.json"
+        path.write_text(_json.dumps(self.drift_fixture_dict()))
+        fixture = load_fixture(path)
+        assert fixture.drift == {"factors": [0.9, 0.81]}
+        assert fixture.to_dict()["drift"] == {"factors": [0.9, 0.81]}
+
+    def test_repo_drift_fixture_measures_and_passes(self):
+        fixture = next(
+            f for f in load_all_fixtures() if f.name == "resolve_drift50"
+        )
+        assert fixture.drift["factors"][-1] == pytest.approx(0.59049)
+        # Not re-measured here (a T=50 standing solve belongs to the
+        # battery); the schema and provenance contract is what this
+        # suite owns.
+        assert fixture.provenance["resolve_stats"]["resolves"] == 5
+        assert fixture.provenance["resolve_stats"]["bracket_reuses"] == 5
